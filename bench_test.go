@@ -1,0 +1,365 @@
+package kard
+
+// The benchmark harness: one testing.B benchmark per table and figure of
+// the paper's evaluation, plus ablations of Kard's design choices. Each
+// benchmark runs the relevant simulations at a reduced entry scale (the
+// simulated workloads are deterministic, so b.N iterations re-measure the
+// same execution) and reports the paper's metric — overhead percentages,
+// event counts — via b.ReportMetric. For publication-grade numbers use
+// `go run ./cmd/kardbench -all -scale 1`; EXPERIMENTS.md records such a
+// run.
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"kard/internal/core"
+	"kard/internal/harness"
+	"kard/internal/sim"
+	"kard/internal/workload"
+)
+
+const (
+	benchScale = 0.02 // entry scale for benchmarks: fast, ratio-faithful
+	benchSeed  = 1
+)
+
+func mustRun(b *testing.B, o harness.Options) *harness.Result {
+	b.Helper()
+	r, err := harness.Run(o)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return r
+}
+
+// BenchmarkTable3 regenerates one Table 3 row per sub-benchmark: the four
+// configurations of each of the 19 applications, reporting the Alloc,
+// Kard, and TSan execution-time overheads and Kard's memory overhead.
+func BenchmarkTable3(b *testing.B) {
+	for _, suite := range []string{"PARSEC", "SPLASH-2x", "real-world"} {
+		for _, name := range workload.BySuite(suite) {
+			name := name
+			b.Run(name, func(b *testing.B) {
+				var alloc, kard, tsan, mem float64
+				for i := 0; i < b.N; i++ {
+					base := mustRun(b, harness.Options{Workload: name, Mode: harness.ModeBaseline,
+						Scale: benchScale, Seed: benchSeed})
+					al := mustRun(b, harness.Options{Workload: name, Mode: harness.ModeAlloc,
+						Scale: benchScale, Seed: benchSeed})
+					kd := mustRun(b, harness.Options{Workload: name, Mode: harness.ModeKard,
+						Scale: benchScale, Seed: benchSeed})
+					ts := mustRun(b, harness.Options{Workload: name, Mode: harness.ModeTSan,
+						Scale: benchScale, Seed: benchSeed})
+					alloc = harness.OverheadPct(base, al)
+					kard = harness.OverheadPct(base, kd)
+					tsan = harness.OverheadPct(base, ts)
+					mem = harness.MemOverheadPct(base, kd)
+				}
+				b.ReportMetric(alloc, "alloc_ovh_%")
+				b.ReportMetric(kard, "kard_ovh_%")
+				b.ReportMetric(tsan, "tsan_ovh_%")
+				b.ReportMetric(mem, "kard_mem_%")
+			})
+		}
+	}
+}
+
+// BenchmarkTable5 regenerates Table 5: memcached under Kard at 4–32
+// threads, reporting the key recycling and sharing event counts.
+func BenchmarkTable5(b *testing.B) {
+	for _, threads := range []int{4, 8, 16, 32} {
+		threads := threads
+		b.Run(fmt.Sprintf("memcached_t%d", threads), func(b *testing.B) {
+			var recycling, sharing, concurrent float64
+			for i := 0; i < b.N; i++ {
+				r := mustRun(b, harness.Options{Workload: "memcached", Mode: harness.ModeKard,
+					Threads: threads, Scale: benchScale, Seed: benchSeed})
+				recycling = float64(r.Kard.KeyRecyclingEvents)
+				sharing = float64(r.Kard.KeySharingEvents)
+				concurrent = float64(r.Stats.MaxConcurrentSections)
+			}
+			b.ReportMetric(recycling, "recycling_events")
+			b.ReportMetric(sharing, "sharing_events")
+			b.ReportMetric(concurrent, "max_concurrent_cs")
+		})
+	}
+}
+
+// BenchmarkTable6 regenerates Table 6: races reported on the real-world
+// applications by Kard and the TSan comparator, counted by distinct
+// object.
+func BenchmarkTable6(b *testing.B) {
+	for _, name := range workload.BySuite("real-world") {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			var kardRaces, tsanRaces float64
+			for i := 0; i < b.N; i++ {
+				kd := mustRun(b, harness.Options{Workload: name, Mode: harness.ModeKard,
+					Scale: benchScale, Seed: benchSeed})
+				ts := mustRun(b, harness.Options{Workload: name, Mode: harness.ModeTSan,
+					Scale: benchScale, Seed: benchSeed})
+				kardRaces = float64(harness.DistinctRacyObjects(kd))
+				tsanRaces = float64(harness.DistinctRacyObjects(ts))
+			}
+			b.ReportMetric(kardRaces, "kard_races")
+			b.ReportMetric(tsanRaces, "tsan_races")
+		})
+	}
+}
+
+// BenchmarkFigure5 regenerates Figure 5: Kard's overhead on the 15
+// benchmarks at 8, 16, and 32 threads (geometric mean reported per thread
+// count).
+func BenchmarkFigure5(b *testing.B) {
+	names := append(workload.BySuite("PARSEC"), workload.BySuite("SPLASH-2x")...)
+	for _, threads := range []int{8, 16, 32} {
+		threads := threads
+		b.Run(fmt.Sprintf("t%d", threads), func(b *testing.B) {
+			var geo float64
+			for i := 0; i < b.N; i++ {
+				prod, n := 1.0, 0
+				for _, name := range names {
+					base := mustRun(b, harness.Options{Workload: name, Mode: harness.ModeBaseline,
+						Threads: threads, Scale: 0.01, Seed: benchSeed})
+					kd := mustRun(b, harness.Options{Workload: name, Mode: harness.ModeKard,
+						Threads: threads, Scale: 0.01, Seed: benchSeed})
+					prod *= float64(kd.Stats.ExecTime) / float64(base.Stats.ExecTime)
+					n++
+				}
+				geo = (math.Pow(prod, 1/float64(n)) - 1) * 100
+			}
+			b.ReportMetric(geo, "kard_geomean_ovh_%")
+		})
+	}
+}
+
+// BenchmarkNginxSweep regenerates the §7.2 file-size sweep: Kard's
+// per-request overhead at 128 kB and 1 MB responses.
+func BenchmarkNginxSweep(b *testing.B) {
+	for _, kb := range []int{128, 256, 512, 1024} {
+		kb := kb
+		b.Run(fmt.Sprintf("%dkB", kb), func(b *testing.B) {
+			var ovh float64
+			for i := 0; i < b.N; i++ {
+				base, err := harness.RunWorkload(harness.Options{Mode: harness.ModeBaseline,
+					Scale: benchScale, Seed: benchSeed}, workload.NginxSized(kb))
+				if err != nil {
+					b.Fatal(err)
+				}
+				kd, err := harness.RunWorkload(harness.Options{Mode: harness.ModeKard,
+					Scale: benchScale, Seed: benchSeed}, workload.NginxSized(kb))
+				if err != nil {
+					b.Fatal(err)
+				}
+				ovh = harness.OverheadPct(base, kd)
+			}
+			b.ReportMetric(ovh, "kard_ovh_%")
+		})
+	}
+}
+
+// BenchmarkILUCorpus regenerates the §3.1 study: the ILU share of
+// TSan-style reports over the fixed-race corpus.
+func BenchmarkILUCorpus(b *testing.B) {
+	var share float64
+	for i := 0; i < b.N; i++ {
+		ts := mustRun(b, harness.Options{Workload: "racecorpus", Mode: harness.ModeTSan,
+			Threads: 2, Scale: 1, Seed: benchSeed})
+		ilu, non := 0, 0
+		seen := map[string]bool{}
+		for _, r := range ts.Stats.Races {
+			if seen[r.Object.Site] {
+				continue
+			}
+			seen[r.Object.Site] = true
+			if r.ILU {
+				ilu++
+			} else {
+				non++
+			}
+		}
+		if ilu+non > 0 {
+			share = 100 * float64(ilu) / float64(ilu+non)
+		}
+	}
+	b.ReportMetric(share, "ilu_share_%")
+}
+
+// BenchmarkAblationProactive measures what proactive key acquisition
+// (§5.4) buys: fluidanimate's Kard overhead with and without it.
+func BenchmarkAblationProactive(b *testing.B) {
+	for _, on := range []bool{true, false} {
+		on := on
+		name := "on"
+		if !on {
+			name = "off"
+		}
+		b.Run(name, func(b *testing.B) {
+			var ovh, faults float64
+			for i := 0; i < b.N; i++ {
+				base := mustRun(b, harness.Options{Workload: "fluidanimate", Mode: harness.ModeBaseline,
+					Scale: 0.01, Seed: benchSeed})
+				kd := mustRun(b, harness.Options{Workload: "fluidanimate", Mode: harness.ModeKard,
+					Scale: 0.01, Seed: benchSeed,
+					Kard: kardOpts(!on, false)})
+				ovh = harness.OverheadPct(base, kd)
+				faults = float64(kd.Kard.Faults)
+			}
+			b.ReportMetric(ovh, "kard_ovh_%")
+			b.ReportMetric(faults, "faults")
+		})
+	}
+}
+
+// BenchmarkAblationInterleaving measures protection interleaving's (§5.5)
+// effect on the different-offset false-positive scenario (Table 4): with
+// interleaving the spurious report is pruned; without it, it survives —
+// like pigz's small-section case where interleaving cannot run at all.
+func BenchmarkAblationInterleaving(b *testing.B) {
+	scenario := func(disable bool) (races, pruned float64) {
+		sys := NewSystem(Config{Detector: DetectorKard, Seed: benchSeed,
+			Kard: KardOptions{DisableInterleaving: disable}})
+		la, lb := sys.NewMutex("la"), sys.NewMutex("lb")
+		bar := sys.NewBarrier(2)
+		rep, err := sys.Run(func(m *Thread) {
+			o := m.Malloc(256, "buf")
+			t1 := m.Go("t1", func(w *Thread) {
+				w.Lock(la, "sa")
+				w.Write(o, 0, 8, "w1")
+				w.Barrier(bar)
+				w.Compute(100000)
+				w.Write(o, 0, 8, "w1b")
+				w.Unlock(la)
+			})
+			t2 := m.Go("t2", func(w *Thread) {
+				w.Barrier(bar)
+				w.Lock(lb, "sb")
+				w.Write(o, 128, 8, "w2")
+				w.Compute(200000)
+				w.Unlock(lb)
+			})
+			m.Join(t1)
+			m.Join(t2)
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return float64(rep.RacyObjects()), float64(rep.Kard.PrunedSpurious)
+	}
+	for _, on := range []bool{true, false} {
+		on := on
+		name := "on"
+		if !on {
+			name = "off"
+		}
+		b.Run(name, func(b *testing.B) {
+			var races, pruned float64
+			for i := 0; i < b.N; i++ {
+				races, pruned = scenario(!on)
+			}
+			b.ReportMetric(races, "reported_races")
+			b.ReportMetric(pruned, "pruned_spurious")
+		})
+	}
+}
+
+// BenchmarkAblationAllocatorRecycle measures virtual-page recycling (§6
+// future work) on the allocation-heavy NGINX model.
+func BenchmarkAblationAllocatorRecycle(b *testing.B) {
+	b.Run("noRecycle", func(b *testing.B) { benchNginxAlloc(b, false) })
+	b.Run("recycle", func(b *testing.B) { benchNginxAlloc(b, true) })
+}
+
+func benchNginxAlloc(b *testing.B, recycle bool) {
+	var ovh, mem float64
+	for i := 0; i < b.N; i++ {
+		base := mustRun(b, harness.Options{Workload: "nginx", Mode: harness.ModeBaseline,
+			Scale: benchScale, Seed: benchSeed})
+		w, err := workload.New("nginx")
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep, err := runRecycling(w, recycle)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ovh = (float64(rep.ExecTime)/float64(base.Stats.ExecTime) - 1) * 100
+		mem = (float64(rep.PeakRSS)/float64(base.Stats.PeakRSS) - 1) * 100
+	}
+	b.ReportMetric(ovh, "alloc_ovh_%")
+	b.ReportMetric(mem, "mem_ovh_%")
+}
+
+// kardOpts builds detector options for the ablation benchmarks.
+func kardOpts(disableProactive, disableInterleaving bool) core.Options {
+	return core.Options{DisableProactive: disableProactive, DisableInterleaving: disableInterleaving}
+}
+
+// recycleResult is the subset of stats the allocator ablation reports.
+type recycleResult struct {
+	ExecTime uint64
+	PeakRSS  uint64
+}
+
+// runRecycling runs a workload on the unique-page allocator with
+// virtual-page recycling toggled (the §6 future-work ablation), without
+// detection so the allocator effect is isolated.
+func runRecycling(w workload.Workload, recycle bool) (*recycleResult, error) {
+	e := sim.New(sim.Config{Seed: benchSeed, UniquePageAllocator: true, AllocRecycle: recycle}, nil)
+	w.Prepare(e)
+	st, err := e.Run(func(m *sim.Thread) { w.Body(m, 4, benchScale) })
+	if err != nil {
+		return nil, err
+	}
+	return &recycleResult{ExecTime: uint64(st.ExecTime), PeakRSS: st.PeakRSS}, nil
+}
+
+// BenchmarkEngineThroughput measures the raw simulator: operations per
+// second through the deterministic scheduler.
+func BenchmarkEngineThroughput(b *testing.B) {
+	sys := NewSystem(Config{Detector: DetectorNone, Seed: 1})
+	mu := sys.NewMutex("m")
+	b.ResetTimer()
+	_, err := sys.Run(func(m *Thread) {
+		o := m.Malloc(4096, "buf")
+		for i := 0; i < b.N; i++ {
+			m.Lock(mu, "s")
+			m.Write(o, 0, 64, "w")
+			m.Unlock(mu)
+		}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkAblationSoftwareFallback measures the §8 software fallback on
+// memcached (the key-exhaustion application): sharing events drop to zero
+// at the cost of software traps.
+func BenchmarkAblationSoftwareFallback(b *testing.B) {
+	for _, on := range []bool{false, true} {
+		on := on
+		name := "hardware-sharing"
+		if on {
+			name = "software-fallback"
+		}
+		b.Run(name, func(b *testing.B) {
+			var ovh, sharing, soft float64
+			for i := 0; i < b.N; i++ {
+				base := mustRun(b, harness.Options{Workload: "memcached", Mode: harness.ModeBaseline,
+					Scale: benchScale, Seed: benchSeed})
+				kd := mustRun(b, harness.Options{Workload: "memcached", Mode: harness.ModeKard,
+					Scale: benchScale, Seed: benchSeed,
+					Kard: core.Options{SoftwareFallback: on}})
+				ovh = harness.OverheadPct(base, kd)
+				sharing = float64(kd.Kard.KeySharingEvents)
+				soft = float64(kd.Kard.SoftwareFaults)
+			}
+			b.ReportMetric(ovh, "kard_ovh_%")
+			b.ReportMetric(sharing, "sharing_events")
+			b.ReportMetric(soft, "software_faults")
+		})
+	}
+}

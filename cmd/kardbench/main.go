@@ -1,0 +1,125 @@
+// Command kardbench regenerates the tables and figures of the Kard paper's
+// evaluation (§7) from the simulated reproduction.
+//
+// Usage:
+//
+//	kardbench -all                    # everything (slow at -scale 1)
+//	kardbench -table 3 -scale 0.2     # Table 3 at reduced entry counts
+//	kardbench -table 5                # memcached key sharing/recycling
+//	kardbench -table 6                # real-world races, Kard vs TSan
+//	kardbench -figure 5               # scalability at 8/16/32 threads
+//	kardbench -sweep nginx            # §7.2 file-size sweep
+//	kardbench -table ilu              # §3.1 ILU share over the corpus
+//
+// The -scale flag trades run time for fidelity of the absolute counters
+// (entries, faults); overhead percentages are far less sensitive. The
+// final numbers recorded in EXPERIMENTS.md were produced at -scale 1.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"kard/internal/report"
+)
+
+func main() {
+	var (
+		table   = flag.String("table", "", "regenerate one table: 1, 2, 3, 4, 5, 6, or ilu")
+		figure  = flag.String("figure", "", "regenerate one figure: 5")
+		sweep   = flag.String("sweep", "", "run a parameter sweep: nginx")
+		all     = flag.Bool("all", false, "regenerate every table and figure")
+		threads = flag.Int("threads", 4, "worker threads (the paper's testing scenario is 4)")
+		scale   = flag.Float64("scale", 0.2, "critical-section entry scale in (0,1]")
+		seed    = flag.Int64("seed", 1, "deterministic scheduler seed")
+		verbose = flag.Bool("v", false, "print per-run progress to stderr")
+		outPath = flag.String("o", "", "write output to this file instead of stdout")
+	)
+	flag.Parse()
+
+	var out io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		out = f
+	}
+	o := report.Options{Threads: *threads, Scale: *scale, Seed: *seed}
+	if *verbose {
+		o.Progress = os.Stderr
+	}
+
+	start := time.Now()
+	run := func(name string, f func() error) {
+		fmt.Fprintf(out, "==== %s ====\n\n", name)
+		if err := f(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(out)
+	}
+
+	did := false
+	want := func(kind, which string) bool {
+		switch kind {
+		case "table":
+			return *all || *table == which
+		case "figure":
+			return *all || *figure == which
+		case "sweep":
+			return *all || *sweep == which
+		}
+		return false
+	}
+
+	if want("table", "1") {
+		did = true
+		run("Table 1 (ILU scope)", func() error { return report.Table1(out, o) })
+	}
+	if want("table", "2") {
+		did = true
+		run("Table 2 (approach comparison)", func() error { report.Table2(out, -1); return nil })
+	}
+	if want("table", "3") {
+		did = true
+		run("Table 3 (overheads)", func() error { _, err := report.Table3(out, o); return err })
+	}
+	if want("table", "4") {
+		did = true
+		run("Table 4 (FP/FN mitigations)", func() error { return report.Table4(out, o) })
+	}
+	if want("table", "5") {
+		did = true
+		run("Table 5 (memcached key events)", func() error { return report.Table5(out, o) })
+	}
+	if want("table", "6") {
+		did = true
+		run("Table 6 (real-world races)", func() error { return report.Table6(out, o) })
+	}
+	if want("table", "ilu") {
+		did = true
+		run("§3.1 ILU share", func() error { return report.ILUShare(out, o) })
+	}
+	if want("figure", "5") {
+		did = true
+		run("Figure 5 (scalability)", func() error { return report.Figure5(out, o) })
+	}
+	if want("sweep", "nginx") {
+		did = true
+		run("§7.2 NGINX file-size sweep", func() error { return report.NginxSweep(out, o) })
+	}
+	if !did {
+		flag.Usage()
+		os.Exit(2)
+	}
+	fmt.Fprintf(out, "done in %v\n", time.Since(start).Round(time.Second))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "kardbench:", err)
+	os.Exit(1)
+}

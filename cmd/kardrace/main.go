@@ -1,0 +1,99 @@
+// Command kardrace runs one application model under a chosen detector and
+// prints the data races it reports, the way a developer would run the real
+// Kard tool over a test workload.
+//
+// Usage:
+//
+//	kardrace -w memcached                 # Kard over the memcached model
+//	kardrace -w aget -d tsan              # the happens-before comparator
+//	kardrace -w pigz -d lockset           # the Eraser-style comparator
+//	kardrace -list                        # available workloads
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"kard/internal/harness"
+	"kard/internal/report"
+	"kard/internal/workload"
+)
+
+func main() {
+	var (
+		name    = flag.String("w", "", "workload to run (see -list)")
+		det     = flag.String("d", "kard", "detector: kard, tsan, lockset, baseline, alloc")
+		threads = flag.Int("threads", 4, "worker threads")
+		scale   = flag.Float64("scale", 0.2, "critical-section entry scale in (0,1]")
+		seed    = flag.Int64("seed", 1, "deterministic scheduler seed")
+		list    = flag.Bool("list", false, "list available workloads")
+		catalog = flag.Bool("catalog", false, "run the race-pattern catalog under all detectors")
+		stats   = flag.Bool("stats", false, "also print run statistics")
+	)
+	flag.Parse()
+
+	if *catalog {
+		if err := report.Catalog(os.Stdout, report.Options{Seed: *seed}); err != nil {
+			fmt.Fprintln(os.Stderr, "kardrace:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *list {
+		for _, suite := range workload.Suites() {
+			fmt.Printf("%s:\n", suite)
+			for _, n := range workload.BySuite(suite) {
+				w, _ := workload.New(n)
+				s := w.Spec()
+				fmt.Printf("  %-15s %d sharable objects, %d critical sections, %d entries\n",
+					n, s.HeapObjects+s.GlobalObjects, s.TotalCS, s.CSEntries)
+			}
+		}
+		return
+	}
+	if *name == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	r, err := harness.Run(harness.Options{
+		Workload: *name, Mode: harness.Mode(*det),
+		Threads: *threads, Scale: *scale, Seed: *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kardrace:", err)
+		os.Exit(1)
+	}
+
+	races := r.Stats.Races
+	if len(races) == 0 {
+		fmt.Printf("%s: no data races reported by %s\n", *name, r.Stats.Detector)
+	} else {
+		fmt.Printf("%s: %d potential data race record(s) from %s (%d distinct objects)\n\n",
+			*name, len(races), r.Stats.Detector, harness.DistinctRacyObjects(r))
+		for i, race := range races {
+			fmt.Printf("race #%d on %s\n", i+1, race.Object)
+			fmt.Printf("  %s of %d byte(s) at offset %d\n", race.Kind, 8, race.Offset)
+			fmt.Printf("  thread %d at %q in section %q\n", race.Thread, race.Site, race.Section)
+			fmt.Printf("  conflicts with thread %d in section %q\n", race.OtherThread, race.OtherSection)
+			fmt.Printf("  inconsistent lock usage: %v; virtual time %d\n\n", race.ILU, race.Time)
+		}
+	}
+	if r.HasKard {
+		c := r.Kard
+		fmt.Printf("kard: %d faults (%d identification, %d migration, %d race), %d recycling, %d sharing,\n",
+			c.Faults, c.IdentificationFaults, c.MigrationFaults, c.RaceFaults,
+			c.KeyRecyclingEvents, c.KeySharingEvents)
+		fmt.Printf("      %d read-only and %d read-write shared objects, %d spurious reports pruned\n",
+			c.SharedRO, c.SharedRWEver, c.PrunedSpurious)
+	}
+	if *stats {
+		s := r.Stats
+		fmt.Printf("\nstats: exec %.4fs simulated, %d threads, peak RSS %.1f MiB,\n",
+			s.ExecSeconds(), s.Threads, float64(s.PeakRSS)/(1<<20))
+		fmt.Printf("       %d sections (%d max concurrent), %d entries, dTLB miss rate %.6f\n",
+			s.TotalSections, s.MaxConcurrentSections, s.CSEntries, s.DTLBMissRate())
+	}
+}

@@ -1,0 +1,64 @@
+// Quickstart: detect an inconsistent-lock-usage data race in a small
+// simulated program, reproducing Figure 1a of the paper.
+//
+// Two threads access the same counter: t1 writes it holding lock la, t2
+// reads it holding lock lb. No common lock orders the accesses — the
+// definition of inconsistent lock usage (Table 1) — so Kard's
+// key-enforced access flags t2's read: t1 holds the counter's read-write
+// key, t2 cannot obtain it, and the access raises a protection violation.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"kard"
+)
+
+func main() {
+	sys := kard.NewSystem(kard.Config{Detector: kard.DetectorKard, Seed: 1})
+
+	la := sys.NewMutex("la")
+	lb := sys.NewMutex("lb")
+	barrier := sys.NewBarrier(2) // overlaps the two critical sections
+
+	rep, err := sys.Run(func(main *kard.Thread) {
+		counter := main.Malloc(8, "shared counter")
+
+		t1 := main.Go("t1", func(w *kard.Thread) {
+			w.Lock(la, "t1: update counter")
+			w.Write(counter, 0, 8, "counter += n")
+			w.Barrier(barrier)
+			w.Compute(100_000) // still inside the critical section
+			w.Unlock(la)
+		})
+		t2 := main.Go("t2", func(w *kard.Thread) {
+			w.Barrier(barrier)
+			w.Lock(lb, "t2: report progress") // a *different* lock
+			w.Read(counter, 0, 8, "print(counter)")
+			w.Unlock(lb)
+		})
+		main.Join(t1)
+		main.Join(t2)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("Kard reported %d potential data race(s)\n\n", len(rep.Races))
+	for _, r := range rep.Races {
+		fmt.Printf("  object   %s (offset %d, %s access)\n", r.Object, r.Offset, r.Kind)
+		fmt.Printf("  thread %d at %q in section %q\n", r.Thread, r.Site, r.Section)
+		fmt.Printf("  conflicts with thread %d in section %q\n", r.OtherThread, r.OtherSection)
+		fmt.Printf("  inconsistent lock usage: %v\n\n", r.ILU)
+	}
+	c := rep.Kard
+	fmt.Printf("detector: %d #GP fault(s), %d identification, %d analyzed as races\n",
+		c.Faults, c.IdentificationFaults, c.RaceFaults)
+	fmt.Printf("execution: %.6f simulated seconds across %d threads\n",
+		rep.Stats.ExecSeconds(), rep.Stats.Threads)
+}

@@ -1,0 +1,56 @@
+// Webserver: test the NGINX application model — the paper's intro
+// scenario of a production server you want to race-test without a 7×
+// TSan slowdown — under all detection configurations and compare cost
+// and findings.
+//
+// This regenerates the NGINX row of Table 3 and Table 6 at a reduced
+// scale: the same race is found by Kard and the happens-before
+// comparator, but Kard's execution overhead is a few percent while the
+// TSan-style instrumentation costs multiples of the baseline.
+//
+// Run with:
+//
+//	go run ./examples/webserver
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"kard"
+)
+
+func main() {
+	cfgs := []kard.DetectorKind{
+		kard.DetectorNone, kard.DetectorAllocOnly, kard.DetectorKard, kard.DetectorTSan,
+	}
+	var baseline *kard.Report
+
+	fmt.Println("NGINX model: 4 worker threads, ~10k requests (scale 0.05)")
+	fmt.Println()
+	fmt.Printf("%-10s %12s %10s %12s %8s\n", "detector", "exec (sim s)", "overhead", "peak RSS", "races")
+	for _, kind := range cfgs {
+		rep, err := kard.RunWorkload("nginx", kard.WorkloadConfig{
+			Detector: kind, Threads: 4, Scale: 0.05, Seed: 1,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if kind == kard.DetectorNone {
+			baseline = rep
+		}
+		ovh := (float64(rep.Stats.ExecTime)/float64(baseline.Stats.ExecTime) - 1) * 100
+		fmt.Printf("%-10s %12.4f %+9.1f%% %10.1fMB %8d\n",
+			string(kind), rep.Stats.ExecSeconds(), ovh,
+			float64(rep.Stats.PeakRSS)/(1<<20), rep.RacyObjects())
+		if kind == kard.DetectorKard {
+			for _, r := range rep.Races {
+				fmt.Printf("           └─ race on %s: %q vs section %q (the known init race)\n",
+					r.Object.Site, r.Site, r.OtherSection)
+			}
+		}
+	}
+	fmt.Println()
+	fmt.Println("Kard finds the same initialization race as the happens-before detector")
+	fmt.Println("at a fraction of the cost — the paper's headline result (§7.2, §7.3).")
+}

@@ -1,0 +1,118 @@
+package kard
+
+import (
+	"fmt"
+	"sort"
+
+	"kard/internal/sim"
+)
+
+// Additional re-exported synchronization primitives.
+type (
+	// RWMutex is a simulated reader-writer lock created with
+	// System.NewRWMutex.
+	RWMutex = sim.RWMutex
+	// Cond is a simulated condition variable created with
+	// System.NewCond.
+	Cond = sim.Cond
+)
+
+// NewRWMutex creates a reader-writer lock.
+func (s *System) NewRWMutex(name string) *RWMutex { return s.eng.NewRWMutex(name) }
+
+// NewCond creates a condition variable bound to mu.
+func (s *System) NewCond(mu *Mutex, name string) *Cond { return s.eng.NewCond(mu, name) }
+
+// ExploreReport aggregates race findings across schedules. ILU detection
+// is schedule-sensitive (§3.1): a race manifests only when the threads
+// interleave the wrong way, so §5.5 recommends multiple runs. Explore
+// automates that: the same program under several seeds, reports merged by
+// racy object.
+type ExploreReport struct {
+	// Seeds is the number of schedules explored.
+	Seeds int
+	// Findings lists each distinct racy object with how many schedules
+	// manifested it.
+	Findings []Finding
+	// PerSeed maps seed → distinct racy objects found under it.
+	PerSeed map[int64]int
+}
+
+// Finding is one distinct racy object across the exploration.
+type Finding struct {
+	// Object is the racy object's allocation site or global name.
+	Object string
+	// Sections are the conflicting critical-section pairs observed.
+	Sections []string
+	// Manifestations counts the schedules in which the race appeared.
+	Manifestations int
+	// Sample is a representative race record.
+	Sample Race
+}
+
+// Explore runs a program under every seed and merges the race reports.
+// build receives a fresh System per seed (create locks and globals there)
+// and returns the program's main-thread body. The base configuration's
+// Seed field is ignored.
+func Explore(cfg Config, seeds []int64, build func(sys *System) func(*Thread)) (*ExploreReport, error) {
+	if len(seeds) == 0 {
+		seeds = []int64{0, 1, 2, 3, 4, 5, 6, 7}
+	}
+	type agg struct {
+		sections       map[string]bool
+		manifestations int
+		sample         Race
+	}
+	merged := map[string]*agg{}
+	rep := &ExploreReport{Seeds: len(seeds), PerSeed: make(map[int64]int)}
+
+	for _, seed := range seeds {
+		c := cfg
+		c.Seed = seed
+		sys := NewSystem(c)
+		body := build(sys)
+		if body == nil {
+			return nil, fmt.Errorf("kard: Explore build returned a nil body for seed %d", seed)
+		}
+		r, err := sys.Run(body)
+		if err != nil {
+			return nil, fmt.Errorf("kard: exploring seed %d: %w", seed, err)
+		}
+		rep.PerSeed[seed] = r.RacyObjects()
+		seen := map[string]bool{}
+		for _, race := range r.Races {
+			site := race.Object.Site
+			a := merged[site]
+			if a == nil {
+				a = &agg{sections: map[string]bool{}, sample: race}
+				merged[site] = a
+			}
+			a.sections[race.Section+" vs "+race.OtherSection] = true
+			if !seen[site] {
+				seen[site] = true
+				a.manifestations++
+			}
+		}
+	}
+
+	for site, a := range merged {
+		var secs []string
+		for s := range a.sections {
+			secs = append(secs, s)
+		}
+		sort.Strings(secs)
+		rep.Findings = append(rep.Findings, Finding{
+			Object:         site,
+			Sections:       secs,
+			Manifestations: a.manifestations,
+			Sample:         a.sample,
+		})
+	}
+	sort.Slice(rep.Findings, func(i, j int) bool {
+		if rep.Findings[i].Manifestations != rep.Findings[j].Manifestations {
+			return rep.Findings[i].Manifestations > rep.Findings[j].Manifestations
+		}
+		return rep.Findings[i].Object < rep.Findings[j].Object
+	})
+	return rep, nil
+}

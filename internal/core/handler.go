@@ -1,0 +1,211 @@
+package core
+
+import (
+	"kard/internal/cycles"
+	"kard/internal/mpk"
+	"kard/internal/sim"
+)
+
+// handleFault is Kard's custom #GP handler (§5.5). The system raises a #GP
+// for an attempted access to (a) a Not-accessed object, (b) a Read-write
+// object whose key the thread does not hold, or (c) a Read-write object
+// whose key the thread holds read-only, plus writes to Read-only objects.
+// Case (a) identifies a shared object; the others may be data races.
+//
+// Every fault costs the full handler round-trip (≈24,000 cycles, §5.5)
+// plus whatever pkey_mprotect and map operations the handler performs.
+func (d *Detector) handleFault(a *sim.Access, f *mpk.Fault) cycles.Duration {
+	d.counts.Faults++
+	// The handler resolves metadata and updates the shared maps under
+	// Kard's internal synchronization (§5.4, §5.5).
+	cost := cycles.Fault + d.serialize(a.Thread, cycles.MapLookup+cycles.MapUpdate)
+	t := a.Thread
+	os := d.state(a.Object)
+
+	switch {
+	case f.Pkey == KeyNA:
+		cost += d.identifyShared(t, a, os)
+
+	case f.Pkey == KeyRO:
+		cost += d.readOnlyWrite(t, a, os)
+
+	case os.soft:
+		// Software-protected object (§8 fallback): no full #GP cost —
+		// the software handler path is cheaper than kernel-delivered
+		// signal analysis.
+		return cycles.Duration(0) + d.softFault(t, a, os)
+
+	case os.inter != nil:
+		cost += d.interleaveProgress(t, a, os)
+
+	default:
+		cost += d.readWriteFault(t, a, os, f)
+	}
+	return cost
+}
+
+// identifyShared handles a k15 fault: the thread touched a sharable object
+// in the Not-accessed domain from inside a critical section, so the object
+// is shared and migrates to the domain matching the access type (§5.3,
+// Figure 3a).
+func (d *Detector) identifyShared(t *sim.Thread, a *sim.Access, os *objState) cycles.Duration {
+	d.counts.IdentificationFaults++
+	cs := t.CurrentSection()
+	if cs == nil {
+		// Threads outside critical sections hold k15, so this fault
+		// only occurs under the non-ILU extension once k15 has been
+		// retracted elsewhere; treat it like an in-section discovery
+		// without a section.
+		if !d.opts.NonILUExtension {
+			return 0
+		}
+	}
+	var cost cycles.Duration
+	if a.Kind == mpk.Read {
+		os.domain = DomainReadOnly
+		cost += d.protect(os.obj, KeyRO)
+		cost += d.noteObject(cs, os, mpk.Read)
+		return cost
+	}
+	_, assignCost := d.assignKey(t, os, cs)
+	cost += assignCost
+	d.counts.ReactiveAcquires++
+	cost += d.noteObject(cs, os, mpk.Write)
+	if os.soft {
+		os.softLast, os.softLastValid = recOf(t, a), true
+	} else if cs == nil {
+		d.claim(t, os.key)
+	}
+	return cost
+}
+
+// readOnlyWrite handles a write fault on a k14 (Read-only domain) object.
+// From inside a critical section the object migrates to the Read-write
+// domain; from outside, the write proceeds after the fault and the object
+// stays read-only — Kard cannot attribute concurrent readers of the shared
+// k14 key, so no race is reported (§5.2), unless the non-ILU extension
+// claims a key for the writer.
+func (d *Detector) readOnlyWrite(t *sim.Thread, a *sim.Access, os *objState) cycles.Duration {
+	cs := t.CurrentSection()
+	if cs == nil && !d.opts.NonILUExtension {
+		return 0
+	}
+	d.counts.MigrationFaults++
+	_, cost := d.assignKey(t, os, cs)
+	d.counts.ReactiveAcquires++
+	cost += d.noteObject(cs, os, mpk.Write)
+	if os.soft {
+		os.softLast, os.softLastValid = recOf(t, a), true
+	} else if cs == nil {
+		d.claim(t, os.key)
+	}
+	return cost
+}
+
+// readWriteFault analyzes a fault on a Read-write domain key: either a
+// potential data race (the key is held by, or was just released by,
+// another thread — Algorithm 1 lines 10–12 and 19–21) or a reactive key
+// acquisition (lines 13–18 and 22–26).
+func (d *Detector) readWriteFault(t *sim.Thread, a *sim.Access, os *objState, f *mpk.Fault) cycles.Duration {
+	cost := cycles.AtomicOp // key-section map consultation (Figure 3c)
+	k := os.key
+	if f.Pkey != k {
+		// The page's key and Kard's record disagree only if the object
+		// was re-keyed between the access and the handler — use the
+		// page's key, as the real handler does.
+		k = f.Pkey
+	}
+	if c := d.conflictHolder(t, k, a.Kind, f.Time, os); c != nil {
+		d.counts.RaceFaults++
+		idx, fresh := d.record(t, a, os, c)
+		if fresh && !d.opts.DisableInterleaving && c.current {
+			cost += d.startInterleave(t, a, os, c, idx)
+		}
+		return cost
+	}
+
+	// No conflict: the key is effectively free for this thread.
+	cs := t.CurrentSection()
+	switch {
+	case cs != nil:
+		want := mpk.PermRead
+		if a.Kind == mpk.Write {
+			want = mpk.PermRW
+		}
+		if d.tryAcquire(t, k, want) {
+			d.counts.ReactiveAcquires++
+		} else if d.opts.SoftwareFallback {
+			// §8 software fallback: instead of sharing the held key,
+			// move the object to its own virtual key.
+			delete(d.key(k).objects, os.obj.ID)
+			cost += d.assignSoft(t, os, cs)
+		} else {
+			// The key is held, but only by sections that never touch
+			// this object: share it rather than report (§5.4 rule 3b,
+			// §7.3 key-sharing mitigation).
+			d.counts.KeySharingEvents++
+			d.grant(t, k, want)
+		}
+		cost += d.noteObject(cs, os, a.Kind)
+	case d.opts.NonILUExtension:
+		want := mpk.PermRead
+		if a.Kind == mpk.Write {
+			want = mpk.PermRW
+		}
+		if d.tryAcquire(t, k, want) {
+			d.claim(t, k)
+		}
+	default:
+		// Outside any critical section with a free key: the access
+		// proceeds one-shot; nothing to record (Algorithm 1 line 13
+		// guards acquisition on executing a section).
+	}
+	return cost
+}
+
+// claim registers an outside-section key hold under the non-ILU extension,
+// released at the thread's next synchronization point.
+func (d *Detector) claim(t *sim.Thread, k mpk.Pkey) {
+	ts := tstate(t)
+	ts.claims = append(ts.claims, k)
+}
+
+// record files a potential data race (§5.5: both sections, the faulted
+// object, access type, thread identifiers, timestamp), deduplicating
+// same-object/same-offset/same-section-pair reports (automated pruning
+// (a)). It returns the record index and whether the record is new.
+func (d *Detector) record(t *sim.Thread, a *sim.Access, os *objState, c *conflict) (int, bool) {
+	section := d.sectionSiteOf(t)
+	key := raceKey{obj: os.obj.ID, off: a.Offset(), kind: a.Kind, section: section, other: c.site}
+	if idx, ok := d.seen[key]; ok {
+		d.counts.PrunedRedundant++
+		return idx, false
+	}
+	r := sim.Race{
+		Detector:     "kard",
+		Object:       os.obj,
+		Offset:       a.Offset(),
+		Kind:         a.Kind,
+		Thread:       t.ID(),
+		Site:         a.Site,
+		Section:      section,
+		OtherThread:  c.tid,
+		OtherSite:    c.site,
+		OtherSection: c.site,
+		ILU:          true, // the holder side was executing a critical section
+		Time:         t.Now(),
+	}
+	d.races = append(d.races, r)
+	idx := len(d.races) - 1
+	d.seen[key] = idx
+	return idx, true
+}
+
+// prune removes a filed record after protection interleaving showed the
+// two threads touch different offsets (§5.5 automated pruning (b)).
+func (d *Detector) prune(idx int) {
+	if idx >= 0 && idx < len(d.races) && d.races[idx].Detector != "" {
+		d.races[idx] = sim.Race{}
+		d.counts.PrunedSpurious++
+	}
+}

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"kard/internal/cycles"
+	"kard/internal/mpk"
+	"kard/internal/sim"
+)
+
+// interleaveState tracks one protection interleaving (§5.5, Figure 4):
+// after a potential race on an object, the handler re-protects the object
+// with a key of the faulting thread so that the original holder's next
+// access faults too, revealing the byte offsets both threads actually
+// touch.
+type interleaveState struct {
+	first     accessRec   // the access that triggered the candidate race
+	initiator *sim.Thread // the faulting thread (t2 in Figure 4)
+	other     *sim.Thread // the holder whose access we await (t1)
+	recordIdx int         // candidate record in d.races
+	origKey   mpk.Pkey
+	curKey    mpk.Pkey
+}
+
+// accessRec is one observed byte-range access.
+type accessRec struct {
+	tid  int
+	lo   uint64 // object-relative offsets [lo, hi)
+	hi   uint64
+	kind mpk.AccessKind
+}
+
+func recOf(t *sim.Thread, a *sim.Access) accessRec {
+	off := a.Offset()
+	return accessRec{tid: t.ID(), lo: off, hi: off + a.Size, kind: a.Kind}
+}
+
+// conflictsWith reports whether two byte-range accesses overlap and at
+// least one is a write — the condition for the candidate race to be real.
+func (r accessRec) conflictsWith(s accessRec) bool {
+	if r.lo >= s.hi || s.lo >= r.hi {
+		return false
+	}
+	return r.kind == mpk.Write || s.kind == mpk.Write
+}
+
+// startInterleave begins protection interleaving for a fresh candidate
+// race: protect the object with a key of the faulting thread (or a free
+// key assigned to it) and let it proceed (Figure 4 line 7). Interleaving
+// requires the faulting thread to be inside a critical section and a key
+// to be available; otherwise the candidate record simply stands, which is
+// how a too-small critical section leaves an unverified report (the pigz
+// false positive of §7.3).
+func (d *Detector) startInterleave(t *sim.Thread, a *sim.Access, os *objState, c *conflict, idx int) cycles.Duration {
+	if !t.InCriticalSection() || c.thread == nil {
+		return 0
+	}
+	k2, ok := d.interleaveKey(t)
+	if !ok {
+		return 0
+	}
+	want := mpk.PermRead
+	if a.Kind == mpk.Write {
+		want = mpk.PermRW
+	}
+	d.grant(t, k2, want)
+
+	// Move the object's protection to k2.
+	var cost cycles.Duration
+	if os.domain == DomainReadWrite && !os.unprotected {
+		delete(d.key(os.key).objects, os.obj.ID)
+	}
+	d.key(k2).objects[os.obj.ID] = os
+	origKey := os.key
+	os.key = k2
+	cost += d.protect(os.obj, k2)
+
+	os.inter = &interleaveState{
+		first:     recOf(t, a),
+		initiator: t,
+		other:     c.thread,
+		recordIdx: idx,
+		origKey:   origKey,
+		curKey:    k2,
+	}
+	d.pending[os] = struct{}{}
+	d.counts.InterleaveStarted++
+	return cost
+}
+
+// interleaveKey picks the key used to re-protect the object: a key the
+// thread already holds read-write, or an unassigned free key.
+func (d *Detector) interleaveKey(t *sim.Thread) (mpk.Pkey, bool) {
+	for k := FirstRW; k <= LastRW; k++ {
+		if t.PKRU.Perm(k) == mpk.PermRW {
+			return k, true
+		}
+	}
+	for k := FirstRW; k <= LastRW; k++ {
+		if !d.key(k).assigned() && len(d.key(k).holders) == 0 {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// interleaveProgress handles a fault on an object under interleaving: the
+// second conflicting access arrived, so compare byte offsets and either
+// confirm the candidate race or prune it as spurious (§5.5 automated
+// pruning (b)).
+func (d *Detector) interleaveProgress(t *sim.Thread, a *sim.Access, os *objState) cycles.Duration {
+	in := os.inter
+	if t == in.initiator {
+		// The initiator faulted again (e.g. read grant, now writing):
+		// widen its observed range and upgrade its grant.
+		r := recOf(t, a)
+		if r.lo < in.first.lo {
+			in.first.lo = r.lo
+		}
+		if r.hi > in.first.hi {
+			in.first.hi = r.hi
+		}
+		if r.kind == mpk.Write {
+			in.first.kind = mpk.Write
+		}
+		want := mpk.PermRead
+		if a.Kind == mpk.Write {
+			want = mpk.PermRW
+		}
+		d.grant(t, in.curKey, want)
+		return cycles.MapUpdate
+	}
+
+	second := recOf(t, a)
+	if !in.first.conflictsWith(second) {
+		d.prune(in.recordIdx)
+	}
+	d.counts.InterleaveResolved++
+	return d.terminateInterleave(os, t)
+}
+
+// terminateInterleave ends an interleaving and temporarily de-protects the
+// object so execution proceeds, until every conflicting thread has exited
+// its critical sections (§5.5). faulter, when non-nil, is the thread whose
+// fault ended the interleaving and is also a conflicting party.
+func (d *Detector) terminateInterleave(os *objState, faulter *sim.Thread) cycles.Duration {
+	in := os.inter
+	os.inter = nil
+	delete(d.pending, os)
+
+	parties := map[*sim.Thread]struct{}{}
+	for _, p := range []*sim.Thread{in.initiator, in.other, faulter} {
+		if p != nil && p.InCriticalSection() {
+			parties[p] = struct{}{}
+		}
+	}
+	if len(parties) == 0 {
+		// No conflicting section is still running; the object stays in
+		// the Read-write domain under its current key.
+		return 0
+	}
+	os.unprotected = true
+	os.parties = parties
+	delete(d.key(os.key).objects, os.obj.ID)
+	d.unprot[os] = struct{}{}
+	return d.protect(os.obj, KeyDef)
+}
+
+// sectionExitInterleaves runs at every critical section exit of t: resolve
+// interleavings that were waiting for t (the holder left without touching
+// the object again — the report stays, unverified), and re-arm protection
+// for objects whose conflicting threads have all left their sections.
+func (d *Detector) sectionExitInterleaves(t *sim.Thread) cycles.Duration {
+	var cost cycles.Duration
+	if len(t.Sections) > 0 {
+		return 0 // still inside an enclosing section
+	}
+	for os := range d.pending {
+		if os.inter != nil && os.inter.other == t {
+			// Unresolved: Kard did not observe the holder's access, so
+			// the candidate record is kept (§7.3, pigz).
+			cost += d.terminateInterleave(os, nil)
+		}
+	}
+	for os := range d.unprot {
+		if _, ok := os.parties[t]; !ok {
+			continue
+		}
+		delete(os.parties, t)
+		if len(os.parties) == 0 {
+			os.unprotected = false
+			d.key(os.key).objects[os.obj.ID] = os
+			cost += d.protect(os.obj, os.key)
+			delete(d.unprot, os)
+		}
+	}
+	return cost
+}

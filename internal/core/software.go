@@ -1,0 +1,221 @@
+package core
+
+// The §8 software fallback: "Kard's race detection algorithm is agnostic
+// to the underlying memory protection mechanism, so it can revert to a
+// software memory protection scheme when it exhausts hardware protection
+// keys."
+//
+// With Options.SoftwareFallback enabled, hardware key k13 is reserved as
+// the software trap key: objects that would otherwise force key sharing
+// (§5.4 rule 3b) are instead assigned an unlimited *virtual* key and
+// their pages are tagged with the trap key, which no thread ever holds.
+// Every access to such an object faults, and the handler runs the same
+// key-enforced algorithm against the virtual key's holder state — like
+// ISOLATOR-style software isolation, this is precise (each object gets
+// its own key, so the sharing false negatives disappear, §7.3) but
+// expensive (a trap per access, the "up to 100%" §8 cites).
+//
+// Because the software handler observes every access, it also sees exact
+// byte offsets, so different-offset conflicts are pruned inline without
+// protection interleaving.
+
+import (
+	"kard/internal/cycles"
+	"kard/internal/mpk"
+	"kard/internal/sim"
+)
+
+// KeySW is the hardware key reserved for software-protected objects when
+// the fallback is enabled. No thread ever holds it.
+const KeySW = LastRW // k13
+
+// lastHW returns the last hardware key available for the Read-write
+// domain: k13 normally, k12 when k13 is reserved for the fallback.
+func (d *Detector) lastHW() mpk.Pkey {
+	if d.opts.SoftwareFallback {
+		return LastRW - 1
+	}
+	return LastRW
+}
+
+// softState returns the virtual key state for id, growing the table on
+// demand.
+func (d *Detector) softState(id int) *keyState {
+	for len(d.softKeys) <= id {
+		ks := &keyState{
+			holders:  make(map[*sim.Thread]mpk.Perm),
+			sections: make(map[*sim.CriticalSection]struct{}),
+		}
+		d.softKeys = append(d.softKeys, ks)
+	}
+	return d.softKeys[id]
+}
+
+// assignSoft places a shared object under a fresh virtual key protected by
+// the software trap key. Virtual keys are unlimited, so every object gets
+// its own — the precise regime §8 envisions for 1000-key hardware.
+func (d *Detector) assignSoft(t *sim.Thread, os *objState, cs *sim.CriticalSection) cycles.Duration {
+	id := d.nextSoftKey
+	d.nextSoftKey++
+	ks := d.softState(id)
+	os.domain = DomainReadWrite
+	os.soft = true
+	os.softKey = id
+	if !os.everRW {
+		os.everRW = true
+		d.counts.SharedRWEver++
+	}
+	d.counts.SoftwareObjects++
+	cost := d.protect(os.obj, KeySW)
+	ks.holders[t] = mpk.PermRW
+	tstate(t).softHeld[id] = mpk.PermRW
+	if cs != nil {
+		ks.sections[cs] = struct{}{}
+		d.sectionState(cs).softNeeded[id] = mpk.Write
+	}
+	return cost + cycles.MapUpdate
+}
+
+// softFault handles an access trap on a software-protected object: run
+// the same conflict analysis against the virtual key, with inline
+// byte-offset comparison instead of protection interleaving.
+func (d *Detector) softFault(t *sim.Thread, a *sim.Access, os *objState) cycles.Duration {
+	d.counts.SoftwareFaults++
+	cost := cycles.Duration(600) // software check: handler short-circuit, no full #GP analysis
+	ks := d.softState(os.softKey)
+	ts := tstate(t)
+
+	heldPerm := ts.softHeld[os.softKey]
+	want := mpk.PermRead
+	if a.Kind == mpk.Write {
+		want = mpk.PermRW
+	}
+	if heldPerm >= want {
+		return cost // thread already holds the virtual key; plain software overhead
+	}
+
+	if c := d.softConflict(t, ks, a.Kind, t.Now()); c != nil {
+		// The software handler knows both sides' byte ranges: prune
+		// different-offset conflicts inline.
+		rec := recOf(t, a)
+		if os.softLastValid && os.softLast.tid != t.ID() && !rec.conflictsWith(os.softLast) {
+			d.counts.PrunedSpurious++
+		} else {
+			d.counts.RaceFaults++
+			d.record(t, a, os, c)
+		}
+		os.softLast, os.softLastValid = recOf(t, a), true
+		return cost
+	}
+
+	// No conflict: acquire the virtual key if inside a section.
+	if t.InCriticalSection() {
+		cs := t.CurrentSection()
+		ks.holders[t] = want
+		ts.softHeld[os.softKey] = want
+		ks.sections[cs] = struct{}{}
+		if need, ok := d.sectionState(cs).softNeeded[os.softKey]; !ok || a.Kind == mpk.Write && need == mpk.Read {
+			d.sectionState(cs).softNeeded[os.softKey] = a.Kind
+		}
+		cost += d.noteObject(cs, os, a.Kind)
+	}
+	os.softLast, os.softLastValid = recOf(t, a), true
+	return cost
+}
+
+// softConflict mirrors conflictHolder for virtual keys. Virtual keys are
+// per-object, so no section-map filtering is needed: any foreign holder
+// conflicts.
+func (d *Detector) softConflict(t *sim.Thread, ks *keyState, kind mpk.AccessKind, now cycles.Time) *conflict {
+	minPerm := mpk.PermRead
+	if kind == mpk.Read {
+		minPerm = mpk.PermRW
+	}
+	for h, p := range ks.holders {
+		if h == t || p < minPerm {
+			continue
+		}
+		return &conflict{tid: h.ID(), site: d.sectionSiteOf(h), current: true, thread: h}
+	}
+	released, ever := ks.lastRelease, ks.everReleased
+	if kind == mpk.Read {
+		released, ever = ks.lastRWRelease, ks.everRWReleased
+	}
+	if ever && now.Sub(released) <= d.opts.FaultWindow && ks.lastHolderTID != t.ID() {
+		if ks.lastHolderMutex != nil && t.Holds(ks.lastHolderMutex) {
+			return nil
+		}
+		return &conflict{tid: ks.lastHolderTID, site: ks.lastHolderSite}
+	}
+	return nil
+}
+
+// releaseSoft drops all of a thread's virtual-key holds when it leaves its
+// outermost critical section.
+func (d *Detector) releaseSoft(t *sim.Thread, cs *sim.CriticalSection, m *sim.Mutex) cycles.Duration {
+	ts := tstate(t)
+	if len(ts.softHeld) == 0 {
+		return 0
+	}
+	now := t.Now()
+	for id, p := range ts.softHeld {
+		ks := d.softState(id)
+		delete(ks.holders, t)
+		if p == mpk.PermRW {
+			ks.lastRWRelease = now
+			ks.everRWReleased = true
+		}
+		ks.lastRelease = now
+		ks.everReleased = true
+		ks.lastHolderTID = t.ID()
+		ks.lastHolderSection = cs
+		ks.lastHolderMutex = m
+		if cs != nil {
+			ks.lastHolderSite = cs.Site
+		}
+		delete(ts.softHeld, id)
+	}
+	return cycles.MapUpdate
+}
+
+// proactiveSoft acquires the virtual keys a section is known to need at
+// entry — analysis-only (the pages still trap), but it lets the fault
+// fast-path skip conflict analysis.
+func (d *Detector) proactiveSoft(t *sim.Thread, cs *sim.CriticalSection) cycles.Duration {
+	ss := sectionStateOf(cs)
+	if ss == nil || len(ss.softNeeded) == 0 {
+		return 0
+	}
+	ts := tstate(t)
+	var cost cycles.Duration
+	for id, need := range ss.softNeeded {
+		cost += cycles.AtomicOp
+		want := mpk.PermRead
+		if need == mpk.Write {
+			want = mpk.PermRW
+		}
+		ks := d.softState(id)
+		if d.softAvailable(t, ks, want) {
+			ks.holders[t] = want
+			ts.softHeld[id] = want
+		}
+	}
+	return cost
+}
+
+// softAvailable mirrors tryAcquire's availability rules for virtual keys.
+func (d *Detector) softAvailable(t *sim.Thread, ks *keyState, p mpk.Perm) bool {
+	switch p {
+	case mpk.PermRW:
+		for h := range ks.holders {
+			if h != t {
+				return false
+			}
+		}
+	case mpk.PermRead:
+		if ks.rwHolderOther(t) != nil {
+			return false
+		}
+	}
+	return true
+}

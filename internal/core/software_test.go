@@ -1,0 +1,197 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"kard/internal/mpk"
+	"kard/internal/sim"
+)
+
+// exhaustKeys runs hardwareKeys+extra concurrent single-object sections so
+// that every hardware key is held when the last objects are identified.
+func exhaustKeys(t *testing.T, opts Options, extra int) (*sim.Stats, *Detector) {
+	t.Helper()
+	det := New(opts)
+	e := sim.New(sim.Config{Seed: 1, UniquePageAllocator: true}, det)
+	hw := NumRWKeys
+	if opts.SoftwareFallback {
+		hw = NumRWKeys - 1 // k13 reserved as the trap key
+	}
+	n := hw + extra
+	b := e.NewBarrier(n)
+	st, err := e.Run(func(m *sim.Thread) {
+		var ws []*sim.Thread
+		for i := 0; i < n; i++ {
+			i := i
+			mu := e.NewMutex(fmt.Sprintf("mu%d", i))
+			o := m.Malloc(32, fmt.Sprintf("obj%d", i))
+			ws = append(ws, m.Go(fmt.Sprintf("w%d", i), func(w *sim.Thread) {
+				w.Lock(mu, fmt.Sprintf("s%d", i))
+				w.Write(o, 0, 8, "w")
+				w.Barrier(b) // all sections concurrently hold their keys
+				w.Write(o, 8, 8, "w2")
+				w.Compute(50000)
+				w.Unlock(mu)
+			}))
+		}
+		for _, w := range ws {
+			m.Join(w)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, det
+}
+
+// TestSoftwareFallbackEliminatesSharing: with the fallback on, exhausting
+// the hardware keys produces software-protected objects instead of key
+// sharing — the §8 fix for the Table 4 false-negative scenario.
+func TestSoftwareFallbackEliminatesSharing(t *testing.T) {
+	_, noFB := exhaustKeys(t, Options{}, 2)
+	if noFB.Counters().KeySharingEvents == 0 {
+		t.Fatal("scenario failed to force key sharing without the fallback")
+	}
+	st, fb := exhaustKeys(t, Options{SoftwareFallback: true}, 2)
+	c := fb.Counters()
+	if c.KeySharingEvents != 0 {
+		t.Errorf("sharing events = %d with fallback, want 0", c.KeySharingEvents)
+	}
+	if c.SoftwareObjects == 0 {
+		t.Error("no objects overflowed to software protection")
+	}
+	if c.SoftwareFaults == 0 {
+		t.Error("software-protected accesses should trap")
+	}
+	if len(st.Races) != 0 {
+		t.Errorf("consistent locking reported %d races under fallback", len(st.Races))
+	}
+}
+
+// TestSoftwareFallbackDetectsRaces: a genuine ILU race on a
+// software-protected object is still caught.
+func TestSoftwareFallbackDetectsRaces(t *testing.T) {
+	det := New(Options{SoftwareFallback: true})
+	e := sim.New(sim.Config{Seed: 1, UniquePageAllocator: true}, det)
+	hw := NumRWKeys - 1
+	bar := e.NewBarrier(hw + 2)
+	st, err := e.Run(func(m *sim.Thread) {
+		// Exhaust the hardware keys with holders parked at the barrier.
+		var ws []*sim.Thread
+		for i := 0; i < hw; i++ {
+			i := i
+			mu := e.NewMutex(fmt.Sprintf("mu%d", i))
+			o := m.Malloc(32, fmt.Sprintf("obj%d", i))
+			ws = append(ws, m.Go(fmt.Sprintf("w%d", i), func(w *sim.Thread) {
+				w.Lock(mu, fmt.Sprintf("s%d", i))
+				w.Write(o, 0, 8, "w")
+				w.Barrier(bar)
+				w.Compute(400000)
+				w.Unlock(mu)
+			}))
+		}
+		// The racy pair: the victim object overflows to a virtual key.
+		victim := m.Malloc(64, "victim")
+		la, lb := e.NewMutex("la"), e.NewMutex("lb")
+		t1 := m.Go("t1", func(w *sim.Thread) {
+			w.Lock(la, "sa")
+			w.Barrier(bar)
+			w.Write(victim, 0, 8, "t1-write")
+			w.Compute(100000)
+			w.Unlock(la)
+		})
+		t2 := m.Go("t2", func(w *sim.Thread) {
+			w.Barrier(bar)
+			w.Compute(10000)
+			w.Lock(lb, "sb")
+			w.Write(victim, 0, 8, "t2-write") // same offset: real race
+			w.Unlock(lb)
+		})
+		for _, w := range append(ws, t1, t2) {
+			m.Join(w)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := det.Counters()
+	if c.SoftwareObjects == 0 {
+		t.Fatal("victim object did not overflow to software protection")
+	}
+	found := false
+	for _, r := range st.Races {
+		if r.Object.Site == "victim" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("race on software-protected object missed: %+v", st.Races)
+	}
+}
+
+// TestSoftwareFallbackPrunesOffsets: the software handler sees byte
+// offsets directly, so a different-offset conflict is pruned inline.
+func TestSoftwareFallbackPrunesOffsets(t *testing.T) {
+	det := New(Options{SoftwareFallback: true})
+	e := sim.New(sim.Config{Seed: 1, UniquePageAllocator: true}, det)
+	hw := NumRWKeys - 1
+	bar := e.NewBarrier(hw + 2)
+	st, err := e.Run(func(m *sim.Thread) {
+		var ws []*sim.Thread
+		for i := 0; i < hw; i++ {
+			i := i
+			mu := e.NewMutex(fmt.Sprintf("mu%d", i))
+			o := m.Malloc(32, fmt.Sprintf("obj%d", i))
+			ws = append(ws, m.Go(fmt.Sprintf("w%d", i), func(w *sim.Thread) {
+				w.Lock(mu, fmt.Sprintf("s%d", i))
+				w.Write(o, 0, 8, "w")
+				w.Barrier(bar)
+				w.Compute(400000)
+				w.Unlock(mu)
+			}))
+		}
+		victim := m.Malloc(256, "victim")
+		la, lb := e.NewMutex("la"), e.NewMutex("lb")
+		t1 := m.Go("t1", func(w *sim.Thread) {
+			w.Lock(la, "sa")
+			w.Barrier(bar)
+			w.Write(victim, 0, 8, "t1-write")
+			w.Compute(100000)
+			w.Unlock(la)
+		})
+		t2 := m.Go("t2", func(w *sim.Thread) {
+			w.Barrier(bar)
+			w.Compute(10000)
+			w.Lock(lb, "sb")
+			w.Write(victim, 128, 8, "t2-write") // disjoint offset
+			w.Unlock(lb)
+		})
+		for _, w := range append(ws, t1, t2) {
+			m.Join(w)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range st.Races {
+		if r.Object.Site == "victim" {
+			t.Errorf("different-offset software conflict reported: %+v", r)
+		}
+	}
+	if det.Counters().PrunedSpurious == 0 {
+		t.Error("inline offset pruning did not run")
+	}
+}
+
+// TestSoftwareFallbackReleasesOnExit: virtual-key holds are dropped when
+// the holder leaves its outermost section.
+func TestSoftwareFallbackReleasesOnExit(t *testing.T) {
+	_, det := exhaustKeys(t, Options{SoftwareFallback: true}, 2)
+	for i, ks := range det.softKeys {
+		if len(ks.holders) != 0 {
+			t.Errorf("virtual key %d still held after all threads exited", i)
+		}
+	}
+	_ = mpk.PermRW
+}

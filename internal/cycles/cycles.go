@@ -1,0 +1,185 @@
+// Package cycles defines the virtual-time cost model used by the Kard
+// simulator.
+//
+// The paper evaluates Kard on a 2×Intel Xeon Silver 4110 machine (2.1 GHz).
+// A Go reproduction cannot measure that hardware, so every simulated thread
+// carries a virtual clock measured in CPU cycles, and each operation advances
+// the clock by a documented cost. Execution time of a run is the maximum
+// thread clock at exit, i.e. the critical path through the computation,
+// with lock hand-off propagating time between threads.
+//
+// The costs below come from the paper where it reports them (WRPKRU ≈ 20
+// cycles and RDPKRU < 1 cycle per §2.2 citing libmpk; fault-handling delay
+// ≈ 24,000 cycles per §5.5) and from public micro-architectural folklore
+// for the rest (syscall, mmap, TLB walk). Absolute values matter less than
+// their relative order: register writes ≪ syscalls ≪ faults.
+package cycles
+
+// Time is a point in virtual time, measured in CPU cycles since the start
+// of the simulated execution.
+type Time uint64
+
+// Duration is a span of virtual time in CPU cycles.
+type Duration uint64
+
+// Add returns t advanced by d.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration from earlier to t. It saturates at zero when
+// earlier is after t, which keeps delay comparisons well-defined even if a
+// caller mixes clocks from different threads.
+func (t Time) Sub(earlier Time) Duration {
+	if earlier > t {
+		return 0
+	}
+	return Duration(t - earlier)
+}
+
+// Max returns the later of a and b. It is the join used when a lock release
+// on one thread orders a subsequent acquire on another.
+func Max(a, b Time) Time {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Frequency is the clock rate of the paper's evaluation machine, in Hz.
+// It converts the paper's reported seconds into virtual cycles when
+// calibrating workloads (Table 3 baseline column).
+const Frequency = 2.1e9
+
+// FromSeconds converts wall-clock seconds on the paper's machine into a
+// virtual-cycle duration.
+func FromSeconds(s float64) Duration {
+	if s <= 0 {
+		return 0
+	}
+	return Duration(s * Frequency)
+}
+
+// Seconds converts a virtual duration back into seconds on the paper's
+// machine. It is used only for reporting.
+func (d Duration) Seconds() float64 { return float64(d) / Frequency }
+
+// Operation costs, in cycles.
+const (
+	// Access is the cost of one ordinary, cache-resident data access.
+	// Batched accesses (n contiguous elements) cost n×Access.
+	Access Duration = 1
+
+	// WRPKRU is the cost of writing the PKRU register (§2.2: "around 20
+	// cycles").
+	WRPKRU Duration = 20
+
+	// RDPKRU is the cost of reading the PKRU register (§2.2: "less than
+	// 1 cycle"; we round up to 1).
+	RDPKRU Duration = 1
+
+	// RDTSCP is the cost of the timestamp instruction Kard issues at key
+	// release (§5.4).
+	RDTSCP Duration = 30
+
+	// Syscall is the base cost of entering and leaving the kernel.
+	Syscall Duration = 1200
+
+	// PkeyMprotect is the cost of one pkey_mprotect(2) call: a syscall
+	// plus page-table updates. The paper notes its count scales linearly
+	// with the number of sharable objects (§7.2).
+	PkeyMprotect Duration = Syscall + 300
+
+	// Mmap is the cost of one mmap(2) call. Kard's allocator issues one
+	// mmap per allocation (§6), which the paper flags as its main
+	// allocator cost for allocation-heavy programs.
+	Mmap Duration = Syscall + 800
+
+	// Munmap is the cost of one munmap(2) call.
+	Munmap Duration = Syscall + 600
+
+	// Ftruncate is the cost of growing or shrinking the in-memory file
+	// backing consolidated allocations (§5.3).
+	Ftruncate Duration = Syscall + 200
+
+	// MemfdCreate is the one-time cost of creating the in-memory file.
+	MemfdCreate Duration = Syscall + 400
+
+	// Fault is the round-trip cost of one MPK protection fault (#GP):
+	// trap, signal delivery, Kard's handler, and resume. §5.5 reports an
+	// average fault-handling delay of 24,000 cycles on the evaluation
+	// machine, which is also the window Kard uses when deciding whether
+	// a key was still held at fault time.
+	Fault Duration = 24000
+
+	// MinorFault is the cost of faulting a demand-paged mapping in on
+	// first touch: trap, frame allocation/zeroing, page-table update.
+	// Kard's one-mmap-per-allocation design pays one per fresh object
+	// page, which native allocators amortize across a reused arena.
+	MinorFault Duration = 2800
+
+	// TLBMiss is the page-walk penalty for a dTLB miss. Kard's
+	// unique-page allocator spreads objects across many more pages,
+	// which the paper identifies as one of its three overhead sources
+	// (§7.2).
+	TLBMiss Duration = 36
+
+	// ThreadSpawn is the cost of pthread_create plus the child's warm-up.
+	ThreadSpawn Duration = 30000
+
+	// BarrierWait is the per-thread cost of passing a barrier once all
+	// participants have arrived.
+	BarrierWait Duration = 400
+
+	// LockUncontended is the cost of an uncontended pthread-style lock
+	// or unlock operation.
+	LockUncontended Duration = 40
+
+	// LockHandoff is the additional latency for a blocked thread to
+	// resume after the holder releases the lock.
+	LockHandoff Duration = 200
+
+	// MallocNative is the cost of one allocation in the baseline
+	// (glibc-style) allocator.
+	MallocNative Duration = 90
+
+	// FreeNative is the cost of one deallocation in the baseline
+	// allocator.
+	FreeNative Duration = 60
+
+	// AllocatorBookkeeping is the cost of Kard's allocator metadata
+	// update per allocation, on top of the mmap/ftruncate it issues.
+	AllocatorBookkeeping Duration = 120
+
+	// MapLookup is the cost of one lookup in Kard's section-object or
+	// key-section map. Kard uses standard C++ containers (§6), whose
+	// pointer-chasing typically misses cache: a few hundred cycles per
+	// traversal.
+	MapLookup Duration = 150
+
+	// MapUpdate is the cost of one insertion/update in those maps.
+	MapUpdate Duration = 180
+
+	// AtomicOp is the cost of one internal atomic operation Kard uses to
+	// synchronize key acquisition (§5.4), including typical coherence
+	// traffic.
+	AtomicOp Duration = 40
+
+	// WrapperCall is the fixed cost of one compiler-inserted wrapper
+	// around a synchronization call (§5.3): the extra call, argument
+	// setup with the call-site address, and thread-local stack push.
+	WrapperCall Duration = 150
+
+	// TSanAccess is the per-access cost of ThreadSanitizer-style compiler
+	// instrumentation: shadow-cell load/compare/store plus the function
+	// call. TSan slows programs by roughly 7× under 4 threads (§1) and
+	// by more than 20× in the worst Table 3 rows, i.e. each instrumented
+	// access costs tens of times the raw access.
+	TSanAccess Duration = 20
+
+	// TSanSync is TSan's extra cost at each synchronization operation
+	// (vector-clock join and release).
+	TSanSync Duration = 160
+
+	// LocksetAccess is the per-access cost of an Eraser-style lockset
+	// update (lockset intersection through a table of interned sets).
+	LocksetAccess Duration = 18
+)

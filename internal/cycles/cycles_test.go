@@ -1,0 +1,60 @@
+package cycles
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAddSub(t *testing.T) {
+	var c Time
+	c = c.Add(100)
+	if c != 100 {
+		t.Errorf("c = %d, want 100", c)
+	}
+	if d := c.Sub(40); d != 60 {
+		t.Errorf("Sub = %d, want 60", d)
+	}
+	// Saturating: earlier after t yields 0, not wraparound.
+	if d := Time(10).Sub(Time(50)); d != 0 {
+		t.Errorf("saturating Sub = %d, want 0", d)
+	}
+}
+
+func TestMax(t *testing.T) {
+	if Max(3, 7) != 7 || Max(7, 3) != 7 || Max(5, 5) != 5 {
+		t.Error("Max wrong")
+	}
+}
+
+func TestSecondsRoundTrip(t *testing.T) {
+	f := func(ms uint32) bool {
+		s := float64(ms) / 1000
+		d := FromSeconds(s)
+		back := d.Seconds()
+		diff := back - s
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if FromSeconds(-1) != 0 {
+		t.Error("negative seconds should clamp to 0")
+	}
+}
+
+func TestCostOrdering(t *testing.T) {
+	// The cost model's load-bearing property: register writes are much
+	// cheaper than syscalls, which are much cheaper than faults.
+	if !(RDPKRU < WRPKRU && WRPKRU < PkeyMprotect && PkeyMprotect < Fault) {
+		t.Error("cost ordering violated: RDPKRU < WRPKRU < PkeyMprotect < Fault")
+	}
+	if TSanAccess <= Access {
+		t.Error("TSan instrumentation must cost more than a raw access")
+	}
+	if Fault != 24000 {
+		t.Errorf("fault delay = %d, paper reports 24,000 cycles (§5.5)", Fault)
+	}
+}

@@ -1,0 +1,108 @@
+package harness
+
+// Regression bands: the reproduction's headline quantities must stay in
+// the right regime. These are deliberately loose — they protect the
+// *shape* of the results (who wins, by what order) against regressions in
+// the cost model or detector, not exact values.
+
+import (
+	"testing"
+)
+
+func overheads(t *testing.T, workload string, scale float64) (alloc, kard, tsan float64) {
+	t.Helper()
+	base, err := Run(Options{Workload: workload, Mode: ModeBaseline, Scale: scale, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	al, err := Run(Options{Workload: workload, Mode: ModeAlloc, Scale: scale, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kd, err := Run(Options{Workload: workload, Mode: ModeKard, Scale: scale, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := Run(Options{Workload: workload, Mode: ModeTSan, Scale: scale, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return OverheadPct(base, al), OverheadPct(base, kd), OverheadPct(base, ts)
+}
+
+// TestBandAget: the paper's cheapest real-world app — Kard ~1%, TSan
+// ~464%.
+func TestBandAget(t *testing.T) {
+	alloc, kard, tsan := overheads(t, "aget", 0.2)
+	if kard > 5 {
+		t.Errorf("aget Kard overhead = %.1f%%, want < 5%% (paper 1.4%%)", kard)
+	}
+	if tsan < 300 || tsan > 700 {
+		t.Errorf("aget TSan overhead = %.1f%%, want 300–700%% (paper 464%%)", tsan)
+	}
+	if alloc > kard+0.5 {
+		t.Errorf("alloc (%.1f%%) should not exceed kard (%.1f%%)", alloc, kard)
+	}
+}
+
+// TestBandOrdering: on every quick workload, Baseline ≤ Alloc ≤ Kard ≪
+// TSan — the ordering the whole paper rests on.
+func TestBandOrdering(t *testing.T) {
+	for _, wl := range []string{"pigz", "memcached", "x264", "water_spatial"} {
+		wl := wl
+		t.Run(wl, func(t *testing.T) {
+			alloc, kard, tsan := overheads(t, wl, 0.1)
+			if alloc < -2 {
+				t.Errorf("alloc overhead = %.1f%%, suspiciously negative", alloc)
+			}
+			if kard < alloc-1 {
+				t.Errorf("kard (%.1f%%) below alloc (%.1f%%)", kard, alloc)
+			}
+			if tsan < 3*kard && tsan < 40 {
+				t.Errorf("tsan (%.1f%%) not clearly dominating kard (%.1f%%)", tsan, kard)
+			}
+		})
+	}
+}
+
+// TestBandFluidanimateWorstCase: the paper's worst benchmark stays the
+// worst, in the tens of percent, and still an order of magnitude below
+// TSan.
+func TestBandFluidanimateWorstCase(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fluidanimate is the slowest model")
+	}
+	_, kard, tsan := overheads(t, "fluidanimate", 0.05)
+	if kard < 15 || kard > 150 {
+		t.Errorf("fluidanimate Kard overhead = %.1f%%, want tens of %% (paper 61.9%%)", kard)
+	}
+	if tsan < 4*kard {
+		t.Errorf("TSan (%.1f%%) should dominate Kard by multiples (%.1f%% vs %.1f%%)", tsan, tsan, kard)
+	}
+}
+
+// TestBandScalabilityTrend: Kard's overhead grows with thread count on
+// the section-heavy applications (§7.4) — the internal-synchronization
+// saturation.
+func TestBandScalabilityTrend(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs six fluidanimate simulations")
+	}
+	get := func(threads int) float64 {
+		base, err := Run(Options{Workload: "fluidanimate", Mode: ModeBaseline,
+			Threads: threads, Scale: 0.05, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		kd, err := Run(Options{Workload: "fluidanimate", Mode: ModeKard,
+			Threads: threads, Scale: 0.05, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return OverheadPct(base, kd)
+	}
+	o4, o16, o32 := get(4), get(16), get(32)
+	if !(o4 < o16 && o16 < o32) {
+		t.Errorf("overhead not rising with threads: %.1f%% → %.1f%% → %.1f%%", o4, o16, o32)
+	}
+}

@@ -1,0 +1,147 @@
+// Package harness assembles one simulated execution: a workload model, an
+// allocator, and a detector, in the four configurations the paper
+// evaluates (§7.2) plus the Eraser-lockset comparator:
+//
+//	Baseline — native allocator, no detection
+//	Alloc    — Kard's unique-page allocator, no detection
+//	Kard     — unique-page allocator + the Kard detector
+//	TSan     — native allocator + happens-before instrumentation
+//	Lockset  — native allocator + Eraser-style lockset detection
+package harness
+
+import (
+	"fmt"
+
+	"kard/internal/core"
+	"kard/internal/hb"
+	"kard/internal/lockset"
+	"kard/internal/sim"
+	"kard/internal/workload"
+)
+
+// Mode selects the configuration.
+type Mode string
+
+const (
+	ModeBaseline Mode = "baseline"
+	ModeAlloc    Mode = "alloc"
+	ModeKard     Mode = "kard"
+	ModeTSan     Mode = "tsan"
+	ModeLockset  Mode = "lockset"
+)
+
+// Modes lists all configurations in evaluation order.
+var Modes = []Mode{ModeBaseline, ModeAlloc, ModeKard, ModeTSan, ModeLockset}
+
+// Options configure one run.
+type Options struct {
+	Workload string
+	Mode     Mode
+	// Threads is the worker-thread count (default 4, the paper's
+	// testing scenario).
+	Threads int
+	// Scale in (0,1] scales critical-section entry counts (default 1).
+	Scale float64
+	// Seed keys the deterministic scheduler.
+	Seed int64
+	// TLBEntries overrides the dTLB size (0 = default).
+	TLBEntries int
+	// Kard tunes the Kard detector when Mode is ModeKard.
+	Kard core.Options
+}
+
+// Result is one finished run.
+type Result struct {
+	Options Options
+	Spec    workload.Spec
+	Stats   *sim.Stats
+	// Kard holds the detector's internal counters when Mode was
+	// ModeKard.
+	Kard    core.Counts
+	HasKard bool
+}
+
+// Run executes one configuration of the named workload.
+func Run(o Options) (*Result, error) {
+	w, err := workload.New(o.Workload)
+	if err != nil {
+		return nil, err
+	}
+	return RunWorkload(o, w)
+}
+
+// RunWorkload executes one configuration of a caller-constructed workload
+// instance (which must be fresh — instances are single-use).
+func RunWorkload(o Options, w workload.Workload) (*Result, error) {
+	if o.Threads <= 0 {
+		o.Threads = 4
+	}
+	if o.Scale <= 0 || o.Scale > 1 {
+		o.Scale = 1
+	}
+	if o.Workload == "" {
+		o.Workload = w.Spec().Name
+	}
+
+	cfg := sim.Config{Seed: o.Seed, TLBEntries: o.TLBEntries}
+	var det sim.Detector
+	var kd *core.Detector
+	switch o.Mode {
+	case ModeBaseline, "":
+		o.Mode = ModeBaseline
+	case ModeAlloc:
+		cfg.UniquePageAllocator = true
+	case ModeKard:
+		cfg.UniquePageAllocator = true
+		kd = core.New(o.Kard)
+		det = kd
+	case ModeTSan:
+		det = hb.New(hb.Options{})
+	case ModeLockset:
+		det = lockset.New()
+	default:
+		return nil, fmt.Errorf("harness: unknown mode %q", o.Mode)
+	}
+
+	e := sim.New(cfg, det)
+	w.Prepare(e)
+	st, err := e.Run(func(m *sim.Thread) { w.Body(m, o.Threads, o.Scale) })
+	if err != nil {
+		return nil, fmt.Errorf("harness: %s/%s: %w", o.Workload, o.Mode, err)
+	}
+	r := &Result{Options: o, Spec: w.Spec(), Stats: st}
+	if kd != nil {
+		r.Kard = kd.Counters()
+		r.HasKard = true
+	}
+	return r, nil
+}
+
+// OverheadPct returns the percentage execution-time overhead of r over
+// base.
+func OverheadPct(base, r *Result) float64 {
+	if base.Stats.ExecTime == 0 {
+		return 0
+	}
+	return (float64(r.Stats.ExecTime)/float64(base.Stats.ExecTime) - 1) * 100
+}
+
+// MemOverheadPct returns the percentage peak-RSS overhead of r over base.
+func MemOverheadPct(base, r *Result) float64 {
+	if base.Stats.PeakRSS == 0 {
+		return 0
+	}
+	return (float64(r.Stats.PeakRSS)/float64(base.Stats.PeakRSS) - 1) * 100
+}
+
+// DistinctRacyObjects counts a run's reported races by distinct object,
+// which is how Table 6 counts "data races reported".
+func DistinctRacyObjects(r *Result) int {
+	seen := map[string]bool{}
+	for _, race := range r.Stats.Races {
+		if race.Object != nil {
+			seen[race.Object.Site] = true
+		}
+	}
+	return len(seen)
+}

@@ -1,0 +1,95 @@
+package harness
+
+import (
+	"testing"
+
+	"kard/internal/workload"
+)
+
+func TestRunModes(t *testing.T) {
+	for _, mode := range Modes {
+		r, err := Run(Options{Workload: "aget", Mode: mode, Scale: 0.02, Seed: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		if r.Stats.ExecTime == 0 {
+			t.Errorf("%s: zero exec time", mode)
+		}
+		if (mode == ModeKard) != r.HasKard {
+			t.Errorf("%s: HasKard = %v", mode, r.HasKard)
+		}
+		wantAlloc := "native"
+		if mode == ModeKard || mode == ModeAlloc {
+			wantAlloc = "uniquepage"
+		}
+		if r.Stats.Allocator != wantAlloc {
+			t.Errorf("%s: allocator = %s, want %s", mode, r.Stats.Allocator, wantAlloc)
+		}
+	}
+}
+
+func TestRunUnknowns(t *testing.T) {
+	if _, err := Run(Options{Workload: "nope", Mode: ModeKard}); err == nil {
+		t.Error("unknown workload should fail")
+	}
+	if _, err := Run(Options{Workload: "aget", Mode: "bogus"}); err == nil {
+		t.Error("unknown mode should fail")
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	r, err := Run(Options{Workload: "aget", Scale: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Options.Mode != ModeBaseline {
+		t.Errorf("default mode = %s", r.Options.Mode)
+	}
+	if r.Options.Threads != 4 {
+		t.Errorf("default threads = %d", r.Options.Threads)
+	}
+}
+
+func TestOverheadHelpers(t *testing.T) {
+	base, err := Run(Options{Workload: "pigz", Mode: ModeBaseline, Scale: 0.02, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsan, err := Run(Options{Workload: "pigz", Mode: ModeTSan, Scale: 0.02, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ovh := OverheadPct(base, tsan); ovh < 50 {
+		t.Errorf("TSan overhead = %.1f%%, want substantial", ovh)
+	}
+	if ovh := OverheadPct(base, base); ovh != 0 {
+		t.Errorf("self overhead = %v", ovh)
+	}
+	if m := MemOverheadPct(base, tsan); m <= 0 {
+		t.Errorf("TSan shadow memory overhead = %v, want > 0", m)
+	}
+}
+
+func TestRunWorkloadInstance(t *testing.T) {
+	r, err := RunWorkload(Options{Mode: ModeBaseline, Scale: 0.02, Seed: 1}, workload.NginxSized(128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Options.Workload != "nginx" {
+		t.Errorf("name = %q", r.Options.Workload)
+	}
+}
+
+func TestDistinctRacyObjects(t *testing.T) {
+	r, err := Run(Options{Workload: "memcached", Mode: ModeKard, Scale: 0.05, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := DistinctRacyObjects(r)
+	if n != 3 {
+		t.Errorf("memcached racy objects = %d, want 3", n)
+	}
+	if len(r.Stats.Races) < n {
+		t.Error("records should be >= distinct objects")
+	}
+}

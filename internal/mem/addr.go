@@ -1,0 +1,56 @@
+// Package mem implements the simulated virtual-memory substrate Kard runs
+// on: a 64-bit address space with 4 KiB pages, a physical frame pool, an
+// in-memory file (the memfd_create/ftruncate/mmap(MAP_SHARED) combination
+// Kard's consolidated allocator uses, §5.3), per-page protection keys, and
+// a dTLB model that accounts for the dTLB-miss-rate column of Table 3.
+//
+// The package deliberately mirrors the POSIX surface the paper's runtime
+// library calls (mmap, munmap, ftruncate, pkey_mprotect) so that the
+// layers above read like the original system.
+package mem
+
+import "fmt"
+
+// Addr is a simulated virtual address.
+type Addr uint64
+
+// PageSize is the size of one virtual page in bytes. Intel MPK protects
+// memory at page granularity (§5.3).
+const (
+	PageSize  = 4096
+	PageShift = 12
+	PageMask  = PageSize - 1
+)
+
+// Page is a virtual page number (address >> PageShift).
+type Page uint64
+
+// PageOf returns the virtual page containing a.
+func PageOf(a Addr) Page { return Page(a >> PageShift) }
+
+// Base returns the first address of the page.
+func (p Page) Base() Addr { return Addr(p) << PageShift }
+
+// Offset returns the offset of a within its page.
+func Offset(a Addr) uint64 { return uint64(a) & PageMask }
+
+// PagesFor returns how many pages are needed to hold size bytes starting
+// at a page boundary.
+func PagesFor(size uint64) uint64 {
+	if size == 0 {
+		return 1
+	}
+	return (size + PageSize - 1) / PageSize
+}
+
+// PageRange returns the inclusive first and last pages touched by the byte
+// range [a, a+size). A zero size is treated as touching one byte, which is
+// how the MMU would see a zero-length access anyway (it would not occur).
+func PageRange(a Addr, size uint64) (first, last Page) {
+	if size == 0 {
+		size = 1
+	}
+	return PageOf(a), PageOf(a + Addr(size) - 1)
+}
+
+func (a Addr) String() string { return fmt.Sprintf("0x%x", uint64(a)) }

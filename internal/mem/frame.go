@@ -1,0 +1,75 @@
+package mem
+
+// Frame is one simulated physical page frame. Frames carry no data by
+// default; workloads that want to store real bytes through the simulated
+// memory (the examples do) get a lazily allocated backing array.
+type Frame struct {
+	id FrameID
+
+	// mappings counts how many virtual pages currently map this frame.
+	// Consolidated allocation (§5.3, Figure 2) maps up to 128 virtual
+	// pages of 32 B objects onto a single frame.
+	mappings int
+	// everMapped marks file frames that have held a mapping, so
+	// unmapping them counts as retained (non-recycled) memory.
+	everMapped bool
+
+	// data is the lazily allocated byte content of the frame.
+	data []byte
+}
+
+// FrameID identifies a physical frame.
+type FrameID uint64
+
+// ID returns the frame's identifier.
+func (f *Frame) ID() FrameID { return f.id }
+
+// Mappings reports how many virtual pages currently map the frame.
+func (f *Frame) Mappings() int { return f.mappings }
+
+// bytes returns the frame's backing array, allocating it on first use.
+func (f *Frame) bytes() []byte {
+	if f.data == nil {
+		f.data = make([]byte, PageSize)
+	}
+	return f.data
+}
+
+// framePool allocates and recycles physical frames, tracking the physical
+// memory footprint (distinct frames — what consolidation conserves,
+// §5.3). The process RSS that Table 3 reports is accounted separately in
+// AddressSpace, per present page-table entry, because Linux VmRSS counts
+// a shared frame once per mapping — which is why the paper's reported
+// memory overhead is "over-estimated rather than under-estimated" (§6).
+type framePool struct {
+	next     FrameID
+	free     []*Frame
+	resident uint64 // physical bytes currently allocated
+	peak     uint64 // peak physical bytes
+}
+
+// alloc returns a fresh (or recycled) frame.
+func (fp *framePool) alloc() *Frame {
+	var f *Frame
+	if n := len(fp.free); n > 0 {
+		f = fp.free[n-1]
+		fp.free = fp.free[:n-1]
+		if f.data != nil {
+			clear(f.data)
+		}
+	} else {
+		fp.next++
+		f = &Frame{id: fp.next}
+	}
+	fp.resident += PageSize
+	if fp.resident > fp.peak {
+		fp.peak = fp.resident
+	}
+	return f
+}
+
+// release returns a frame to the pool.
+func (fp *framePool) release(f *Frame) {
+	fp.resident -= PageSize
+	fp.free = append(fp.free, f)
+}

@@ -1,0 +1,56 @@
+package mem
+
+import "testing"
+
+// BenchmarkTranslateHit measures the TLB fast path — the cost the
+// simulator pays on every data access.
+func BenchmarkTranslateHit(b *testing.B) {
+	as := NewAddressSpace(0)
+	a := as.MmapAnon(1, 0)
+	if _, _, _, err := as.Translate(a); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := as.Translate(a + 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTranslateMiss measures the page-walk path with a thrashing
+// working set.
+func BenchmarkTranslateMiss(b *testing.B) {
+	as := NewAddressSpace(64)
+	const pages = 4096
+	a := as.MmapAnon(pages, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		addr := a + Addr((i%pages)*PageSize)
+		if _, _, _, err := as.Translate(addr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMmapAnon measures mapping throughput, the per-allocation cost
+// of the unique-page allocator's substrate.
+func BenchmarkMmapAnon(b *testing.B) {
+	as := NewAddressSpace(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		as.MmapAnon(1, 0)
+	}
+}
+
+// BenchmarkProtect measures pkey retagging of a mapped page.
+func BenchmarkProtect(b *testing.B) {
+	as := NewAddressSpace(0)
+	a := as.MmapAnon(1, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := as.Protect(a, PageSize, uint8(i%16)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package mem
+
+import "fmt"
+
+// Memfd is a simulated in-memory file created with memfd_create(2).
+// Kard's consolidated unique-page allocator creates one, grows it with
+// ftruncate(2), and maps its frames into many virtual pages with
+// mmap(MAP_SHARED) so that several small objects share a physical page
+// while each keeps a unique virtual page (§5.3, Figure 2).
+type Memfd struct {
+	space  *AddressSpace
+	name   string
+	frames []*Frame
+}
+
+// NewMemfd creates an empty in-memory file in the address space.
+func (as *AddressSpace) NewMemfd(name string) *Memfd {
+	f := &Memfd{space: as, name: name}
+	as.memfds = append(as.memfds, f)
+	return f
+}
+
+// Name returns the file's debugging name.
+func (f *Memfd) Name() string { return f.name }
+
+// Size returns the current file size in bytes.
+func (f *Memfd) Size() uint64 { return uint64(len(f.frames)) * PageSize }
+
+// Truncate grows or shrinks the file to size bytes, rounded up to whole
+// pages. Shrinking a file whose trailing frames are still mapped is an
+// error: the real kernel would allow it and SIGBUS later, but in the
+// simulator it always indicates an allocator bug, so it is reported
+// eagerly.
+func (f *Memfd) Truncate(size uint64) error {
+	want := int(PagesFor(size))
+	if size == 0 {
+		want = 0
+	}
+	for len(f.frames) < want {
+		f.frames = append(f.frames, f.space.frames.alloc())
+	}
+	for len(f.frames) > want {
+		last := f.frames[len(f.frames)-1]
+		if last.mappings > 0 {
+			return fmt.Errorf("mem: truncate %s to %d bytes would drop frame %d with %d live mappings",
+				f.name, size, last.id, last.mappings)
+		}
+		f.space.frames.release(last)
+		f.frames = f.frames[:len(f.frames)-1]
+	}
+	return nil
+}
+
+// frameAt returns the frame backing byte offset off of the file.
+func (f *Memfd) frameAt(off uint64) (*Frame, error) {
+	idx := off / PageSize
+	if idx >= uint64(len(f.frames)) {
+		return nil, fmt.Errorf("mem: offset %d beyond %s size %d", off, f.name, f.Size())
+	}
+	return f.frames[idx], nil
+}

@@ -1,0 +1,336 @@
+package mem
+
+import (
+	"fmt"
+	"sort"
+)
+
+// PTE is a simulated page-table entry: which physical frame a virtual page
+// maps, which protection key tags it, and which file (if any) backs it.
+//
+// Mappings are demand-paged, as mmap is: an anonymous page has no frame
+// and a file-backed page is not yet present until the first access
+// touches it (a minor fault). RSS counts touched pages.
+type PTE struct {
+	Frame *Frame
+	// Pkey is the MPK protection key tagging the page (0..15). Key 0 is
+	// the default key all threads can always access (§5.2).
+	Pkey uint8
+	// touched marks the page present (faulted in).
+	touched bool
+	// backing is non-nil for MAP_SHARED mappings of a Memfd.
+	backing *Memfd
+	// backOff is the file offset of the mapped page when backing != nil.
+	backOff uint64
+}
+
+// Touched reports whether the page has been faulted in.
+func (p *PTE) Touched() bool { return p.touched }
+
+// AddressSpace is the simulated process address space.
+//
+// It is not safe for concurrent use; the simulation engine serializes all
+// operations, exactly as a single MMU serializes translations for the
+// modeled core.
+type AddressSpace struct {
+	pages  map[Page]*PTE
+	frames framePool
+	memfds []*Memfd
+	tlb    *TLB
+
+	// residentPages counts touched, mapped pages. Linux VmRSS counts
+	// present page-table entries, so a physical frame shared by many
+	// virtual pages (consolidation, Figure 2) is counted once per
+	// mapping — reproducing the paper's over-estimated RSS (§6, §7.5).
+	residentPages uint64
+	// retainedPages counts in-memory-file frames whose last mapping was
+	// removed: Kard does not recycle de-allocated virtual pages (§6),
+	// so the backing memory stays charged to the process.
+	retainedPages uint64
+	metaBytes     uint64
+	peakRSS       uint64
+	peakPhysMeta  uint64
+
+	// nextPage is the bump pointer of the mmap area. The simulated
+	// layout places all mappings above 256 MiB, leaving low addresses
+	// free so that nil-like and global sentinel addresses never collide
+	// with mappings.
+	nextPage Page
+
+	// Counters for the run statistics.
+	MmapCalls     uint64
+	MunmapCalls   uint64
+	ProtectCalls  uint64
+	TruncateCalls uint64
+	MinorFaults   uint64
+}
+
+// NewAddressSpace creates an empty address space with a dTLB of tlbEntries
+// entries (0 selects DefaultTLBEntries).
+func NewAddressSpace(tlbEntries int) *AddressSpace {
+	return &AddressSpace{
+		pages:    make(map[Page]*PTE),
+		tlb:      NewTLB(tlbEntries),
+		nextPage: Page(256 << (20 - PageShift)), // 256 MiB
+	}
+}
+
+// TLB returns the address space's dTLB model.
+func (as *AddressSpace) TLB() *TLB { return as.tlb }
+
+// reserve returns the base address of n fresh, unmapped virtual pages.
+func (as *AddressSpace) reserve(n uint64) Page {
+	p := as.nextPage
+	as.nextPage += Page(n)
+	return p
+}
+
+// MmapAnon maps n fresh virtual pages tagged with pkey, returning the base
+// address (mmap with MAP_PRIVATE|MAP_ANONYMOUS). Frames are allocated on
+// first touch.
+func (as *AddressSpace) MmapAnon(n uint64, pkey uint8) Addr {
+	as.MmapCalls++
+	base := as.reserve(n)
+	for i := uint64(0); i < n; i++ {
+		as.pages[base+Page(i)] = &PTE{Pkey: pkey}
+	}
+	return base.Base()
+}
+
+// MmapShared maps n virtual pages onto file f starting at byte offset off
+// (mmap with MAP_SHARED). The mapped file range must already exist
+// (ftruncate first, as Kard's allocator does). Pages fault in on first
+// touch.
+func (as *AddressSpace) MmapShared(f *Memfd, off uint64, n uint64, pkey uint8) (Addr, error) {
+	as.MmapCalls++
+	if off%PageSize != 0 {
+		return 0, fmt.Errorf("mem: mmap offset %d not page-aligned", off)
+	}
+	base := as.reserve(n)
+	for i := uint64(0); i < n; i++ {
+		fr, err := f.frameAt(off + i*PageSize)
+		if err != nil {
+			for j := uint64(0); j < i; j++ {
+				as.unmapPage(base + Page(j))
+			}
+			as.nextPage = base // give the reservation back
+			return 0, err
+		}
+		if fr.mappings == 0 && fr.everMapped {
+			as.retainedPages--
+		}
+		fr.mappings++
+		fr.everMapped = true
+		as.pages[base+Page(i)] = &PTE{Frame: fr, Pkey: pkey, backing: f, backOff: off + i*PageSize}
+	}
+	return base.Base(), nil
+}
+
+// touch faults the page in: the anonymous frame is allocated if missing
+// and the page starts counting toward RSS. It reports whether this was the
+// first touch (a minor fault).
+func (as *AddressSpace) touch(pte *PTE) bool {
+	if pte.touched {
+		return false
+	}
+	pte.touched = true
+	if pte.Frame == nil {
+		pte.Frame = as.frames.alloc()
+		pte.Frame.mappings++
+	}
+	as.MinorFaults++
+	as.residentPages++
+	as.updatePeaks()
+	return true
+}
+
+func (as *AddressSpace) updatePeaks() {
+	if rss := as.ResidentBytes(); rss > as.peakRSS {
+		as.peakRSS = rss
+	}
+	if phys := as.PhysicalBytes(); phys > as.peakPhysMeta {
+		as.peakPhysMeta = phys
+	}
+}
+
+// Munmap removes the mapping of n pages starting at addr. Unmapped holes in
+// the range are an error: Kard's allocator never double-frees.
+func (as *AddressSpace) Munmap(addr Addr, n uint64) error {
+	as.MunmapCalls++
+	if Offset(addr) != 0 {
+		return fmt.Errorf("mem: munmap address %s not page-aligned", addr)
+	}
+	base := PageOf(addr)
+	for i := uint64(0); i < n; i++ {
+		if _, ok := as.pages[base+Page(i)]; !ok {
+			return fmt.Errorf("mem: munmap of unmapped page %s", (base + Page(i)).Base())
+		}
+	}
+	for i := uint64(0); i < n; i++ {
+		as.unmapPage(base + Page(i))
+	}
+	return nil
+}
+
+func (as *AddressSpace) unmapPage(p Page) {
+	pte := as.pages[p]
+	if pte.Frame != nil {
+		pte.Frame.mappings--
+		if pte.Frame.mappings == 0 {
+			if pte.backing == nil {
+				as.frames.release(pte.Frame)
+			} else {
+				as.retainedPages++
+				as.updatePeaks()
+			}
+		}
+	}
+	if pte.touched {
+		as.residentPages--
+	}
+	delete(as.pages, p)
+	as.tlb.Invalidate(p)
+}
+
+// Protect tags every page overlapping [addr, addr+size) with pkey. This is
+// the page-table half of pkey_mprotect(2); permission bits live in each
+// thread's PKRU, not in the page table (§2.2). Unlike mprotect, changing a
+// page's key does not flush the TLB, and it does not fault pages in.
+func (as *AddressSpace) Protect(addr Addr, size uint64, pkey uint8) error {
+	as.ProtectCalls++
+	first, last := PageRange(addr, size)
+	for p := first; p <= last; p++ {
+		pte, ok := as.pages[p]
+		if !ok {
+			return fmt.Errorf("mem: pkey_mprotect of unmapped page %s", p.Base())
+		}
+		pte.Pkey = pkey
+	}
+	return nil
+}
+
+// Translate looks up the page-table entry for addr, going through the
+// dTLB, faulting the page in if this is its first touch. It reports
+// whether the translation missed the TLB and whether a minor fault
+// occurred; the caller charges the corresponding penalties. Translation of
+// an unmapped address returns an error — the simulated program would have
+// segfaulted.
+func (as *AddressSpace) Translate(addr Addr) (pte *PTE, miss, minor bool, err error) {
+	p := PageOf(addr)
+	if pte = as.tlb.Lookup(p); pte != nil {
+		return pte, false, false, nil
+	}
+	pte, ok := as.pages[p]
+	if !ok {
+		return nil, true, false, fmt.Errorf("mem: access to unmapped address %s", addr)
+	}
+	minor = as.touch(pte)
+	as.tlb.Insert(p, pte)
+	return pte, true, minor, nil
+}
+
+// Peek returns the page-table entry for addr without touching the TLB or
+// faulting the page in. Kard's fault handler uses it when inspecting the
+// faulting address.
+func (as *AddressSpace) Peek(addr Addr) (*PTE, bool) {
+	pte, ok := as.pages[PageOf(addr)]
+	return pte, ok
+}
+
+// Mapped reports whether the page containing addr is mapped.
+func (as *AddressSpace) Mapped(addr Addr) bool {
+	_, ok := as.pages[PageOf(addr)]
+	return ok
+}
+
+// MappedPages returns the number of mapped virtual pages.
+func (as *AddressSpace) MappedPages() int { return len(as.pages) }
+
+// ResidentPages returns the number of touched, mapped pages.
+func (as *AddressSpace) ResidentPages() uint64 { return as.residentPages }
+
+// ResidentBytes returns the current resident set size in bytes: touched
+// mapped pages (counted per mapping, as VmRSS does) plus metadata charged
+// by upper layers.
+func (as *AddressSpace) ResidentBytes() uint64 {
+	return (as.residentPages+as.retainedPages)*PageSize + as.metaBytes
+}
+
+// PhysicalBytes returns the distinct physical frames plus metadata — the
+// footprint consolidation actually conserves.
+func (as *AddressSpace) PhysicalBytes() uint64 { return as.frames.resident + as.metaBytes }
+
+// PeakResidentBytes returns the peak RSS in bytes, the quantity Table 3
+// reports as peak memory.
+func (as *AddressSpace) PeakResidentBytes() uint64 { return as.peakRSS }
+
+// PeakPhysicalBytes returns the peak physical footprint.
+func (as *AddressSpace) PeakPhysicalBytes() uint64 { return as.peakPhysMeta }
+
+// ChargeMetadata records delta bytes of bookkeeping memory (allocator and
+// detector metadata, §7.5) against the process RSS (negative to release).
+func (as *AddressSpace) ChargeMetadata(delta int64) {
+	if delta < 0 {
+		d := uint64(-delta)
+		if d > as.metaBytes {
+			d = as.metaBytes
+		}
+		as.metaBytes -= d
+		return
+	}
+	as.metaBytes += uint64(delta)
+	as.updatePeaks()
+}
+
+// Store writes b through the simulated memory at addr, faulting pages in.
+// The byte range must be mapped. Store bypasses protection checks —
+// callers that want checked access go through the engine, which consults
+// MPK first.
+func (as *AddressSpace) Store(addr Addr, b []byte) error {
+	return as.copy(addr, uint64(len(b)), func(frame []byte, src, n uint64) {
+		copy(frame, b[src:src+n])
+	})
+}
+
+// Load reads len(b) bytes from addr into b.
+func (as *AddressSpace) Load(addr Addr, b []byte) error {
+	return as.copy(addr, uint64(len(b)), func(frame []byte, src, n uint64) {
+		copy(b[src:src+n], frame)
+	})
+}
+
+// copy walks the page-spanning byte range [addr, addr+size), invoking f for
+// each in-frame span with the frame bytes and the running source offset.
+func (as *AddressSpace) copy(addr Addr, size uint64, f func(frame []byte, src, n uint64)) error {
+	var done uint64
+	for done < size {
+		pte, ok := as.pages[PageOf(addr+Addr(done))]
+		if !ok {
+			return fmt.Errorf("mem: data access to unmapped address %s", addr+Addr(done))
+		}
+		as.touch(pte)
+		off := Offset(addr + Addr(done))
+		n := PageSize - off
+		if n > size-done {
+			n = size - done
+		}
+		// The offset within the frame equals the offset within the
+		// page for anonymous pages and whole-page shared mappings.
+		f(pte.Frame.bytes()[off:off+n], done, n)
+		done += n
+	}
+	return nil
+}
+
+// PagesWithKey returns the mapped pages currently tagged with pkey, sorted.
+// It exists for tests and debugging tools.
+func (as *AddressSpace) PagesWithKey(pkey uint8) []Page {
+	var out []Page
+	for p, pte := range as.pages {
+		if pte.Pkey == pkey {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

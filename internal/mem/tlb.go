@@ -1,0 +1,107 @@
+package mem
+
+// DefaultTLBEntries is the default dTLB capacity. The Xeon Silver 4110 of
+// the evaluation machine has a 64-entry L1 dTLB and a 1536-entry L2 STLB
+// for 4 KiB pages; a single flat structure of the combined size is a
+// standard first-order model and is what the miss-rate column of Table 3
+// responds to.
+const DefaultTLBEntries = 1536
+
+// TLB is a first-order dTLB model: a fixed-capacity map of page → entry
+// with CLOCK (second-chance) replacement. CLOCK approximates LRU closely
+// at a fraction of the bookkeeping cost, which matters because every
+// simulated access translates through it.
+type TLB struct {
+	capacity int
+	entries  map[Page]int // page → slot index
+	slots    []tlbSlot
+	hand     int
+
+	hits   uint64
+	misses uint64
+}
+
+type tlbSlot struct {
+	page    Page
+	pte     *PTE
+	used    bool
+	present bool
+}
+
+// NewTLB returns a TLB with the given capacity (0 selects
+// DefaultTLBEntries).
+func NewTLB(capacity int) *TLB {
+	if capacity <= 0 {
+		capacity = DefaultTLBEntries
+	}
+	return &TLB{
+		capacity: capacity,
+		entries:  make(map[Page]int, capacity),
+		slots:    make([]tlbSlot, capacity),
+	}
+}
+
+// Lookup returns the cached translation for p, or nil on a miss. Hit/miss
+// counters feed the dTLB-miss-rate column of Table 3.
+func (t *TLB) Lookup(p Page) *PTE {
+	if i, ok := t.entries[p]; ok {
+		t.hits++
+		t.slots[i].used = true
+		return t.slots[i].pte
+	}
+	t.misses++
+	return nil
+}
+
+// Insert caches a translation after a miss, evicting with CLOCK if full.
+func (t *TLB) Insert(p Page, pte *PTE) {
+	if i, ok := t.entries[p]; ok {
+		t.slots[i].pte = pte
+		t.slots[i].used = true
+		return
+	}
+	for {
+		s := &t.slots[t.hand]
+		if !s.present {
+			break
+		}
+		if !s.used {
+			delete(t.entries, s.page)
+			s.present = false
+			break
+		}
+		s.used = false
+		t.hand = (t.hand + 1) % t.capacity
+	}
+	t.slots[t.hand] = tlbSlot{page: p, pte: pte, used: true, present: true}
+	t.entries[p] = t.hand
+	t.hand = (t.hand + 1) % t.capacity
+}
+
+// Invalidate drops the translation for p (on munmap).
+func (t *TLB) Invalidate(p Page) {
+	if i, ok := t.entries[p]; ok {
+		t.slots[i].present = false
+		t.slots[i].used = false
+		delete(t.entries, p)
+	}
+}
+
+// Hits returns the number of translations served from the TLB.
+func (t *TLB) Hits() uint64 { return t.hits }
+
+// Misses returns the number of translations that required a page walk.
+func (t *TLB) Misses() uint64 { return t.misses }
+
+// MissRate returns misses / (hits + misses), or 0 before any translation.
+func (t *TLB) MissRate() float64 {
+	total := t.hits + t.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(t.misses) / float64(total)
+}
+
+// ResetCounters zeroes the hit/miss counters without dropping translations.
+// The harness calls it after warm-up so steady-state rates are reported.
+func (t *TLB) ResetCounters() { t.hits, t.misses = 0, 0 }

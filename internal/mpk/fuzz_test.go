@@ -1,0 +1,43 @@
+package mpk
+
+import "testing"
+
+// FuzzPKRU checks the register model's invariants on arbitrary inputs:
+// With is local to its key, Allows is consistent with Perm, and key 0 is
+// always accessible.
+func FuzzPKRU(f *testing.F) {
+	f.Add(uint32(0), uint8(3), uint8(1))
+	f.Add(^uint32(0), uint8(15), uint8(2))
+	f.Add(uint32(0xA5A5A5A5), uint8(0), uint8(0))
+	f.Fuzz(func(t *testing.T, bits uint32, key, perm uint8) {
+		r := PKRU(bits)
+		k := Pkey(key % NumKeys)
+		p := Perm(perm % 3)
+		r2 := r.With(k, p)
+		if r2.Perm(k) != p {
+			t.Fatalf("With(%s,%s): perm = %s", k, p, r2.Perm(k))
+		}
+		for other := Pkey(0); other < NumKeys; other++ {
+			if other != k && r2.Perm(other) != r.Perm(other) {
+				t.Fatalf("With(%s,%s) disturbed %s", k, p, other)
+			}
+		}
+		if !r2.Allows(KeyDefault, Write) {
+			t.Fatal("key 0 must always be writable")
+		}
+		switch r2.Perm(k) {
+		case PermRW:
+			if !r2.Allows(k, Write) || !r2.Allows(k, Read) {
+				t.Fatal("rw perm must allow both")
+			}
+		case PermRead:
+			if k != KeyDefault && r2.Allows(k, Write) {
+				t.Fatal("read perm must deny writes")
+			}
+		case PermNone:
+			if k != KeyDefault && r2.Allows(k, Read) {
+				t.Fatal("none perm must deny reads")
+			}
+		}
+	})
+}

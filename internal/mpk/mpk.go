@@ -1,0 +1,183 @@
+// Package mpk models Intel Memory Protection Keys (§2.2): 16 protection
+// keys, a per-thread PKRU register with access-disable/write-disable bit
+// pairs, the non-privileged WRPKRU/RDPKRU instructions, pkey_mprotect(2),
+// and the general-protection fault (#GP) raised when a thread touches a
+// page whose key its PKRU disables.
+//
+// The model is exact at the architectural level Kard relies on:
+//   - protection is per page (tag in the PTE) and per thread (PKRU);
+//   - PKRU updates do not flush the TLB;
+//   - key 0 is the always-accessible default key reserved for backward
+//     compatibility, so 15 keys are effectively available.
+package mpk
+
+import (
+	"fmt"
+
+	"kard/internal/cycles"
+	"kard/internal/mem"
+)
+
+// Pkey is a protection key, 0 through 15.
+type Pkey uint8
+
+// NumKeys is the number of protection keys MPK provides.
+const NumKeys = 16
+
+// KeyDefault is key 0, reserved for backward compatibility: every thread
+// can always read and write pages tagged with it (§2.2, §5.2).
+const KeyDefault Pkey = 0
+
+// Valid reports whether k is a representable protection key.
+func (k Pkey) Valid() bool { return k < NumKeys }
+
+func (k Pkey) String() string { return fmt.Sprintf("k%d", uint8(k)) }
+
+// Perm is a thread's permission for one protection key, as encoded by the
+// key's AD (access-disable) and WD (write-disable) bits in PKRU.
+type Perm uint8
+
+const (
+	// PermNone: AD=1. The thread may neither read nor write.
+	PermNone Perm = iota
+	// PermRead: AD=0, WD=1. The thread may read but not write.
+	PermRead
+	// PermRW: AD=0, WD=0. The thread may read and write.
+	PermRW
+)
+
+func (p Perm) String() string {
+	switch p {
+	case PermNone:
+		return "none"
+	case PermRead:
+		return "r"
+	case PermRW:
+		return "rw"
+	default:
+		return fmt.Sprintf("Perm(%d)", uint8(p))
+	}
+}
+
+// AccessKind distinguishes reads from writes.
+type AccessKind uint8
+
+const (
+	Read AccessKind = iota
+	Write
+)
+
+func (k AccessKind) String() string {
+	if k == Write {
+		return "write"
+	}
+	return "read"
+}
+
+// PKRU is the 32-bit per-thread protection-key rights register: two bits
+// per key, AD (bit 2k) and WD (bit 2k+1). The zero value of PKRU permits
+// read-write access to every key, which is the hardware reset state.
+type PKRU uint32
+
+// Perm returns the permission PKRU grants for key k.
+func (r PKRU) Perm(k Pkey) Perm {
+	ad := r>>(2*uint(k))&1 != 0
+	wd := r>>(2*uint(k)+1)&1 != 0
+	switch {
+	case ad:
+		return PermNone
+	case wd:
+		return PermRead
+	default:
+		return PermRW
+	}
+}
+
+// With returns a PKRU equal to r except that key k carries permission p.
+func (r PKRU) With(k Pkey, p Perm) PKRU {
+	mask := PKRU(0b11) << (2 * uint(k))
+	r &^= mask
+	switch p {
+	case PermNone:
+		r |= PKRU(0b01) << (2 * uint(k)) // AD=1
+	case PermRead:
+		r |= PKRU(0b10) << (2 * uint(k)) // WD=1
+	case PermRW:
+		// both bits clear
+	}
+	return r
+}
+
+// Allows reports whether PKRU permits an access of the given kind to pages
+// tagged with key k. Key 0 is always allowed.
+func (r PKRU) Allows(k Pkey, kind AccessKind) bool {
+	if k == KeyDefault {
+		return true
+	}
+	switch r.Perm(k) {
+	case PermRW:
+		return true
+	case PermRead:
+		return kind == Read
+	default:
+		return false
+	}
+}
+
+// DenyAll returns a PKRU that denies access to every key except key 0.
+func DenyAll() PKRU {
+	var r PKRU
+	for k := Pkey(1); k < NumKeys; k++ {
+		r = r.With(k, PermNone)
+	}
+	return r
+}
+
+// Fault is a general-protection fault (#GP) raised by an MPK access check.
+// It carries everything Kard's handler extracts from the signal frame and
+// the faulting thread's context (§5.5): the faulting address, access type,
+// the key tagging the page, and the thread's PKRU at fault time.
+type Fault struct {
+	Addr mem.Addr
+	Kind AccessKind
+	Pkey Pkey
+	PKRU PKRU
+	// TID is the faulting thread, filled in by the engine.
+	TID int
+	// IP identifies the faulting instruction; the simulator uses the
+	// workload's access-site label.
+	IP string
+	// Time is the faulting thread's virtual clock when the fault was
+	// raised.
+	Time cycles.Time
+}
+
+func (f *Fault) Error() string {
+	return fmt.Sprintf("#GP: %s of %s (pkey %s) by thread %d at %s", f.Kind, f.Addr, f.Pkey, f.TID, f.IP)
+}
+
+// Check performs the hardware access check for one access: translate the
+// page's key (the caller already resolved the PTE) and test it against the
+// thread's PKRU. It returns nil when the access is allowed and a *Fault
+// when the hardware would raise #GP. The check itself is free — it happens
+// in the MMU in parallel with the access — so no cycles are charged here.
+func Check(r PKRU, pte *mem.PTE, addr mem.Addr, kind AccessKind) *Fault {
+	k := Pkey(pte.Pkey)
+	if r.Allows(k, kind) {
+		return nil
+	}
+	return &Fault{Addr: addr, Kind: kind, Pkey: k, PKRU: r}
+}
+
+// PkeyMprotect tags [addr, addr+size) with key k, as pkey_mprotect(2)
+// does. The returned duration is the syscall cost the calling thread must
+// charge to its clock.
+func PkeyMprotect(as *mem.AddressSpace, addr mem.Addr, size uint64, k Pkey) (cycles.Duration, error) {
+	if !k.Valid() {
+		return 0, fmt.Errorf("mpk: invalid pkey %d", k)
+	}
+	if err := as.Protect(addr, size, uint8(k)); err != nil {
+		return 0, err
+	}
+	return cycles.PkeyMprotect, nil
+}

@@ -1,0 +1,34 @@
+package mpk
+
+import (
+	"testing"
+
+	"kard/internal/mem"
+)
+
+// BenchmarkPKRUOps measures the register-model operations the detector
+// performs on every critical-section entry.
+func BenchmarkPKRUOps(b *testing.B) {
+	var r PKRU
+	for i := 0; i < b.N; i++ {
+		r = r.With(Pkey(i%16), Perm(i%3))
+		if r.Perm(Pkey(i%16)) > PermRW {
+			b.Fatal("impossible")
+		}
+	}
+}
+
+// BenchmarkCheck measures the hardware access-check model on the
+// no-fault fast path.
+func BenchmarkCheck(b *testing.B) {
+	as := mem.NewAddressSpace(0)
+	a := as.MmapAnon(1, 3)
+	pte, _ := as.Peek(a)
+	r := DenyAll().With(3, PermRW)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if f := Check(r, pte, a, Write); f != nil {
+			b.Fatal(f)
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package mpk
+
+import (
+	"testing"
+	"testing/quick"
+
+	"kard/internal/mem"
+)
+
+func TestPKRUZeroValueAllowsEverything(t *testing.T) {
+	var r PKRU
+	for k := Pkey(0); k < NumKeys; k++ {
+		if r.Perm(k) != PermRW {
+			t.Errorf("zero PKRU perm for %s = %s, want rw", k, r.Perm(k))
+		}
+		if !r.Allows(k, Read) || !r.Allows(k, Write) {
+			t.Errorf("zero PKRU denies access to %s", k)
+		}
+	}
+}
+
+func TestPKRUWithPerm(t *testing.T) {
+	var r PKRU
+	r = r.With(3, PermNone).With(7, PermRead)
+	if got := r.Perm(3); got != PermNone {
+		t.Errorf("perm(k3) = %s, want none", got)
+	}
+	if got := r.Perm(7); got != PermRead {
+		t.Errorf("perm(k7) = %s, want r", got)
+	}
+	if got := r.Perm(4); got != PermRW {
+		t.Errorf("perm(k4) = %s, want rw (untouched)", got)
+	}
+	// Upgrading back to RW clears both bits.
+	r = r.With(3, PermRW)
+	if got := r.Perm(3); got != PermRW {
+		t.Errorf("perm(k3) after upgrade = %s, want rw", got)
+	}
+}
+
+// Property: With(k, p) sets exactly key k's permission and preserves all
+// other keys, for every starting register value.
+func TestPKRUWithIsLocal(t *testing.T) {
+	f := func(bits uint32, key uint8, perm uint8) bool {
+		r := PKRU(bits)
+		k := Pkey(key % NumKeys)
+		p := Perm(perm % 3)
+		r2 := r.With(k, p)
+		if r2.Perm(k) != p {
+			return false
+		}
+		for other := Pkey(0); other < NumKeys; other++ {
+			if other == k {
+				continue
+			}
+			if r2.Perm(other) != r.Perm(other) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAllowsMatrix(t *testing.T) {
+	var r PKRU
+	r = r.With(1, PermNone).With(2, PermRead)
+	tests := []struct {
+		key  Pkey
+		kind AccessKind
+		want bool
+	}{
+		{1, Read, false}, {1, Write, false},
+		{2, Read, true}, {2, Write, false},
+		{3, Read, true}, {3, Write, true},
+	}
+	for _, tt := range tests {
+		if got := r.Allows(tt.key, tt.kind); got != tt.want {
+			t.Errorf("Allows(%s, %s) = %v, want %v", tt.key, tt.kind, got, tt.want)
+		}
+	}
+}
+
+func TestKeyZeroAlwaysAccessible(t *testing.T) {
+	r := DenyAll()
+	if !r.Allows(KeyDefault, Read) || !r.Allows(KeyDefault, Write) {
+		t.Error("key 0 must remain accessible even under DenyAll")
+	}
+	for k := Pkey(1); k < NumKeys; k++ {
+		if r.Allows(k, Read) {
+			t.Errorf("DenyAll still allows read of %s", k)
+		}
+	}
+}
+
+func TestCheckRaisesFault(t *testing.T) {
+	as := mem.NewAddressSpace(0)
+	a := as.MmapAnon(1, 5)
+	pte, _ := as.Peek(a)
+
+	var r PKRU
+	if f := Check(r, pte, a+16, Write); f != nil {
+		t.Errorf("unexpected fault with permissive PKRU: %v", f)
+	}
+	r = r.With(5, PermRead)
+	if f := Check(r, pte, a+16, Read); f != nil {
+		t.Errorf("read with read-only key should pass, got %v", f)
+	}
+	f := Check(r, pte, a+16, Write)
+	if f == nil {
+		t.Fatal("write with read-only key must fault")
+	}
+	if f.Pkey != 5 || f.Kind != Write || f.Addr != a+16 {
+		t.Errorf("fault fields = %+v", f)
+	}
+	if f.Error() == "" {
+		t.Error("fault should format an error string")
+	}
+}
+
+func TestPkeyMprotect(t *testing.T) {
+	as := mem.NewAddressSpace(0)
+	a := as.MmapAnon(2, 0)
+	d, err := PkeyMprotect(as, a, 2*mem.PageSize, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d == 0 {
+		t.Error("pkey_mprotect should cost cycles")
+	}
+	pte, _ := as.Peek(a + mem.PageSize)
+	if pte.Pkey != 9 {
+		t.Errorf("pkey = %d, want 9", pte.Pkey)
+	}
+	if _, err := PkeyMprotect(as, a, 10, 16); err == nil {
+		t.Error("invalid key must be rejected")
+	}
+	if _, err := PkeyMprotect(as, 0xdddd000, 10, 1); err == nil {
+		t.Error("unmapped range must be rejected")
+	}
+}
+
+func TestPermAndKeyStrings(t *testing.T) {
+	if Pkey(14).String() != "k14" {
+		t.Errorf("Pkey string = %q", Pkey(14).String())
+	}
+	if PermRead.String() != "r" || PermRW.String() != "rw" || PermNone.String() != "none" {
+		t.Error("unexpected Perm strings")
+	}
+	if Read.String() != "read" || Write.String() != "write" {
+		t.Error("unexpected AccessKind strings")
+	}
+}

@@ -1,0 +1,418 @@
+// Package racecatalog is a curated catalog of classic concurrency-bug
+// patterns (drawing on the real-world bug characteristics study the paper
+// builds its scope argument on — Lu et al., ASPLOS 2008) with the
+// expected verdict of each detector: Kard (ILU scope, §4), the
+// happens-before comparator (TSan scope), and the Eraser lockset
+// comparator.
+//
+// The catalog serves three purposes: it is an acceptance suite for the
+// comparative semantics of the three detectors, a demonstration of where
+// each scope's boundaries lie (Tables 1 and 2), and a library of directed
+// scenarios downstream users can extend with their own patterns.
+package racecatalog
+
+import (
+	"kard/internal/sim"
+)
+
+// Verdict is the expected number of distinct racy objects a detector
+// reports on a pattern. VerdictAny marks outcomes that are legitimately
+// schedule- or model-dependent.
+type Verdict int
+
+const (
+	// Silent means the detector reports nothing.
+	Silent Verdict = 0
+	// Reports means the detector reports exactly one racy object.
+	Reports Verdict = 1
+	// VerdictAny accepts any outcome (documented per pattern).
+	VerdictAny Verdict = -1
+)
+
+// Pattern is one catalog entry.
+type Pattern struct {
+	Name string
+	// Racy reports whether the pattern contains a genuine data race
+	// (two conflicting accesses that can execute concurrently).
+	Racy bool
+	// Expected verdict per detector name ("kard", "tsan", "lockset").
+	Kard, TSan, Lockset Verdict
+	// Why explains the expectations in one or two sentences.
+	Why string
+	// Build constructs and runs the scenario on the engine.
+	Build func(e *sim.Engine, m *sim.Thread)
+}
+
+// All returns the catalog in presentation order.
+func All() []Pattern {
+	return []Pattern{
+		{
+			Name: "inconsistent-locks",
+			Racy: true,
+			Kard: Reports, TSan: Reports, Lockset: VerdictAny,
+			Why: "Figure 1a: write under la vs read under lb, concurrent. " +
+				"The core ILU case every detector should flag (lockset needs repeated rounds).",
+			Build: buildInconsistentLocks,
+		},
+		{
+			Name: "half-locked-write",
+			Racy: true,
+			Kard: Reports, TSan: Reports, Lockset: VerdictAny,
+			Why:   "Table 1 row 2: a locked writer races an unlocked writer — ILU, in scope for all.",
+			Build: buildHalfLocked,
+		},
+		{
+			Name: "no-lock-no-lock",
+			Racy: true,
+			Kard: Silent, TSan: Reports, Lockset: Reports,
+			Why: "Table 1 row 4: neither side holds a lock. Outside Kard's ILU scope " +
+				"(detectable with the §8 non-ILU extension); the second write empties Eraser's " +
+				"candidate lockset immediately, and happens-before catches it too.",
+			Build: buildNoLocks,
+		},
+		{
+			Name: "stat-counter-display",
+			Racy: true,
+			Kard: Reports, TSan: Reports, Lockset: VerdictAny,
+			Why: "The Aget/memcached §7.3 shape: workers update a counter inside critical " +
+				"sections; a monitor thread reads it with no lock.",
+			Build: buildStatCounter,
+		},
+		{
+			Name: "double-checked-locking",
+			Racy: true,
+			Kard: Reports, TSan: Reports, Lockset: VerdictAny,
+			Why: "The fast-path check reads the initialized-flag object with no lock while the " +
+				"slow path writes it under the init lock — ILU between the unlocked read and locked write.",
+			Build: buildDoubleChecked,
+		},
+		{
+			Name: "rwlock-write-under-read-lock",
+			Racy: true,
+			Kard: Reports, TSan: Silent, Lockset: Silent,
+			Why: "A thread mutates shared state while holding only the read lock, concurrently with " +
+				"another reader. Kard's shared-read/exclusive-write keys catch the write with a " +
+				"read-only key; the comparators see a common lock and stay silent.",
+			Build: buildRWLockUpgrade,
+		},
+		{
+			Name: "ad-hoc-flag-synchronization",
+			Racy: true,
+			Kard: Silent, TSan: 2, Lockset: Reports,
+			Why: "Data published through a spin flag with no lock — the ad-hoc synchronization " +
+				"§6 declares out of Kard's scope (and 'considered harmful'). Happens-before flags " +
+				"both the flag and the payload; lockset flags the flag.",
+			Build: buildAdHocFlag,
+		},
+		{
+			Name: "ordered-by-join",
+			Racy: false,
+			Kard: Silent, TSan: Silent, Lockset: Reports,
+			Why: "The §3.1 precision case: inconsistent locks but strictly join-ordered accesses. " +
+				"Lockset, being schedule-insensitive, falsely reports; the concurrency-aware " +
+				"detectors stay silent.",
+			Build: buildOrderedByJoin,
+		},
+		{
+			Name: "consistent-locking",
+			Racy: false,
+			Kard: Silent, TSan: Silent, Lockset: Silent,
+			Why:   "Negative control: every access under one common lock.",
+			Build: buildConsistent,
+		},
+		{
+			Name: "producer-consumer-condvar",
+			Racy: false,
+			Kard: Silent, TSan: Silent, Lockset: Silent,
+			Why: "Negative control: a correctly synchronized queue using a mutex and condition " +
+				"variable; the handoff is ordered through the mutex.",
+			Build: buildProducerConsumer,
+		},
+		{
+			Name: "init-before-spawn",
+			Racy: false,
+			Kard: Silent, TSan: Silent, Lockset: Silent,
+			Why: "Negative control: the parent initializes objects before spawning readers; " +
+				"spawn ordering makes the accesses safe, and Eraser's initial exclusive state " +
+				"plus the read-only sharing keeps lockset quiet too.",
+			Build: buildInitBeforeSpawn,
+		},
+		{
+			Name: "different-fields-same-object",
+			Racy: false,
+			Kard: Silent, TSan: Silent, Lockset: VerdictAny,
+			Why: "Two threads write disjoint fields of one struct under different locks. " +
+				"Byte-precise detectors stay silent; Kard's page-granular protection faults but " +
+				"protection interleaving prunes the report (§5.5) — the Table 4 false-positive " +
+				"mitigation.",
+			Build: buildDifferentFields,
+		},
+	}
+}
+
+// --- scenario builders ------------------------------------------------------
+
+func buildInconsistentLocks(e *sim.Engine, m *sim.Thread) {
+	la, lb := e.NewMutex("la"), e.NewMutex("lb")
+	b := e.NewBarrier(2)
+	o := m.Malloc(64, "shared")
+	runPair(m,
+		func(w *sim.Thread) {
+			w.Lock(la, "cs-a")
+			w.Barrier(b)
+			w.Write(o, 0, 8, "locked-write")
+			w.Compute(80000)
+			w.Unlock(la)
+		},
+		func(w *sim.Thread) {
+			w.Barrier(b)
+			w.Compute(2000)
+			w.Lock(lb, "cs-b")
+			w.Read(o, 0, 8, "other-locked-read")
+			w.Unlock(lb)
+		})
+	// A second round moves lockset past its exclusive state.
+	runPair(m,
+		func(w *sim.Thread) {
+			w.Lock(la, "cs-a")
+			w.Write(o, 0, 8, "locked-write")
+			w.Unlock(la)
+		},
+		func(w *sim.Thread) {
+			w.Lock(lb, "cs-b")
+			w.Read(o, 0, 8, "other-locked-read")
+			w.Unlock(lb)
+		})
+}
+
+func buildHalfLocked(e *sim.Engine, m *sim.Thread) {
+	la := e.NewMutex("la")
+	b := e.NewBarrier(2)
+	o := m.Malloc(64, "shared")
+	runPair(m,
+		func(w *sim.Thread) {
+			w.Lock(la, "locked-side")
+			w.Barrier(b)
+			w.Write(o, 0, 8, "locked-write")
+			w.Compute(80000)
+			w.Unlock(la)
+		},
+		func(w *sim.Thread) {
+			w.Barrier(b)
+			w.Compute(2000)
+			w.Write(o, 0, 8, "unlocked-write")
+		})
+}
+
+func buildNoLocks(e *sim.Engine, m *sim.Thread) {
+	b := e.NewBarrier(2)
+	o := m.Malloc(64, "shared")
+	runPair(m,
+		func(w *sim.Thread) {
+			w.Barrier(b)
+			w.Write(o, 0, 8, "w1")
+		},
+		func(w *sim.Thread) {
+			w.Barrier(b)
+			w.Compute(500)
+			w.Write(o, 0, 8, "w2")
+		})
+}
+
+func buildStatCounter(e *sim.Engine, m *sim.Thread) {
+	mu := e.NewMutex("stats_lock")
+	counter := m.Malloc(8, "stats")
+	w := m.Go("worker", func(w *sim.Thread) {
+		for i := 0; i < 50; i++ {
+			w.Lock(mu, "update-stats")
+			w.Write(counter, 0, 8, "count++")
+			w.Compute(3000)
+			w.Unlock(mu)
+			w.Compute(500)
+		}
+	})
+	for i := 0; i < 20; i++ {
+		m.Compute(8000)
+		m.Read(counter, 0, 8, "display") // no lock
+	}
+	m.Join(w)
+}
+
+func buildDoubleChecked(e *sim.Engine, m *sim.Thread) {
+	initMu := e.NewMutex("init_lock")
+	b := e.NewBarrier(2)
+	singleton := m.Malloc(16, "singleton") // [flag, value]
+	runPair(m,
+		func(w *sim.Thread) {
+			w.Barrier(b)
+			w.Lock(initMu, "slow-path")
+			w.Read(singleton, 0, 8, "check-again")
+			w.Write(singleton, 8, 8, "construct")
+			w.Write(singleton, 0, 8, "flag=1")
+			w.Compute(60000)
+			w.Unlock(initMu)
+		},
+		func(w *sim.Thread) {
+			w.Barrier(b)
+			// The fast-path check lands while the slow path holds the
+			// object's key (after its construct/flag writes).
+			w.Compute(60000)
+			w.Read(singleton, 0, 8, "fast-path-check") // no lock: the bug
+		})
+}
+
+func buildRWLockUpgrade(e *sim.Engine, m *sim.Thread) {
+	rw := e.NewRWMutex("table_lock")
+	b := e.NewBarrier(2)
+	table := m.Malloc(64, "table")
+	// Identify the object as read-write shared first.
+	m.WLock(rw, "init")
+	m.Write(table, 0, 8, "init")
+	m.WUnlock(rw)
+	runPair(m,
+		func(w *sim.Thread) {
+			w.RLock(rw, "lookup-1")
+			w.Read(table, 0, 8, "read")
+			w.Barrier(b)
+			w.Compute(80000)
+			w.RUnlock(rw)
+		},
+		func(w *sim.Thread) {
+			w.Barrier(b)
+			w.RLock(rw, "lookup-2")
+			w.Read(table, 0, 8, "read")
+			w.Write(table, 0, 8, "mutate-under-read-lock") // the bug
+			w.RUnlock(rw)
+		})
+}
+
+func buildAdHocFlag(e *sim.Engine, m *sim.Thread) {
+	b := e.NewBarrier(2)
+	data := m.Malloc(64, "payload")
+	flag := m.Malloc(8, "ready_flag")
+	runPair(m,
+		func(w *sim.Thread) {
+			w.Barrier(b)
+			w.Write(data, 0, 32, "produce")
+			w.Write(flag, 0, 8, "flag=1") // no fence, no lock
+		},
+		func(w *sim.Thread) {
+			w.Barrier(b)
+			w.Compute(200)
+			w.Read(flag, 0, 8, "spin") // ad-hoc synchronization
+			w.Read(data, 0, 32, "consume")
+		})
+}
+
+func buildOrderedByJoin(e *sim.Engine, m *sim.Thread) {
+	la, lb := e.NewMutex("la"), e.NewMutex("lb")
+	o := m.Malloc(64, "shared")
+	for i := 0; i < 2; i++ {
+		w1 := m.Go("first", func(w *sim.Thread) {
+			w.Lock(la, "phase-1")
+			w.Write(o, 0, 8, "w")
+			w.Unlock(la)
+		})
+		m.Join(w1) // strict ordering
+		w2 := m.Go("second", func(w *sim.Thread) {
+			w.Lock(lb, "phase-2")
+			w.Write(o, 0, 8, "w")
+			w.Unlock(lb)
+		})
+		m.Join(w2)
+	}
+}
+
+func buildConsistent(e *sim.Engine, m *sim.Thread) {
+	mu := e.NewMutex("m")
+	o := m.Malloc(64, "shared")
+	runPair(m,
+		func(w *sim.Thread) {
+			for i := 0; i < 10; i++ {
+				w.Lock(mu, "cs")
+				w.Write(o, 0, 8, "w")
+				w.Unlock(mu)
+			}
+		},
+		func(w *sim.Thread) {
+			for i := 0; i < 10; i++ {
+				w.Lock(mu, "cs")
+				w.Write(o, 0, 8, "w")
+				w.Unlock(mu)
+			}
+		})
+}
+
+func buildProducerConsumer(e *sim.Engine, m *sim.Thread) {
+	mu := e.NewMutex("q")
+	notEmpty := e.NewCond(mu, "notEmpty")
+	queue := m.Malloc(64, "queue")
+	depth := 0
+	runPair(m,
+		func(w *sim.Thread) { // consumer
+			for got := 0; got < 5; {
+				w.Lock(mu, "pop")
+				for depth == 0 {
+					w.Wait(notEmpty)
+				}
+				depth--
+				w.Read(queue, 0, 8, "pop")
+				got++
+				w.Unlock(mu)
+			}
+		},
+		func(w *sim.Thread) { // producer
+			for i := 0; i < 5; i++ {
+				w.Compute(4000)
+				w.Lock(mu, "push")
+				w.Write(queue, 0, 8, "push")
+				depth++
+				w.Signal(notEmpty)
+				w.Unlock(mu)
+			}
+		})
+}
+
+func buildInitBeforeSpawn(e *sim.Engine, m *sim.Thread) {
+	cfg := m.Malloc(128, "config")
+	m.Write(cfg, 0, 128, "parse-config")
+	var ws []*sim.Thread
+	for i := 0; i < 3; i++ {
+		ws = append(ws, m.Go("reader", func(w *sim.Thread) {
+			w.Read(cfg, 0, 64, "use-config")
+		}))
+	}
+	for _, w := range ws {
+		m.Join(w)
+	}
+}
+
+func buildDifferentFields(e *sim.Engine, m *sim.Thread) {
+	la, lb := e.NewMutex("la"), e.NewMutex("lb")
+	b := e.NewBarrier(2)
+	o := m.Malloc(256, "struct")
+	runPair(m,
+		func(w *sim.Thread) {
+			w.Lock(la, "field-a-owner")
+			w.Write(o, 0, 8, "update-a")
+			w.Barrier(b)
+			w.Compute(80000)
+			w.Write(o, 0, 8, "update-a-again") // re-access resolves the interleaving
+			w.Unlock(la)
+		},
+		func(w *sim.Thread) {
+			w.Barrier(b)
+			w.Lock(lb, "field-b-owner")
+			w.Write(o, 128, 8, "update-b")
+			w.Compute(200000)
+			w.Unlock(lb)
+		})
+}
+
+// runPair runs two bodies on fresh threads and joins both.
+func runPair(m *sim.Thread, f, g func(*sim.Thread)) {
+	t1 := m.Go("t1", f)
+	t2 := m.Go("t2", g)
+	m.Join(t1)
+	m.Join(t2)
+}

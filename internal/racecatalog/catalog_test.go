@@ -1,0 +1,100 @@
+package racecatalog
+
+import (
+	"testing"
+
+	"kard/internal/core"
+	"kard/internal/hb"
+	"kard/internal/lockset"
+	"kard/internal/sim"
+)
+
+func runPattern(t *testing.T, p Pattern, detector string, seed int64) int {
+	t.Helper()
+	var det sim.Detector
+	cfg := sim.Config{Seed: seed}
+	switch detector {
+	case "kard":
+		det = core.New(core.Options{})
+		cfg.UniquePageAllocator = true
+	case "tsan":
+		det = hb.New(hb.Options{})
+	case "lockset":
+		det = lockset.New()
+	}
+	e := sim.New(cfg, det)
+	st, err := e.Run(func(m *sim.Thread) { p.Build(e, m) })
+	if err != nil {
+		t.Fatalf("%s under %s: %v", p.Name, detector, err)
+	}
+	seen := map[string]bool{}
+	for _, r := range st.Races {
+		seen[r.Object.Site] = true
+	}
+	return len(seen)
+}
+
+// TestCatalogExpectations runs every pattern under every detector and
+// checks the documented verdicts.
+func TestCatalogExpectations(t *testing.T) {
+	for _, p := range All() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			checks := []struct {
+				detector string
+				want     Verdict
+			}{
+				{"kard", p.Kard},
+				{"tsan", p.TSan},
+				{"lockset", p.Lockset},
+			}
+			for _, c := range checks {
+				got := runPattern(t, p, c.detector, 1)
+				if c.want == VerdictAny {
+					continue
+				}
+				if got != int(c.want) {
+					t.Errorf("%s under %s: %d racy object(s), want %d\n(%s)",
+						p.Name, c.detector, got, c.want, p.Why)
+				}
+			}
+		})
+	}
+}
+
+// TestCatalogRacyFlagMatchesSomeDetector: every pattern marked racy is
+// caught by at least one detector, and every non-racy pattern is reported
+// by at most the (documented) schedule-insensitive lockset.
+func TestCatalogRacyFlagConsistency(t *testing.T) {
+	for _, p := range All() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			kard := runPattern(t, p, "kard", 1)
+			tsan := runPattern(t, p, "tsan", 1)
+			if p.Racy && kard == 0 && tsan == 0 {
+				t.Errorf("racy pattern %s caught by no concurrency-aware detector", p.Name)
+			}
+			if !p.Racy && tsan != 0 {
+				t.Errorf("non-racy pattern %s reported by happens-before", p.Name)
+			}
+		})
+	}
+}
+
+// TestCatalogDeterministicAcrossSeeds: the expectations marked exact must
+// hold across several seeds, not just the default.
+func TestCatalogDeterministicAcrossSeeds(t *testing.T) {
+	for _, p := range All() {
+		if p.Kard == VerdictAny {
+			continue
+		}
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			for seed := int64(1); seed <= 4; seed++ {
+				if got := runPattern(t, p, "kard", seed); got != int(p.Kard) {
+					t.Errorf("seed %d: kard reports %d, want %d", seed, got, int(p.Kard))
+				}
+			}
+		})
+	}
+}

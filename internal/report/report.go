@@ -1,0 +1,82 @@
+// Package report regenerates every table and figure of the paper's
+// evaluation (§7) from simulated runs: Table 3 (performance, memory, and
+// dTLB overheads), Table 5 (memcached key sharing/recycling vs threads),
+// Table 6 (real-world races), Figure 5 (scalability), the §7.2 NGINX
+// file-size sweep, the §3.1 ILU share, and the conceptual Tables 1, 2,
+// and 4 verified against directed scenarios.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Options configure the table generators.
+type Options struct {
+	// Threads is the worker count (default 4, the paper's testing
+	// scenario, §7.2).
+	Threads int
+	// Scale in (0,1] scales critical-section entry counts to trade run
+	// time for statistic fidelity; overhead ratios are far less
+	// sensitive than absolute counts.
+	Scale float64
+	// Seed keys the deterministic scheduler.
+	Seed int64
+	// Progress, when non-nil, receives one line per completed run.
+	Progress io.Writer
+}
+
+func (o *Options) defaults() {
+	if o.Threads <= 0 {
+		o.Threads = 4
+	}
+	if o.Scale <= 0 || o.Scale > 1 {
+		o.Scale = 1
+	}
+}
+
+func (o *Options) progress(format string, args ...any) {
+	if o.Progress != nil {
+		fmt.Fprintf(o.Progress, format+"\n", args...)
+	}
+}
+
+// geomeanPct computes the geometric mean of percentage overheads the way
+// the paper does: as the geometric mean of normalized execution times,
+// expressed as an overhead. Non-positive ratios are clamped to a small
+// positive value.
+func geomeanPct(pcts []float64) float64 {
+	if len(pcts) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, p := range pcts {
+		r := 1 + p/100
+		if r < 1e-6 {
+			r = 1e-6
+		}
+		sum += math.Log(r)
+	}
+	return (math.Exp(sum/float64(len(pcts))) - 1) * 100
+}
+
+// rule prints a horizontal separator sized to the header.
+func rule(w io.Writer, width int) {
+	fmt.Fprintln(w, strings.Repeat("-", width))
+}
+
+// fmtBytes renders a byte count compactly.
+func fmtBytes(b uint64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.0fKiB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}

@@ -1,0 +1,156 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestGeomeanPct(t *testing.T) {
+	if g := geomeanPct(nil); g != 0 {
+		t.Errorf("empty geomean = %v", g)
+	}
+	if g := geomeanPct([]float64{10, 10}); g < 9.9 || g > 10.1 {
+		t.Errorf("geomean(10,10) = %v", g)
+	}
+	// Mixed signs behave like the paper's normalized-time geomean.
+	g := geomeanPct([]float64{-5, 5})
+	if g < -0.3 || g > 0.3 {
+		t.Errorf("geomean(-5,5) = %v, want ~0", g)
+	}
+}
+
+func TestFmtBytes(t *testing.T) {
+	tests := []struct {
+		in   uint64
+		want string
+	}{
+		{512, "512B"}, {2048, "2KiB"}, {3 << 20, "3.0MiB"}, {2 << 30, "2.0GiB"},
+	}
+	for _, tt := range tests {
+		if got := fmtBytes(tt.in); got != tt.want {
+			t.Errorf("fmtBytes(%d) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestTable1(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table1(&buf, Options{Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Count(out, "true") != 3 {
+		t.Errorf("Table 1 should detect exactly the 3 in-scope rows:\n%s", out)
+	}
+	if !strings.Contains(out, "out of scope") {
+		t.Errorf("missing out-of-scope row:\n%s", out)
+	}
+}
+
+func TestTable4(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table4(&buf, Options{Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "pruned: true") {
+		t.Errorf("interleaving mitigation not demonstrated:\n%s", out)
+	}
+	if !strings.Contains(out, "sharing events") {
+		t.Errorf("sharing demonstration missing:\n%s", out)
+	}
+}
+
+func TestTable5Small(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table5(&buf, Options{Scale: 0.02, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Total executed CS", "Key recycling events", "Key sharing events"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable6Small(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table6(&buf, Options{Scale: 0.02, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, app := range []string{"aget", "memcached", "nginx", "pigz"} {
+		if !strings.Contains(out, app) {
+			t.Errorf("missing %s row:\n%s", app, out)
+		}
+	}
+}
+
+func TestILUShareSmall(t *testing.T) {
+	var buf bytes.Buffer
+	if err := ILUShare(&buf, Options{Scale: 1, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "ILU share 69%") {
+		t.Errorf("ILU share not 69%%:\n%s", buf.String())
+	}
+}
+
+func TestNginxSweepSmall(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NginxSweep(&buf, Options{Scale: 0.05, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "128kB") || !strings.Contains(out, "1024kB") {
+		t.Errorf("sweep rows missing:\n%s", out)
+	}
+}
+
+func TestRunAppSingle(t *testing.T) {
+	a, err := RunApp("aget", Options{Scale: 0.05, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Baseline == nil || a.Kard == nil || a.TSan == nil || a.Alloc == nil {
+		t.Fatal("missing configuration results")
+	}
+	if a.TSanPct() < 100 {
+		t.Errorf("TSan overhead = %.1f%%, expected hundreds of %%", a.TSanPct())
+	}
+	if a.KardPct() > a.TSanPct() {
+		t.Error("Kard must be far cheaper than TSan")
+	}
+}
+
+func TestFigure5Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure 5 runs 90 simulations")
+	}
+	var buf bytes.Buffer
+	if err := Figure5(&buf, Options{Scale: 0.01, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"t=8", "t=16", "t=32", "GEOMEAN", "fluidanimate"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestTable2Static(t *testing.T) {
+	var buf bytes.Buffer
+	Table2(&buf, 7.2)
+	out := buf.String()
+	if !strings.Contains(out, "Kard (this repo)") || !strings.Contains(out, "+7.2%") {
+		t.Errorf("table 2 output:\n%s", out)
+	}
+	buf.Reset()
+	Table2(&buf, -1)
+	if !strings.Contains(buf.String(), "paper: 7.0%") {
+		t.Error("paper-only variant missing")
+	}
+}

@@ -1,0 +1,40 @@
+package report
+
+import (
+	"fmt"
+	"io"
+)
+
+// Table2 prints the paper's qualitative comparison of data race detection
+// approaches (requirements, scope, overhead), with this reproduction's
+// measured Kard geometric mean filled in when provided (pass a negative
+// value to print the paper's characterization only).
+func Table2(w io.Writer, measuredKardGeomean float64) {
+	fmt.Fprintf(w, "Table 2: comparison between Kard and existing approaches\n")
+	fmt.Fprintf(w, "(MI: memory instrumentation, SC: system change, DE: developer effort)\n\n")
+	header := fmt.Sprintf("%-24s %-4s %-4s %-4s %-14s %-12s", "System", "MI", "SC", "DE", "Scope", "Overhead")
+	fmt.Fprintln(w, header)
+	rule(w, len(header))
+	rows := []struct {
+		name, mi, sc, de, scope, ovh string
+	}{
+		{"Eraser", "yes", "no", "no", "ILU", "very high"},
+		{"Inspector XE", "yes", "no", "no", "ILU+", "very high"},
+		{"TSan", "yes", "no", "no", "ILU+", "very high"},
+		{"Valor", "yes", "no", "no", "ILU+", "high"},
+		{"HARD", "no", "hw", "no", "ILU", "low"},
+		{"Conflict Exception", "no", "hw", "no", "ILU+", "low"},
+		{"DataCollider", "no", "no", "no", "sampled ILU+", "low/moderate"},
+		{"Pacer", "yes", "no", "no", "sampled ILU+", "moderate/high"},
+		{"Aikido", "no", "sw", "no", "ILU+", "very high"},
+		{"PUSh", "no", "sw", "yes", "ILU", "low"},
+	}
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-24s %-4s %-4s %-4s %-14s %-12s\n", r.name, r.mi, r.sc, r.de, r.scope, r.ovh)
+	}
+	ovh := "low (paper: 7.0% geomean)"
+	if measuredKardGeomean >= 0 {
+		ovh = fmt.Sprintf("low (measured geomean %+.1f%%, paper 7.0%%)", measuredKardGeomean)
+	}
+	fmt.Fprintf(w, "%-24s %-4s %-4s %-4s %-14s %-12s\n", "Kard (this repo)", "no", "no", "no", "ILU", ovh)
+}

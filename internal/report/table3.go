@@ -1,0 +1,209 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"kard/internal/harness"
+	"kard/internal/workload"
+)
+
+// AppResult bundles the four configurations of one application, the raw
+// material for Table 3 and Figure 5.
+type AppResult struct {
+	Spec     workload.Spec
+	Baseline *harness.Result
+	Alloc    *harness.Result
+	Kard     *harness.Result
+	TSan     *harness.Result
+}
+
+// AllocPct, KardPct, TSanPct are execution-time overheads over baseline.
+func (a *AppResult) AllocPct() float64 { return harness.OverheadPct(a.Baseline, a.Alloc) }
+func (a *AppResult) KardPct() float64  { return harness.OverheadPct(a.Baseline, a.Kard) }
+func (a *AppResult) TSanPct() float64 {
+	if a.TSan == nil {
+		return 0
+	}
+	return harness.OverheadPct(a.Baseline, a.TSan)
+}
+
+// MemPct is Kard's peak-RSS overhead over baseline.
+func (a *AppResult) MemPct() float64 { return harness.MemOverheadPct(a.Baseline, a.Kard) }
+
+// DTLBPct returns the relative dTLB miss-rate increase of r over baseline,
+// in percent.
+func (a *AppResult) DTLBPct(r *harness.Result) float64 {
+	base := a.Baseline.Stats.DTLBMissRate()
+	if base == 0 {
+		return 0
+	}
+	return (r.Stats.DTLBMissRate()/base - 1) * 100
+}
+
+// RunApp executes the four Table 3 configurations of one workload.
+func RunApp(name string, o Options) (*AppResult, error) {
+	o.defaults()
+	out := &AppResult{}
+	for _, mode := range []harness.Mode{harness.ModeBaseline, harness.ModeAlloc, harness.ModeKard, harness.ModeTSan} {
+		r, err := harness.Run(harness.Options{
+			Workload: name, Mode: mode,
+			Threads: o.Threads, Scale: o.Scale, Seed: o.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out.Spec = r.Spec
+		switch mode {
+		case harness.ModeBaseline:
+			out.Baseline = r
+		case harness.ModeAlloc:
+			out.Alloc = r
+		case harness.ModeKard:
+			out.Kard = r
+		case harness.ModeTSan:
+			out.TSan = r
+		}
+		o.progress("  %-15s %-9s done (exec %.3fs simulated)", name, mode, r.Stats.ExecSeconds())
+	}
+	return out, nil
+}
+
+// Table3 runs all 19 applications in the four configurations and prints
+// the paper's Table 3: execution statistics and the added overheads of
+// Alloc, Kard, and TSan over Baseline, plus peak memory and dTLB miss
+// rate, with the paper's reported numbers alongside for comparison.
+func Table3(w io.Writer, o Options) ([]*AppResult, error) {
+	o.defaults()
+	var all []*AppResult
+	fmt.Fprintf(w, "Table 3: execution statistics and overheads (threads=%d scale=%.2f seed=%d)\n\n",
+		o.Threads, o.Scale, o.Seed)
+
+	header := fmt.Sprintf("%-15s %9s %7s %6s %6s %5s %6s %9s | %8s %8s %8s %9s | %9s %8s | %9s",
+		"benchmark", "heap", "global", "RO", "RW", "CS", "activ", "entries",
+		"base(s)", "alloc%", "kard%", "tsan%", "rss", "mem%", "dtlb-rate")
+	printSuite := func(suite string) error {
+		fmt.Fprintf(w, "%s\n%s\n", suite, header)
+		rule(w, len(header))
+		var kardP, allocP, tsanP, memP []float64
+		for _, name := range workload.BySuite(suite) {
+			a, err := RunApp(name, o)
+			if err != nil {
+				return err
+			}
+			all = append(all, a)
+			st := a.Baseline.Stats
+			fmt.Fprintf(w, "%-15s %9d %7d %6d %6d %5d %6d %9d | %8.3f %+7.1f%% %+7.1f%% %+8.1f%% | %9s %+7.1f%% | %.7f\n",
+				a.Spec.Name,
+				st.SharableHeap, st.SharableGlobals,
+				a.Kard.Kard.SharedRO, a.Kard.Kard.SharedRWEver,
+				a.Spec.TotalCS, st.MaxConcurrentSections, st.CSEntries,
+				st.ExecSeconds(),
+				a.AllocPct(), a.KardPct(), a.TSanPct(),
+				fmtBytes(st.PeakRSS), a.MemPct(),
+				st.DTLBMissRate(),
+			)
+			fmt.Fprintf(w, "%-15s %9d %7d %6d %6d %5d %6d %9d | %8.3f %+7.1f%% %+7.1f%% %+8.1f%% | %9s %+7.1f%% |   (paper)\n",
+				"  (paper)",
+				a.Spec.HeapObjects, a.Spec.GlobalObjects,
+				a.Spec.PaperSharedRO, a.Spec.PaperSharedRW,
+				a.Spec.TotalCS, a.Spec.ActiveCS, a.Spec.CSEntries,
+				a.Spec.BaselineSeconds,
+				a.Spec.PaperAllocPct, a.Spec.PaperKardPct, a.Spec.PaperTSanPct,
+				fmtBytes(a.Spec.PaperRSSKB*1024), a.Spec.PaperMemPct,
+			)
+			kardP = append(kardP, a.KardPct())
+			allocP = append(allocP, a.AllocPct())
+			tsanP = append(tsanP, a.TSanPct())
+			memP = append(memP, a.MemPct())
+		}
+		rule(w, len(header))
+		fmt.Fprintf(w, "%-15s %66s | %8s %+7.1f%% %+7.1f%% %+8.1f%% | %9s %+7.1f%% |\n",
+			"GEOMEAN", "", "", geomeanPct(allocP), geomeanPct(kardP), geomeanPct(tsanP), "", geomeanPct(memP))
+		return nil
+	}
+
+	if err := printSuite("PARSEC"); err != nil {
+		return nil, err
+	}
+	if err := printSuite("SPLASH-2x"); err != nil {
+		return nil, err
+	}
+	// The paper reports one geomean across PARSEC+SPLASH-2x; recompute
+	// it over the 15 benchmarks.
+	var bk, ba, bt, bm []float64
+	for _, a := range all {
+		bk = append(bk, a.KardPct())
+		ba = append(ba, a.AllocPct())
+		bt = append(bt, a.TSanPct())
+		bm = append(bm, a.MemPct())
+	}
+	pg := workload.PaperGeomeans["benchmarks"]
+	fmt.Fprintf(w, "\nBenchmark GEOMEAN  measured: alloc %+.1f%% kard %+.1f%% tsan %+.1f%% mem %+.1f%%\n",
+		geomeanPct(ba), geomeanPct(bk), geomeanPct(bt), geomeanPct(bm))
+	fmt.Fprintf(w, "Benchmark GEOMEAN  paper:    alloc %+.1f%% kard %+.1f%% tsan %+.1f%% mem %+.1f%%\n\n",
+		pg.Alloc, pg.Kard, pg.TSan, pg.Mem)
+
+	if err := printSuite("real-world"); err != nil {
+		return nil, err
+	}
+	var rk, ra, rt, rm []float64
+	for _, a := range all[15:] {
+		rk = append(rk, a.KardPct())
+		ra = append(ra, a.AllocPct())
+		rt = append(rt, a.TSanPct())
+		rm = append(rm, a.MemPct())
+	}
+	pg = workload.PaperGeomeans["real-world"]
+	fmt.Fprintf(w, "\nReal-world GEOMEAN measured: alloc %+.1f%% kard %+.1f%% tsan %+.1f%% mem %+.1f%%\n",
+		geomeanPct(ra), geomeanPct(rk), geomeanPct(rt), geomeanPct(rm))
+	fmt.Fprintf(w, "Real-world GEOMEAN paper:    alloc %+.1f%% kard %+.1f%% tsan %+.1f%% mem %+.1f%%\n",
+		pg.Alloc, pg.Kard, pg.TSan, pg.Mem)
+	return all, nil
+}
+
+// Figure5 runs the 15 benchmarks under Baseline and Kard at 8, 16, and 32
+// threads and prints Kard's overhead series — the data behind Figure 5.
+func Figure5(w io.Writer, o Options) error {
+	o.defaults()
+	threadCounts := []int{8, 16, 32}
+	fmt.Fprintf(w, "Figure 5: Kard overhead (%%) on PARSEC and SPLASH-2x at 8/16/32 threads (scale=%.2f seed=%d)\n\n", o.Scale, o.Seed)
+	header := fmt.Sprintf("%-15s %10s %10s %10s", "benchmark", "t=8", "t=16", "t=32")
+	fmt.Fprintln(w, header)
+	rule(w, len(header))
+
+	perThread := map[int][]float64{}
+	names := append(workload.BySuite("PARSEC"), workload.BySuite("SPLASH-2x")...)
+	for _, name := range names {
+		row := fmt.Sprintf("%-15s", name)
+		for _, threads := range threadCounts {
+			base, err := harness.Run(harness.Options{Workload: name, Mode: harness.ModeBaseline,
+				Threads: threads, Scale: o.Scale, Seed: o.Seed})
+			if err != nil {
+				return err
+			}
+			kard, err := harness.Run(harness.Options{Workload: name, Mode: harness.ModeKard,
+				Threads: threads, Scale: o.Scale, Seed: o.Seed})
+			if err != nil {
+				return err
+			}
+			pct := harness.OverheadPct(base, kard)
+			perThread[threads] = append(perThread[threads], pct)
+			row = fmt.Sprintf("%s %+9.1f%%", row, pct)
+			o.progress("  %-15s t=%-2d done", name, threads)
+		}
+		fmt.Fprintln(w, row)
+	}
+	rule(w, len(header))
+	fmt.Fprintf(w, "%-15s", "GEOMEAN")
+	for _, threads := range threadCounts {
+		fmt.Fprintf(w, " %+9.1f%%", geomeanPct(perThread[threads]))
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-15s", "paper")
+	for _, threads := range threadCounts {
+		fmt.Fprintf(w, " %+9.1f%%", workload.PaperFigure5Geomeans[threads])
+	}
+	fmt.Fprintln(w)
+	return nil
+}

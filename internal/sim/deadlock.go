@@ -1,0 +1,97 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// blockageReport describes every permanently blocked thread at engine
+// shutdown — what it waits on and who is responsible — and names any
+// lock-ordering cycle it finds in the waits-for graph. It turns the bare
+// "deadlock" error into an actionable diagnosis.
+func (e *Engine) blockageReport() string {
+	waitsOn := map[*Thread]string{}   // thread → human description
+	waitsFor := map[*Thread]*Thread{} // mutex waits-for edges only
+
+	for _, m := range e.mutexes {
+		for _, w := range m.waiters {
+			holder := "nobody"
+			if m.holder != nil {
+				holder = fmt.Sprintf("thread %d (%s)", m.holder.id, m.holder.name)
+				waitsFor[w] = m.holder
+			}
+			waitsOn[w] = fmt.Sprintf("mutex %q held by %s", m.name, holder)
+		}
+	}
+	for _, rw := range e.rwmutexes {
+		describe := func(w *Thread, mode string) {
+			var holder string
+			switch {
+			case rw.writer != nil:
+				holder = fmt.Sprintf("writer thread %d", rw.writer.id)
+				waitsFor[w] = rw.writer
+			case len(rw.readers) > 0:
+				holder = fmt.Sprintf("%d reader(s)", len(rw.readers))
+			default:
+				holder = "nobody"
+			}
+			waitsOn[w] = fmt.Sprintf("rwmutex %q (%s) held by %s", rw.name, mode, holder)
+		}
+		for _, w := range rw.waitingW {
+			describe(w, "write")
+		}
+		for _, w := range rw.waitingR {
+			describe(w, "read")
+		}
+	}
+	for _, c := range e.conds {
+		for _, w := range c.waiting {
+			waitsOn[w] = fmt.Sprintf("condition %q (no future signal)", c.name)
+		}
+	}
+	for _, b := range e.barriers {
+		for _, w := range b.waiting {
+			waitsOn[w] = fmt.Sprintf("barrier #%d (%d of %d arrived)", b.id, len(b.waiting), b.n)
+		}
+	}
+	for _, t := range e.threads {
+		for _, j := range t.joiners {
+			waitsOn[j] = fmt.Sprintf("join of thread %d (%s), itself blocked", t.id, t.name)
+		}
+	}
+
+	var lines []string
+	for t, why := range waitsOn {
+		lines = append(lines, fmt.Sprintf("  thread %d (%s) waits on %s", t.id, t.name, why))
+	}
+	sort.Strings(lines)
+
+	if cycle := findCycle(waitsFor); len(cycle) > 0 {
+		var names []string
+		for _, t := range cycle {
+			names = append(names, fmt.Sprintf("thread %d", t.id))
+		}
+		lines = append(lines, "  lock cycle: "+strings.Join(names, " → "))
+	}
+	return strings.Join(lines, "\n")
+}
+
+// findCycle returns one cycle in the waits-for graph, if any, ending with
+// the thread that closes it.
+func findCycle(edges map[*Thread]*Thread) []*Thread {
+	for start := range edges {
+		seen := map[*Thread]int{}
+		var path []*Thread
+		t := start
+		for t != nil {
+			if i, ok := seen[t]; ok {
+				return append(path[i:], t)
+			}
+			seen[t] = len(path)
+			path = append(path, t)
+			t = edges[t]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,578 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+
+	"kard/internal/alloc"
+	"kard/internal/cycles"
+	"kard/internal/mem"
+	"kard/internal/mpk"
+)
+
+// Config parameterizes one simulated execution.
+type Config struct {
+	// Seed keys the scheduler's tie-breaking, so different seeds explore
+	// different interleavings deterministically.
+	Seed int64
+	// TLBEntries sizes the dTLB model (0 = default).
+	TLBEntries int
+	// UniquePageAllocator selects Kard's consolidated unique-page
+	// allocator instead of the compact native one.
+	UniquePageAllocator bool
+	// AllocRecycle enables virtual-page recycling in the unique-page
+	// allocator (ablation; off in the paper).
+	AllocRecycle bool
+}
+
+// Engine is the discrete-event execution engine. Create one per run with
+// New, register globals, then call Run.
+type Engine struct {
+	cfg      Config
+	space    *mem.AddressSpace
+	objects  *alloc.ObjectTable
+	alloc    alloc.Allocator
+	detector Detector
+
+	mu          sync.Mutex // guards mutex/barrier creation from workload code
+	mutexes     []*Mutex
+	rwmutexes   []*RWMutex
+	conds       []*Cond
+	barriers    []*BarrierObj
+	sections    map[string]*CriticalSection
+	sectionList []*CriticalSection
+
+	arrivals chan *Thread
+	parked   []*Thread
+	runnable int
+	threads  []*Thread
+
+	startup cycles.Time
+
+	// Section concurrency tracking (Table 5).
+	activeSections    map[*CriticalSection]int
+	maxConcurrent     int
+	totalCSEntries    uint64
+	accessUnits       uint64
+	tlbMissUnits      uint64
+	globalsRegistered int
+	running           bool
+	finished          bool
+}
+
+// New creates an engine with the given configuration and detector. The
+// detector may be nil, meaning Baseline.
+func New(cfg Config, det Detector) *Engine {
+	if det == nil {
+		det = NewBaseline()
+	}
+	as := mem.NewAddressSpace(cfg.TLBEntries)
+	tbl := alloc.NewObjectTable(as)
+	e := &Engine{
+		cfg:            cfg,
+		space:          as,
+		objects:        tbl,
+		detector:       det,
+		arrivals:       make(chan *Thread, 64),
+		sections:       make(map[string]*CriticalSection),
+		activeSections: make(map[*CriticalSection]int),
+	}
+	if cfg.UniquePageAllocator {
+		u := alloc.NewUniquePage(as, tbl)
+		u.Recycle = cfg.AllocRecycle
+		e.alloc = u
+		e.startup = e.startup.Add(cycles.MemfdCreate)
+	} else {
+		e.alloc = alloc.NewNative(as, tbl)
+	}
+	det.Setup(e)
+	return e
+}
+
+// Space returns the simulated address space.
+func (e *Engine) Space() *mem.AddressSpace { return e.space }
+
+// Objects returns the object table.
+func (e *Engine) Objects() *alloc.ObjectTable { return e.objects }
+
+// Allocator returns the active allocator.
+func (e *Engine) Allocator() alloc.Allocator { return e.alloc }
+
+// Detector returns the active detector.
+func (e *Engine) Detector() Detector { return e.detector }
+
+// Threads returns all threads created so far (including exited ones), in
+// creation order. Detectors use it to inspect which threads currently
+// execute critical sections.
+func (e *Engine) Threads() []*Thread { return e.threads }
+
+// Config returns the engine configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Global registers a global object before the run starts. Kard aggregates
+// global metadata during compilation and registers it when the program
+// starts (§5.3); the cost is charged to startup.
+func (e *Engine) Global(size uint64, name string) *alloc.Object {
+	if e.running || e.finished {
+		panic("sim: Global must be called before Run")
+	}
+	o, d, err := e.alloc.Global(size, name)
+	if err != nil {
+		panic(err)
+	}
+	e.startup = e.startup.Add(d)
+	e.startup = e.startup.Add(e.detector.ObjectAllocated(nil, o))
+	e.globalsRegistered++
+	return o
+}
+
+// Run executes body as the main thread and drives the simulation until
+// every thread exits. It returns the run statistics, or an error if the
+// simulated program deadlocked.
+func (e *Engine) Run(body func(*Thread)) (*Stats, error) {
+	if e.finished {
+		return nil, fmt.Errorf("sim: engine already ran")
+	}
+	e.running = true
+	main := e.startThread("main", e.startup, body)
+	_ = main
+
+	for e.runnable > 0 || len(e.parked) > 0 {
+		for len(e.parked) < e.runnable {
+			e.parked = append(e.parked, <-e.arrivals)
+		}
+		if len(e.parked) == 0 {
+			break
+		}
+		th := e.pickNext()
+		e.execute(th)
+	}
+	e.running = false
+	e.finished = true
+
+	var blocked []string
+	var report string
+	for _, t := range e.threads {
+		if !t.done {
+			if report == "" {
+				report = e.blockageReport() // before tearing the threads down
+			}
+			blocked = append(blocked, fmt.Sprintf("%s(#%d)", t.name, t.id))
+			t.done = true
+			t.resume <- opResult{err: errAborted} // release the goroutine
+		}
+	}
+	if len(blocked) > 0 {
+		return nil, fmt.Errorf("sim: deadlock: threads %v blocked forever\n%s", blocked, report)
+	}
+	e.detector.Finish()
+	return e.collectStats(), nil
+}
+
+// startThread creates a simulated thread at the given start time and
+// launches its goroutine.
+func (e *Engine) startThread(name string, start cycles.Time, body func(*Thread)) *Thread {
+	t := &Thread{
+		id:     len(e.threads),
+		name:   name,
+		eng:    e,
+		clock:  start,
+		held:   make(map[*Mutex]bool),
+		resume: make(chan opResult),
+	}
+	e.threads = append(e.threads, t)
+	e.runnable++
+	e.detector.ThreadStarted(t)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if err, ok := r.(error); ok && err == errAborted {
+					return // engine tore the deadlocked thread down
+				}
+				panic(r)
+			}
+		}()
+		body(t)
+		t.submit(op{kind: opExit})
+	}()
+	return t
+}
+
+// errAborted is delivered to threads that are still blocked when the
+// engine shuts down after detecting a deadlock, so their goroutines exit
+// instead of leaking.
+var errAborted = fmt.Errorf("sim: thread aborted at engine shutdown")
+
+// pickNext removes and returns the parked thread with the smallest
+// (clock, tie-break hash) pair.
+func (e *Engine) pickNext() *Thread {
+	best := 0
+	bestPrio := e.prio(e.parked[0])
+	for i := 1; i < len(e.parked); i++ {
+		t := e.parked[i]
+		switch {
+		case t.clock < e.parked[best].clock:
+			best, bestPrio = i, e.prio(t)
+		case t.clock == e.parked[best].clock:
+			if p := e.prio(t); p < bestPrio {
+				best, bestPrio = i, p
+			}
+		}
+	}
+	t := e.parked[best]
+	e.parked[best] = e.parked[len(e.parked)-1]
+	e.parked = e.parked[:len(e.parked)-1]
+	return t
+}
+
+// prio is the deterministic, seed-keyed tie-breaker: it depends only on
+// the seed, the thread, and the thread's operation count, never on host
+// goroutine scheduling.
+func (e *Engine) prio(t *Thread) uint64 {
+	return splitmix64(uint64(e.cfg.Seed)*0x9e3779b97f4a7c15 ^ uint64(t.id)<<32 ^ t.opCount)
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// execute runs one parked operation on the scheduler.
+func (e *Engine) execute(t *Thread) {
+	o := t.pending
+	switch o.kind {
+	case opCompute:
+		t.charge(o.cost)
+		t.resume <- opResult{}
+
+	case opMalloc:
+		obj, d, err := e.alloc.Malloc(o.size, o.site)
+		if err != nil {
+			t.resume <- opResult{err: err}
+			return
+		}
+		t.charge(d)
+		t.charge(e.detector.ObjectAllocated(t, obj))
+		t.resume <- opResult{obj: obj}
+
+	case opFree:
+		t.charge(e.detector.ObjectFreed(t, o.obj))
+		d, err := e.alloc.Free(o.obj)
+		if err != nil {
+			t.resume <- opResult{err: err}
+			return
+		}
+		t.charge(d)
+		t.resume <- opResult{}
+
+	case opAccess:
+		e.executeAccess(t, o)
+
+	case opSweep:
+		e.executeSweep(t, o)
+
+	case opRLock, opRUnlock, opWLock, opWUnlock:
+		e.executeRW(t, o)
+
+	case opCondWait, opCondSignal, opCondBroadcast:
+		e.executeCond(t, o)
+
+	case opTryLock:
+		m := o.mutex
+		if m.holder != nil {
+			t.charge(cycles.LockUncontended)
+			t.resume <- opResult{ok: false}
+			return
+		}
+		t.clock = cycles.Max(t.clock, m.lastRelease).Add(cycles.LockUncontended)
+		e.grantLock(t, m, o.site)
+		t.resume <- opResult{ok: true}
+
+	case opLock:
+		m := o.mutex
+		if m.holder == t {
+			t.resume <- opResult{err: fmt.Errorf("sim: thread %d re-locking held %s", t.id, m)}
+			return
+		}
+		if m.holder != nil {
+			m.waiters = append(m.waiters, t)
+			e.runnable-- // stays parked in the mutex queue
+			return
+		}
+		t.clock = cycles.Max(t.clock, m.lastRelease).Add(cycles.LockUncontended)
+		e.grantLock(t, m, o.site)
+		t.resume <- opResult{}
+
+	case opUnlock:
+		m := o.mutex
+		if m.holder != t {
+			t.resume <- opResult{err: fmt.Errorf("sim: thread %d unlocking %s it does not hold", t.id, m)}
+			return
+		}
+		entry := t.popSection(m)
+		if entry == nil {
+			t.resume <- opResult{err: fmt.Errorf("sim: thread %d has no section for %s", t.id, m)}
+			return
+		}
+		t.charge(e.detector.CSExit(t, entry.Section, m))
+		t.charge(cycles.LockUncontended)
+		e.leaveSection(entry.Section)
+		delete(t.held, m)
+		m.lastRelease = t.clock
+		m.holder = nil
+		if len(m.waiters) > 0 {
+			w := e.dequeueWaiter(m)
+			w.clock = cycles.Max(w.clock, m.lastRelease).Add(cycles.LockHandoff)
+			m.contended++
+			e.grantLock(w, m, w.pending.site)
+			e.runnable++
+			w.resume <- opResult{}
+		}
+		t.resume <- opResult{}
+
+	case opBarrier:
+		b := o.barrier
+		b.waiting = append(b.waiting, t)
+		if len(b.waiting) < b.n {
+			e.runnable--
+			return
+		}
+		var tmax cycles.Time
+		for _, w := range b.waiting {
+			tmax = cycles.Max(tmax, w.clock)
+		}
+		tmax = tmax.Add(cycles.BarrierWait)
+		d := e.detector.BarrierPassed(b.waiting)
+		group := b.waiting
+		b.waiting = nil
+		b.passes++
+		for _, w := range group {
+			w.clock = tmax.Add(d)
+			if w != t {
+				e.runnable++
+				w.resume <- opResult{}
+			}
+		}
+		t.resume <- opResult{}
+
+	case opSpawn:
+		t.charge(cycles.ThreadSpawn)
+		child := e.startThread(o.site, t.clock, o.body)
+		e.detector.ThreadSpawned(t, child)
+		t.resume <- opResult{thread: child}
+
+	case opJoin:
+		target := o.thread
+		if target.done {
+			t.clock = cycles.Max(t.clock, target.final)
+			e.detector.ThreadJoined(t, target)
+			t.resume <- opResult{}
+			return
+		}
+		target.joiners = append(target.joiners, t)
+		e.runnable--
+
+	case opExit:
+		e.detector.ThreadExited(t)
+		t.done = true
+		t.final = t.clock
+		e.runnable--
+		for _, j := range t.joiners {
+			j.clock = cycles.Max(j.clock, t.final)
+			e.detector.ThreadJoined(j, t)
+			e.runnable++
+			j.resume <- opResult{}
+		}
+		t.joiners = nil
+		t.resume <- opResult{}
+
+	default:
+		t.resume <- opResult{err: fmt.Errorf("sim: unknown op kind %d", o.kind)}
+	}
+}
+
+// dequeueWaiter removes and returns the min-clock waiter of m.
+func (e *Engine) dequeueWaiter(m *Mutex) *Thread {
+	best := 0
+	bestPrio := e.prio(m.waiters[0])
+	for i := 1; i < len(m.waiters); i++ {
+		w := m.waiters[i]
+		switch {
+		case w.clock < m.waiters[best].clock:
+			best, bestPrio = i, e.prio(w)
+		case w.clock == m.waiters[best].clock:
+			if p := e.prio(w); p < bestPrio {
+				best, bestPrio = i, p
+			}
+		}
+	}
+	w := m.waiters[best]
+	m.waiters = append(m.waiters[:best], m.waiters[best+1:]...)
+	return w
+}
+
+// grantLock completes a lock acquisition: section bookkeeping and the
+// detector's CSEnter hook.
+func (e *Engine) grantLock(t *Thread, m *Mutex, site string) {
+	m.holder = t
+	m.acquisitions++
+	t.held[m] = true
+	cs := e.section(site)
+	cs.entries++
+	e.totalCSEntries++
+	t.Sections = append(t.Sections, &SectionEntry{Section: cs, Mutex: m, Enter: t.clock})
+	e.enterSection(cs)
+	t.charge(e.detector.CSEnter(t, cs, m))
+}
+
+func (e *Engine) enterSection(cs *CriticalSection) {
+	e.activeSections[cs]++
+	if n := len(e.activeSections); n > e.maxConcurrent {
+		e.maxConcurrent = n
+	}
+}
+
+func (e *Engine) leaveSection(cs *CriticalSection) {
+	e.activeSections[cs]--
+	if e.activeSections[cs] == 0 {
+		delete(e.activeSections, cs)
+	}
+}
+
+// popSection removes and returns the innermost section entry of t whose
+// mutex is m, or nil.
+func (t *Thread) popSection(m *Mutex) *SectionEntry {
+	for i := len(t.Sections) - 1; i >= 0; i-- {
+		if t.Sections[i].Mutex == m {
+			entry := t.Sections[i]
+			t.Sections = append(t.Sections[:i], t.Sections[i+1:]...)
+			return entry
+		}
+	}
+	return nil
+}
+
+// executeAccess performs one batched data access: translation through the
+// dTLB per touched page, the base access cost, and the detector hook.
+func (e *Engine) executeAccess(t *Thread, o op) {
+	obj := o.obj
+	if obj.Freed() {
+		t.resume <- opResult{err: fmt.Errorf("sim: thread %d use-after-free of %s at %s", t.id, obj, o.site)}
+		return
+	}
+	addr := obj.Base + mem.Addr(o.off)
+	first, last := mem.PageRange(addr, o.size)
+	for p := first; p <= last; p++ {
+		a := p.Base()
+		if a < addr {
+			a = addr
+		}
+		_, miss, minor, err := e.space.Translate(a)
+		if err != nil {
+			t.resume <- opResult{err: err}
+			return
+		}
+		if miss {
+			t.charge(cycles.TLBMiss)
+			e.tlbMissUnits++
+		}
+		if minor {
+			t.charge(cycles.MinorFault)
+		}
+	}
+	acc := Access{Thread: t, Object: obj, Addr: addr, Size: o.size, Kind: o.access, Site: o.site}
+	units := acc.Units()
+	t.charge(cycles.Duration(units) * cycles.Access)
+	t.accessUnits += units
+	e.accessUnits += units
+	t.charge(e.detector.OnAccess(&acc))
+	t.resume <- opResult{}
+}
+
+// executeSweep performs one access per object of a pool in a single
+// engine operation, translating each object's first page through the dTLB
+// and invoking the detector per object. The Access record is reused
+// across the loop; detectors must not retain it past the OnAccess call.
+func (e *Engine) executeSweep(t *Thread, o op) {
+	acc := Access{Thread: t, Kind: o.access, Site: o.site}
+	for _, obj := range o.objs {
+		if obj.Freed() {
+			t.resume <- opResult{err: fmt.Errorf("sim: thread %d sweep over freed %s at %s", t.id, obj, o.site)}
+			return
+		}
+		size := o.size
+		if size > obj.Padded {
+			size = obj.Padded
+		}
+		_, miss, minor, err := e.space.Translate(obj.Base)
+		if err != nil {
+			t.resume <- opResult{err: err}
+			return
+		}
+		if miss {
+			t.charge(cycles.TLBMiss)
+			e.tlbMissUnits++
+		}
+		if minor {
+			t.charge(cycles.MinorFault)
+		}
+		acc.Object, acc.Addr, acc.Size = obj, obj.Base, size
+		units := acc.Units()
+		t.charge(cycles.Duration(units) * cycles.Access)
+		t.accessUnits += units
+		e.accessUnits += units
+		t.charge(e.detector.OnAccess(&acc))
+	}
+	t.resume <- opResult{}
+}
+
+// op is one pending thread operation.
+type op struct {
+	kind    opKind
+	cost    cycles.Duration
+	size    uint64
+	off     uint64
+	obj     *alloc.Object
+	objs    []*alloc.Object
+	access  mpk.AccessKind
+	site    string
+	mutex   *Mutex
+	rwmutex *RWMutex
+	cond    *Cond
+	barrier *BarrierObj
+	thread  *Thread
+	body    func(*Thread)
+}
+
+type opKind uint8
+
+const (
+	opCompute opKind = iota
+	opMalloc
+	opFree
+	opAccess
+	opSweep
+	opLock
+	opUnlock
+	opTryLock
+	opBarrier
+	opSpawn
+	opJoin
+	opExit
+	opRLock
+	opRUnlock
+	opWLock
+	opWUnlock
+	opCondWait
+	opCondSignal
+	opCondBroadcast
+)
+
+type opResult struct {
+	obj    *alloc.Object
+	thread *Thread
+	ok     bool
+	err    error
+}

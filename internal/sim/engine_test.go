@@ -1,0 +1,573 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"kard/internal/alloc"
+	"kard/internal/cycles"
+	"kard/internal/mpk"
+)
+
+func run(t *testing.T, cfg Config, det Detector, body func(*Thread)) *Stats {
+	t.Helper()
+	e := New(cfg, det)
+	st, err := e.Run(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestSingleThreadCompute(t *testing.T) {
+	st := run(t, Config{}, nil, func(m *Thread) {
+		m.Compute(1000)
+		m.Compute(500)
+	})
+	if st.ExecTime != 1500 {
+		t.Errorf("exec time = %d, want 1500", st.ExecTime)
+	}
+	if st.Threads != 1 {
+		t.Errorf("threads = %d, want 1", st.Threads)
+	}
+}
+
+func TestMallocFreeAccess(t *testing.T) {
+	st := run(t, Config{UniquePageAllocator: true}, nil, func(m *Thread) {
+		o := m.Malloc(64, "buf")
+		m.Write(o, 0, 64, "init")
+		m.Read(o, 8, 8, "check")
+		m.Free(o)
+	})
+	if st.SharableHeap != 1 {
+		t.Errorf("sharable heap = %d, want 1", st.SharableHeap)
+	}
+	if st.AccessUnits != 8+1 {
+		t.Errorf("access units = %d, want 9", st.AccessUnits)
+	}
+	if st.ExecTime == 0 {
+		t.Error("allocations must cost time")
+	}
+}
+
+func TestAccessBoundsPanic(t *testing.T) {
+	e := New(Config{}, nil)
+	_, err := e.Run(func(m *Thread) {
+		defer func() {
+			if recover() == nil {
+				t.Error("out-of-bounds access should panic")
+			}
+		}()
+		o := m.Malloc(32, "x")
+		m.Read(o, 30, 16, "oob")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUseAfterFreePanics(t *testing.T) {
+	e := New(Config{}, nil)
+	_, err := e.Run(func(m *Thread) {
+		defer func() {
+			if recover() == nil {
+				t.Error("use-after-free should panic")
+			}
+		}()
+		o := m.Malloc(32, "x")
+		m.Free(o)
+		m.Read(o, 0, 8, "uaf")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLockSerializesAndPropagatesTime(t *testing.T) {
+	e := New(Config{}, nil)
+	mu := e.NewMutex("m")
+	order := make([]int, 0, 4)
+	st, err := e.Run(func(m *Thread) {
+		w1 := m.Go("w1", func(w *Thread) {
+			w.Lock(mu, "site1")
+			w.Compute(100000)
+			order = append(order, 1)
+			w.Unlock(mu)
+		})
+		w2 := m.Go("w2", func(w *Thread) {
+			w.Compute(10) // arrive slightly later
+			w.Lock(mu, "site2")
+			order = append(order, 2)
+			w.Unlock(mu)
+		})
+		m.Join(w1)
+		m.Join(w2)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Errorf("order = %v, want [1 2]", order)
+	}
+	// w2's acquire must be ordered after w1's 100000-cycle section.
+	if st.ExecTime < 100000 {
+		t.Errorf("exec time = %d, should include the serialized section", st.ExecTime)
+	}
+	if mu.Acquisitions() != 2 {
+		t.Errorf("acquisitions = %d, want 2", mu.Acquisitions())
+	}
+	if st.TotalSections != 2 {
+		t.Errorf("sections = %d, want 2 (two call sites)", st.TotalSections)
+	}
+	if st.CSEntries != 2 {
+		t.Errorf("cs entries = %d, want 2", st.CSEntries)
+	}
+}
+
+func TestSameSiteSameSection(t *testing.T) {
+	e := New(Config{}, nil)
+	mu := e.NewMutex("m")
+	_, err := e.Run(func(m *Thread) {
+		for i := 0; i < 3; i++ {
+			m.Lock(mu, "loop")
+			m.Unlock(mu)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e.Sections()) != 1 {
+		t.Fatalf("sections = %d, want 1", len(e.Sections()))
+	}
+	if got := e.Sections()[0].Entries(); got != 3 {
+		t.Errorf("entries = %d, want 3", got)
+	}
+}
+
+func TestNestedSections(t *testing.T) {
+	e := New(Config{}, nil)
+	ma, mb := e.NewMutex("a"), e.NewMutex("b")
+	_, err := e.Run(func(m *Thread) {
+		m.Lock(ma, "outer")
+		m.Lock(mb, "inner")
+		if !m.InCriticalSection() || len(m.Sections) != 2 {
+			t.Error("expected two active sections")
+		}
+		if m.CurrentSection().Site != "inner" {
+			t.Errorf("current = %v", m.CurrentSection())
+		}
+		m.Unlock(mb)
+		if m.CurrentSection().Site != "outer" {
+			t.Errorf("after inner unlock current = %v", m.CurrentSection())
+		}
+		m.Unlock(ma)
+		if m.InCriticalSection() {
+			t.Error("still in section after both unlocks")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOutOfOrderUnlock(t *testing.T) {
+	e := New(Config{}, nil)
+	ma, mb := e.NewMutex("a"), e.NewMutex("b")
+	_, err := e.Run(func(m *Thread) {
+		m.Lock(ma, "outer")
+		m.Lock(mb, "inner")
+		m.Unlock(ma) // hand-over-hand style
+		if m.CurrentSection().Site != "inner" {
+			t.Errorf("current = %v, want inner", m.CurrentSection())
+		}
+		m.Unlock(mb)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnlockNotHeldPanics(t *testing.T) {
+	e := New(Config{}, nil)
+	mu := e.NewMutex("m")
+	_, err := e.Run(func(m *Thread) {
+		defer func() {
+			if recover() == nil {
+				t.Error("unlock of unheld mutex should panic")
+			}
+		}()
+		m.Unlock(mu)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRelockPanics(t *testing.T) {
+	e := New(Config{}, nil)
+	mu := e.NewMutex("m")
+	_, err := e.Run(func(m *Thread) {
+		defer func() {
+			recover()
+			m.Unlock(mu)
+		}()
+		m.Lock(mu, "s")
+		m.Lock(mu, "s") // self-deadlock, reported as panic
+		t.Error("re-lock should have panicked")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	e := New(Config{}, nil)
+	ma, mb := e.NewMutex("a"), e.NewMutex("b")
+	b := e.NewBarrier(2) // force both to hold their first lock
+	_, err := e.Run(func(m *Thread) {
+		w1 := m.Go("w1", func(w *Thread) {
+			w.Lock(ma, "s1")
+			w.Barrier(b)
+			w.Lock(mb, "s2")
+			w.Unlock(mb)
+			w.Unlock(ma)
+		})
+		w2 := m.Go("w2", func(w *Thread) {
+			w.Lock(mb, "s3")
+			w.Barrier(b)
+			w.Lock(ma, "s4")
+			w.Unlock(ma)
+			w.Unlock(mb)
+		})
+		m.Join(w1)
+		m.Join(w2)
+	})
+	if err == nil {
+		t.Fatal("classic ABBA deadlock not detected")
+	}
+}
+
+func TestBarrier(t *testing.T) {
+	e := New(Config{}, nil)
+	b := e.NewBarrier(3)
+	clocks := make([]cycles.Time, 3)
+	_, err := e.Run(func(m *Thread) {
+		var ws []*Thread
+		for i := 0; i < 3; i++ {
+			i := i
+			ws = append(ws, m.Go(fmt.Sprintf("w%d", i), func(w *Thread) {
+				w.Compute(cycles.Duration(1000 * (i + 1)))
+				w.Barrier(b)
+				clocks[i] = w.Now()
+			}))
+		}
+		for _, w := range ws {
+			m.Join(w)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clocks[0] != clocks[1] || clocks[1] != clocks[2] {
+		t.Errorf("clocks after barrier differ: %v", clocks)
+	}
+}
+
+func TestJoinOrdersClocks(t *testing.T) {
+	e := New(Config{}, nil)
+	st, err := e.Run(func(m *Thread) {
+		w := m.Go("w", func(w *Thread) {
+			w.Compute(500000)
+		})
+		m.Join(w)
+		if m.Now() < 500000 {
+			t.Errorf("joiner clock = %d, want >= 500000", m.Now())
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ExecTime < 500000 {
+		t.Errorf("exec time = %d", st.ExecTime)
+	}
+	// Joining an already-finished thread must not block.
+	e2 := New(Config{}, nil)
+	if _, err := e2.Run(func(m *Thread) {
+		w := m.Go("w", func(w *Thread) {})
+		m.Compute(1000000)
+		m.Join(w)
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	trace := func(seed int64) (string, cycles.Time) {
+		e := New(Config{Seed: seed}, nil)
+		mu := e.NewMutex("m")
+		var log string
+		st, err := e.Run(func(m *Thread) {
+			var ws []*Thread
+			for i := 0; i < 4; i++ {
+				i := i
+				ws = append(ws, m.Go(fmt.Sprintf("w%d", i), func(w *Thread) {
+					for j := 0; j < 5; j++ {
+						w.Lock(mu, "s")
+						log += fmt.Sprintf("%d", i)
+						w.Compute(cycles.Duration(100 * (i + 1)))
+						w.Unlock(mu)
+					}
+				}))
+			}
+			for _, w := range ws {
+				m.Join(w)
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return log, st.ExecTime
+	}
+	l1, t1 := trace(42)
+	l2, t2 := trace(42)
+	if l1 != l2 || t1 != t2 {
+		t.Errorf("same seed diverged: %q/%d vs %q/%d", l1, t1, l2, t2)
+	}
+	l3, _ := trace(7)
+	if l3 == l1 {
+		t.Log("different seed produced identical schedule (possible but suspicious)")
+	}
+}
+
+func TestMaxConcurrentSections(t *testing.T) {
+	e := New(Config{}, nil)
+	ma, mb := e.NewMutex("a"), e.NewMutex("b")
+	b := e.NewBarrier(2)
+	st, err := e.Run(func(m *Thread) {
+		w1 := m.Go("w1", func(w *Thread) {
+			w.Lock(ma, "sa")
+			w.Barrier(b)
+			w.Unlock(ma)
+		})
+		w2 := m.Go("w2", func(w *Thread) {
+			w.Lock(mb, "sb")
+			w.Barrier(b)
+			w.Unlock(mb)
+		})
+		m.Join(w1)
+		m.Join(w2)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MaxConcurrentSections != 2 {
+		t.Errorf("max concurrent sections = %d, want 2", st.MaxConcurrentSections)
+	}
+}
+
+func TestGlobalsRegisteredBeforeRun(t *testing.T) {
+	e := New(Config{UniquePageAllocator: true}, nil)
+	g := e.Global(8, "g_count")
+	if g == nil || !g.Global {
+		t.Fatal("global not registered")
+	}
+	st, err := e.Run(func(m *Thread) {
+		m.Write(g, 0, 8, "init")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SharableGlobals != 1 || st.SharableHeap != 0 {
+		t.Errorf("globals=%d heap=%d", st.SharableGlobals, st.SharableHeap)
+	}
+	if st.ExecTime == 0 {
+		t.Error("startup cost of global registration missing")
+	}
+}
+
+func TestStoreLoadBytes(t *testing.T) {
+	e := New(Config{UniquePageAllocator: true}, nil)
+	_, err := e.Run(func(m *Thread) {
+		o := m.Malloc(64, "kv")
+		m.StoreBytes(o, 4, []byte("value"))
+		buf := make([]byte, 5)
+		m.LoadBytes(o, 4, buf)
+		if string(buf) != "value" {
+			t.Errorf("loaded %q", buf)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDTLBAccounting(t *testing.T) {
+	// Touch many distinct pages through a tiny TLB: the miss rate must
+	// be significant; re-touching the same page must mostly hit.
+	e := New(Config{TLBEntries: 4, UniquePageAllocator: true}, nil)
+	st, err := e.Run(func(m *Thread) {
+		var objs []*alloc.Object
+		for i := 0; i < 64; i++ {
+			objs = append(objs, m.Malloc(32, "x"))
+		}
+		for _, o := range objs {
+			m.Write(o, 0, 32, "w")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TLBMisses < 60 {
+		t.Errorf("TLB misses = %d, want ~64 cold misses", st.TLBMisses)
+	}
+	if st.DTLBMissRate() <= 0 {
+		t.Error("miss rate should be positive")
+	}
+}
+
+func TestAllocatorChoiceAffectsTLB(t *testing.T) {
+	body := func(m *Thread) {
+		var objs []*alloc.Object
+		for i := 0; i < 256; i++ {
+			objs = append(objs, m.Malloc(32, "x"))
+		}
+		for r := 0; r < 4; r++ {
+			for _, o := range objs {
+				m.Write(o, 0, 32, "w")
+			}
+		}
+	}
+	e1 := New(Config{TLBEntries: 64}, nil)
+	s1, err := e1.Run(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2 := New(Config{TLBEntries: 64, UniquePageAllocator: true}, nil)
+	s2, err := e2.Run(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.TLBMisses <= s1.TLBMisses {
+		t.Errorf("unique-page allocator should add dTLB pressure: native=%d unique=%d",
+			s1.TLBMisses, s2.TLBMisses)
+	}
+}
+
+func TestEngineRunTwiceFails(t *testing.T) {
+	e := New(Config{}, nil)
+	if _, err := e.Run(func(m *Thread) {}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(func(m *Thread) {}); err == nil {
+		t.Error("second Run should fail")
+	}
+}
+
+func TestSpawnCostAndIDs(t *testing.T) {
+	e := New(Config{}, nil)
+	_, err := e.Run(func(m *Thread) {
+		if m.ID() != 0 || m.Name() != "main" {
+			t.Errorf("main id/name = %d/%q", m.ID(), m.Name())
+		}
+		w := m.Go("worker", func(w *Thread) {
+			if w.Now() == 0 {
+				t.Error("spawned thread should inherit parent time + spawn cost")
+			}
+		})
+		if w.ID() != 1 || w.Name() != "worker" {
+			t.Errorf("worker id/name = %d/%q", w.ID(), w.Name())
+		}
+		m.Join(w)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// countingDetector verifies hook dispatch and cost charging.
+type countingDetector struct {
+	Baseline
+	allocs, frees, enters, exits, accesses, barriers, starts, exited int
+}
+
+func (c *countingDetector) Name() string          { return "counting" }
+func (c *countingDetector) ThreadStarted(*Thread) { c.starts++ }
+func (c *countingDetector) ThreadExited(*Thread)  { c.exited++ }
+func (c *countingDetector) ObjectAllocated(*Thread, *alloc.Object) cycles.Duration {
+	c.allocs++
+	return 10
+}
+func (c *countingDetector) ObjectFreed(*Thread, *alloc.Object) cycles.Duration { c.frees++; return 0 }
+func (c *countingDetector) CSEnter(*Thread, *CriticalSection, *Mutex) cycles.Duration {
+	c.enters++
+	return 0
+}
+func (c *countingDetector) CSExit(*Thread, *CriticalSection, *Mutex) cycles.Duration {
+	c.exits++
+	return 0
+}
+func (c *countingDetector) OnAccess(a *Access) cycles.Duration {
+	c.accesses++
+	if a.Kind != mpk.Read && a.Kind != mpk.Write {
+		panic("bad kind")
+	}
+	return 5
+}
+func (c *countingDetector) BarrierPassed([]*Thread) cycles.Duration { c.barriers++; return 0 }
+
+func TestDetectorHookDispatch(t *testing.T) {
+	det := &countingDetector{}
+	e := New(Config{}, det)
+	mu := e.NewMutex("m")
+	b := e.NewBarrier(1)
+	_, err := e.Run(func(m *Thread) {
+		o := m.Malloc(32, "x")
+		m.Lock(mu, "s")
+		m.Write(o, 0, 8, "w")
+		m.Unlock(mu)
+		m.Read(o, 0, 8, "r")
+		m.Barrier(b)
+		m.Free(o)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det.allocs != 1 || det.frees != 1 || det.enters != 1 || det.exits != 1 ||
+		det.accesses != 2 || det.barriers != 1 || det.starts != 1 || det.exited != 1 {
+		t.Errorf("hook counts: %+v", det)
+	}
+}
+
+func TestManyThreadsStress(t *testing.T) {
+	e := New(Config{Seed: 3}, nil)
+	mu := e.NewMutex("m")
+	total := 0
+	st, err := e.Run(func(m *Thread) {
+		var ws []*Thread
+		for i := 0; i < 32; i++ {
+			ws = append(ws, m.Go(fmt.Sprintf("w%d", i), func(w *Thread) {
+				for j := 0; j < 50; j++ {
+					w.Lock(mu, "s")
+					total++
+					w.Unlock(mu)
+					w.Compute(100)
+				}
+			}))
+		}
+		for _, w := range ws {
+			m.Join(w)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 32*50 {
+		t.Errorf("total = %d, want %d (lock must serialize)", total, 32*50)
+	}
+	if st.CSEntries != 32*50 {
+		t.Errorf("cs entries = %d", st.CSEntries)
+	}
+	if st.Threads != 33 {
+		t.Errorf("threads = %d, want 33", st.Threads)
+	}
+}

@@ -1,0 +1,82 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"kard/internal/alloc"
+	"kard/internal/mpk"
+)
+
+// BenchmarkOpDispatch measures raw engine throughput: one compute
+// operation through the park/pick/resume scheduler.
+func BenchmarkOpDispatch(b *testing.B) {
+	e := New(Config{}, nil)
+	if _, err := e.Run(func(m *Thread) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.Compute(1)
+		}
+	}); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkLockUnlock measures the uncontended lock path including
+// section bookkeeping.
+func BenchmarkLockUnlock(b *testing.B) {
+	e := New(Config{}, nil)
+	mu := e.NewMutex("m")
+	if _, err := e.Run(func(m *Thread) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.Lock(mu, "s")
+			m.Unlock(mu)
+		}
+	}); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkContendedScheduling measures the scheduler with four threads
+// contending for one lock — the discrete-event core under load.
+func BenchmarkContendedScheduling(b *testing.B) {
+	e := New(Config{Seed: 1}, nil)
+	mu := e.NewMutex("m")
+	per := b.N/4 + 1
+	if _, err := e.Run(func(m *Thread) {
+		var ws []*Thread
+		for i := 0; i < 4; i++ {
+			ws = append(ws, m.Go(fmt.Sprintf("w%d", i), func(w *Thread) {
+				for j := 0; j < per; j++ {
+					w.Lock(mu, "s")
+					w.Compute(10)
+					w.Unlock(mu)
+				}
+			}))
+		}
+		for _, w := range ws {
+			m.Join(w)
+		}
+	}); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkSweep measures the batched pool-access operation the workload
+// models rely on: one engine op touching 64 distinct objects.
+func BenchmarkSweep(b *testing.B) {
+	e := New(Config{UniquePageAllocator: true}, nil)
+	if _, err := e.Run(func(m *Thread) {
+		pool := make([]*alloc.Object, 64)
+		for i := range pool {
+			pool[i] = m.Malloc(32, "pool")
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.Sweep(pool, 32, mpk.Read, "sweep")
+		}
+	}); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,89 @@
+package sim
+
+import (
+	"kard/internal/cycles"
+)
+
+// Stats summarizes one simulated execution. The fields map onto the
+// columns of Table 3 and Table 5.
+type Stats struct {
+	Detector  string
+	Allocator string
+	Seed      int64
+
+	// ExecTime is the simulated execution time: the maximum thread
+	// clock at exit, i.e. the critical path.
+	ExecTime cycles.Time
+
+	Threads int
+
+	// PeakRSS is the peak simulated resident set size in bytes,
+	// including allocator and detector metadata.
+	PeakRSS uint64
+
+	// AccessUnits is the total number of 8-byte access units performed.
+	AccessUnits uint64
+	// TLBMisses is the number of dTLB misses during data accesses.
+	TLBMisses uint64
+
+	// SharableHeap and SharableGlobals count sharable objects (§2.1):
+	// every heap allocation and every registered global.
+	SharableHeap    uint64
+	SharableGlobals int
+
+	// TotalSections is the number of distinct critical sections
+	// (lock call sites) executed.
+	TotalSections int
+	// MaxConcurrentSections is the maximum number of distinct critical
+	// sections active at once (Table 5's "maximum concurrent CS").
+	MaxConcurrentSections int
+	// CSEntries is the total number of critical section entries.
+	CSEntries uint64
+
+	// Syscall counts from the address space.
+	MmapCalls    uint64
+	ProtectCalls uint64
+
+	// Races are the detector's filtered reports.
+	Races []Race
+}
+
+// ExecSeconds converts ExecTime to seconds on the paper's 2.1 GHz machine.
+func (s *Stats) ExecSeconds() float64 {
+	return cycles.Duration(s.ExecTime).Seconds()
+}
+
+// DTLBMissRate returns dTLB misses per access unit, Table 3's miss-rate
+// metric.
+func (s *Stats) DTLBMissRate() float64 {
+	if s.AccessUnits == 0 {
+		return 0
+	}
+	return float64(s.TLBMisses) / float64(s.AccessUnits)
+}
+
+func (e *Engine) collectStats() *Stats {
+	var execTime cycles.Time
+	for _, t := range e.threads {
+		execTime = cycles.Max(execTime, t.final)
+	}
+	heap := e.objects.Created() - uint64(e.globalsRegistered)
+	return &Stats{
+		Detector:              e.detector.Name(),
+		Allocator:             e.alloc.Name(),
+		Seed:                  e.cfg.Seed,
+		ExecTime:              execTime,
+		Threads:               len(e.threads),
+		PeakRSS:               e.space.PeakResidentBytes(),
+		AccessUnits:           e.accessUnits,
+		TLBMisses:             e.tlbMissUnits,
+		SharableHeap:          heap,
+		SharableGlobals:       e.globalsRegistered,
+		TotalSections:         len(e.sectionList),
+		MaxConcurrentSections: e.maxConcurrent,
+		CSEntries:             e.totalCSEntries,
+		MmapCalls:             e.space.MmapCalls,
+		ProtectCalls:          e.space.ProtectCalls,
+		Races:                 e.detector.Races(),
+	}
+}

@@ -1,0 +1,108 @@
+package sim
+
+import (
+	"fmt"
+
+	"kard/internal/cycles"
+)
+
+// Mutex is a simulated lock. Workloads create mutexes through
+// Engine.NewMutex before or during the run.
+type Mutex struct {
+	id      int
+	name    string
+	holder  *Thread
+	waiters []*Thread
+	// lastRelease is the virtual time of the most recent unlock; the
+	// next acquire orders after it, propagating time between threads
+	// (and giving happens-before detectors their release clock).
+	lastRelease cycles.Time
+
+	// DetectorState is per-mutex scratch for detectors (e.g. the
+	// mutex's vector clock in the happens-before comparator).
+	DetectorState any
+
+	acquisitions uint64
+	contended    uint64
+}
+
+// ID returns the mutex identifier.
+func (m *Mutex) ID() int { return m.id }
+
+// Name returns the mutex's debugging name.
+func (m *Mutex) Name() string { return m.name }
+
+// Holder returns the thread currently holding m, or nil.
+func (m *Mutex) Holder() *Thread { return m.holder }
+
+// Acquisitions returns how many times m was acquired.
+func (m *Mutex) Acquisitions() uint64 { return m.acquisitions }
+
+func (m *Mutex) String() string { return fmt.Sprintf("mutex(%s)", m.name) }
+
+// CriticalSection identifies a critical section by its lock call site, as
+// Kard does by passing the virtual address of the synchronization call to
+// its wrapper (§5.3). Two executions from the same site are the same
+// section even when they acquire different locks (§2.1).
+type CriticalSection struct {
+	ID   int
+	Site string
+
+	// DetectorState is per-section scratch for detectors; Kard keeps
+	// K_R(s) and K_W(s) here.
+	DetectorState any
+
+	entries uint64
+}
+
+// Entries returns how many times any thread entered this section — the
+// "critical section entries" column of Table 3.
+func (s *CriticalSection) Entries() uint64 { return s.entries }
+
+func (s *CriticalSection) String() string { return fmt.Sprintf("cs(%s)", s.Site) }
+
+// BarrierObj is a simulated barrier for n participants.
+type BarrierObj struct {
+	id      int
+	n       int
+	waiting []*Thread
+	passes  uint64
+}
+
+// NewMutex creates a mutex. Safe to call before the run or from workload
+// code between operations.
+func (e *Engine) NewMutex(name string) *Mutex {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	m := &Mutex{id: len(e.mutexes), name: name}
+	e.mutexes = append(e.mutexes, m)
+	return m
+}
+
+// NewBarrier creates a barrier for n participants.
+func (e *Engine) NewBarrier(n int) *BarrierObj {
+	if n <= 0 {
+		panic("sim: barrier needs at least one participant")
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	b := &BarrierObj{id: len(e.barriers), n: n}
+	e.barriers = append(e.barriers, b)
+	return b
+}
+
+// section interns the critical section for a lock call site.
+func (e *Engine) section(site string) *CriticalSection {
+	if s, ok := e.sections[site]; ok {
+		return s
+	}
+	s := &CriticalSection{ID: len(e.sections) + 1, Site: site}
+	e.sections[site] = s
+	e.sectionList = append(e.sectionList, s)
+	return s
+}
+
+// Sections returns all critical sections interned so far, in creation
+// order. The "total critical sections" statistic of Table 3 is their
+// count.
+func (e *Engine) Sections() []*CriticalSection { return e.sectionList }

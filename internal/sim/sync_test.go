@@ -1,0 +1,318 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestRWMutexConcurrentReaders(t *testing.T) {
+	e := New(Config{Seed: 1}, nil)
+	rw := e.NewRWMutex("rw")
+	b := e.NewBarrier(3)
+	maxConcurrent := 0
+	inside := 0
+	_, err := e.Run(func(m *Thread) {
+		var ws []*Thread
+		for i := 0; i < 3; i++ {
+			ws = append(ws, m.Go(fmt.Sprintf("r%d", i), func(w *Thread) {
+				w.RLock(rw, "readers")
+				inside++
+				if inside > maxConcurrent {
+					maxConcurrent = inside
+				}
+				w.Barrier(b) // all three must be inside simultaneously
+				inside--
+				w.RUnlock(rw)
+			}))
+		}
+		for _, w := range ws {
+			m.Join(w)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxConcurrent != 3 {
+		t.Errorf("concurrent readers = %d, want 3", maxConcurrent)
+	}
+}
+
+func TestRWMutexWriterExcludes(t *testing.T) {
+	e := New(Config{Seed: 1}, nil)
+	rw := e.NewRWMutex("rw")
+	var order []string
+	_, err := e.Run(func(m *Thread) {
+		w1 := m.Go("writer", func(w *Thread) {
+			w.WLock(rw, "write")
+			order = append(order, "w-in")
+			w.Compute(100000)
+			order = append(order, "w-out")
+			w.WUnlock(rw)
+		})
+		r1 := m.Go("reader", func(w *Thread) {
+			w.Compute(10) // arrive while the writer holds the lock
+			w.RLock(rw, "read")
+			order = append(order, "r")
+			w.RUnlock(rw)
+		})
+		m.Join(w1)
+		m.Join(r1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"w-in", "w-out", "r"}
+	if len(order) != 3 || order[0] != want[0] || order[1] != want[1] || order[2] != want[2] {
+		t.Errorf("order = %v, want %v", order, want)
+	}
+}
+
+func TestRWMutexWriterPreference(t *testing.T) {
+	// With a reader inside and a writer waiting, a newly arriving reader
+	// must queue behind the writer.
+	e := New(Config{Seed: 1}, nil)
+	rw := e.NewRWMutex("rw")
+	var order []string
+	_, err := e.Run(func(m *Thread) {
+		r1 := m.Go("r1", func(w *Thread) {
+			w.RLock(rw, "r1")
+			w.Compute(100000)
+			order = append(order, "r1-out")
+			w.RUnlock(rw)
+		})
+		wr := m.Go("wr", func(w *Thread) {
+			w.Compute(1000)
+			w.WLock(rw, "wr")
+			order = append(order, "wr")
+			w.WUnlock(rw)
+		})
+		r2 := m.Go("r2", func(w *Thread) {
+			w.Compute(2000) // arrives after the writer started waiting
+			w.RLock(rw, "r2")
+			order = append(order, "r2")
+			w.RUnlock(rw)
+		})
+		m.Join(r1)
+		m.Join(wr)
+		m.Join(r2)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 || order[1] != "wr" || order[2] != "r2" {
+		t.Errorf("order = %v, want writer before late reader", order)
+	}
+}
+
+func TestRWMutexMisuse(t *testing.T) {
+	e := New(Config{Seed: 1}, nil)
+	rw := e.NewRWMutex("rw")
+	_, err := e.Run(func(m *Thread) {
+		defer func() {
+			if recover() == nil {
+				t.Error("unlocking unheld rwmutex should panic")
+			}
+		}()
+		m.RUnlock(rw)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRWMutexSectionsVisible(t *testing.T) {
+	e := New(Config{Seed: 1}, nil)
+	rw := e.NewRWMutex("rw")
+	st, err := e.Run(func(m *Thread) {
+		m.RLock(rw, "read-section")
+		if !m.InCriticalSection() {
+			t.Error("read lock should enter a critical section")
+		}
+		m.RUnlock(rw)
+		m.WLock(rw, "write-section")
+		m.WUnlock(rw)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TotalSections != 2 || st.CSEntries != 2 {
+		t.Errorf("sections=%d entries=%d, want 2/2", st.TotalSections, st.CSEntries)
+	}
+}
+
+func TestCondSignalWakesOne(t *testing.T) {
+	e := New(Config{Seed: 1}, nil)
+	mu := e.NewMutex("m")
+	c := e.NewCond(mu, "cond")
+	ready := 0
+	woken := 0
+	_, err := e.Run(func(m *Thread) {
+		var ws []*Thread
+		for i := 0; i < 2; i++ {
+			ws = append(ws, m.Go(fmt.Sprintf("w%d", i), func(w *Thread) {
+				w.Lock(mu, "wait-site")
+				ready++
+				for ready < 3 { // wait until main marks ready
+					w.Wait(c)
+				}
+				woken++
+				w.Unlock(mu)
+			}))
+		}
+		// Wait for both to be waiting (deterministic: they park fast).
+		m.Compute(100000)
+		m.Lock(mu, "signal-site")
+		ready = 3
+		m.Broadcast(c)
+		m.Unlock(mu)
+		for _, w := range ws {
+			m.Join(w)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if woken != 2 {
+		t.Errorf("woken = %d, want 2", woken)
+	}
+}
+
+func TestCondProducerConsumer(t *testing.T) {
+	e := New(Config{Seed: 1}, nil)
+	mu := e.NewMutex("q")
+	notEmpty := e.NewCond(mu, "notEmpty")
+	queue := 0
+	consumed := 0
+	_, err := e.Run(func(m *Thread) {
+		cons := m.Go("consumer", func(w *Thread) {
+			for consumed < 5 {
+				w.Lock(mu, "pop")
+				for queue == 0 {
+					w.Wait(notEmpty)
+				}
+				queue--
+				consumed++
+				w.Unlock(mu)
+			}
+		})
+		prod := m.Go("producer", func(w *Thread) {
+			for i := 0; i < 5; i++ {
+				w.Compute(5000)
+				w.Lock(mu, "push")
+				queue++
+				w.Signal(notEmpty)
+				w.Unlock(mu)
+			}
+		})
+		m.Join(prod)
+		m.Join(cons)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if consumed != 5 || queue != 0 {
+		t.Errorf("consumed=%d queue=%d", consumed, queue)
+	}
+}
+
+func TestCondWaitWithoutMutexPanics(t *testing.T) {
+	e := New(Config{Seed: 1}, nil)
+	mu := e.NewMutex("m")
+	c := e.NewCond(mu, "cond")
+	_, err := e.Run(func(m *Thread) {
+		defer func() {
+			if recover() == nil {
+				t.Error("Wait without holding the mutex should panic")
+			}
+		}()
+		m.Wait(c)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCondLostWakeupIsDeadlock(t *testing.T) {
+	// A waiter with no future signal deadlocks; the engine must report
+	// it rather than hang.
+	e := New(Config{Seed: 1}, nil)
+	mu := e.NewMutex("m")
+	c := e.NewCond(mu, "cond")
+	_, err := e.Run(func(m *Thread) {
+		w := m.Go("w", func(w *Thread) {
+			w.Lock(mu, "s")
+			w.Wait(c) // never signaled
+			w.Unlock(mu)
+		})
+		m.Join(w)
+	})
+	if err == nil {
+		t.Fatal("lost wakeup not reported as deadlock")
+	}
+}
+
+func TestDeadlockDiagnosisNamesCycle(t *testing.T) {
+	e := New(Config{Seed: 1}, nil)
+	ma, mb := e.NewMutex("lockA"), e.NewMutex("lockB")
+	b := e.NewBarrier(2)
+	_, err := e.Run(func(m *Thread) {
+		w1 := m.Go("w1", func(w *Thread) {
+			w.Lock(ma, "s1")
+			w.Barrier(b)
+			w.Lock(mb, "s2")
+			w.Unlock(mb)
+			w.Unlock(ma)
+		})
+		w2 := m.Go("w2", func(w *Thread) {
+			w.Lock(mb, "s3")
+			w.Barrier(b)
+			w.Lock(ma, "s4")
+			w.Unlock(ma)
+			w.Unlock(mb)
+		})
+		m.Join(w1)
+		m.Join(w2)
+	})
+	if err == nil {
+		t.Fatal("no deadlock reported")
+	}
+	msg := err.Error()
+	for _, want := range []string{"lockA", "lockB", "lock cycle", "waits on"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("diagnosis missing %q:\n%s", want, msg)
+		}
+	}
+}
+
+func TestTryLock(t *testing.T) {
+	e := New(Config{Seed: 1}, nil)
+	mu := e.NewMutex("m")
+	b := e.NewBarrier(2)
+	st, err := e.Run(func(m *Thread) {
+		holder := m.Go("holder", func(w *Thread) {
+			w.Lock(mu, "hold")
+			w.Barrier(b)
+			w.Compute(50000)
+			w.Unlock(mu)
+		})
+		m.Barrier(b)
+		if m.TryLock(mu, "try") {
+			t.Error("TryLock succeeded while held")
+		}
+		m.Join(holder)
+		if !m.TryLock(mu, "try") {
+			t.Error("TryLock failed on a free mutex")
+		}
+		if !m.InCriticalSection() {
+			t.Error("successful TryLock should enter a critical section")
+		}
+		m.Unlock(mu)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CSEntries != 2 { // hold + successful try
+		t.Errorf("cs entries = %d, want 2", st.CSEntries)
+	}
+}

@@ -1,0 +1,80 @@
+package sim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTracerLogsEvents(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(nil, &buf, 0)
+	e := New(Config{Seed: 1}, tr)
+	mu := e.NewMutex("m")
+	b := e.NewBarrier(1)
+	st, err := e.Run(func(m *Thread) {
+		o := m.Malloc(64, "obj")
+		w := m.Go("worker", func(w *Thread) {
+			w.Lock(mu, "cs")
+			w.Write(o, 0, 8, "w")
+			w.Unlock(mu)
+		})
+		m.Join(w)
+		m.Barrier(b)
+		m.Free(o)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st == nil {
+		t.Fatal("no stats")
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`start "main"`, `spawn t1 "worker"`, "enter cs(cs)", "exit  cs(cs)",
+		"malloc", "free", "join t1", "barrier (1 threads)", "exit",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTracerLimit(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(nil, &buf, 3)
+	e := New(Config{Seed: 1}, tr)
+	if _, err := e.Run(func(m *Thread) {
+		for i := 0; i < 10; i++ {
+			m.Malloc(32, "x")
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "trace limit 3 reached") {
+		t.Errorf("limit message missing:\n%s", out)
+	}
+	if strings.Count(out, "\n") > 6 {
+		t.Errorf("too many lines despite limit:\n%s", out)
+	}
+}
+
+func TestTracerForwardsToInner(t *testing.T) {
+	var buf bytes.Buffer
+	inner := &countingDetector{}
+	tr := NewTracer(inner, &buf, 0)
+	e := New(Config{Seed: 1}, tr)
+	if _, err := e.Run(func(m *Thread) {
+		o := m.Malloc(32, "x")
+		m.Write(o, 0, 8, "w")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if inner.allocs != 1 || inner.accesses != 1 {
+		t.Errorf("inner detector missed events: %+v", inner)
+	}
+	if tr.Name() != "trace(counting)" {
+		t.Errorf("name = %q", tr.Name())
+	}
+}

@@ -1,0 +1,84 @@
+package workload
+
+// The 15 PARSEC and SPLASH-2x benchmark models. Each is the generic
+// kernel parameterized by its Table 3 row plus the handful of
+// application-specific facts the paper calls out (fluidanimate's millions
+// of fine-grained cell-lock entries, water_nsquared's 128,000 24-byte
+// molecule objects and 96,000 read-only shared objects, the ocean/lu/fft
+// barrier phase structure, ...).
+
+func init() {
+	register("streamcluster", func() Workload {
+		// Long point-assignment phases with a single shared cost
+		// accumulator updated under its section locks.
+		return &app{spec: specStreamcluster, sharedSize: 64, touchPool: 192}
+	})
+	register("x264", func() Workload {
+		// Frame pipeline: threads synchronize on frame availability;
+		// no object is both locked and written (RW = 0), so Kard's
+		// cost is pure section-entry overhead.
+		return &app{spec: specX264, fillerSize: 1 << 20}
+	})
+	register("vips", func() Workload {
+		// Image pipeline with thousands of globals (operation tables)
+		// and only 37 section entries over the whole run.
+		return &app{spec: specVips, sharedSize: 128}
+	})
+	register("bodytrack", func() Workload {
+		// Particle filter: thousands of small heap objects, 48
+		// read-write shared objects behind a worker-pool lock.
+		return &app{spec: specBodytrack, fillerSize: 512}
+	})
+	register("fluidanimate", func() Workload {
+		// The stress case: 135k 32-byte particle/cell objects and 4.4
+		// million critical-section entries in ~3 seconds (§7.2 calls
+		// this behavior out as worst-case and benchmark-specific).
+		return &app{spec: specFluidanimate, fillerSize: 32, phases: 5}
+	})
+
+	register("ocean_cp", func() Workload {
+		// Grid solver: few, large grid allocations (the paper's ~900 MB
+		// RSS), barrier-phased, few section entries.
+		return &app{spec: specOceanCP, phases: 8, fillerSize: 1 << 20}
+	})
+	register("ocean_ncp", func() Workload {
+		return &app{spec: specOceanNCP, phases: 8, fillerSize: 1 << 20}
+	})
+	register("raytrace", func() Workload {
+		// Work-queue traversal: nearly a million tiny critical
+		// sections dispensing rays.
+		return &app{spec: specRaytrace, fillerSize: 4096}
+	})
+	register("water_nsquared", func() Workload {
+		// 128,000 24-byte molecule objects (§7.5: the 32 B rounding
+		// wastes 8 B each and the unique pages blow up RSS ~41×);
+		// 96,000 of them are read inside critical sections, so each
+		// faults once into the Read-only domain.
+		return &app{spec: specWaterNsquared, fillerSize: 24, phases: 4, roReadsPerEntry: 1}
+	})
+	register("water_spatial", func() Workload {
+		// Same molecules, spatial decomposition: only 675 section
+		// entries and 2 shared objects.
+		return &app{spec: specWaterSpatial, fillerSize: 24, phases: 4}
+	})
+	register("radix", func() Workload {
+		// Radix sort: huge arrays (paper RSS ~1 GB), 103 entries, all
+		// phase-structured.
+		return &app{spec: specRadix, phases: 8, fillerSize: 1 << 20}
+	})
+	register("lu_ncb", func() Workload {
+		return &app{spec: specLuNcb, phases: 6, fillerSize: 1 << 20}
+	})
+	register("lu_cb", func() Workload {
+		return &app{spec: specLuCb, phases: 6, fillerSize: 1 << 20}
+	})
+	register("barnes", func() Workload {
+		// N-body tree build: 1.78M entries through only 5 sections,
+		// all five concurrently active — the lock-contention stress
+		// case.
+		return &app{spec: specBarnes, phases: 4, fillerSize: 4096}
+	})
+	register("fft", func() Workload {
+		return &app{spec: specFFT, phases: 6, fillerSize: 1 << 20}
+	})
+}

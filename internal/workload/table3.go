@@ -1,0 +1,194 @@
+package workload
+
+// Table 3 of the paper, transcribed. Each row parameterizes one
+// application model; the Paper* columns are also what EXPERIMENTS.md
+// compares measured results against.
+var (
+	specStreamcluster = Spec{
+		Name: "streamcluster", Suite: "PARSEC",
+		HeapObjects: 1818, GlobalObjects: 20,
+		PaperSharedRO: 0, PaperSharedRW: 1,
+		TotalCS: 6, ActiveCS: 3, ExecutedCS: 6,
+		CSEntries:       115760,
+		BaselineSeconds: 4.96, PaperRSSKB: 12592,
+		PaperAllocPct: 0.1, PaperKardPct: 0.3, PaperTSanPct: 2264.7, PaperMemPct: 6.1,
+	}
+	specX264 = Spec{
+		Name: "x264", Suite: "PARSEC",
+		HeapObjects: 15, GlobalObjects: 420,
+		PaperSharedRO: 0, PaperSharedRW: 0,
+		TotalCS: 2, ActiveCS: 2, ExecutedCS: 2,
+		CSEntries:       33521,
+		BaselineSeconds: 1.749, PaperRSSKB: 29732,
+		PaperAllocPct: 0.4, PaperKardPct: 3.0, PaperTSanPct: 485.3, PaperMemPct: 2.0,
+	}
+	specVips = Spec{
+		Name: "vips", Suite: "PARSEC",
+		HeapObjects: 102, GlobalObjects: 3933,
+		PaperSharedRO: 377, PaperSharedRW: 213,
+		TotalCS: 5, ActiveCS: 2, ExecutedCS: 5,
+		CSEntries:       37,
+		BaselineSeconds: 2.145, PaperRSSKB: 24360,
+		PaperAllocPct: 0.6, PaperKardPct: 1.3, PaperTSanPct: 889.8, PaperMemPct: 3.3,
+	}
+	specBodytrack = Spec{
+		Name: "bodytrack", Suite: "PARSEC",
+		HeapObjects: 8717, GlobalObjects: 125,
+		PaperSharedRO: 7, PaperSharedRW: 48,
+		TotalCS: 8, ActiveCS: 1, ExecutedCS: 8,
+		CSEntries:       56196,
+		BaselineSeconds: 3.268, PaperRSSKB: 20224,
+		PaperAllocPct: 4.1, PaperKardPct: 10.4, PaperTSanPct: 655.6, PaperMemPct: 123.2,
+	}
+	specFluidanimate = Spec{
+		Name: "fluidanimate", Suite: "PARSEC",
+		HeapObjects: 135438, GlobalObjects: 25,
+		PaperSharedRO: 24, PaperSharedRW: 5,
+		TotalCS: 8, ActiveCS: 4, ExecutedCS: 8,
+		CSEntries:       4402000,
+		BaselineSeconds: 3.251, PaperRSSKB: 374760,
+		PaperAllocPct: 19.6, PaperKardPct: 61.9, PaperTSanPct: 1222.3, PaperMemPct: 142.6,
+	}
+	specOceanCP = Spec{
+		Name: "ocean_cp", Suite: "SPLASH-2x",
+		HeapObjects: 370, GlobalObjects: 30,
+		PaperSharedRO: 2, PaperSharedRW: 2,
+		TotalCS: 24, ActiveCS: 2, ExecutedCS: 24,
+		CSEntries:       6664,
+		BaselineSeconds: 3.803, PaperRSSKB: 913048,
+		PaperAllocPct: -8.3, PaperKardPct: -5.9, PaperTSanPct: 911.4, PaperMemPct: 0.3,
+	}
+	specOceanNCP = Spec{
+		Name: "ocean_ncp", Suite: "SPLASH-2x",
+		HeapObjects: 16, GlobalObjects: 38,
+		PaperSharedRO: 0, PaperSharedRW: 4,
+		TotalCS: 23, ActiveCS: 2, ExecutedCS: 23,
+		CSEntries:       6504,
+		BaselineSeconds: 5.631, PaperRSSKB: 922128,
+		PaperAllocPct: 0.0, PaperKardPct: 0.0, PaperTSanPct: 1036.2, PaperMemPct: 0.3,
+	}
+	specRaytrace = Spec{
+		Name: "raytrace", Suite: "SPLASH-2x",
+		HeapObjects: 6, GlobalObjects: 60,
+		PaperSharedRO: 1, PaperSharedRW: 2,
+		TotalCS: 8, ActiveCS: 3, ExecutedCS: 8,
+		CSEntries:       986046,
+		BaselineSeconds: 4.355, PaperRSSKB: 7712,
+		PaperAllocPct: 1.3, PaperKardPct: 3.7, PaperTSanPct: 1368.6, PaperMemPct: 28.5,
+	}
+	specWaterNsquared = Spec{
+		Name: "water_nsquared", Suite: "SPLASH-2x",
+		HeapObjects: 128007, GlobalObjects: 87,
+		PaperSharedRO: 96000, PaperSharedRW: 2,
+		TotalCS: 17, ActiveCS: 4, ExecutedCS: 17,
+		CSEntries:       96148,
+		BaselineSeconds: 10.022, PaperRSSKB: 12260,
+		PaperAllocPct: 9.1, PaperKardPct: 18.0, PaperTSanPct: 698.0, PaperMemPct: 4145.9,
+	}
+	specWaterSpatial = Spec{
+		Name: "water_spatial", Suite: "SPLASH-2x",
+		HeapObjects: 37148, GlobalObjects: 99,
+		PaperSharedRO: 1, PaperSharedRW: 1,
+		TotalCS: 2, ActiveCS: 2, ExecutedCS: 2,
+		CSEntries:       675,
+		BaselineSeconds: 3.259, PaperRSSKB: 25324,
+		PaperAllocPct: 2.9, PaperKardPct: 5.6, PaperTSanPct: 546.1, PaperMemPct: 516.9,
+	}
+	specRadix = Spec{
+		Name: "radix", Suite: "SPLASH-2x",
+		HeapObjects: 17, GlobalObjects: 13,
+		PaperSharedRO: 2, PaperSharedRW: 1,
+		TotalCS: 13, ActiveCS: 4, ExecutedCS: 13,
+		CSEntries:       103,
+		BaselineSeconds: 5.173, PaperRSSKB: 1051536,
+		PaperAllocPct: -1.4, PaperKardPct: -1.0, PaperTSanPct: 187.4, PaperMemPct: 0.2,
+	}
+	specLuNcb = Spec{
+		Name: "lu_ncb", Suite: "SPLASH-2x",
+		HeapObjects: 12, GlobalObjects: 11,
+		PaperSharedRO: 2, PaperSharedRW: 1,
+		TotalCS: 6, ActiveCS: 2, ExecutedCS: 6,
+		CSEntries:       1040,
+		BaselineSeconds: 3.917, PaperRSSKB: 34952,
+		PaperAllocPct: -5.7, PaperKardPct: -5.2, PaperTSanPct: 292.9, PaperMemPct: 5.9,
+	}
+	specLuCb = Spec{
+		Name: "lu_cb", Suite: "SPLASH-2x",
+		HeapObjects: 26, GlobalObjects: 10,
+		PaperSharedRO: 0, PaperSharedRW: 3,
+		TotalCS: 6, ActiveCS: 2, ExecutedCS: 6,
+		CSEntries:       2080,
+		BaselineSeconds: 3.517, PaperRSSKB: 35092,
+		PaperAllocPct: -7.8, PaperKardPct: -4.7, PaperTSanPct: 259.0, PaperMemPct: 6.1,
+	}
+	specBarnes = Spec{
+		Name: "barnes", Suite: "SPLASH-2x",
+		HeapObjects: 44, GlobalObjects: 54,
+		PaperSharedRO: 11, PaperSharedRW: 13,
+		TotalCS: 5, ActiveCS: 5, ExecutedCS: 5,
+		CSEntries:       1784848,
+		BaselineSeconds: 5.126, PaperRSSKB: 68000,
+		PaperAllocPct: 2.9, PaperKardPct: 34.1, PaperTSanPct: 1582.9, PaperMemPct: 3.3,
+	}
+	specFFT = Spec{
+		Name: "fft", Suite: "SPLASH-2x",
+		HeapObjects: 11, GlobalObjects: 26,
+		PaperSharedRO: 14, PaperSharedRW: 1,
+		TotalCS: 8, ActiveCS: 2, ExecutedCS: 8,
+		CSEntries:       32,
+		BaselineSeconds: 2.874, PaperRSSKB: 789588,
+		PaperAllocPct: 0.7, PaperKardPct: 1.0, PaperTSanPct: 265.1, PaperMemPct: 0.3,
+	}
+
+	specNginx = Spec{
+		Name: "nginx", Suite: "real-world",
+		HeapObjects: 500007, GlobalObjects: 461,
+		PaperSharedRO: 0, PaperSharedRW: 100002,
+		TotalCS: 26, ActiveCS: 3, ExecutedCS: 26,
+		CSEntries:       200008,
+		BaselineSeconds: 15.144, PaperRSSKB: 5812,
+		PaperAllocPct: 13.3, PaperKardPct: 15.1, PaperTSanPct: 258.9, PaperMemPct: 202.1,
+		KnownRaces: 1,
+	}
+	specMemcached = Spec{
+		Name: "memcached", Suite: "real-world",
+		HeapObjects: 6985, GlobalObjects: 107,
+		PaperSharedRO: 24, PaperSharedRW: 62,
+		TotalCS: 121, ActiveCS: 13, ExecutedCS: 45,
+		CSEntries:       161992,
+		BaselineSeconds: 2.009, PaperRSSKB: 5892,
+		PaperAllocPct: 0.0, PaperKardPct: 0.1, PaperTSanPct: 45.7, PaperMemPct: 31.8,
+		KnownRaces: 3,
+	}
+	specPigz = Spec{
+		Name: "pigz", Suite: "real-world",
+		HeapObjects: 861, GlobalObjects: 53,
+		PaperSharedRO: 7, PaperSharedRW: 10,
+		TotalCS: 10, ActiveCS: 5, ExecutedCS: 10,
+		CSEntries:       45782,
+		BaselineSeconds: 0.254, PaperRSSKB: 5368,
+		PaperAllocPct: 2.9, PaperKardPct: 5.1, PaperTSanPct: 229.9, PaperMemPct: 52.5,
+		KnownRaces: 1, KnownFalsePositives: 1,
+	}
+	specAget = Spec{
+		Name: "aget", Suite: "real-world",
+		HeapObjects: 24, GlobalObjects: 10,
+		PaperSharedRO: 0, PaperSharedRW: 1,
+		TotalCS: 2, ActiveCS: 1, ExecutedCS: 2,
+		CSEntries:       56196,
+		BaselineSeconds: 0.944, PaperRSSKB: 2468,
+		PaperAllocPct: 0.6, PaperKardPct: 1.4, PaperTSanPct: 464.3, PaperMemPct: 95.3,
+		KnownRaces: 1,
+	}
+)
+
+// PaperGeomeans are the geometric means Table 3 reports, for the harness
+// footer rows.
+var PaperGeomeans = map[string]struct{ Alloc, Kard, TSan, Mem float64 }{
+	"benchmarks": {Alloc: 1.0, Kard: 7.0, TSan: 690.9, Mem: 68.0},
+	"real-world": {Alloc: 4.1, Kard: 5.3, TSan: 189.5, Mem: 85.6},
+}
+
+// PaperFigure5Geomeans are §7.4's scalability geometric means for the 15
+// benchmarks: overhead at 8, 16, and 32 threads.
+var PaperFigure5Geomeans = map[int]float64{8: 24.4, 16: 63.1, 32: 107.2}

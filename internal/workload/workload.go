@@ -1,0 +1,140 @@
+// Package workload models the 19 applications of the paper's evaluation:
+// the PARSEC and SPLASH-2x benchmarks and the four real-world programs
+// (NGINX, memcached, pigz, Aget) of Table 3.
+//
+// Each model reproduces the application's *concurrency skeleton* — the
+// number of sharable heap and global objects, shared objects, distinct
+// critical sections, critical-section entry counts, allocation sizes, and
+// lock/object association — scaled from the paper's own Table 3 row. The
+// remaining per-entry computation and memory-access volume are calibrated
+// from the row's baseline time and TSan overhead (see kernel.go), so the
+// Baseline and TSan columns anchor to the paper while the Alloc and Kard
+// columns emerge mechanistically from the simulator's cost model.
+//
+// The real-world models additionally embed the known data races of
+// Table 6 (Aget 1, memcached 3, NGINX 1, pigz's one unverifiable report).
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"kard/internal/sim"
+)
+
+// Spec is the calibration record for one application, transcribed from
+// Table 3 (plus Table 6 where applicable). Paper* fields are the paper's
+// reported numbers; they parameterize the model and let the harness print
+// paper-vs-measured comparisons.
+type Spec struct {
+	Name  string
+	Suite string // "PARSEC", "SPLASH-2x", or "real-world"
+
+	HeapObjects   int
+	GlobalObjects int
+
+	PaperSharedRO int
+	PaperSharedRW int
+
+	TotalCS  int // distinct critical sections (static, from Table 3)
+	ActiveCS int // paper's maximum concurrently executed sections
+	// ExecutedCS is the number of sections the model actually
+	// exercises; equal to TotalCS except memcached (45 of 121, §7.3).
+	ExecutedCS int
+
+	CSEntries uint64 // total critical-section entries at 4 threads
+
+	BaselineSeconds float64 // baseline wall time at 4 threads
+	PaperRSSKB      uint64  // baseline peak RSS
+
+	// Overheads over baseline, in percent, at 4 threads.
+	PaperAllocPct float64
+	PaperKardPct  float64
+	PaperTSanPct  float64
+	PaperMemPct   float64 // Kard peak-memory overhead
+
+	// KnownRaces is the number of reports Kard produces on this
+	// application (Table 6); KnownFalsePositives of them are spurious.
+	KnownRaces          int
+	KnownFalsePositives int
+}
+
+// Workload is one runnable application model. Instances are single-use:
+// create a fresh one (via its factory in the Registry) per run.
+type Workload interface {
+	// Spec returns the application's calibration record.
+	Spec() Spec
+
+	// Prepare registers globals and other pre-run state on the engine.
+	// It must be called exactly once, before the engine runs.
+	Prepare(e *sim.Engine)
+
+	// Body is the main-thread function: it spawns the worker threads
+	// and drives the workload. threads is the worker count (the
+	// paper's default testing scenario is 4); scale in (0, 1] scales
+	// the critical-section entry counts, trading fidelity of absolute
+	// statistics for run time (overhead ratios are much less
+	// sensitive).
+	Body(m *sim.Thread, threads int, scale float64)
+}
+
+// factories maps workload names to constructors.
+var factories = map[string]func() Workload{}
+
+// ordered keeps registry listing deterministic.
+var ordered []string
+
+func register(name string, f func() Workload) {
+	if _, dup := factories[name]; dup {
+		panic(fmt.Sprintf("workload: duplicate registration of %q", name))
+	}
+	factories[name] = f
+	ordered = append(ordered, name)
+}
+
+// New returns a fresh instance of the named workload.
+func New(name string) (Workload, error) {
+	f, ok := factories[name]
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown workload %q (have %v)", name, Names())
+	}
+	return f(), nil
+}
+
+// Names lists all registered workloads in registration (paper-table)
+// order.
+func Names() []string {
+	out := make([]string, len(ordered))
+	copy(out, ordered)
+	return out
+}
+
+// BySuite lists the registered workloads of one suite, in table order.
+func BySuite(suite string) []string {
+	var out []string
+	for _, n := range ordered {
+		w := factories[n]()
+		if w.Spec().Suite == suite {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Suites returns the distinct suites in display order.
+func Suites() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, n := range ordered {
+		s := factories[n]().Spec().Suite
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	rank := map[string]int{"PARSEC": 0, "SPLASH-2x": 1, "real-world": 2, "corpus": 3}
+	sort.SliceStable(out, func(i, j int) bool {
+		return rank[out[i]] < rank[out[j]]
+	})
+	return out
+}

@@ -1,0 +1,308 @@
+package workload
+
+import (
+	"testing"
+
+	"kard/internal/core"
+	"kard/internal/hb"
+	"kard/internal/sim"
+)
+
+func newHB() sim.Detector { return hb.New(hb.Options{}) }
+
+func TestRegistryComplete(t *testing.T) {
+	names := Names()
+	if len(names) != 20 {
+		t.Fatalf("registered workloads = %d, want 19 (Table 3) + the §3.1 corpus", len(names))
+	}
+	if got := len(BySuite("PARSEC")); got != 5 {
+		t.Errorf("PARSEC workloads = %d, want 5", got)
+	}
+	if got := len(BySuite("SPLASH-2x")); got != 10 {
+		t.Errorf("SPLASH-2x workloads = %d, want 10", got)
+	}
+	if got := len(BySuite("real-world")); got != 4 {
+		t.Errorf("real-world workloads = %d, want 4", got)
+	}
+	if _, err := New("nonexistent"); err == nil {
+		t.Error("unknown workload should error")
+	}
+	suites := Suites()
+	if len(suites) != 4 || suites[0] != "PARSEC" || suites[2] != "real-world" {
+		t.Errorf("suites = %v", suites)
+	}
+}
+
+func TestSpecSanity(t *testing.T) {
+	for _, name := range Names() {
+		w, err := New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := w.Spec()
+		if s.Name != name {
+			t.Errorf("%s: spec name %q", name, s.Name)
+		}
+		if s.CSEntries == 0 || s.BaselineSeconds <= 0 || s.TotalCS == 0 {
+			t.Errorf("%s: incomplete spec %+v", name, s)
+		}
+		if s.ExecutedCS > s.TotalCS {
+			t.Errorf("%s: executed %d > total %d sections", name, s.ExecutedCS, s.TotalCS)
+		}
+		if s.PaperSharedRO+s.PaperSharedRW > s.HeapObjects+s.GlobalObjects {
+			t.Errorf("%s: shared objects exceed sharable objects", name)
+		}
+	}
+}
+
+// runWL runs one workload with the given detector at a small scale.
+func runWL(t *testing.T, name string, det sim.Detector, threads int, seed int64) *sim.Stats {
+	t.Helper()
+	w, err := New(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sim.Config{Seed: seed}
+	if det != nil {
+		if _, ok := det.(*core.Detector); ok {
+			cfg.UniquePageAllocator = true
+		}
+	}
+	e := sim.New(cfg, det)
+	w.Prepare(e)
+	st, err := e.Run(func(m *sim.Thread) { w.Body(m, threads, 0.02) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func distinctRacyObjects(st *sim.Stats) int {
+	seen := map[string]bool{}
+	for _, r := range st.Races {
+		seen[r.Object.Site] = true
+	}
+	return len(seen)
+}
+
+func TestAllWorkloadsRunBaseline(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			st := runWL(t, name, nil, 4, 1)
+			w, _ := New(name)
+			s := w.Spec()
+			want := s.ExecutedCS
+			if n := int(st.CSEntries); n < want {
+				want = n // a very short run cannot visit every section
+			}
+			if st.TotalSections < want {
+				t.Errorf("executed sections = %d, want >= %d", st.TotalSections, want)
+			}
+			if st.CSEntries == 0 {
+				t.Error("no critical-section entries")
+			}
+			if st.Threads < 5 { // main + 4 workers at least
+				t.Errorf("threads = %d", st.Threads)
+			}
+			if st.ExecTime == 0 {
+				t.Error("zero execution time")
+			}
+		})
+	}
+}
+
+// TestBenchmarksRaceFreeUnderKard: the 15 benchmark models use consistent
+// locking, so Kard must report nothing on them (Table 6 lists only
+// real-world races).
+func TestBenchmarksRaceFreeUnderKard(t *testing.T) {
+	for _, suite := range []string{"PARSEC", "SPLASH-2x"} {
+		for _, name := range BySuite(suite) {
+			name := name
+			t.Run(name, func(t *testing.T) {
+				st := runWL(t, name, core.New(core.Options{}), 4, 1)
+				if n := distinctRacyObjects(st); n != 0 {
+					t.Errorf("races = %d (%v), want 0", n, st.Races)
+				}
+			})
+		}
+	}
+}
+
+// TestRealWorldRacesUnderKard reproduces the Kard column of Table 6.
+func TestRealWorldRacesUnderKard(t *testing.T) {
+	for _, name := range BySuite("real-world") {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			w, _ := New(name)
+			want := w.Spec().KnownRaces
+			st := runWL(t, name, core.New(core.Options{}), 4, 1)
+			if got := distinctRacyObjects(st); got != want {
+				t.Errorf("Kard races = %d, want %d (Table 6); records: %+v", got, want, st.Races)
+			}
+		})
+	}
+}
+
+// TestDeterministicWorkload: same seed, same results.
+func TestDeterministicWorkload(t *testing.T) {
+	s1 := runWL(t, "memcached", core.New(core.Options{}), 4, 7)
+	s2 := runWL(t, "memcached", core.New(core.Options{}), 4, 7)
+	if s1.ExecTime != s2.ExecTime || len(s1.Races) != len(s2.Races) ||
+		s1.TLBMisses != s2.TLBMisses || s1.PeakRSS != s2.PeakRSS {
+		t.Errorf("nondeterministic: %+v vs %+v", s1, s2)
+	}
+}
+
+// TestThreadScaling: the models run at the Figure 5 thread counts.
+func TestThreadScaling(t *testing.T) {
+	for _, threads := range []int{8, 16, 32} {
+		st := runWL(t, "barnes", nil, threads, 1)
+		if st.Threads < threads+1 {
+			t.Errorf("threads = %d, want >= %d", st.Threads, threads+1)
+		}
+	}
+}
+
+// TestMemcachedConcurrencyAndKeyEvents checks the Table 5 signals: nested
+// sections give concurrent critical sections, and the 45-section key
+// demand produces recycling (and occasionally sharing) events.
+func TestMemcachedConcurrencyAndKeyEvents(t *testing.T) {
+	det := core.New(core.Options{})
+	w, _ := New("memcached")
+	e := sim.New(sim.Config{Seed: 1, UniquePageAllocator: true}, det)
+	w.Prepare(e)
+	st, err := e.Run(func(m *sim.Thread) { w.Body(m, 4, 0.05) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MaxConcurrentSections < 4 {
+		t.Errorf("max concurrent sections = %d, want >= 4", st.MaxConcurrentSections)
+	}
+	c := det.Counters()
+	if c.KeyRecyclingEvents == 0 {
+		t.Error("expected key recycling events (Table 5)")
+	}
+	rate := float64(c.KeyRecyclingEvents) / float64(st.CSEntries)
+	if rate > 0.05 {
+		t.Errorf("recycling rate = %.3f of entries, paper reports ~0.005", rate)
+	}
+}
+
+// TestWaterNsquaredReadOnlyPool: the model migrates its molecule pool into
+// the Read-only domain, the paper's 96,000 RO shared objects.
+func TestWaterNsquaredReadOnlyPool(t *testing.T) {
+	det := core.New(core.Options{})
+	st := runWL(t, "water_nsquared", det, 4, 1)
+	c := det.Counters()
+	if c.SharedRO < 100 {
+		t.Errorf("read-only shared objects = %d, want many (96,000 at full scale)", c.SharedRO)
+	}
+	if n := distinctRacyObjects(st); n != 0 {
+		t.Errorf("unexpected races: %d", n)
+	}
+}
+
+// TestNginxChurn: the model allocates during the run (500k at full scale)
+// and registers ~100k read-write shared objects via in-section writes.
+func TestNginxChurn(t *testing.T) {
+	det := core.New(core.Options{})
+	st := runWL(t, "nginx", det, 4, 1)
+	if st.SharableHeap < 1000 {
+		t.Errorf("heap allocations = %d, want thousands even at 2%% scale", st.SharableHeap)
+	}
+	if det.Counters().SharedRWEver < 500 {
+		t.Errorf("read-write shared = %d, want hundreds at 2%% scale", det.Counters().SharedRWEver)
+	}
+}
+
+// TestCorpusILUShare reproduces the §3.1 study: the TSan comparator
+// reports (nearly) all corpus races, ~69% of them classified ILU, and
+// Kard reports (only) the ILU subset.
+func TestCorpusILUShare(t *testing.T) {
+	// Under the TSan comparator.
+	w, _ := New("racecorpus")
+	e := sim.New(sim.Config{Seed: 1}, newHB())
+	w.Prepare(e)
+	st, err := e.Run(func(m *sim.Thread) { w.Body(m, 2, 1) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	ilu, non := 0, 0
+	seen := map[string]bool{}
+	for _, r := range st.Races {
+		if seen[r.Object.Site] {
+			continue
+		}
+		seen[r.Object.Site] = true
+		if r.ILU {
+			ilu++
+		} else {
+			non++
+		}
+	}
+	if ilu+non < 95 {
+		t.Errorf("TSan found %d of 100 corpus races", ilu+non)
+	}
+	share := float64(ilu) / float64(ilu+non)
+	if share < 0.64 || share > 0.74 {
+		t.Errorf("ILU share = %.0f%%, want ~69%% (§3.1)", share*100)
+	}
+
+	// Under Kard: only the ILU subset is in scope.
+	w2, _ := New("racecorpus")
+	e2 := sim.New(sim.Config{Seed: 1, UniquePageAllocator: true}, core.New(core.Options{}))
+	w2.Prepare(e2)
+	st2, err := e2.Run(func(m *sim.Thread) { w2.Body(m, 2, 1) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	kardFound := distinctRacyObjects(st2)
+	if kardFound < CorpusILU*8/10 || kardFound > CorpusILU {
+		t.Errorf("Kard found %d corpus races, want close to %d (the ILU subset)", kardFound, CorpusILU)
+	}
+}
+
+// TestSpecFidelityAtFullScale: at scale 1 the measured execution
+// statistics match the Table 3 row the model was built from. Run on the
+// cheaper apps to keep the suite fast.
+func TestSpecFidelityAtFullScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale statistic check")
+	}
+	for _, name := range []string{"aget", "pigz", "streamcluster", "water_spatial"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			w, _ := New(name)
+			s := w.Spec()
+			det := core.New(core.Options{})
+			e := sim.New(sim.Config{Seed: 1, UniquePageAllocator: true}, det)
+			w.Prepare(e)
+			st, err := e.Run(func(m *sim.Thread) { w.Body(m, 4, 1) })
+			if err != nil {
+				t.Fatal(err)
+			}
+			within := func(got, want, tolPct float64) bool {
+				if want == 0 {
+					return got == 0
+				}
+				d := (got - want) / want * 100
+				return d > -tolPct && d < tolPct
+			}
+			if !within(float64(st.SharableHeap), float64(s.HeapObjects), 15) {
+				t.Errorf("heap objects = %d, spec %d", st.SharableHeap, s.HeapObjects)
+			}
+			if st.SharableGlobals != s.GlobalObjects {
+				t.Errorf("globals = %d, spec %d", st.SharableGlobals, s.GlobalObjects)
+			}
+			if !within(float64(st.CSEntries), float64(s.CSEntries), 25) {
+				t.Errorf("entries = %d, spec %d", st.CSEntries, s.CSEntries)
+			}
+			if !within(st.ExecSeconds(), s.BaselineSeconds, 40) {
+				// Kard-mode execution is a bit above the baseline
+				// seconds; wide tolerance.
+				t.Errorf("exec = %.3fs, spec baseline %.3fs", st.ExecSeconds(), s.BaselineSeconds)
+			}
+		})
+	}
+}
