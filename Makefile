@@ -1,0 +1,54 @@
+# Makefile — build, test, and reproduce the Kard paper's evaluation.
+#
+# The repro targets drive cmd/kardbench through the parallel evaluation
+# harness (internal/harness.RunMatrix): cells fan out across JOBS workers
+# and finished cells are cached as JSON under CACHEDIR, so re-running a
+# repro after an interruption (or tweaking one table) only simulates what
+# is missing.
+
+GO       ?= go
+JOBS     ?= $(shell nproc 2>/dev/null || echo 4)
+CACHEDIR ?= .cache/kard
+SEED     ?= 1
+
+.PHONY: all build test vet race bench repro repro-fast clean-cache clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The repo is itself about race detection; it must be clean under the real
+# Go race detector, including the parallel harness.
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchmem -run '^$$'
+
+# Full-fidelity regeneration of every table and figure (EXPERIMENTS.md is
+# written from such a run). Sequential this takes ~24 minutes; with the
+# parallel harness it is bounded by ~total/JOBS, and a warm cache makes
+# re-runs nearly free.
+repro:
+	$(GO) run ./cmd/kardbench -all -scale 1 -seed $(SEED) \
+		-jobs $(JOBS) -cachedir $(CACHEDIR) -progress -o results_full.txt
+	@echo "wrote results_full.txt"
+
+# Reduced-scale smoke reproduction (~a minute): same tables, smaller
+# critical-section entry counts. Overhead percentages stay representative.
+repro-fast:
+	$(GO) run ./cmd/kardbench -all -scale 0.05 -seed $(SEED) \
+		-jobs $(JOBS) -cachedir $(CACHEDIR) -progress
+
+clean-cache:
+	rm -rf $(CACHEDIR)
+
+clean: clean-cache
+	$(GO) clean

@@ -10,9 +10,11 @@ package kard
 // run.
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"testing"
+	"time"
 
 	"kard/internal/core"
 	"kard/internal/harness"
@@ -62,6 +64,100 @@ func BenchmarkTable3(b *testing.B) {
 				b.ReportMetric(tsan, "tsan_ovh_%")
 				b.ReportMetric(mem, "kard_mem_%")
 			})
+		}
+	}
+}
+
+// table3Matrix builds the full Table 3 workload × configuration matrix
+// (19 applications × 4 modes = 76 cells) at the given entry scale.
+func table3Matrix(scale float64) []harness.Spec {
+	var specs []harness.Spec
+	for _, suite := range []string{"PARSEC", "SPLASH-2x", "real-world"} {
+		for _, name := range workload.BySuite(suite) {
+			for _, mode := range []harness.Mode{harness.ModeBaseline, harness.ModeAlloc,
+				harness.ModeKard, harness.ModeTSan} {
+				specs = append(specs, harness.Spec{Options: harness.Options{
+					Workload: name, Mode: mode, Scale: scale, Seed: benchSeed,
+				}})
+			}
+		}
+	}
+	return specs
+}
+
+// runMatrixOrFatal runs the matrix and fails the benchmark on any cell
+// error.
+func runMatrixOrFatal(b *testing.B, jobs int, specs []harness.Spec) {
+	b.Helper()
+	for _, r := range harness.RunMatrix(jobs, specs) {
+		if r.Err != nil {
+			b.Fatal(r.Err)
+		}
+	}
+}
+
+// BenchmarkRunMatrix measures the parallel evaluation harness over the
+// Table 3 matrix per jobs count. The cells are deterministic and
+// independent, so on an N-core machine jobs=N approaches an N× wall-clock
+// improvement over jobs=1 (the cells are CPU-bound and uneven, so the
+// practical ceiling is a bit lower).
+func BenchmarkRunMatrix(b *testing.B) {
+	specs := table3Matrix(benchScale)
+	for _, jobs := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("jobs=%d", jobs), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				runMatrixOrFatal(b, jobs, specs)
+			}
+		})
+	}
+}
+
+// BenchmarkMatrixSpeedup reports the jobs=4 over jobs=1 wall-clock ratio
+// for the Table 3 matrix directly as a speedup_x metric — ≥2× on a 4-core
+// machine (≈1× on a single-core one, where there is nothing to fan out
+// to).
+func BenchmarkMatrixSpeedup(b *testing.B) {
+	specs := table3Matrix(benchScale)
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		runMatrixOrFatal(b, 1, specs)
+		sequential := time.Since(t0)
+		t0 = time.Now()
+		runMatrixOrFatal(b, 4, specs)
+		parallel := time.Since(t0)
+		ratio = sequential.Seconds() / parallel.Seconds()
+	}
+	b.ReportMetric(ratio, "speedup_x")
+}
+
+// BenchmarkMatrixCache measures the result cache: a warm run over the
+// Table 3 matrix is pure JSON decoding, orders of magnitude cheaper than
+// simulating.
+func BenchmarkMatrixCache(b *testing.B) {
+	specs := table3Matrix(benchScale)
+	dir := b.TempDir()
+	cache, err := harness.OpenCache(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Populate once, outside the timed region.
+	for _, r := range harness.RunMatrixContext(context.Background(), specs,
+		harness.MatrixOptions{Jobs: 4, Cache: cache}) {
+		if r.Err != nil {
+			b.Fatal(r.Err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, r := range harness.RunMatrixContext(context.Background(), specs,
+			harness.MatrixOptions{Jobs: 4, Cache: cache}) {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+			if !r.Cached {
+				b.Fatalf("cell %s missed the warm cache", r.Spec.Label())
+			}
 		}
 	}
 }

@@ -4,6 +4,8 @@
 // Usage:
 //
 //	kardbench -all                    # everything (slow at -scale 1)
+//	kardbench -all -jobs 8 -progress  # fan cells out across 8 workers
+//	kardbench -all -cachedir .cache   # skip already-computed cells
 //	kardbench -table 3 -scale 0.2     # Table 3 at reduced entry counts
 //	kardbench -table 5                # memcached key sharing/recycling
 //	kardbench -table 6                # real-world races, Kard vs TSan
@@ -14,6 +16,10 @@
 // The -scale flag trades run time for fidelity of the absolute counters
 // (entries, faults); overhead percentages are far less sensitive. The
 // final numbers recorded in EXPERIMENTS.md were produced at -scale 1.
+//
+// Every simulation is deterministic, so -jobs only changes wall-clock
+// time, never the output, and -cachedir results stay valid until the code
+// changes (cache keys embed the VCS revision when the binary carries one).
 package main
 
 import (
@@ -21,24 +27,41 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
+	"strings"
 	"time"
 
 	"kard/internal/report"
 )
 
+// known enumerates the valid values of the selector flags; anything else
+// is rejected with a usage message instead of silently doing nothing.
+var known = map[string]map[string]bool{
+	"table":  {"1": true, "2": true, "3": true, "4": true, "5": true, "6": true, "ilu": true},
+	"figure": {"5": true},
+	"sweep":  {"nginx": true},
+}
+
 func main() {
 	var (
-		table   = flag.String("table", "", "regenerate one table: 1, 2, 3, 4, 5, 6, or ilu")
-		figure  = flag.String("figure", "", "regenerate one figure: 5")
-		sweep   = flag.String("sweep", "", "run a parameter sweep: nginx")
-		all     = flag.Bool("all", false, "regenerate every table and figure")
-		threads = flag.Int("threads", 4, "worker threads (the paper's testing scenario is 4)")
-		scale   = flag.Float64("scale", 0.2, "critical-section entry scale in (0,1]")
-		seed    = flag.Int64("seed", 1, "deterministic scheduler seed")
-		verbose = flag.Bool("v", false, "print per-run progress to stderr")
-		outPath = flag.String("o", "", "write output to this file instead of stdout")
+		table    = flag.String("table", "", "regenerate one table: 1, 2, 3, 4, 5, 6, or ilu")
+		figure   = flag.String("figure", "", "regenerate one figure: 5")
+		sweep    = flag.String("sweep", "", "run a parameter sweep: nginx")
+		all      = flag.Bool("all", false, "regenerate every table and figure")
+		threads  = flag.Int("threads", 4, "worker threads (the paper's testing scenario is 4)")
+		scale    = flag.Float64("scale", 0.2, "critical-section entry scale in (0,1]")
+		seed     = flag.Int64("seed", 1, "deterministic scheduler seed")
+		jobs     = flag.Int("jobs", 0, "parallel simulation workers (0 = all CPUs); output is identical for every value")
+		cachedir = flag.String("cachedir", "", "cache finished cells as JSON under this directory and reuse them")
+		progress = flag.Bool("progress", false, "print per-cell progress (done/total, cost, ETA) to stderr")
+		verbose  = flag.Bool("v", false, "alias for -progress")
+		outPath  = flag.String("o", "", "write output to this file instead of stdout")
 	)
 	flag.Parse()
+
+	validate("table", *table)
+	validate("figure", *figure)
+	validate("sweep", *sweep)
 
 	var out io.Writer = os.Stdout
 	if *outPath != "" {
@@ -49,8 +72,9 @@ func main() {
 		defer f.Close()
 		out = f
 	}
-	o := report.Options{Threads: *threads, Scale: *scale, Seed: *seed}
-	if *verbose {
+	o := report.Options{Threads: *threads, Scale: *scale, Seed: *seed,
+		Jobs: *jobs, CacheDir: *cachedir}
+	if *progress || *verbose {
 		o.Progress = os.Stderr
 	}
 
@@ -116,7 +140,26 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	fmt.Fprintf(out, "done in %v\n", time.Since(start).Round(time.Second))
+	// Wall clock goes to stderr: the table output must stay byte-identical
+	// across -jobs values and cache states so reproductions diff cleanly.
+	fmt.Fprintf(os.Stderr, "done in %v\n", time.Since(start).Round(time.Second))
+}
+
+// validate exits with a usage message when a selector flag carries an
+// unknown value, instead of silently running nothing under it.
+func validate(kind, value string) {
+	if value == "" || known[kind][value] {
+		return
+	}
+	valid := make([]string, 0, len(known[kind]))
+	for v := range known[kind] {
+		valid = append(valid, v)
+	}
+	sort.Strings(valid)
+	fmt.Fprintf(os.Stderr, "kardbench: unknown -%s value %q (valid: %s)\n",
+		kind, value, strings.Join(valid, ", "))
+	flag.Usage()
+	os.Exit(2)
 }
 
 func fatal(err error) {

@@ -1,0 +1,189 @@
+package harness
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime/debug"
+	"sync/atomic"
+	"time"
+
+	"kard/internal/core"
+)
+
+// cacheSchema names the on-disk result format. Bump it whenever the
+// Result layout (or anything it transitively serializes) changes shape.
+const cacheSchema = "kard-result-v1"
+
+// Cache is a content-addressed store of finished harness results: one
+// JSON file per cell, keyed by the full run configuration plus a code
+// version, so repeated kardbench invocations and report regenerations skip
+// already-computed cells. It is safe for concurrent use by the RunMatrix
+// workers.
+type Cache struct {
+	dir string
+
+	// Version participates in every key. OpenCache initializes it from
+	// DefaultCacheVersion; override it to force staleness semantics of
+	// your own (tests do).
+	Version string
+
+	hits, misses, writes, writeErrs atomic.Uint64
+}
+
+// OpenCache creates (if needed) and opens a result cache rooted at dir.
+func OpenCache(dir string) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("harness: cache: %w", err)
+	}
+	return &Cache{dir: dir, Version: DefaultCacheVersion()}, nil
+}
+
+// DefaultCacheVersion derives the code-version component of cache keys:
+// the on-disk schema name plus, when the binary carries VCS build info,
+// the revision (and a dirty marker). Binaries built without VCS stamping
+// fall back to the schema name alone — clear the cache after code changes
+// in that case.
+func DefaultCacheVersion() string {
+	v := cacheSchema
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			switch {
+			case s.Key == "vcs.revision":
+				v += "+" + s.Value
+			case s.Key == "vcs.modified" && s.Value == "true":
+				v += "+dirty"
+			}
+		}
+	}
+	return v
+}
+
+// cacheKey is the canonical identity of one cell. Field order is fixed by
+// the struct, so its JSON encoding is deterministic and safe to hash.
+type cacheKey struct {
+	Version    string
+	Workload   string
+	Variant    string
+	Mode       Mode
+	Threads    int
+	Scale      float64
+	Seed       int64
+	TLBEntries int
+	Kard       core.Options
+}
+
+// key normalizes the spec the same way Run does, so a spec with default
+// (zero) options and its explicit equivalent address the same entry.
+func (c *Cache) key(s Spec) cacheKey {
+	k := cacheKey{
+		Version:    c.Version,
+		Workload:   s.Workload,
+		Variant:    s.Variant,
+		Mode:       s.Mode,
+		Threads:    s.Threads,
+		Scale:      s.Scale,
+		Seed:       s.Seed,
+		TLBEntries: s.TLBEntries,
+		Kard:       s.Kard,
+	}
+	if k.Mode == "" {
+		k.Mode = ModeBaseline
+	}
+	if k.Threads <= 0 {
+		k.Threads = 4
+	}
+	if k.Scale <= 0 || k.Scale > 1 {
+		k.Scale = 1
+	}
+	return k
+}
+
+// Path returns the cache file a spec maps to.
+func (c *Cache) Path(s Spec) string {
+	b, err := json.Marshal(c.key(s))
+	if err != nil {
+		// cacheKey is marshal-safe by construction.
+		panic(fmt.Sprintf("harness: cache key: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return filepath.Join(c.dir, hex.EncodeToString(sum[:16])+".json")
+}
+
+// cacheEntry is the on-disk format: the expanded key rides along for
+// debuggability (the filename is only its hash).
+type cacheEntry struct {
+	Key     cacheKey
+	SavedAt time.Time
+	Result  *Result
+}
+
+// Get returns the cached result for the spec, if present and readable.
+func (c *Cache) Get(s Spec) (*Result, bool) {
+	data, err := os.ReadFile(c.Path(s))
+	if err != nil {
+		c.misses.Add(1)
+		return nil, false
+	}
+	var e cacheEntry
+	if err := json.Unmarshal(data, &e); err != nil || e.Result == nil {
+		// A truncated or stale-format file is a miss, not an error: the
+		// fresh run will overwrite it.
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	return e.Result, true
+}
+
+// Put stores a finished result. Writes go through a temp file and rename,
+// so concurrent writers and readers of the same cell never see a torn
+// file.
+func (c *Cache) Put(s Spec, r *Result) (err error) {
+	defer func() {
+		if err != nil {
+			c.writeErrs.Add(1)
+		}
+	}()
+	data, err := json.Marshal(cacheEntry{Key: c.key(s), SavedAt: time.Now().UTC(), Result: r})
+	if err != nil {
+		return fmt.Errorf("harness: cache encode: %w", err)
+	}
+	tmp, err := os.CreateTemp(c.dir, ".put-*")
+	if err != nil {
+		return fmt.Errorf("harness: cache write: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("harness: cache write: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("harness: cache write: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), c.Path(s)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("harness: cache write: %w", err)
+	}
+	c.writes.Add(1)
+	return nil
+}
+
+// CacheStats summarizes a cache's traffic since OpenCache.
+type CacheStats struct {
+	Hits, Misses, Writes, WriteErrors uint64
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() CacheStats {
+	return CacheStats{
+		Hits:        c.hits.Load(),
+		Misses:      c.misses.Load(),
+		Writes:      c.writes.Load(),
+		WriteErrors: c.writeErrs.Load(),
+	}
+}

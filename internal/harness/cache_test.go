@@ -1,0 +1,121 @@
+package harness
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func testSpec() Spec {
+	return Spec{Options: Options{Workload: "memcached", Mode: ModeKard, Scale: 0.02, Seed: 1}}
+}
+
+func TestCacheRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := testSpec()
+
+	// Cold: miss, then the matrix populates the entry.
+	if _, ok := c.Get(spec); ok {
+		t.Fatal("cold cache must miss")
+	}
+	cold := RunMatrixContext(context.Background(), []Spec{spec}, MatrixOptions{Jobs: 1, Cache: c})
+	if cold[0].Err != nil {
+		t.Fatal(cold[0].Err)
+	}
+	if cold[0].Cached {
+		t.Error("cold run reported a cache hit")
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "*.json"))
+	if len(files) != 1 {
+		t.Fatalf("cache files after cold run = %d, want 1", len(files))
+	}
+
+	// Warm: the same spec hits and returns an identical result.
+	warm := RunMatrixContext(context.Background(), []Spec{spec}, MatrixOptions{Jobs: 1, Cache: c})
+	if warm[0].Err != nil {
+		t.Fatal(warm[0].Err)
+	}
+	if !warm[0].Cached {
+		t.Error("warm run missed the cache")
+	}
+	a, _ := json.Marshal(cold[0].Result)
+	b, _ := json.Marshal(warm[0].Result)
+	if string(a) != string(b) {
+		t.Errorf("cached result differs from fresh result:\n%s\nvs\n%s", a, b)
+	}
+
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 2 || st.Writes != 1 || st.WriteErrors != 0 {
+		t.Errorf("stats = %+v, want 1 hit, 2 misses, 1 write", st)
+	}
+
+	// A different code version must miss: stale results never serve.
+	stale := &Cache{dir: dir, Version: c.Version + "+newercode"}
+	if _, ok := stale.Get(spec); ok {
+		t.Error("stale-version key served a cached result")
+	}
+}
+
+func TestCacheKeyNormalization(t *testing.T) {
+	c := &Cache{dir: "x", Version: "v"}
+	implicit := Spec{Options: Options{Workload: "aget"}}
+	explicit := Spec{Options: Options{Workload: "aget", Mode: ModeBaseline, Threads: 4, Scale: 1}}
+	if c.Path(implicit) != c.Path(explicit) {
+		t.Error("default options and their explicit equivalents must share a key")
+	}
+	other := Spec{Options: Options{Workload: "aget", Mode: ModeKard}}
+	if c.Path(implicit) == c.Path(other) {
+		t.Error("different modes must not share a key")
+	}
+	variant := Spec{Variant: "nginx-128kB"}
+	if c.Path(variant) == c.Path(Spec{Variant: "nginx-256kB"}) {
+		t.Error("different variants must not share a key")
+	}
+}
+
+func TestCacheCorruptEntryIsMiss(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := testSpec()
+	if err := os.WriteFile(c.Path(spec), []byte("{truncated"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(spec); ok {
+		t.Error("corrupt entry served as a hit")
+	}
+	// And a fresh run must overwrite it with a good entry.
+	rs := RunMatrixContext(context.Background(), []Spec{spec}, MatrixOptions{Jobs: 1, Cache: c})
+	if rs[0].Err != nil {
+		t.Fatal(rs[0].Err)
+	}
+	if _, ok := c.Get(spec); !ok {
+		t.Error("corrupt entry was not repaired by the fresh run")
+	}
+}
+
+func TestCachePutWriteError(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chmod(dir, 0o555); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chmod(dir, 0o755)
+	if err := c.Put(testSpec(), &Result{}); err == nil {
+		t.Skip("cache dir still writable (running as root)")
+	}
+	if st := c.Stats(); st.WriteErrors != 1 {
+		t.Errorf("write errors = %d, want 1", st.WriteErrors)
+	}
+}

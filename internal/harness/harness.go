@@ -7,6 +7,16 @@
 //	Kard     — unique-page allocator + the Kard detector
 //	TSan     — native allocator + happens-before instrumentation
 //	Lockset  — native allocator + Eraser-style lockset detection
+//
+// On top of the single-cell Run/RunWorkload entry points, the package
+// provides the parallel evaluation harness behind kardbench and
+// internal/report: RunMatrix fans a workload × configuration × seed
+// matrix out across a worker pool with deterministic, spec-ordered
+// results, per-cell panic isolation, and context cancellation, and Cache
+// is the content-addressed store (keyed by full run configuration plus
+// code version) that lets repeated evaluations skip already-computed
+// cells. Every simulation is deterministic, so parallel and cached runs
+// are byte-identical to sequential fresh ones.
 package harness
 
 import (

@@ -1,0 +1,188 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"kard/internal/workload"
+)
+
+// Spec is one cell of an evaluation matrix: the harness options for the
+// run, plus an optional factory for workload variants that are not in the
+// registry (e.g. the sized NGINX models of the §7.2 sweep).
+type Spec struct {
+	Options
+
+	// Make, when non-nil, constructs the (single-use) workload instance
+	// instead of resolving Options.Workload through the registry.
+	// Factory specs must set Variant so cache keys stay unambiguous.
+	Make func() workload.Workload `json:"-"`
+
+	// Variant discriminates factory-built workload variants in progress
+	// labels and cache keys.
+	Variant string
+}
+
+// Label renders the cell compactly for progress output and errors.
+func (s Spec) Label() string {
+	name := s.Variant
+	if name == "" {
+		name = s.Workload
+	}
+	mode := s.Mode
+	if mode == "" {
+		mode = ModeBaseline
+	}
+	threads := s.Threads
+	if threads <= 0 {
+		threads = 4
+	}
+	return fmt.Sprintf("%s/%s/t%d/seed%d", name, mode, threads, s.Seed)
+}
+
+// MatrixResult is one finished (or failed, or cancelled) cell of a
+// RunMatrix call.
+type MatrixResult struct {
+	Spec   Spec
+	Result *Result
+	Err    error
+	// Cached reports whether the result came from the cache rather than
+	// a fresh simulation.
+	Cached bool
+	// Elapsed is the wall-clock cost of the cell (zero on cache hits).
+	Elapsed time.Duration
+}
+
+// MatrixOptions tune RunMatrixContext.
+type MatrixOptions struct {
+	// Jobs is the number of concurrent workers (0 = GOMAXPROCS). The
+	// simulations are deterministic and independent, so results are
+	// identical for every jobs value; only wall-clock time changes.
+	Jobs int
+
+	// Cache, when non-nil, serves previously computed cells and stores
+	// fresh ones.
+	Cache *Cache
+
+	// OnCell, when non-nil, is invoked after each finished cell with the
+	// completion count. Calls are serialized; done counts completion
+	// order, not spec order.
+	OnCell func(done, total int, r MatrixResult)
+}
+
+// RunMatrix fans the given cells out across jobs workers and returns the
+// results in spec order. It is the convenience form of RunMatrixContext
+// with no cancellation, cache, or progress.
+func RunMatrix(jobs int, specs []Spec) []MatrixResult {
+	return RunMatrixContext(context.Background(), specs, MatrixOptions{Jobs: jobs})
+}
+
+// RunMatrixContext executes every cell of specs on a pool of worker
+// goroutines and returns one MatrixResult per spec, in spec order
+// regardless of completion order (the simulations are deterministic, so a
+// parallel run is byte-identical to a sequential one).
+//
+// A panic in one cell — in the workload factory, Prepare, or (via the
+// engine's own isolation) the simulated thread bodies — is converted into
+// that cell's Err and does not affect other cells. Cancelling ctx stops
+// handing out new cells; cells never started carry ctx's error.
+func RunMatrixContext(ctx context.Context, specs []Spec, mo MatrixOptions) []MatrixResult {
+	jobs := mo.Jobs
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	if jobs > len(specs) {
+		jobs = len(specs)
+	}
+	if jobs < 1 {
+		jobs = 1
+	}
+
+	results := make([]MatrixResult, len(specs))
+	indices := make(chan int)
+	go func() {
+		defer close(indices)
+		for i := range specs {
+			// Checking Err first makes cancellation deterministic: with
+			// both channels ready, select alone could still hand out the
+			// next cell.
+			if ctx.Err() != nil {
+				return
+			}
+			select {
+			case indices <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex // serializes OnCell and the done count
+		done int
+	)
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range indices {
+				results[i] = runCell(specs[i], mo.Cache)
+				if mo.OnCell != nil {
+					mu.Lock()
+					done++
+					mo.OnCell(done, len(specs), results[i])
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if err := ctx.Err(); err != nil {
+		for i := range results {
+			if results[i].Result == nil && results[i].Err == nil {
+				results[i] = MatrixResult{Spec: specs[i], Err: err}
+			}
+		}
+	}
+	return results
+}
+
+// runCell executes one cell: cache lookup, simulation, cache store.
+func runCell(spec Spec, cache *Cache) MatrixResult {
+	mr := MatrixResult{Spec: spec}
+	if cache != nil {
+		if r, ok := cache.Get(spec); ok {
+			mr.Result, mr.Cached = r, true
+			return mr
+		}
+	}
+	start := time.Now()
+	mr.Result, mr.Err = runCellIsolated(spec)
+	mr.Elapsed = time.Since(start)
+	if mr.Err == nil && cache != nil {
+		// Best effort: a full or read-only cache directory must not sink
+		// an otherwise healthy run. Put counts failures in Stats().
+		_ = cache.Put(spec, mr.Result)
+	}
+	return mr
+}
+
+// runCellIsolated runs the simulation behind a recover so a panicking
+// workload factory or Prepare turns into a per-cell error.
+func runCellIsolated(spec Spec) (r *Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("harness: panic in cell %s: %v\n%s", spec.Label(), p, debug.Stack())
+		}
+	}()
+	if spec.Make != nil {
+		return RunWorkload(spec.Options, spec.Make())
+	}
+	return Run(spec.Options)
+}

@@ -1,0 +1,157 @@
+package harness
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"kard/internal/sim"
+	"kard/internal/workload"
+)
+
+// smallMatrix is a cheap but non-trivial matrix: two workloads under three
+// detectors at two seeds.
+func smallMatrix() []Spec {
+	var specs []Spec
+	for _, name := range []string{"aget", "pigz"} {
+		for _, mode := range []Mode{ModeBaseline, ModeKard, ModeTSan} {
+			for _, seed := range []int64{1, 2} {
+				specs = append(specs, Spec{Options: Options{
+					Workload: name, Mode: mode, Scale: 0.02, Seed: seed,
+				}})
+			}
+		}
+	}
+	return specs
+}
+
+// marshalResults encodes only the simulation payloads (not wall-clock
+// metadata), the quantity that must be identical across jobs counts.
+func marshalResults(t *testing.T, rs []MatrixResult) [][]byte {
+	t.Helper()
+	out := make([][]byte, len(rs))
+	for i, r := range rs {
+		if r.Err != nil {
+			t.Fatalf("cell %s: %v", r.Spec.Label(), r.Err)
+		}
+		b, err := json.Marshal(r.Result)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = b
+	}
+	return out
+}
+
+func TestRunMatrixDeterministic(t *testing.T) {
+	specs := smallMatrix()
+	seq := marshalResults(t, RunMatrix(1, specs))
+	par := marshalResults(t, RunMatrix(8, specs))
+	for i := range seq {
+		if string(seq[i]) != string(par[i]) {
+			t.Errorf("cell %s: jobs=1 and jobs=8 results differ:\n%s\nvs\n%s",
+				specs[i].Label(), seq[i], par[i])
+		}
+	}
+}
+
+func TestRunMatrixOrderAndProgress(t *testing.T) {
+	specs := smallMatrix()
+	var calls int
+	rs := RunMatrixContext(context.Background(), specs, MatrixOptions{
+		Jobs: 4,
+		OnCell: func(done, total int, r MatrixResult) {
+			calls++
+			if done != calls {
+				t.Errorf("done = %d on call %d (OnCell must be serialized)", done, calls)
+			}
+			if total != len(specs) {
+				t.Errorf("total = %d, want %d", total, len(specs))
+			}
+		},
+	})
+	if calls != len(specs) {
+		t.Errorf("OnCell calls = %d, want %d", calls, len(specs))
+	}
+	for i, r := range rs {
+		if r.Err != nil {
+			t.Fatalf("cell %d: %v", i, r.Err)
+		}
+		// Results must land at their spec's index regardless of the
+		// order cells finished in.
+		if r.Spec.Workload != specs[i].Workload || r.Spec.Mode != specs[i].Mode ||
+			r.Spec.Seed != specs[i].Seed {
+			t.Errorf("cell %d holds %s, want %s", i, r.Spec.Label(), specs[i].Label())
+		}
+		if r.Result.Options.Workload != specs[i].Workload {
+			t.Errorf("cell %d result is for %q", i, r.Result.Options.Workload)
+		}
+	}
+}
+
+func TestRunMatrixCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already cancelled: no cell may start
+	rs := RunMatrixContext(ctx, smallMatrix(), MatrixOptions{Jobs: 2})
+	for i, r := range rs {
+		if r.Err == nil {
+			t.Fatalf("cell %d ran despite cancelled context", i)
+		}
+		if r.Err != context.Canceled {
+			t.Errorf("cell %d error = %v, want context.Canceled", i, r.Err)
+		}
+	}
+}
+
+// panicBodyWorkload panics inside a simulated thread: the engine must
+// convert that into a run error instead of killing the process.
+type panicBodyWorkload struct{}
+
+func (panicBodyWorkload) Spec() workload.Spec { return workload.Spec{Name: "panicker", Suite: "test"} }
+func (panicBodyWorkload) Prepare(*sim.Engine) {}
+func (panicBodyWorkload) Body(m *sim.Thread, threads int, scale float64) {
+	w := m.Go("boom", func(*sim.Thread) { panic("kaboom in thread body") })
+	m.Join(w)
+}
+
+// panicPrepareWorkload panics on the harness worker goroutine itself.
+type panicPrepareWorkload struct{}
+
+func (panicPrepareWorkload) Spec() workload.Spec {
+	return workload.Spec{Name: "preparepanic", Suite: "test"}
+}
+func (panicPrepareWorkload) Prepare(*sim.Engine)                 { panic("kaboom in Prepare") }
+func (panicPrepareWorkload) Body(*sim.Thread, int, float64)      {}
+
+func TestRunMatrixPanicIsolation(t *testing.T) {
+	specs := []Spec{
+		{Options: Options{Workload: "aget", Mode: ModeKard, Scale: 0.02, Seed: 1}},
+		{Make: func() workload.Workload { return panicBodyWorkload{} }, Variant: "panicker"},
+		{Make: func() workload.Workload { return panicPrepareWorkload{} }, Variant: "preparepanic"},
+		{Options: Options{Workload: "pigz", Mode: ModeBaseline, Scale: 0.02, Seed: 1}},
+	}
+	rs := RunMatrix(2, specs)
+	if rs[0].Err != nil || rs[3].Err != nil {
+		t.Fatalf("healthy cells failed: %v / %v", rs[0].Err, rs[3].Err)
+	}
+	for _, i := range []int{1, 2} {
+		if rs[i].Err == nil {
+			t.Fatalf("cell %d (%s) should have failed", i, rs[i].Spec.Label())
+		}
+		if !strings.Contains(rs[i].Err.Error(), "kaboom") {
+			t.Errorf("cell %d error does not carry the panic: %v", i, rs[i].Err)
+		}
+	}
+}
+
+func TestSpecLabel(t *testing.T) {
+	s := Spec{Options: Options{Workload: "aget", Mode: ModeKard, Seed: 3}}
+	if got := s.Label(); got != "aget/kard/t4/seed3" {
+		t.Errorf("label = %q", got)
+	}
+	v := Spec{Variant: "nginx-128kB", Options: Options{Mode: ModeBaseline, Threads: 8}}
+	if got := v.Label(); got != "nginx-128kB/baseline/t8/seed0" {
+		t.Errorf("variant label = %q", got)
+	}
+}

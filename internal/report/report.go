@@ -4,13 +4,23 @@
 // Table 6 (real-world races), Figure 5 (scalability), the §7.2 NGINX
 // file-size sweep, the §3.1 ILU share, and the conceptual Tables 1, 2,
 // and 4 verified against directed scenarios.
+//
+// The simulation-heavy generators build their full cell matrix up front
+// and execute it through harness.RunMatrix, so Options.Jobs workers run
+// cells concurrently (with Options.CacheDir reusing cells across
+// invocations) while the printed tables stay byte-identical to a
+// sequential run.
 package report
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
 	"strings"
+	"time"
+
+	"kard/internal/harness"
 )
 
 // Options configure the table generators.
@@ -24,8 +34,16 @@ type Options struct {
 	Scale float64
 	// Seed keys the deterministic scheduler.
 	Seed int64
-	// Progress, when non-nil, receives one line per completed run.
+	// Progress, when non-nil, receives one line per completed cell:
+	// cells done / total, the cell label, its cost, and an ETA.
 	Progress io.Writer
+	// Jobs is the number of concurrent simulation workers the table
+	// generators fan cells out across (0 = GOMAXPROCS). Runs are
+	// deterministic, so every jobs value produces identical tables.
+	Jobs int
+	// CacheDir, when non-empty, caches finished cells as JSON files
+	// there so repeated invocations skip already-computed cells.
+	CacheDir string
 }
 
 func (o *Options) defaults() {
@@ -37,10 +55,53 @@ func (o *Options) defaults() {
 	}
 }
 
-func (o *Options) progress(format string, args ...any) {
-	if o.Progress != nil {
-		fmt.Fprintf(o.Progress, format+"\n", args...)
+// runCells fans the cells of one table out across o.Jobs workers (through
+// the result cache when configured) and returns their results in spec
+// order, failing on the first cell error. name labels progress lines.
+func (o *Options) runCells(name string, specs []harness.Spec) ([]*harness.Result, error) {
+	mo := harness.MatrixOptions{Jobs: o.Jobs}
+	if o.CacheDir != "" {
+		c, err := harness.OpenCache(o.CacheDir)
+		if err != nil {
+			return nil, err
+		}
+		mo.Cache = c
 	}
+	if o.Progress != nil {
+		tr := &tracker{w: o.Progress, name: name, start: time.Now()}
+		mo.OnCell = tr.cell
+	}
+	cells := harness.RunMatrixContext(context.Background(), specs, mo)
+	out := make([]*harness.Result, len(cells))
+	for i, c := range cells {
+		if c.Err != nil {
+			return nil, c.Err
+		}
+		out[i] = c.Result
+	}
+	return out, nil
+}
+
+// tracker renders live progress: cells done / total, per-cell cost, and a
+// remaining-time estimate from the average pace so far. RunMatrix
+// serializes OnCell calls, so tracker needs no locking.
+type tracker struct {
+	w     io.Writer
+	name  string
+	start time.Time
+}
+
+func (t *tracker) cell(done, total int, r harness.MatrixResult) {
+	cost := "cached"
+	if !r.Cached {
+		cost = fmt.Sprintf("%.2fs", r.Elapsed.Seconds())
+	}
+	eta := ""
+	if done < total {
+		left := time.Since(t.start) / time.Duration(done) * time.Duration(total-done)
+		eta = fmt.Sprintf(" ETA %s", left.Round(time.Second))
+	}
+	fmt.Fprintf(t.w, "  [%s %d/%d] %s %s%s\n", t.name, done, total, r.Spec.Label(), cost, eta)
 }
 
 // geomeanPct computes the geometric mean of percentage overheads the way

@@ -141,6 +141,43 @@ func TestFigure5Smoke(t *testing.T) {
 	}
 }
 
+func TestTablesParallelAndCachedIdentical(t *testing.T) {
+	// The same table must come out byte-identical sequentially, in
+	// parallel, and from a warm cache.
+	render := func(o Options) string {
+		var buf bytes.Buffer
+		if err := Table6(&buf, o); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	seq := render(Options{Scale: 0.02, Seed: 1, Jobs: 1})
+	par := render(Options{Scale: 0.02, Seed: 1, Jobs: 4})
+	if seq != par {
+		t.Errorf("jobs=1 and jobs=4 tables differ:\n%s\nvs\n%s", seq, par)
+	}
+	dir := t.TempDir()
+	cold := render(Options{Scale: 0.02, Seed: 1, Jobs: 4, CacheDir: dir})
+	warm := render(Options{Scale: 0.02, Seed: 1, Jobs: 4, CacheDir: dir})
+	if cold != seq || warm != seq {
+		t.Errorf("cached tables differ from the sequential one")
+	}
+}
+
+func TestProgressOutput(t *testing.T) {
+	var table, prog bytes.Buffer
+	if err := Table5(&table, Options{Scale: 0.02, Seed: 1, Jobs: 2, Progress: &prog}); err != nil {
+		t.Fatal(err)
+	}
+	out := prog.String()
+	if !strings.Contains(out, "[table5 4/4]") {
+		t.Errorf("progress lacks final done/total marker:\n%s", out)
+	}
+	if !strings.Contains(out, "memcached/kard") {
+		t.Errorf("progress lacks cell labels:\n%s", out)
+	}
+}
+
 func TestTable2Static(t *testing.T) {
 	var buf bytes.Buffer
 	Table2(&buf, 7.2)

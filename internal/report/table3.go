@@ -41,32 +41,48 @@ func (a *AppResult) DTLBPct(r *harness.Result) float64 {
 	return (r.Stats.DTLBMissRate()/base - 1) * 100
 }
 
+// appModes are the four Table 3 configurations, in column order.
+var appModes = []harness.Mode{harness.ModeBaseline, harness.ModeAlloc, harness.ModeKard, harness.ModeTSan}
+
+// appSpecs builds the four Table 3 cells of one workload.
+func appSpecs(name string, o Options) []harness.Spec {
+	specs := make([]harness.Spec, 0, len(appModes))
+	for _, mode := range appModes {
+		specs = append(specs, harness.Spec{Options: harness.Options{
+			Workload: name, Mode: mode,
+			Threads: o.Threads, Scale: o.Scale, Seed: o.Seed,
+		}})
+	}
+	return specs
+}
+
+// appFromResults assembles an AppResult from the four cells appSpecs
+// built, in the same order.
+func appFromResults(rs []*harness.Result) *AppResult {
+	out := &AppResult{Spec: rs[0].Spec}
+	for i, mode := range appModes {
+		switch mode {
+		case harness.ModeBaseline:
+			out.Baseline = rs[i]
+		case harness.ModeAlloc:
+			out.Alloc = rs[i]
+		case harness.ModeKard:
+			out.Kard = rs[i]
+		case harness.ModeTSan:
+			out.TSan = rs[i]
+		}
+	}
+	return out
+}
+
 // RunApp executes the four Table 3 configurations of one workload.
 func RunApp(name string, o Options) (*AppResult, error) {
 	o.defaults()
-	out := &AppResult{}
-	for _, mode := range []harness.Mode{harness.ModeBaseline, harness.ModeAlloc, harness.ModeKard, harness.ModeTSan} {
-		r, err := harness.Run(harness.Options{
-			Workload: name, Mode: mode,
-			Threads: o.Threads, Scale: o.Scale, Seed: o.Seed,
-		})
-		if err != nil {
-			return nil, err
-		}
-		out.Spec = r.Spec
-		switch mode {
-		case harness.ModeBaseline:
-			out.Baseline = r
-		case harness.ModeAlloc:
-			out.Alloc = r
-		case harness.ModeKard:
-			out.Kard = r
-		case harness.ModeTSan:
-			out.TSan = r
-		}
-		o.progress("  %-15s %-9s done (exec %.3fs simulated)", name, mode, r.Stats.ExecSeconds())
+	rs, err := o.runCells("app", appSpecs(name, o))
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return appFromResults(rs), nil
 }
 
 // Table3 runs all 19 applications in the four configurations and prints
@@ -79,6 +95,25 @@ func Table3(w io.Writer, o Options) ([]*AppResult, error) {
 	fmt.Fprintf(w, "Table 3: execution statistics and overheads (threads=%d scale=%.2f seed=%d)\n\n",
 		o.Threads, o.Scale, o.Seed)
 
+	// Fan the whole workload × configuration matrix out at once, so
+	// parallelism spans suites rather than one application at a time.
+	var names []string
+	for _, suite := range []string{"PARSEC", "SPLASH-2x", "real-world"} {
+		names = append(names, workload.BySuite(suite)...)
+	}
+	var specs []harness.Spec
+	for _, name := range names {
+		specs = append(specs, appSpecs(name, o)...)
+	}
+	rs, err := o.runCells("table3", specs)
+	if err != nil {
+		return nil, err
+	}
+	byName := make(map[string]*AppResult, len(names))
+	for i, name := range names {
+		byName[name] = appFromResults(rs[i*len(appModes) : (i+1)*len(appModes)])
+	}
+
 	header := fmt.Sprintf("%-15s %9s %7s %6s %6s %5s %6s %9s | %8s %8s %8s %9s | %9s %8s | %9s",
 		"benchmark", "heap", "global", "RO", "RW", "CS", "activ", "entries",
 		"base(s)", "alloc%", "kard%", "tsan%", "rss", "mem%", "dtlb-rate")
@@ -87,10 +122,7 @@ func Table3(w io.Writer, o Options) ([]*AppResult, error) {
 		rule(w, len(header))
 		var kardP, allocP, tsanP, memP []float64
 		for _, name := range workload.BySuite(suite) {
-			a, err := RunApp(name, o)
-			if err != nil {
-				return err
-			}
+			a := byName[name]
 			all = append(all, a)
 			st := a.Baseline.Stats
 			fmt.Fprintf(w, "%-15s %9d %7d %6d %6d %5d %6d %9d | %8.3f %+7.1f%% %+7.1f%% %+8.1f%% | %9s %+7.1f%% | %.7f\n",
@@ -172,25 +204,33 @@ func Figure5(w io.Writer, o Options) error {
 	fmt.Fprintln(w, header)
 	rule(w, len(header))
 
-	perThread := map[int][]float64{}
 	names := append(workload.BySuite("PARSEC"), workload.BySuite("SPLASH-2x")...)
+	var specs []harness.Spec
+	for _, name := range names {
+		for _, threads := range threadCounts {
+			for _, mode := range []harness.Mode{harness.ModeBaseline, harness.ModeKard} {
+				specs = append(specs, harness.Spec{Options: harness.Options{
+					Workload: name, Mode: mode,
+					Threads: threads, Scale: o.Scale, Seed: o.Seed,
+				}})
+			}
+		}
+	}
+	rs, err := o.runCells("figure5", specs)
+	if err != nil {
+		return err
+	}
+
+	perThread := map[int][]float64{}
+	cell := 0
 	for _, name := range names {
 		row := fmt.Sprintf("%-15s", name)
 		for _, threads := range threadCounts {
-			base, err := harness.Run(harness.Options{Workload: name, Mode: harness.ModeBaseline,
-				Threads: threads, Scale: o.Scale, Seed: o.Seed})
-			if err != nil {
-				return err
-			}
-			kard, err := harness.Run(harness.Options{Workload: name, Mode: harness.ModeKard,
-				Threads: threads, Scale: o.Scale, Seed: o.Seed})
-			if err != nil {
-				return err
-			}
+			base, kard := rs[cell], rs[cell+1]
+			cell += 2
 			pct := harness.OverheadPct(base, kard)
 			perThread[threads] = append(perThread[threads], pct)
 			row = fmt.Sprintf("%s %+9.1f%%", row, pct)
-			o.progress("  %-15s t=%-2d done", name, threads)
 		}
 		fmt.Fprintln(w, row)
 	}

@@ -21,16 +21,23 @@ func Table5(w io.Writer, o Options) error {
 	fmt.Fprintln(w, header)
 	rule(w, len(header))
 
+	specs := make([]harness.Spec, 0, len(threadCounts))
+	for _, threads := range threadCounts {
+		specs = append(specs, harness.Spec{Options: harness.Options{
+			Workload: "memcached", Mode: harness.ModeKard,
+			Threads: threads, Scale: o.Scale, Seed: o.Seed,
+		}})
+	}
+	rs, err := o.runCells("table5", specs)
+	if err != nil {
+		return err
+	}
+
 	type row struct {
 		entries, unique, concurrent, recycling, sharing uint64
 	}
 	rows := make([]row, 0, len(threadCounts))
-	for _, threads := range threadCounts {
-		r, err := harness.Run(harness.Options{Workload: "memcached", Mode: harness.ModeKard,
-			Threads: threads, Scale: o.Scale, Seed: o.Seed})
-		if err != nil {
-			return err
-		}
+	for _, r := range rs {
 		rows = append(rows, row{
 			entries:    r.Stats.CSEntries,
 			unique:     uint64(r.Stats.TotalSections),
@@ -38,7 +45,6 @@ func Table5(w io.Writer, o Options) error {
 			recycling:  r.Kard.KeyRecyclingEvents,
 			sharing:    r.Kard.KeySharingEvents,
 		})
-		o.progress("  memcached t=%-2d done", threads)
 	}
 	print := func(label string, get func(row) uint64) {
 		fmt.Fprintf(w, "%-28s", label)
@@ -67,17 +73,22 @@ func Table6(w io.Writer, o Options) error {
 		"Kard", "paper-Kard", "known-FP", "TSan", "TSan-ILU", "TSan-non-ILU")
 	fmt.Fprintln(w, header)
 	rule(w, len(header))
-	for _, name := range workload.BySuite("real-world") {
-		kard, err := harness.Run(harness.Options{Workload: name, Mode: harness.ModeKard,
-			Threads: o.Threads, Scale: o.Scale, Seed: o.Seed})
-		if err != nil {
-			return err
+	names := workload.BySuite("real-world")
+	var specs []harness.Spec
+	for _, name := range names {
+		for _, mode := range []harness.Mode{harness.ModeKard, harness.ModeTSan} {
+			specs = append(specs, harness.Spec{Options: harness.Options{
+				Workload: name, Mode: mode,
+				Threads: o.Threads, Scale: o.Scale, Seed: o.Seed,
+			}})
 		}
-		tsan, err := harness.Run(harness.Options{Workload: name, Mode: harness.ModeTSan,
-			Threads: o.Threads, Scale: o.Scale, Seed: o.Seed})
-		if err != nil {
-			return err
-		}
+	}
+	rs, err := o.runCells("table6", specs)
+	if err != nil {
+		return err
+	}
+	for i, name := range names {
+		kard, tsan := rs[2*i], rs[2*i+1]
 		ilu, non := 0, 0
 		seen := map[string]bool{}
 		for _, r := range tsan.Stats.Races {
@@ -99,7 +110,6 @@ func Table6(w io.Writer, o Options) error {
 			fmt.Fprintf(w, "             kard: %s offset %d (%s) %q in %q vs thread %d in %q\n",
 				r.Object.Site, r.Offset, r.Kind, r.Site, r.Section, r.OtherThread, r.OtherSection)
 		}
-		o.progress("  %-12s done", name)
 	}
 	fmt.Fprintf(w, "\npaper: Aget 1/1+0, memcached 3/3+0, NGINX 1/1+0, pigz 1 (false positive)/0+0\n")
 	return nil
@@ -115,22 +125,27 @@ func NginxSweep(w io.Writer, o Options) error {
 	fmt.Fprintln(w, header)
 	rule(w, len(header))
 	paper := map[int]string{128: "58.7%", 256: "~", 512: "~", 1024: "8.8%"}
+	sizes := []int{128, 256, 512, 1024}
+	var specs []harness.Spec
+	for _, kb := range sizes {
+		for _, mode := range []harness.Mode{harness.ModeBaseline, harness.ModeKard} {
+			specs = append(specs, harness.Spec{
+				Options: harness.Options{Mode: mode,
+					Threads: o.Threads, Scale: o.Scale, Seed: o.Seed},
+				Make:    func() workload.Workload { return workload.NginxSized(kb) },
+				Variant: fmt.Sprintf("nginx-%dkB", kb),
+			})
+		}
+	}
+	rs, err := o.runCells("nginx-sweep", specs)
+	if err != nil {
+		return err
+	}
 	var pcts []float64
-	for _, kb := range []int{128, 256, 512, 1024} {
-		base, err := harness.RunWorkload(harness.Options{Mode: harness.ModeBaseline,
-			Threads: o.Threads, Scale: o.Scale, Seed: o.Seed}, workload.NginxSized(kb))
-		if err != nil {
-			return err
-		}
-		kard, err := harness.RunWorkload(harness.Options{Mode: harness.ModeKard,
-			Threads: o.Threads, Scale: o.Scale, Seed: o.Seed}, workload.NginxSized(kb))
-		if err != nil {
-			return err
-		}
-		pct := harness.OverheadPct(base, kard)
+	for i, kb := range sizes {
+		pct := harness.OverheadPct(rs[2*i], rs[2*i+1])
 		pcts = append(pcts, pct)
 		fmt.Fprintf(w, "%7dkB %+11.1f%% %12s\n", kb, pct, paper[kb])
-		o.progress("  nginx %dkB done", kb)
 	}
 	fmt.Fprintf(w, "%-10s %+11.1f%% %12s\n", "average", geomeanPct(pcts), "15.1%")
 	return nil
@@ -141,16 +156,16 @@ func NginxSweep(w io.Writer, o Options) error {
 // Kard's scope covers.
 func ILUShare(w io.Writer, o Options) error {
 	o.defaults()
-	tsan, err := harness.Run(harness.Options{Workload: "racecorpus", Mode: harness.ModeTSan,
-		Threads: 2, Scale: o.Scale, Seed: o.Seed})
+	rs, err := o.runCells("ilu-share", []harness.Spec{
+		{Options: harness.Options{Workload: "racecorpus", Mode: harness.ModeTSan,
+			Threads: 2, Scale: o.Scale, Seed: o.Seed}},
+		{Options: harness.Options{Workload: "racecorpus", Mode: harness.ModeKard,
+			Threads: 2, Scale: o.Scale, Seed: o.Seed}},
+	})
 	if err != nil {
 		return err
 	}
-	kard, err := harness.Run(harness.Options{Workload: "racecorpus", Mode: harness.ModeKard,
-		Threads: 2, Scale: o.Scale, Seed: o.Seed})
-	if err != nil {
-		return err
-	}
+	tsan, kard := rs[0], rs[1]
 	ilu, non := 0, 0
 	seen := map[string]bool{}
 	for _, r := range tsan.Stats.Races {

@@ -2,6 +2,8 @@ package sim
 
 import (
 	"fmt"
+	"runtime/debug"
+	"strings"
 	"sync"
 
 	"kard/internal/alloc"
@@ -47,6 +49,15 @@ type Engine struct {
 	runnable int
 	threads  []*Thread
 
+	// runToken is a capacity-1 semaphore serializing workload-body code:
+	// a thread goroutine holds it from resume to its next park, so even
+	// when the scheduler wakes several threads at once (barrier release,
+	// lock handoff, join) their Go code runs one at a time with
+	// happens-before edges between bursts. Simulated time is unaffected —
+	// the scheduler already waits for every runnable thread to park
+	// before executing the next operation.
+	runToken chan struct{}
+
 	startup cycles.Time
 
 	// Section concurrency tracking (Table 5).
@@ -58,6 +69,11 @@ type Engine struct {
 	globalsRegistered int
 	running           bool
 	finished          bool
+
+	// panics records unrecovered panics from thread bodies (guarded by
+	// mu: thread goroutines append concurrently). Run reports them as
+	// errors instead of letting one diverging workload kill the process.
+	panics []string
 }
 
 // New creates an engine with the given configuration and detector. The
@@ -74,6 +90,7 @@ func New(cfg Config, det Detector) *Engine {
 		objects:        tbl,
 		detector:       det,
 		arrivals:       make(chan *Thread, 64),
+		runToken:       make(chan struct{}, 1),
 		sections:       make(map[string]*CriticalSection),
 		activeSections: make(map[*CriticalSection]int),
 	}
@@ -128,7 +145,9 @@ func (e *Engine) Global(size uint64, name string) *alloc.Object {
 
 // Run executes body as the main thread and drives the simulation until
 // every thread exits. It returns the run statistics, or an error if the
-// simulated program deadlocked.
+// simulated program deadlocked or a thread body panicked without
+// recovering (the panic is captured and reported as the error, so one
+// diverging workload cannot take down a whole evaluation process).
 func (e *Engine) Run(body func(*Thread)) (*Stats, error) {
 	if e.finished {
 		return nil, fmt.Errorf("sim: engine already ran")
@@ -162,6 +181,16 @@ func (e *Engine) Run(body func(*Thread)) (*Stats, error) {
 			t.resume <- opResult{err: errAborted} // release the goroutine
 		}
 	}
+	e.mu.Lock()
+	panics := e.panics
+	e.mu.Unlock()
+	if len(panics) > 0 {
+		msg := strings.Join(panics, "\n---\n")
+		if len(blocked) > 0 {
+			msg = fmt.Sprintf("%s\n(threads %v were left blocked by the panic)", msg, blocked)
+		}
+		return nil, fmt.Errorf("sim: workload panic: %s", msg)
+	}
 	if len(blocked) > 0 {
 		return nil, fmt.Errorf("sim: deadlock: threads %v blocked forever\n%s", blocked, report)
 	}
@@ -184,18 +213,32 @@ func (e *Engine) startThread(name string, start cycles.Time, body func(*Thread))
 	e.runnable++
 	e.detector.ThreadStarted(t)
 	go func() {
+		e.runToken <- struct{}{}        // hold the token while running body code
+		defer func() { <-e.runToken }() // release on goroutine exit (runs last)
 		defer func() {
 			if r := recover(); r != nil {
 				if err, ok := r.(error); ok && err == errAborted {
 					return // engine tore the deadlocked thread down
 				}
-				panic(r)
+				// An unrecovered panic in the thread body: record it
+				// and exit the thread normally so the scheduler keeps
+				// running and Run can report the panic as an error.
+				e.recordPanic(t, r)
+				t.submit(op{kind: opExit})
 			}
 		}()
 		body(t)
 		t.submit(op{kind: opExit})
 	}()
 	return t
+}
+
+// recordPanic captures an unrecovered thread-body panic, with the stack of
+// the panicking goroutine, for Run to report.
+func (e *Engine) recordPanic(t *Thread, v any) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.panics = append(e.panics, fmt.Sprintf("thread %s(#%d): %v\n%s", t.name, t.id, v, debug.Stack()))
 }
 
 // errAborted is delivered to threads that are still blocked when the

@@ -10,8 +10,11 @@ import (
 )
 
 // Thread is one simulated program thread. The workload body runs in its
-// own goroutine, but every operation parks at the scheduler, so at most
-// one thread executes an operation at a time and runs are deterministic.
+// own goroutine, but every operation parks at the scheduler, and between
+// operations the body holds the engine's run token, so at most one
+// thread executes Go code at a time: runs are deterministic and body
+// code may touch shared test/workload state without host-level data
+// races.
 //
 // Thread methods panic on programming errors (double free, unlocking a
 // mutex the thread does not hold); a simulated program that misuses the
@@ -216,8 +219,10 @@ func (t *Thread) submit(o op) opResult {
 	}
 	t.pending = o
 	t.opCount++
+	<-t.eng.runToken // release the body-execution token while parked
 	t.eng.arrivals <- t
 	r := <-t.resume
+	t.eng.runToken <- struct{}{} // reacquire before running body code
 	if r.err != nil {
 		panic(r.err)
 	}

@@ -27,6 +27,24 @@
 //     Aget) in a chosen configuration:
 //
 //     rep, err := kard.RunWorkload("memcached", kard.WorkloadConfig{})
+//
+// # Paper map
+//
+// Each internal package carries the paper sections it implements in its
+// own doc comment; together they index the paper:
+//
+//	internal/cycles      virtual-time cost model (§2.2, §7.1 testbed)
+//	internal/mem         virtual memory, memfd, dTLB (§5.3)
+//	internal/mpk         Intel MPK: keys, PKRU, #GP faults (§2.2)
+//	internal/alloc       unique-page + native allocators (§5.3, §6)
+//	internal/sim         execution engine, compiler-pass stand-in (§6)
+//	internal/core        the Kard detector (§4 Algorithm 1, §5.2, §5.4–5.5)
+//	internal/hb          happens-before "TSan" comparator (Tables 3, 6)
+//	internal/lockset     Eraser lockset comparator (§3.1)
+//	internal/workload    the 19 evaluated applications (Table 3)
+//	internal/racecatalog classic race patterns per detector (Tables 1, 2)
+//	internal/harness     run assembly + parallel matrix & cache (§7.2)
+//	internal/report      every table and figure of §7
 package kard
 
 import (
