@@ -11,7 +11,7 @@ JOBS     ?= $(shell nproc 2>/dev/null || echo 4)
 CACHEDIR ?= .cache/kard
 SEED     ?= 1
 
-.PHONY: all build test vet race bench repro repro-fast clean-cache clean
+.PHONY: all build test vet race bench chaos fuzz repro repro-fast clean-cache clean
 
 all: build test
 
@@ -31,6 +31,16 @@ race:
 
 bench:
 	$(GO) test -bench . -benchmem -run '^$$'
+
+# Fault-injection soak: race verdicts must be identical with and without
+# the default fault plan (all faults transient or degradable), and the
+# injected/retried/degraded counters must be nonzero.
+chaos:
+	$(GO) run ./cmd/kardbench -chaos -seed $(SEED) -jobs $(JOBS)
+
+# Fuzz the allocator's graceful degradation under arbitrary fault plans.
+fuzz:
+	$(GO) test -fuzz=FuzzAllocatorFaults -fuzztime=20s -run '^$$' ./internal/alloc/
 
 # Full-fidelity regeneration of every table and figure (EXPERIMENTS.md is
 # written from such a run). Sequential this takes ~24 minutes; with the

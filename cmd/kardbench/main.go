@@ -12,6 +12,7 @@
 //	kardbench -figure 5               # scalability at 8/16/32 threads
 //	kardbench -sweep nginx            # §7.2 file-size sweep
 //	kardbench -table ilu              # §3.1 ILU share over the corpus
+//	kardbench -chaos                  # fault-injection soak: verdicts must hold
 //
 // The -scale flag trades run time for fidelity of the absolute counters
 // (entries, faults); overhead percentages are far less sensitive. The
@@ -47,6 +48,7 @@ func main() {
 		table    = flag.String("table", "", "regenerate one table: 1, 2, 3, 4, 5, 6, or ilu")
 		figure   = flag.String("figure", "", "regenerate one figure: 5")
 		sweep    = flag.String("sweep", "", "run a parameter sweep: nginx")
+		chaos    = flag.Bool("chaos", false, "run the fault-injection soak: race verdicts must not change under the default fault plan")
 		all      = flag.Bool("all", false, "regenerate every table and figure")
 		threads  = flag.Int("threads", 4, "worker threads (the paper's testing scenario is 4)")
 		scale    = flag.Float64("scale", 0.2, "critical-section entry scale in (0,1]")
@@ -135,6 +137,10 @@ func main() {
 	if want("sweep", "nginx") {
 		did = true
 		run("§7.2 NGINX file-size sweep", func() error { return report.NginxSweep(out, o) })
+	}
+	if *chaos {
+		did = true
+		run("Chaos (fault-injection soak)", func() error { return report.Chaos(out, o) })
 	}
 	if !did {
 		flag.Usage()

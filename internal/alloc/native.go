@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"kard/internal/cycles"
+	"kard/internal/faultinject"
 	"kard/internal/mem"
 )
 
@@ -50,13 +51,20 @@ func (n *Native) Space() *mem.AddressSpace { return n.space }
 // Malloc implements Allocator. Objects smaller than a page are packed;
 // larger ones get dedicated pages, as glibc's mmap threshold does.
 func (n *Native) Malloc(size uint64, site string) (*Object, cycles.Duration, error) {
+	if err := n.space.Injector().Fail(faultinject.SiteMalloc); err != nil {
+		return nil, 0, fmt.Errorf("alloc: malloc %d at %s: %w", size, site, err)
+	}
 	cost := cycles.MallocNative
 	padded := align(size, 16)
 	var base mem.Addr
 	switch {
 	case padded >= mem.PageSize:
 		pages := mem.PagesFor(padded)
-		base = n.space.MmapAnon(pages, uint8(0))
+		b, err := n.space.MmapAnon(pages, uint8(0))
+		if err != nil {
+			return nil, 0, err
+		}
+		base = b
 		cost += cycles.Mmap
 		padded = pages * mem.PageSize
 	case len(n.classes[padded]) > 0:
@@ -65,7 +73,10 @@ func (n *Native) Malloc(size uint64, site string) (*Object, cycles.Duration, err
 		n.classes[padded] = fl[:len(fl)-1]
 	default:
 		if n.cur+mem.Addr(padded) > n.curEnd {
-			b := n.space.MmapAnon(n.arena, uint8(0))
+			b, err := n.space.MmapAnon(n.arena, uint8(0))
+			if err != nil {
+				return nil, 0, err
+			}
 			cost += cycles.Mmap
 			n.cur, n.curEnd = b, b+mem.Addr(n.arena*mem.PageSize)
 		}
@@ -109,7 +120,10 @@ func (n *Native) Global(size uint64, name string) (*Object, cycles.Duration, err
 		if pages < 16 {
 			pages = 16
 		}
-		b := n.space.MmapAnon(pages, uint8(0))
+		b, err := n.space.MmapAnon(pages, uint8(0))
+		if err != nil {
+			return nil, 0, err
+		}
 		cost += cycles.Mmap
 		n.gcur, n.gend = b, b+mem.Addr(pages*mem.PageSize)
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"kard/internal/cycles"
+	"kard/internal/faultinject"
 	"kard/internal/mem"
 )
 
@@ -42,11 +43,20 @@ type UniquePage struct {
 	// recycled maps padded size → reusable (addr, page) slots.
 	recycled map[uint64][]mem.Addr
 
+	// fallback serves allocations after persistent unique-page failures
+	// (frame/address-space exhaustion): degraded objects are compactly
+	// packed and lose per-object protection granularity, but the program
+	// keeps running. Created on first use.
+	fallback *Native
+	// fallbackObjs routes frees of degraded objects to the fallback.
+	fallbackObjs map[ObjectID]bool
+
 	// Stats.
-	Consolidated uint64 // objects placed in shared frames
-	Dedicated    uint64 // objects given private frames
-	WastedBytes  uint64 // padding + abandoned frame tails
-	RecycleHits  uint64
+	Consolidated   uint64 // objects placed in shared frames
+	Dedicated      uint64 // objects given private frames
+	WastedBytes    uint64 // padding + abandoned frame tails
+	RecycleHits    uint64
+	FallbackAllocs uint64 // degraded to native compact allocation
 }
 
 // NewUniquePage creates the allocator over as, sharing the object table.
@@ -70,8 +80,33 @@ func (u *UniquePage) Objects() *ObjectTable { return u.objects }
 // Space implements Allocator.
 func (u *UniquePage) Space() *mem.AddressSpace { return u.space }
 
-// Malloc implements Allocator.
+// Malloc implements Allocator. Transient failures (injected OOM, mmap
+// EAGAIN) propagate to the engine, which retries with backoff; persistent
+// unique-page failures degrade to the native compact fallback so the
+// program keeps running with reduced protection granularity.
 func (u *UniquePage) Malloc(size uint64, site string) (*Object, cycles.Duration, error) {
+	if err := u.space.Injector().Fail(faultinject.SiteMalloc); err != nil {
+		return nil, 0, fmt.Errorf("alloc: malloc %d at %s: %w", size, site, err)
+	}
+	o, d, err := u.mallocUnique(size, site)
+	if err == nil || faultinject.IsTransient(err) {
+		return o, d, err
+	}
+	// Persistent exhaustion of the unique-page path: degrade rather than
+	// abort (the §8 spirit — keep the program alive, lose precision).
+	u.FallbackAllocs++
+	u.space.Injector().NoteDegraded()
+	o, d, err = u.nativeFallback().Malloc(size, site)
+	if err != nil {
+		return nil, 0, err
+	}
+	u.fallbackObjs[o.ID] = true
+	return o, d, nil
+}
+
+// mallocUnique is the §5.3 allocation path: unique virtual page(s) per
+// object, small objects consolidated onto shared frames.
+func (u *UniquePage) mallocUnique(size uint64, site string) (*Object, cycles.Duration, error) {
 	cost := cycles.AllocatorBookkeeping
 	padded := align(size, SlotSize)
 	u.WastedBytes += padded - size
@@ -79,7 +114,13 @@ func (u *UniquePage) Malloc(size uint64, site string) (*Object, cycles.Duration,
 	if padded >= mem.PageSize {
 		// Large object: dedicated frames, still unique pages.
 		pages := mem.PagesFor(padded)
-		base := u.space.MmapAnon(pages, 0)
+		if err := u.space.Injector().Fail(faultinject.SiteUniquePage); err != nil {
+			return nil, 0, fmt.Errorf("alloc: unique pages for %d at %s: %w", size, site, err)
+		}
+		base, err := u.space.MmapAnon(pages, 0)
+		if err != nil {
+			return nil, 0, err
+		}
 		cost += cycles.Mmap
 		u.Dedicated++
 		u.WastedBytes += pages*mem.PageSize - padded
@@ -98,6 +139,9 @@ func (u *UniquePage) Malloc(size uint64, site string) (*Object, cycles.Duration,
 
 	// Consolidated small object: place it at the file's fill point,
 	// moving to a fresh frame if it would straddle a frame boundary.
+	if err := u.space.Injector().Fail(faultinject.SiteUniquePage); err != nil {
+		return nil, 0, fmt.Errorf("alloc: consolidating %d at %s: %w", size, site, err)
+	}
 	if off := u.fill % mem.PageSize; off+padded > mem.PageSize {
 		u.WastedBytes += mem.PageSize - off
 		u.fill += mem.PageSize - off
@@ -131,6 +175,12 @@ func (u *UniquePage) Free(o *Object) (cycles.Duration, error) {
 	if o.Global {
 		return 0, fmt.Errorf("alloc: free of global %s", o)
 	}
+	if u.fallbackObjs[o.ID] {
+		// Degraded object: its page is compactly shared, so it must go
+		// back through the fallback's free lists, never Munmap.
+		delete(u.fallbackObjs, o.ID)
+		return u.fallback.Free(o)
+	}
 	if err := u.objects.Remove(o); err != nil {
 		return 0, err
 	}
@@ -150,7 +200,20 @@ func (u *UniquePage) Free(o *Object) (cycles.Duration, error) {
 func (u *UniquePage) Global(size uint64, name string) (*Object, cycles.Duration, error) {
 	padded := align(size, SlotSize)
 	pages := mem.PagesFor(padded)
-	base := u.space.MmapAnon(pages, 0)
+	base, err := u.space.MmapAnon(pages, 0)
+	if err != nil {
+		return nil, 0, err
+	}
 	u.WastedBytes += pages*mem.PageSize - size
 	return u.objects.Insert(base, size, pages*mem.PageSize, true, name), cycles.Mmap + cycles.AllocatorBookkeeping, nil
+}
+
+// nativeFallback returns (creating on first use) the compact allocator
+// degraded allocations fall back to.
+func (u *UniquePage) nativeFallback() *Native {
+	if u.fallback == nil {
+		u.fallback = NewNative(u.space, u.objects)
+		u.fallbackObjs = make(map[ObjectID]bool)
+	}
+	return u.fallback
 }

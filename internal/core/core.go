@@ -152,6 +152,14 @@ type Counts struct {
 	ReactiveAcquires     uint64
 	SoftwareObjects      uint64 // objects under the §8 software fallback
 	SoftwareFaults       uint64 // software-protection traps taken
+
+	// Degradation counters (fault injection): transient pkey_mprotect
+	// failures retried, objects left with a stale page tag after retries
+	// were exhausted, and key allocations degraded because pkey_alloc
+	// failed.
+	ProtectRetries   uint64
+	ProtectDegraded  uint64
+	KeyAllocDegraded uint64
 }
 
 // raceKey dedupes reports: same object, same offset, same section pair

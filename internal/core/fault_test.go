@@ -1,0 +1,135 @@
+package core
+
+import (
+	"testing"
+
+	"kard/internal/faultinject"
+	"kard/internal/sim"
+)
+
+// runFaulty is newRun with a fault plan armed on the engine.
+func runFaulty(t *testing.T, plan faultinject.Plan, opts Options, body func(e *sim.Engine, m *sim.Thread)) (*sim.Stats, *Detector) {
+	t.Helper()
+	det := New(opts)
+	e := sim.New(sim.Config{Seed: 1, UniquePageAllocator: true, Faults: plan}, det)
+	st, err := e.Run(func(m *sim.Thread) { body(e, m) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, det
+}
+
+// lockedWrites is a minimal detector workout: two threads write distinct
+// objects under their own locks, migrating both to the Read-write domain.
+func lockedWrites(e *sim.Engine, m *sim.Thread) {
+	la, lb := e.NewMutex("la"), e.NewMutex("lb")
+	oa, ob := m.Malloc(64, "oa"), m.Malloc(64, "ob")
+	t1 := m.Go("t1", func(w *sim.Thread) {
+		for i := 0; i < 4; i++ {
+			w.Lock(la, "sa")
+			w.Write(oa, 0, 8, "wa")
+			w.Unlock(la)
+		}
+	})
+	t2 := m.Go("t2", func(w *sim.Thread) {
+		for i := 0; i < 4; i++ {
+			w.Lock(lb, "sb")
+			w.Write(ob, 0, 8, "wb")
+			w.Unlock(lb)
+		}
+	})
+	m.Join(t1)
+	m.Join(t2)
+}
+
+func TestTransientPkeyMprotectRetried(t *testing.T) {
+	plan := faultinject.Plan{Sites: map[faultinject.Site]faultinject.Rule{
+		faultinject.SitePkeyMprotect: {Every: 2, Transient: true},
+	}}
+	st, det := runFaulty(t, plan, Options{}, lockedWrites)
+	c := det.Counters()
+	if c.ProtectRetries == 0 {
+		t.Fatalf("ProtectRetries = 0, want retries under every-2nd pkey_mprotect failure")
+	}
+	if c.ProtectDegraded != 0 {
+		t.Errorf("ProtectDegraded = %d, want 0: a single transient failure must not exhaust retries", c.ProtectDegraded)
+	}
+	if st.FaultRetries == 0 {
+		t.Errorf("Stats.FaultRetries = 0, want the retries surfaced in run stats")
+	}
+}
+
+func TestPersistentPkeyMprotectDegrades(t *testing.T) {
+	// Transient but firing on every attempt: retries are exhausted and
+	// the object keeps a stale page tag, recorded — never panicked.
+	plan := faultinject.Plan{Sites: map[faultinject.Site]faultinject.Rule{
+		faultinject.SitePkeyMprotect: {Every: 1, Transient: true},
+	}}
+	_, det := runFaulty(t, plan, Options{}, lockedWrites)
+	c := det.Counters()
+	if c.ProtectDegraded == 0 {
+		t.Fatalf("ProtectDegraded = 0, want stale-tag degradations under always-failing pkey_mprotect")
+	}
+}
+
+func TestKeyAllocFailureDegradesToReadOnly(t *testing.T) {
+	plan := faultinject.Plan{Sites: map[faultinject.Site]faultinject.Rule{
+		faultinject.SitePkeyAlloc: {Every: 1},
+	}}
+	st, det := runFaulty(t, plan, Options{}, lockedWrites)
+	c := det.Counters()
+	if c.KeyAllocDegraded == 0 {
+		t.Fatalf("KeyAllocDegraded = 0, want degradations under always-failing pkey_alloc")
+	}
+	if c.SharedRWEver != 0 {
+		t.Errorf("SharedRWEver = %d, want 0: no object can reach Read-write without a key", c.SharedRWEver)
+	}
+	if st.Degraded == 0 {
+		t.Errorf("Stats.Degraded = 0, want the degradations surfaced in run stats")
+	}
+}
+
+func TestKeyAllocFailureWithSoftwareFallback(t *testing.T) {
+	plan := faultinject.Plan{Sites: map[faultinject.Site]faultinject.Rule{
+		faultinject.SitePkeyAlloc: {Every: 1},
+	}}
+	_, det := runFaulty(t, plan, Options{SoftwareFallback: true}, lockedWrites)
+	c := det.Counters()
+	if c.SoftwareObjects == 0 {
+		t.Fatalf("SoftwareObjects = 0, want objects routed to the §8 fallback when pkey_alloc fails")
+	}
+}
+
+func TestFaultDeliveryDelayKeepsDetection(t *testing.T) {
+	// Stretching signal delivery inside the §5.5 window must not lose
+	// the Figure 1a race.
+	plan := faultinject.Plan{Sites: map[faultinject.Site]faultinject.Rule{
+		faultinject.SiteFaultDelivery: {Every: 2, Delay: 8000},
+	}}
+	st, _ := runFaulty(t, plan, Options{}, func(e *sim.Engine, m *sim.Thread) {
+		la, lb := e.NewMutex("la"), e.NewMutex("lb")
+		b := e.NewBarrier(2)
+		o := m.Malloc(64, "o")
+		t1 := m.Go("t1", func(w *sim.Thread) {
+			w.Lock(la, "sa")
+			w.Write(o, 0, 8, "t1-write")
+			w.Barrier(b)
+			w.Compute(100000)
+			w.Unlock(la)
+		})
+		t2 := m.Go("t2", func(w *sim.Thread) {
+			w.Barrier(b)
+			w.Lock(lb, "sb")
+			w.Read(o, 0, 8, "t2-read")
+			w.Unlock(lb)
+		})
+		m.Join(t1)
+		m.Join(t2)
+	})
+	if len(st.Races) != 1 {
+		t.Fatalf("races = %d under delayed fault delivery, want 1", len(st.Races))
+	}
+	if st.FaultsInjected == 0 {
+		t.Fatalf("FaultsInjected = 0, want delivery delays counted")
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"kard/internal/cycles"
+	"kard/internal/faultinject"
 	"kard/internal/mpk"
 	"kard/internal/sim"
 )
@@ -17,8 +18,11 @@ import (
 func (d *Detector) handleFault(a *sim.Access, f *mpk.Fault) cycles.Duration {
 	d.counts.Faults++
 	// The handler resolves metadata and updates the shared maps under
-	// Kard's internal synchronization (§5.4, §5.5).
-	cost := cycles.Fault + d.serialize(a.Thread, cycles.MapLookup+cycles.MapUpdate)
+	// Kard's internal synchronization (§5.4, §5.5). Fault injection may
+	// stretch signal delivery, widening the §5.5 fault-handling window the
+	// release-time check must tolerate.
+	cost := cycles.Fault + d.eng.Space().Injector().Delay(faultinject.SiteFaultDelivery) +
+		d.serialize(a.Thread, cycles.MapLookup+cycles.MapUpdate)
 	t := a.Thread
 	os := d.state(a.Object)
 
@@ -73,7 +77,8 @@ func (d *Detector) identifyShared(t *sim.Thread, a *sim.Access, os *objState) cy
 	cost += d.noteObject(cs, os, mpk.Write)
 	if os.soft {
 		os.softLast, os.softLastValid = recOf(t, a), true
-	} else if cs == nil {
+	} else if cs == nil && os.domain == DomainReadWrite {
+		// A degraded object (key allocation failed) has no key to claim.
 		d.claim(t, os.key)
 	}
 	return cost
@@ -96,7 +101,7 @@ func (d *Detector) readOnlyWrite(t *sim.Thread, a *sim.Access, os *objState) cyc
 	cost += d.noteObject(cs, os, mpk.Write)
 	if os.soft {
 		os.softLast, os.softLastValid = recOf(t, a), true
-	} else if cs == nil {
+	} else if cs == nil && os.domain == DomainReadWrite {
 		d.claim(t, os.key)
 	}
 	return cost

@@ -1,8 +1,11 @@
 package core
 
 import (
+	"fmt"
+
 	"kard/internal/alloc"
 	"kard/internal/cycles"
+	"kard/internal/faultinject"
 	"kard/internal/mem"
 	"kard/internal/mpk"
 	"kard/internal/sim"
@@ -194,8 +197,29 @@ func (d *Detector) assignKey(t *sim.Thread, os *objState, cs *sim.CriticalSectio
 	}
 
 	k, hw := pick()
+	if hw {
+		// Taking a hardware key models a pkey_alloc-backed reservation;
+		// an injected allocation failure degrades the object instead of
+		// aborting the run.
+		if err := d.eng.Space().Injector().Fail(faultinject.SitePkeyAlloc); err != nil {
+			d.counts.KeyAllocDegraded++
+			d.eng.Space().Injector().NoteDegraded()
+			hw = false
+		}
+	}
 	if !hw {
-		return 0, cost + d.assignSoft(t, os, cs)
+		if d.opts.SoftwareFallback {
+			return 0, cost + d.assignSoft(t, os, cs)
+		}
+		// No hardware key and no software fallback: degrade to the
+		// Read-only domain. The next write faults on k14 and re-attempts
+		// the migration, so detection continues with one extra fault per
+		// degradation instead of a hard failure.
+		os.domain = DomainReadOnly
+		os.key = 0
+		os.unprotected = false
+		cost += d.protect(os.obj, KeyRO)
+		return 0, cost
 	}
 	ks := d.key(k)
 	ks.objects[os.obj.ID] = os
@@ -243,15 +267,45 @@ func (d *Detector) recycle(k mpk.Pkey) cycles.Duration {
 	return cost
 }
 
+// protectMaxRetries bounds the in-handler retries of a transiently failing
+// pkey_mprotect; protectRetryBackoff is the first retry's simulated-cycle
+// backoff, doubled per attempt.
+const (
+	protectMaxRetries                   = 3
+	protectRetryBackoff cycles.Duration = 1000
+)
+
 // protect retags the object's pages with key k via pkey_mprotect.
+//
+// Failure policy: a transiently failing syscall (injected EAGAIN) is
+// retried up to protectMaxRetries times with doubling simulated backoff. A
+// persistently injected failure degrades gracefully — the page tag stays
+// stale, so future accesses to the object fault and re-enter the handler,
+// which re-attempts the migration; only the counter records the event. Any
+// non-injected error means the object's pages vanished under us — an
+// engine invariant violation surfaced through the run error, not a panic.
 func (d *Detector) protect(o *alloc.Object, k mpk.Pkey) cycles.Duration {
-	dcost, err := mpk.PkeyMprotect(d.eng.Space(), o.FirstPage.Base(), o.NumPages*mem.PageSize, k)
-	if err != nil {
-		// The object's pages vanished under us: an engine invariant
-		// violation, not a program condition.
-		panic(err)
+	space := d.eng.Space()
+	cost, err := mpk.PkeyMprotect(space, o.FirstPage.Base(), o.NumPages*mem.PageSize, k)
+	backoff := protectRetryBackoff
+	for r := 0; err != nil && faultinject.IsTransient(err) && r < protectMaxRetries; r++ {
+		d.counts.ProtectRetries++
+		space.Injector().NoteRetry()
+		cost += backoff
+		backoff <<= 1
+		var dcost cycles.Duration
+		dcost, err = mpk.PkeyMprotect(space, o.FirstPage.Base(), o.NumPages*mem.PageSize, k)
+		cost += dcost
 	}
-	return dcost
+	if err != nil {
+		if faultinject.IsInjected(err) {
+			d.counts.ProtectDegraded++
+			space.Injector().NoteDegraded()
+			return cost
+		}
+		d.eng.FailRun(fmt.Errorf("core: protecting %s with %s: %w", o, k, err))
+	}
+	return cost
 }
 
 // conflict describes the concurrent holder that makes a fault a potential

@@ -1,0 +1,313 @@
+// Package faultinject is a seeded, deterministic fault-injection layer
+// for the simulation's syscall-like boundaries. The layers that model
+// kernel interfaces — mem (mmap, ftruncate, physical frame allocation),
+// mpk (pkey_mprotect, key allocation), alloc (malloc), and the engine's
+// #GP delivery — consult one shared Injector at each boundary and receive
+// either nil (proceed) or an injected *Error describing a transient or
+// persistent failure.
+//
+// Determinism is the point: an Injector's decisions depend only on the
+// construction seed, the plan, and the per-site attempt sequence number,
+// never on wall-clock time or host scheduling. Two runs with the same
+// seed, plan, and workload inject byte-identical fault sequences, so a
+// chaos run can be compared verdict-for-verdict against a fault-free run
+// and a failing cell can be replayed exactly.
+//
+// The Injector is not safe for concurrent use. The simulation engine
+// serializes every operation that reaches an injection site, exactly as
+// it serializes the address space itself.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+
+	"kard/internal/cycles"
+)
+
+// Site names one injection boundary. The constants below are the sites
+// the simulation consults; plans may only reference these.
+type Site string
+
+const (
+	// SiteFrameAlloc fails physical frame allocation (memory exhaustion
+	// at the frame pool).
+	SiteFrameAlloc Site = "mem.frame"
+	// SiteTruncate fails Memfd.Truncate (ftruncate on the consolidated
+	// heap file).
+	SiteTruncate Site = "mem.truncate"
+	// SiteMmap fails MmapAnon/MmapShared (address-space exhaustion,
+	// EAGAIN-style mmap failure).
+	SiteMmap Site = "mem.mmap"
+	// SitePkeyMprotect fails pkey_mprotect calls (transient EAGAIN-style
+	// kernel failures).
+	SitePkeyMprotect Site = "mpk.pkey_mprotect"
+	// SitePkeyAlloc fails hardware protection-key assignment in the
+	// detector, modeling pkey-allocation exhaustion (what libmpk
+	// virtualizes).
+	SitePkeyAlloc Site = "mpk.pkey_alloc"
+	// SiteMalloc fails allocation requests outright (OOM at the
+	// allocator entry, any allocator).
+	SiteMalloc Site = "alloc.malloc"
+	// SiteUniquePage fails the unique-page consolidation path inside the
+	// Kard allocator, forcing degradation to native compact allocation.
+	SiteUniquePage Site = "alloc.uniquepage"
+	// SiteFaultDelivery does not fail anything: when it fires, #GP
+	// delivery to the handler is delayed by the rule's Delay cycles,
+	// exercising the §5.5 fault window.
+	SiteFaultDelivery Site = "sim.fault"
+)
+
+// Rule decides when a site fires. A zero rule never fires. Every and
+// Rate compose: the rule fires when either matches.
+type Rule struct {
+	// Every fires on each attempt whose per-site sequence number is a
+	// multiple of Every (deterministic regardless of seed and salt).
+	Every uint64 `json:"every,omitempty"`
+	// Rate fires pseudo-randomly on the given fraction of attempts,
+	// keyed by the injector seed, the plan salt, the site, and the
+	// attempt number.
+	Rate float64 `json:"rate,omitempty"`
+	// Burst extends each firing to that many consecutive attempts,
+	// modeling failures that persist across immediate retries.
+	Burst int `json:"burst,omitempty"`
+	// Max caps the total number of injections at the site (0 = no cap).
+	Max uint64 `json:"max,omitempty"`
+	// Transient marks injected errors as retryable: the consuming layer
+	// is expected to retry with backoff rather than degrade or abort.
+	Transient bool `json:"transient,omitempty"`
+	// Delay is the extra simulated-cycle cost charged when a delay site
+	// (SiteFaultDelivery) fires. Zero selects DefaultDelay.
+	Delay cycles.Duration `json:"delay,omitempty"`
+}
+
+// DefaultDelay is the #GP delivery delay charged when a SiteFaultDelivery
+// rule fires without an explicit Delay: half the paper's 24,000-cycle
+// fault-handling window (§5.5), so delayed faults stay inside the window
+// the release-time analysis already covers.
+const DefaultDelay = cycles.Fault / 2
+
+// Plan is a complete fault-injection configuration. The zero value (and
+// any plan with no sites) injects nothing. Plans marshal to canonical
+// JSON (map keys sort), so they are safe to embed in cache keys.
+type Plan struct {
+	// Salt perturbs Rate-based decisions without changing the plan
+	// identity semantics: retrying a failed run with a bumped salt
+	// re-rolls the probabilistic faults while Every-based ones recur.
+	Salt int64 `json:"salt,omitempty"`
+	// Sites maps each boundary to its firing rule.
+	Sites map[Site]Rule `json:"sites,omitempty"`
+}
+
+// Empty reports whether the plan injects nothing.
+func (p Plan) Empty() bool { return len(p.Sites) == 0 }
+
+// WithSalt returns a copy of the plan carrying the given salt. The site
+// map is shared: plans are read-only after construction.
+func (p Plan) WithSalt(salt int64) Plan {
+	p.Salt = salt
+	return p
+}
+
+// DefaultPlan is the chaos plan kardbench -chaos runs: every injected
+// fault is transient (retried by the consuming layer) or degradable (the
+// unique-page allocator falls back to compact allocation), so race
+// verdicts must match a fault-free run. The Every periods are co-prime so
+// sites fire independently.
+func DefaultPlan() Plan {
+	return Plan{Sites: map[Site]Rule{
+		SiteMmap:          {Every: 211, Transient: true},
+		SiteTruncate:      {Every: 13, Transient: true},
+		SitePkeyMprotect:  {Every: 17, Transient: true},
+		SiteMalloc:        {Every: 97, Transient: true},
+		SiteUniquePage:    {Every: 43, Max: 2},
+		SiteFaultDelivery: {Every: 7, Delay: 8000},
+	}}
+}
+
+// Error is an injected fault. Layers distinguish it from emergent errors
+// with errors.As (or IsInjected) and decide between retry (Transient) and
+// degradation.
+type Error struct {
+	Site Site
+	// Seq is the per-site attempt number the fault fired on.
+	Seq uint64
+	// Transient marks the fault as retryable.
+	Transient bool
+}
+
+func (e *Error) Error() string {
+	kind := "persistent"
+	if e.Transient {
+		kind = "transient"
+	}
+	return fmt.Sprintf("faultinject: %s fault injected at %s (attempt %d)", kind, e.Site, e.Seq)
+}
+
+// IsInjected reports whether err is (or wraps) an injected fault.
+func IsInjected(err error) bool {
+	var fe *Error
+	return errors.As(err, &fe)
+}
+
+// IsTransient reports whether err is (or wraps) a transient injected
+// fault, i.e. one worth retrying.
+func IsTransient(err error) bool {
+	var fe *Error
+	return errors.As(err, &fe) && fe.Transient
+}
+
+// Stats is an Injector counter snapshot.
+type Stats struct {
+	// Injected counts faults injected (including delay firings).
+	Injected uint64
+	// Retried counts retries the consuming layers performed in response
+	// to transient injected faults.
+	Retried uint64
+	// Degraded counts degradation events: a layer permanently switched
+	// an object or operation to a weaker-but-safe policy instead of
+	// failing.
+	Degraded uint64
+	// BySite breaks Injected down per site.
+	BySite map[Site]uint64
+}
+
+// Injector makes the per-attempt decisions for one run. All methods are
+// nil-safe: a nil *Injector never fires, so layers hold an optional
+// injector without guarding call sites.
+type Injector struct {
+	seed  uint64
+	sites map[Site]*siteState
+
+	injected uint64
+	retried  uint64
+	degraded uint64
+}
+
+type siteState struct {
+	rule      Rule
+	attempts  uint64
+	injected  uint64
+	burstLeft int
+}
+
+// New creates an injector for the given engine seed and plan.
+func New(seed int64, plan Plan) *Injector {
+	in := &Injector{
+		seed:  splitmix64(uint64(seed) ^ uint64(plan.Salt)*0xda942042e4dd58b5),
+		sites: make(map[Site]*siteState, len(plan.Sites)),
+	}
+	for s, r := range plan.Sites {
+		in.sites[s] = &siteState{rule: r}
+	}
+	return in
+}
+
+// Fail consults the site and returns an injected *Error when it fires,
+// nil otherwise.
+func (in *Injector) Fail(site Site) error {
+	if in == nil {
+		return nil
+	}
+	st := in.sites[site]
+	if st == nil || !in.fires(site, st) {
+		return nil
+	}
+	return &Error{Site: site, Seq: st.attempts, Transient: st.rule.Transient}
+}
+
+// Delay consults a delay site and returns the extra simulated cycles to
+// charge (zero when the site does not fire).
+func (in *Injector) Delay(site Site) cycles.Duration {
+	if in == nil {
+		return 0
+	}
+	st := in.sites[site]
+	if st == nil || !in.fires(site, st) {
+		return 0
+	}
+	if st.rule.Delay > 0 {
+		return st.rule.Delay
+	}
+	return DefaultDelay
+}
+
+// fires advances the site's attempt counter and decides the injection.
+func (in *Injector) fires(site Site, st *siteState) bool {
+	st.attempts++
+	if st.rule.Max > 0 && st.injected >= st.rule.Max {
+		st.burstLeft = 0
+		return false
+	}
+	fire := false
+	switch {
+	case st.burstLeft > 0:
+		st.burstLeft--
+		fire = true
+	default:
+		if st.rule.Every > 0 && st.attempts%st.rule.Every == 0 {
+			fire = true
+		}
+		if !fire && st.rule.Rate > 0 && in.roll(site, st.attempts) < st.rule.Rate {
+			fire = true
+		}
+		if fire && st.rule.Burst > 1 {
+			st.burstLeft = st.rule.Burst - 1
+		}
+	}
+	if fire {
+		st.injected++
+		in.injected++
+	}
+	return fire
+}
+
+// roll returns a deterministic pseudo-uniform value in [0,1) for the
+// site's attempt.
+func (in *Injector) roll(site Site, seq uint64) float64 {
+	h := in.seed
+	for _, b := range []byte(site) {
+		h = (h ^ uint64(b)) * 0x100000001b3 // FNV-1a step
+	}
+	return float64(splitmix64(h^seq*0x9e3779b97f4a7c15)>>11) / (1 << 53)
+}
+
+// NoteRetry records one retry performed in response to a transient
+// injected fault.
+func (in *Injector) NoteRetry() {
+	if in != nil {
+		in.retried++
+	}
+}
+
+// NoteDegraded records one degradation event.
+func (in *Injector) NoteDegraded() {
+	if in != nil {
+		in.degraded++
+	}
+}
+
+// Stats returns a snapshot of the injector's counters. A nil injector
+// returns zero stats.
+func (in *Injector) Stats() Stats {
+	if in == nil {
+		return Stats{}
+	}
+	s := Stats{Injected: in.injected, Retried: in.retried, Degraded: in.degraded}
+	if len(in.sites) > 0 {
+		s.BySite = make(map[Site]uint64, len(in.sites))
+		for site, st := range in.sites {
+			if st.injected > 0 {
+				s.BySite[site] = st.injected
+			}
+		}
+	}
+	return s
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

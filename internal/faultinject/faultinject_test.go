@@ -1,0 +1,193 @@
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestNilInjectorIsSafe(t *testing.T) {
+	var in *Injector
+	if err := in.Fail(SiteMmap); err != nil {
+		t.Fatalf("nil injector injected: %v", err)
+	}
+	if d := in.Delay(SiteFaultDelivery); d != 0 {
+		t.Fatalf("nil injector delayed: %v", d)
+	}
+	in.NoteRetry()
+	in.NoteDegraded()
+	if s := in.Stats(); s.Injected != 0 || s.Retried != 0 || s.Degraded != 0 {
+		t.Fatalf("nil injector has stats: %+v", s)
+	}
+}
+
+func TestEveryFiresPeriodically(t *testing.T) {
+	in := New(1, Plan{Sites: map[Site]Rule{SiteMmap: {Every: 3}}})
+	var fired []int
+	for i := 1; i <= 10; i++ {
+		if in.Fail(SiteMmap) != nil {
+			fired = append(fired, i)
+		}
+	}
+	want := []int{3, 6, 9}
+	if fmt.Sprint(fired) != fmt.Sprint(want) {
+		t.Fatalf("fired on attempts %v, want %v", fired, want)
+	}
+	if s := in.Stats(); s.Injected != 3 || s.BySite[SiteMmap] != 3 {
+		t.Fatalf("stats = %+v, want 3 injections at %s", s, SiteMmap)
+	}
+}
+
+func TestUnlistedSiteNeverFires(t *testing.T) {
+	in := New(1, Plan{Sites: map[Site]Rule{SiteMmap: {Every: 1}}})
+	for i := 0; i < 100; i++ {
+		if err := in.Fail(SiteTruncate); err != nil {
+			t.Fatalf("unlisted site fired: %v", err)
+		}
+	}
+}
+
+func TestDeterministicAcrossInjectors(t *testing.T) {
+	plan := Plan{Sites: map[Site]Rule{
+		SiteMalloc:       {Rate: 0.1},
+		SitePkeyMprotect: {Every: 7, Rate: 0.02, Transient: true},
+	}}
+	record := func() []string {
+		in := New(42, plan)
+		var out []string
+		for i := 0; i < 2000; i++ {
+			if err := in.Fail(SiteMalloc); err != nil {
+				out = append(out, fmt.Sprintf("m%d", i))
+			}
+			if err := in.Fail(SitePkeyMprotect); err != nil {
+				out = append(out, fmt.Sprintf("p%d", i))
+			}
+		}
+		return out
+	}
+	a, b := record(), record()
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatal("same seed and plan produced different fault sequences")
+	}
+	if len(a) == 0 {
+		t.Fatal("plan injected nothing in 2000 attempts")
+	}
+}
+
+func TestSaltChangesRateDecisionsNotEvery(t *testing.T) {
+	plan := Plan{Sites: map[Site]Rule{
+		SiteMalloc: {Rate: 0.2},
+		SiteMmap:   {Every: 5},
+	}}
+	fireSet := func(p Plan) (rate, every []int) {
+		in := New(7, p)
+		for i := 1; i <= 500; i++ {
+			if in.Fail(SiteMalloc) != nil {
+				rate = append(rate, i)
+			}
+			if in.Fail(SiteMmap) != nil {
+				every = append(every, i)
+			}
+		}
+		return
+	}
+	r0, e0 := fireSet(plan)
+	r1, e1 := fireSet(plan.WithSalt(1))
+	if fmt.Sprint(e0) != fmt.Sprint(e1) {
+		t.Fatal("salt changed Every-based firings")
+	}
+	if fmt.Sprint(r0) == fmt.Sprint(r1) {
+		t.Fatal("salt did not re-roll Rate-based firings")
+	}
+}
+
+func TestRateApproximatesFraction(t *testing.T) {
+	in := New(3, Plan{Sites: map[Site]Rule{SiteMalloc: {Rate: 0.25}}})
+	n := 20000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if in.Fail(SiteMalloc) != nil {
+			hits++
+		}
+	}
+	got := float64(hits) / float64(n)
+	if got < 0.22 || got > 0.28 {
+		t.Fatalf("rate 0.25 fired at %.3f", got)
+	}
+}
+
+func TestBurstAndMax(t *testing.T) {
+	in := New(1, Plan{Sites: map[Site]Rule{SiteTruncate: {Every: 4, Burst: 3, Max: 5}}})
+	var fired []int
+	for i := 1; i <= 40; i++ {
+		if in.Fail(SiteTruncate) != nil {
+			fired = append(fired, i)
+		}
+	}
+	// First firing at 4 extends through 5 and 6; the next period boundary
+	// is 8, whose burst is cut short by Max=5.
+	want := []int{4, 5, 6, 8, 9}
+	if fmt.Sprint(fired) != fmt.Sprint(want) {
+		t.Fatalf("fired on %v, want %v", fired, want)
+	}
+}
+
+func TestTransientClassification(t *testing.T) {
+	in := New(1, Plan{Sites: map[Site]Rule{
+		SiteMmap:     {Every: 1, Transient: true},
+		SiteTruncate: {Every: 1},
+	}})
+	terr := in.Fail(SiteMmap)
+	perr := in.Fail(SiteTruncate)
+	if !IsTransient(terr) || !IsInjected(terr) {
+		t.Fatalf("transient fault misclassified: %v", terr)
+	}
+	if IsTransient(perr) || !IsInjected(perr) {
+		t.Fatalf("persistent fault misclassified: %v", perr)
+	}
+	wrapped := fmt.Errorf("alloc: malloc: %w", terr)
+	if !IsTransient(wrapped) {
+		t.Fatal("IsTransient does not see through wrapping")
+	}
+	if IsTransient(errors.New("emergent")) || IsInjected(errors.New("emergent")) {
+		t.Fatal("plain errors classified as injected")
+	}
+}
+
+func TestDelaySite(t *testing.T) {
+	in := New(1, Plan{Sites: map[Site]Rule{SiteFaultDelivery: {Every: 2, Delay: 9000}}})
+	if d := in.Delay(SiteFaultDelivery); d != 0 {
+		t.Fatalf("attempt 1 delayed by %v", d)
+	}
+	if d := in.Delay(SiteFaultDelivery); d != 9000 {
+		t.Fatalf("attempt 2 delayed by %v, want 9000", d)
+	}
+	// Default delay when the rule leaves Delay zero.
+	in2 := New(1, Plan{Sites: map[Site]Rule{SiteFaultDelivery: {Every: 1}}})
+	if d := in2.Delay(SiteFaultDelivery); d != DefaultDelay {
+		t.Fatalf("default delay = %v, want %v", d, DefaultDelay)
+	}
+}
+
+func TestCounters(t *testing.T) {
+	in := New(1, Plan{Sites: map[Site]Rule{SiteMmap: {Every: 2, Transient: true}}})
+	for i := 0; i < 10; i++ {
+		if err := in.Fail(SiteMmap); err != nil {
+			in.NoteRetry()
+		}
+	}
+	in.NoteDegraded()
+	s := in.Stats()
+	if s.Injected != 5 || s.Retried != 5 || s.Degraded != 1 {
+		t.Fatalf("stats = %+v, want 5 injected, 5 retried, 1 degraded", s)
+	}
+}
+
+func TestDefaultPlanIsTransientOrDegradable(t *testing.T) {
+	for site, r := range DefaultPlan().Sites {
+		degradable := site == SiteUniquePage || site == SitePkeyAlloc || site == SiteFaultDelivery
+		if !r.Transient && !degradable {
+			t.Errorf("default plan injects non-transient, non-degradable faults at %s", site)
+		}
+	}
+}

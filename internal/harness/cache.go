@@ -12,11 +12,14 @@ import (
 	"time"
 
 	"kard/internal/core"
+	"kard/internal/faultinject"
 )
 
 // cacheSchema names the on-disk result format. Bump it whenever the
 // Result layout (or anything it transitively serializes) changes shape.
-const cacheSchema = "kard-result-v1"
+// v2: fault-injection plan joined the key; Stats gained robustness
+// counters.
+const cacheSchema = "kard-result-v2"
 
 // Cache is a content-addressed store of finished harness results: one
 // JSON file per cell, keyed by the full run configuration plus a code
@@ -31,7 +34,7 @@ type Cache struct {
 	// your own (tests do).
 	Version string
 
-	hits, misses, writes, writeErrs atomic.Uint64
+	hits, misses, writes, writeErrs, corrupt atomic.Uint64
 }
 
 // OpenCache creates (if needed) and opens a result cache rooted at dir.
@@ -74,6 +77,12 @@ type cacheKey struct {
 	Seed       int64
 	TLBEntries int
 	Kard       core.Options
+	// Faults participates because an armed fault plan changes simulated
+	// timing and counters. Options.Timeout deliberately does not: a
+	// wall-clock bound never alters a run that finishes. (Go marshals
+	// the plan's site map with sorted keys, so the encoding stays
+	// deterministic.)
+	Faults faultinject.Plan
 }
 
 // key normalizes the spec the same way Run does, so a spec with default
@@ -89,6 +98,7 @@ func (c *Cache) key(s Spec) cacheKey {
 		Seed:       s.Seed,
 		TLBEntries: s.TLBEntries,
 		Kard:       s.Kard,
+		Faults:     s.Faults,
 	}
 	if k.Mode == "" {
 		k.Mode = ModeBaseline
@@ -130,9 +140,13 @@ func (c *Cache) Get(s Spec) (*Result, bool) {
 	}
 	var e cacheEntry
 	if err := json.Unmarshal(data, &e); err != nil || e.Result == nil {
-		// A truncated or stale-format file is a miss, not an error: the
-		// fresh run will overwrite it.
+		// A corrupt or truncated file is a miss, not an error — and it is
+		// deleted eagerly rather than left for the eventual Put: if the
+		// fresh run fails (or the process dies first), the poison entry
+		// must not survive to the next invocation.
+		c.corrupt.Add(1)
 		c.misses.Add(1)
+		_ = os.Remove(c.Path(s))
 		return nil, false
 	}
 	c.hits.Add(1)
@@ -173,9 +187,11 @@ func (c *Cache) Put(s Spec, r *Result) (err error) {
 	return nil
 }
 
-// CacheStats summarizes a cache's traffic since OpenCache.
+// CacheStats summarizes a cache's traffic since OpenCache. Corrupt counts
+// unreadable entries that were deleted and recomputed; they are also
+// included in Misses.
 type CacheStats struct {
-	Hits, Misses, Writes, WriteErrors uint64
+	Hits, Misses, Writes, WriteErrors, Corrupt uint64
 }
 
 // Stats returns a snapshot of the cache counters.
@@ -185,5 +201,6 @@ func (c *Cache) Stats() CacheStats {
 		Misses:      c.misses.Load(),
 		Writes:      c.writes.Load(),
 		WriteErrors: c.writeErrs.Load(),
+		Corrupt:     c.corrupt.Load(),
 	}
 }

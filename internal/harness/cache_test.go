@@ -92,7 +92,16 @@ func TestCacheCorruptEntryIsMiss(t *testing.T) {
 	if _, ok := c.Get(spec); ok {
 		t.Error("corrupt entry served as a hit")
 	}
-	// And a fresh run must overwrite it with a good entry.
+	// The poison file is deleted eagerly, not merely ignored: even if no
+	// fresh run ever stores a replacement, the next invocation must not
+	// trip over it again.
+	if _, err := os.Stat(c.Path(spec)); !os.IsNotExist(err) {
+		t.Errorf("corrupt entry still on disk after Get: %v", err)
+	}
+	if st := c.Stats(); st.Corrupt != 1 {
+		t.Errorf("corrupt count = %d, want 1", st.Corrupt)
+	}
+	// And a fresh run must recompute and store a good entry.
 	rs := RunMatrixContext(context.Background(), []Spec{spec}, MatrixOptions{Jobs: 1, Cache: c})
 	if rs[0].Err != nil {
 		t.Fatal(rs[0].Err)

@@ -1,0 +1,135 @@
+package harness
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"kard/internal/faultinject"
+	"kard/internal/sim"
+	"kard/internal/workload"
+)
+
+// hangWorkload never finishes: its body burns simulated cycles forever, so
+// only the wall-clock watchdog can end the cell.
+type hangWorkload struct{}
+
+func (hangWorkload) Spec() workload.Spec { return workload.Spec{Name: "hang", Suite: "test"} }
+func (hangWorkload) Prepare(*sim.Engine) {}
+func (hangWorkload) Body(m *sim.Thread, threads int, scale float64) {
+	for {
+		m.Compute(1)
+	}
+}
+
+// oneMalloc performs a single allocation, so an injected malloc fault that
+// outlasts the engine's in-run retries fails the whole cell.
+type oneMalloc struct{}
+
+func (oneMalloc) Spec() workload.Spec { return workload.Spec{Name: "onemalloc", Suite: "test"} }
+func (oneMalloc) Prepare(*sim.Engine) {}
+func (oneMalloc) Body(m *sim.Thread, threads int, scale float64) {
+	o := m.Malloc(64, "obj")
+	m.Write(o, 0, 8, "w")
+}
+
+func TestCellTimeoutEndsHungCell(t *testing.T) {
+	specs := []Spec{{Make: func() workload.Workload { return hangWorkload{} }, Variant: "hang"}}
+	rs := RunMatrixContext(t.Context(), specs, MatrixOptions{Jobs: 1, CellTimeout: 50 * time.Millisecond})
+	if !errors.Is(rs[0].Err, sim.ErrWatchdog) {
+		t.Fatalf("hung cell error = %v, want sim.ErrWatchdog", rs[0].Err)
+	}
+}
+
+func TestSpecTimeoutOverridesCellTimeout(t *testing.T) {
+	// The spec's own (shorter) bound wins over the matrix default.
+	specs := []Spec{{
+		Options: Options{Timeout: 30 * time.Millisecond},
+		Make:    func() workload.Workload { return hangWorkload{} },
+		Variant: "hang",
+	}}
+	start := time.Now()
+	rs := RunMatrixContext(t.Context(), specs, MatrixOptions{Jobs: 1, CellTimeout: time.Hour})
+	if !errors.Is(rs[0].Err, sim.ErrWatchdog) {
+		t.Fatalf("hung cell error = %v, want sim.ErrWatchdog", rs[0].Err)
+	}
+	if time.Since(start) > 10*time.Second {
+		t.Fatal("spec-level timeout did not take precedence over the hour-long default")
+	}
+}
+
+func TestRetryTransientRecoversCell(t *testing.T) {
+	// A rate-based transient malloc fault re-rolls under a bumped salt,
+	// so the deterministic whole-cell retry can succeed where the first
+	// attempt died. Search for a (deterministically findable) salt where
+	// the first attempt fails and the bumped one passes.
+	mkSpec := func(salt int64) Spec {
+		plan := faultinject.Plan{Salt: salt, Sites: map[faultinject.Site]faultinject.Rule{
+			faultinject.SiteMalloc: {Rate: 0.9, Transient: true},
+		}}
+		return Spec{
+			Options: Options{Seed: 7, Faults: plan},
+			Make:    func() workload.Workload { return oneMalloc{} },
+			Variant: "onemalloc",
+		}
+	}
+	fails := func(salt int64) bool {
+		r := runCell(mkSpec(salt), MatrixOptions{})
+		if r.Err != nil && !retryable(r.Err) {
+			t.Fatalf("salt %d: unexpected non-transient failure: %v", salt, r.Err)
+		}
+		return r.Err != nil
+	}
+	salt := int64(-1)
+	for s := int64(0); s < 200; s++ {
+		if fails(s) && !fails(s+1) {
+			salt = s
+			break
+		}
+	}
+	if salt < 0 {
+		t.Fatal("no salt found where the first attempt fails and the bumped one passes")
+	}
+
+	rs := RunMatrixContext(t.Context(), []Spec{mkSpec(salt)}, MatrixOptions{Jobs: 1, RetryTransient: true})
+	if rs[0].Err != nil {
+		t.Fatalf("retried cell failed: %v", rs[0].Err)
+	}
+	if rs[0].Attempts != 2 {
+		t.Fatalf("attempts = %d, want 2", rs[0].Attempts)
+	}
+	if rs[0].Result.Stats.FaultsInjected == 0 {
+		t.Error("retried cell reports no injected faults")
+	}
+
+	// Without RetryTransient the same cell must fail — retrying is an
+	// explicit opt-in.
+	rs = RunMatrixContext(t.Context(), []Spec{mkSpec(salt)}, MatrixOptions{Jobs: 1})
+	if rs[0].Err == nil {
+		t.Fatal("cell succeeded without the retry that was supposed to be required")
+	}
+	if rs[0].Attempts != 1 {
+		t.Fatalf("attempts without retry = %d, want 1", rs[0].Attempts)
+	}
+}
+
+func TestFaultsParticipateInCacheKey(t *testing.T) {
+	c := &Cache{dir: "x", Version: "v"}
+	clean := Spec{Options: Options{Workload: "aget"}}
+	chaotic := Spec{Options: Options{Workload: "aget", Faults: faultinject.DefaultPlan()}}
+	if c.Path(clean) == c.Path(chaotic) {
+		t.Error("fault plan must participate in the cache key")
+	}
+	salted := chaotic
+	salted.Faults = salted.Faults.WithSalt(1)
+	if c.Path(chaotic) == c.Path(salted) {
+		t.Error("plan salt must participate in the cache key")
+	}
+	// Timeout deliberately does not participate: a wall-clock bound
+	// never changes a finished result.
+	timed := clean
+	timed.Timeout = time.Minute
+	if c.Path(clean) != c.Path(timed) {
+		t.Error("timeout must not participate in the cache key")
+	}
+}

@@ -21,8 +21,10 @@ package harness
 
 import (
 	"fmt"
+	"time"
 
 	"kard/internal/core"
+	"kard/internal/faultinject"
 	"kard/internal/hb"
 	"kard/internal/lockset"
 	"kard/internal/sim"
@@ -58,6 +60,15 @@ type Options struct {
 	TLBEntries int
 	// Kard tunes the Kard detector when Mode is ModeKard.
 	Kard core.Options
+	// Faults, when non-empty, arms deterministic fault injection for the
+	// run (see internal/faultinject); seed and plan fully determine every
+	// injected failure.
+	Faults faultinject.Plan
+	// Timeout, when positive, bounds the run's wall-clock time: a hung
+	// simulation is torn down and reported as a sim.ErrWatchdog error
+	// with a thread-state dump, instead of blocking forever (default
+	// off).
+	Timeout time.Duration
 }
 
 // Result is one finished run.
@@ -93,7 +104,7 @@ func RunWorkload(o Options, w workload.Workload) (*Result, error) {
 		o.Workload = w.Spec().Name
 	}
 
-	cfg := sim.Config{Seed: o.Seed, TLBEntries: o.TLBEntries}
+	cfg := sim.Config{Seed: o.Seed, TLBEntries: o.TLBEntries, Faults: o.Faults, Watchdog: o.Timeout}
 	var det sim.Detector
 	var kd *core.Detector
 	switch o.Mode {

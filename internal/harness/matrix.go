@@ -2,12 +2,15 @@ package harness
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"runtime/debug"
 	"sync"
 	"time"
 
+	"kard/internal/faultinject"
+	"kard/internal/sim"
 	"kard/internal/workload"
 )
 
@@ -55,6 +58,9 @@ type MatrixResult struct {
 	Cached bool
 	// Elapsed is the wall-clock cost of the cell (zero on cache hits).
 	Elapsed time.Duration
+	// Attempts counts simulation attempts: 0 on cache hits, 1 normally,
+	// 2 when RetryTransient re-ran the cell after a transient failure.
+	Attempts int
 }
 
 // MatrixOptions tune RunMatrixContext.
@@ -72,6 +78,17 @@ type MatrixOptions struct {
 	// completion count. Calls are serialized; done counts completion
 	// order, not spec order.
 	OnCell func(done, total int, r MatrixResult)
+
+	// CellTimeout bounds each cell's wall-clock time; cells whose spec
+	// already sets Options.Timeout keep their own bound. Zero leaves
+	// cells unbounded (default).
+	CellTimeout time.Duration
+
+	// RetryTransient re-runs a cell once when it fails with a transient
+	// injected fault or a watchdog timeout, bumping the fault plan's salt
+	// so rate-based injection decisions re-roll. Deterministic: the same
+	// specs and options always retry the same cells the same way.
+	RetryTransient bool
 }
 
 // RunMatrix fans the given cells out across jobs workers and returns the
@@ -131,7 +148,7 @@ func RunMatrixContext(ctx context.Context, specs []Spec, mo MatrixOptions) []Mat
 		go func() {
 			defer wg.Done()
 			for i := range indices {
-				results[i] = runCell(specs[i], mo.Cache)
+				results[i] = runCell(specs[i], mo)
 				if mo.OnCell != nil {
 					mu.Lock()
 					done++
@@ -153,24 +170,47 @@ func RunMatrixContext(ctx context.Context, specs []Spec, mo MatrixOptions) []Mat
 	return results
 }
 
-// runCell executes one cell: cache lookup, simulation, cache store.
-func runCell(spec Spec, cache *Cache) MatrixResult {
+// runCell executes one cell: cache lookup, simulation (with an optional
+// single retry on transient failure), cache store.
+func runCell(spec Spec, mo MatrixOptions) MatrixResult {
 	mr := MatrixResult{Spec: spec}
-	if cache != nil {
-		if r, ok := cache.Get(spec); ok {
+	if spec.Timeout == 0 {
+		spec.Options.Timeout = mo.CellTimeout
+	}
+	if mo.Cache != nil {
+		if r, ok := mo.Cache.Get(spec); ok {
 			mr.Result, mr.Cached = r, true
 			return mr
 		}
 	}
 	start := time.Now()
 	mr.Result, mr.Err = runCellIsolated(spec)
+	mr.Attempts = 1
+	if mr.Err != nil && mo.RetryTransient && retryable(mr.Err) {
+		// Bumping the salt re-rolls rate-based injection decisions while
+		// keeping the retry itself deterministic; Every-based firings are
+		// salt-independent, so a plan built purely on Every reproduces
+		// the failure and the retry reports it.
+		spec.Faults = spec.Faults.WithSalt(spec.Faults.Salt + 1)
+		mr.Result, mr.Err = runCellIsolated(spec)
+		mr.Attempts = 2
+	}
 	mr.Elapsed = time.Since(start)
-	if mr.Err == nil && cache != nil {
+	if mr.Err == nil && mo.Cache != nil {
 		// Best effort: a full or read-only cache directory must not sink
 		// an otherwise healthy run. Put counts failures in Stats().
-		_ = cache.Put(spec, mr.Result)
+		// Retried cells are stored under the salt-bumped spec they
+		// actually ran with.
+		_ = mo.Cache.Put(spec, mr.Result)
 	}
 	return mr
+}
+
+// retryable reports whether a cell failure is worth one more attempt: a
+// transient injected fault that exhausted its in-run retries, or a
+// watchdog timeout.
+func retryable(err error) bool {
+	return faultinject.IsTransient(err) || errors.Is(err, sim.ErrWatchdog)
 }
 
 // runCellIsolated runs the simulation behind a recover so a panicking

@@ -121,8 +121,8 @@ type panicPrepareWorkload struct{}
 func (panicPrepareWorkload) Spec() workload.Spec {
 	return workload.Spec{Name: "preparepanic", Suite: "test"}
 }
-func (panicPrepareWorkload) Prepare(*sim.Engine)                 { panic("kaboom in Prepare") }
-func (panicPrepareWorkload) Body(*sim.Thread, int, float64)      {}
+func (panicPrepareWorkload) Prepare(*sim.Engine)            { panic("kaboom in Prepare") }
+func (panicPrepareWorkload) Body(*sim.Thread, int, float64) {}
 
 func TestRunMatrixPanicIsolation(t *testing.T) {
 	specs := []Spec{

@@ -1,0 +1,153 @@
+package mem
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"kard/internal/faultinject"
+)
+
+// everyPlan builds a plan that fires at the given site on every attempt.
+func everyPlan(sites ...faultinject.Site) faultinject.Plan {
+	p := faultinject.Plan{Sites: map[faultinject.Site]faultinject.Rule{}}
+	for _, s := range sites {
+		p.Sites[s] = faultinject.Rule{Every: 1, Transient: true}
+	}
+	return p
+}
+
+func TestFramePoolExhaustionIsAnError(t *testing.T) {
+	as := NewAddressSpace(0)
+	as.SetFrameLimit(2)
+	base := mustMmap(t, as, 4, 0)
+
+	buf := []byte{1}
+	if err := as.Store(base, buf); err != nil {
+		t.Fatalf("first touch: %v", err)
+	}
+	if err := as.Store(base+Addr(PageSize), buf); err != nil {
+		t.Fatalf("second touch: %v", err)
+	}
+	err := as.Store(base+Addr(2*PageSize), buf)
+	if !errors.Is(err, ErrFrameExhausted) {
+		t.Fatalf("third touch: got %v, want ErrFrameExhausted", err)
+	}
+	if !strings.Contains(err.Error(), "limit 2") {
+		t.Errorf("error %q does not name the limit", err)
+	}
+	// Raising the limit lets the same page fault in afterwards.
+	as.SetFrameLimit(0)
+	if err := as.Store(base+Addr(2*PageSize), buf); err != nil {
+		t.Fatalf("touch after raising limit: %v", err)
+	}
+}
+
+func TestTruncateGrowRollsBackOnExhaustion(t *testing.T) {
+	as := NewAddressSpace(0)
+	as.SetFrameLimit(2)
+	f := as.NewMemfd("pool")
+	if err := f.Truncate(PageSize); err != nil {
+		t.Fatalf("grow to 1 page: %v", err)
+	}
+	// Growing to 4 pages needs 3 more frames but only 1 remains: the
+	// failed ftruncate must leave the size unchanged.
+	err := f.Truncate(4 * PageSize)
+	if !errors.Is(err, ErrFrameExhausted) {
+		t.Fatalf("overgrow: got %v, want ErrFrameExhausted", err)
+	}
+	if f.Size() != PageSize {
+		t.Fatalf("size after failed grow = %d, want %d (rollback)", f.Size(), PageSize)
+	}
+	// The rolled-back frame is reusable: growing within the limit works.
+	if err := f.Truncate(2 * PageSize); err != nil {
+		t.Fatalf("grow within limit after rollback: %v", err)
+	}
+}
+
+func TestTruncateEdges(t *testing.T) {
+	as := NewAddressSpace(0)
+	f := as.NewMemfd("edges")
+	if err := f.Truncate(1); err != nil { // sub-page rounds up
+		t.Fatalf("truncate to 1 byte: %v", err)
+	}
+	if f.Size() != PageSize {
+		t.Fatalf("size = %d, want one page", f.Size())
+	}
+	if err := f.Truncate(0); err != nil { // shrink to empty
+		t.Fatalf("truncate to 0: %v", err)
+	}
+	if f.Size() != 0 {
+		t.Fatalf("size = %d, want 0", f.Size())
+	}
+}
+
+func TestMmapSharedOverTruncatedRollsBack(t *testing.T) {
+	as := NewAddressSpace(0)
+	f := as.NewMemfd("short")
+	if err := f.Truncate(PageSize); err != nil {
+		t.Fatal(err)
+	}
+	before := as.MappedPages()
+	if _, err := as.MmapShared(f, 0, 2, 0); err == nil {
+		t.Fatal("mapping 2 pages over a 1-page file succeeded")
+	}
+	if got := as.MappedPages(); got != before {
+		t.Fatalf("mapped pages after failed mmap = %d, want %d (rollback)", got, before)
+	}
+	// The file's only frame must not be left with a stray mapping.
+	fr, err := f.frameAt(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Mappings() != 0 {
+		t.Fatalf("frame mappings after failed mmap = %d, want 0", fr.Mappings())
+	}
+	// A valid mapping still works after the rollback.
+	if _, err := as.MmapShared(f, 0, 1, 0); err != nil {
+		t.Fatalf("valid mmap after rollback: %v", err)
+	}
+}
+
+func TestInjectedMmapAndTruncateFail(t *testing.T) {
+	as := NewAddressSpace(0)
+	as.SetInjector(faultinject.New(1, everyPlan(faultinject.SiteMmap, faultinject.SiteTruncate)))
+
+	if _, err := as.MmapAnon(1, 0); !faultinject.IsInjected(err) {
+		t.Fatalf("MmapAnon: got %v, want injected error", err)
+	}
+	f := as.NewMemfd("inj")
+	if err := f.Truncate(PageSize); !faultinject.IsInjected(err) {
+		t.Fatalf("Truncate: got %v, want injected error", err)
+	}
+	if f.Size() != 0 {
+		t.Fatalf("size after injected truncate = %d, want 0", f.Size())
+	}
+	if _, err := as.MmapShared(f, 0, 1, 0); !faultinject.IsInjected(err) {
+		t.Fatalf("MmapShared: got %v, want injected error", err)
+	}
+	// Clearing the injector restores normal service.
+	as.SetInjector(nil)
+	if _, err := as.MmapAnon(1, 0); err != nil {
+		t.Fatalf("MmapAnon after clearing injector: %v", err)
+	}
+}
+
+func TestInjectedFrameAllocFailsTouch(t *testing.T) {
+	as := NewAddressSpace(0)
+	base := mustMmap(t, as, 1, 0)
+	as.SetInjector(faultinject.New(1, everyPlan(faultinject.SiteFrameAlloc)))
+
+	err := as.Store(base, []byte{1})
+	if !faultinject.IsInjected(err) || !errors.Is(err, ErrFrameExhausted) {
+		t.Fatalf("store: got %v, want injected frame exhaustion", err)
+	}
+	// The page must not be half-touched: a later attempt succeeds cleanly.
+	as.SetInjector(nil)
+	if err := as.Store(base, []byte{1}); err != nil {
+		t.Fatalf("store after clearing injector: %v", err)
+	}
+	if as.ResidentPages() != 1 {
+		t.Fatalf("resident pages = %d, want 1", as.ResidentPages())
+	}
+}

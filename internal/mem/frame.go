@@ -1,5 +1,17 @@
 package mem
 
+import (
+	"errors"
+	"fmt"
+
+	"kard/internal/faultinject"
+)
+
+// ErrFrameExhausted reports that the physical frame pool is out of
+// frames: either the configured frame limit was reached or an exhaustion
+// fault was injected. Callers match it with errors.Is.
+var ErrFrameExhausted = errors.New("mem: physical frame pool exhausted")
+
 // Frame is one simulated physical page frame. Frames carry no data by
 // default; workloads that want to store real bytes through the simulated
 // memory (the examples do) get a lazily allocated backing array.
@@ -46,10 +58,21 @@ type framePool struct {
 	free     []*Frame
 	resident uint64 // physical bytes currently allocated
 	peak     uint64 // peak physical bytes
+	// limit bounds live frames (0 = unlimited).
+	limit uint64
+	inj   *faultinject.Injector
 }
 
-// alloc returns a fresh (or recycled) frame.
-func (fp *framePool) alloc() *Frame {
+// alloc returns a fresh (or recycled) frame, or ErrFrameExhausted when
+// the pool's frame limit is reached (recycled frames count: the limit
+// models total physical memory, not allocation traffic).
+func (fp *framePool) alloc() (*Frame, error) {
+	if err := fp.inj.Fail(faultinject.SiteFrameAlloc); err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrFrameExhausted, err)
+	}
+	if fp.limit > 0 && fp.resident/PageSize >= fp.limit {
+		return nil, fmt.Errorf("%w (limit %d frames)", ErrFrameExhausted, fp.limit)
+	}
 	var f *Frame
 	if n := len(fp.free); n > 0 {
 		f = fp.free[n-1]
@@ -65,7 +88,7 @@ func (fp *framePool) alloc() *Frame {
 	if fp.resident > fp.peak {
 		fp.peak = fp.resident
 	}
-	return f
+	return f, nil
 }
 
 // release returns a frame to the pool.

@@ -6,7 +6,7 @@ import "testing"
 // simulator pays on every data access.
 func BenchmarkTranslateHit(b *testing.B) {
 	as := NewAddressSpace(0)
-	a := as.MmapAnon(1, 0)
+	a := mustMmap(b, as, 1, 0)
 	if _, _, _, err := as.Translate(a); err != nil {
 		b.Fatal(err)
 	}
@@ -23,7 +23,7 @@ func BenchmarkTranslateHit(b *testing.B) {
 func BenchmarkTranslateMiss(b *testing.B) {
 	as := NewAddressSpace(64)
 	const pages = 4096
-	a := as.MmapAnon(pages, 0)
+	a := mustMmap(b, as, pages, 0)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		addr := a + Addr((i%pages)*PageSize)
@@ -46,7 +46,7 @@ func BenchmarkMmapAnon(b *testing.B) {
 // BenchmarkProtect measures pkey retagging of a mapped page.
 func BenchmarkProtect(b *testing.B) {
 	as := NewAddressSpace(0)
-	a := as.MmapAnon(1, 0)
+	a := mustMmap(b, as, 1, 0)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := as.Protect(a, PageSize, uint8(i%16)); err != nil {

@@ -64,7 +64,7 @@ func TestPageRangeSpansPages(t *testing.T) {
 
 func TestMmapAnonAndTranslate(t *testing.T) {
 	as := NewAddressSpace(0)
-	a := as.MmapAnon(2, 5)
+	a := mustMmap(t, as, 2, 5)
 	if Offset(a) != 0 {
 		t.Fatalf("mmap returned unaligned address %s", a)
 	}
@@ -103,7 +103,7 @@ func TestTranslateUnmapped(t *testing.T) {
 
 func TestMunmap(t *testing.T) {
 	as := NewAddressSpace(0)
-	a := as.MmapAnon(3, 0)
+	a := mustMmap(t, as, 3, 0)
 	if err := as.Munmap(a, 3); err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +120,7 @@ func TestMunmap(t *testing.T) {
 
 func TestMunmapRejectsHoles(t *testing.T) {
 	as := NewAddressSpace(0)
-	a := as.MmapAnon(3, 0)
+	a := mustMmap(t, as, 3, 0)
 	if err := as.Munmap(a+PageSize, 1); err != nil {
 		t.Fatal(err)
 	}
@@ -219,7 +219,7 @@ func TestTruncateShrinkGuard(t *testing.T) {
 
 func TestProtectRetagsPages(t *testing.T) {
 	as := NewAddressSpace(0)
-	a := as.MmapAnon(2, 0)
+	a := mustMmap(t, as, 2, 0)
 	// Warm the TLB first so we exercise the no-flush property.
 	if _, _, _, err := as.Translate(a); err != nil {
 		t.Fatal(err)
@@ -244,7 +244,7 @@ func TestProtectRetagsPages(t *testing.T) {
 
 func TestProtectSpansRange(t *testing.T) {
 	as := NewAddressSpace(0)
-	a := as.MmapAnon(3, 0)
+	a := mustMmap(t, as, 3, 0)
 	// Protect a byte range straddling pages 0 and 1 only.
 	if err := as.Protect(a+PageSize-1, 2, 7); err != nil {
 		t.Fatal(err)
@@ -259,7 +259,7 @@ func TestProtectSpansRange(t *testing.T) {
 
 func TestTLBEvictionAndCounters(t *testing.T) {
 	as := NewAddressSpace(4)
-	a := as.MmapAnon(8, 0)
+	a := mustMmap(t, as, 8, 0)
 	for i := 0; i < 8; i++ {
 		if _, _, _, err := as.Translate(a + Addr(i*PageSize)); err != nil {
 			t.Fatal(err)
@@ -289,7 +289,7 @@ func TestTLBEvictionAndCounters(t *testing.T) {
 
 func TestTLBInvalidate(t *testing.T) {
 	as := NewAddressSpace(0)
-	a := as.MmapAnon(1, 0)
+	a := mustMmap(t, as, 1, 0)
 	if _, _, _, err := as.Translate(a); err != nil {
 		t.Fatal(err)
 	}
@@ -304,7 +304,7 @@ func TestTLBInvalidate(t *testing.T) {
 
 func TestRSSTracking(t *testing.T) {
 	as := NewAddressSpace(0)
-	a := as.MmapAnon(4, 0)
+	a := mustMmap(t, as, 4, 0)
 	if got := as.ResidentBytes(); got != 0 {
 		t.Errorf("resident = %d before any touch, want 0 (demand paging)", got)
 	}
@@ -343,14 +343,14 @@ func TestRSSTracking(t *testing.T) {
 
 func TestFrameRecycling(t *testing.T) {
 	as := NewAddressSpace(0)
-	a := as.MmapAnon(1, 0)
+	a := mustMmap(t, as, 1, 0)
 	if err := as.Store(a, []byte{1, 2, 3}); err != nil {
 		t.Fatal(err)
 	}
 	if err := as.Munmap(a, 1); err != nil {
 		t.Fatal(err)
 	}
-	b := as.MmapAnon(1, 0)
+	b := mustMmap(t, as, 1, 0)
 	buf := make([]byte, 3)
 	if err := as.Load(b, buf); err != nil {
 		t.Fatal(err)
@@ -362,7 +362,7 @@ func TestFrameRecycling(t *testing.T) {
 
 func TestStoreLoadAcrossPages(t *testing.T) {
 	as := NewAddressSpace(0)
-	a := as.MmapAnon(2, 0)
+	a := mustMmap(t, as, 2, 0)
 	msg := make([]byte, 100)
 	for i := range msg {
 		msg[i] = byte(i)
@@ -387,7 +387,7 @@ func TestStoreLoadAcrossPages(t *testing.T) {
 
 func TestPagesWithKey(t *testing.T) {
 	as := NewAddressSpace(0)
-	a := as.MmapAnon(3, 2)
+	a := mustMmap(t, as, 3, 2)
 	if err := as.Protect(a+PageSize, PageSize, 4); err != nil {
 		t.Fatal(err)
 	}
@@ -397,4 +397,15 @@ func TestPagesWithKey(t *testing.T) {
 	if got := len(as.PagesWithKey(4)); got != 1 {
 		t.Errorf("pages with key 4 = %d, want 1", got)
 	}
+}
+
+// mustMmap is the test shorthand for MmapAnon calls that cannot fail
+// (no injector, no frame limit).
+func mustMmap(tb testing.TB, as *AddressSpace, n uint64, pkey uint8) Addr {
+	tb.Helper()
+	a, err := as.MmapAnon(n, pkey)
+	if err != nil {
+		tb.Fatalf("MmapAnon(%d, %d): %v", n, pkey, err)
+	}
+	return a
 }

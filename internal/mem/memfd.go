@@ -1,6 +1,10 @@
 package mem
 
-import "fmt"
+import (
+	"fmt"
+
+	"kard/internal/faultinject"
+)
 
 // Memfd is a simulated in-memory file created with memfd_create(2).
 // Kard's consolidated unique-page allocator creates one, grows it with
@@ -32,12 +36,27 @@ func (f *Memfd) Size() uint64 { return uint64(len(f.frames)) * PageSize }
 // simulator it always indicates an allocator bug, so it is reported
 // eagerly.
 func (f *Memfd) Truncate(size uint64) error {
+	if err := f.space.inj.Fail(faultinject.SiteTruncate); err != nil {
+		return fmt.Errorf("mem: truncate %s to %d bytes: %w", f.name, size, err)
+	}
 	want := int(PagesFor(size))
 	if size == 0 {
 		want = 0
 	}
+	grown := len(f.frames)
 	for len(f.frames) < want {
-		f.frames = append(f.frames, f.space.frames.alloc())
+		fr, err := f.space.frames.alloc()
+		if err != nil {
+			// Roll back the frames this call already grew: a failed
+			// ftruncate must not change the file size.
+			for len(f.frames) > grown {
+				last := f.frames[len(f.frames)-1]
+				f.space.frames.release(last)
+				f.frames = f.frames[:len(f.frames)-1]
+			}
+			return fmt.Errorf("mem: truncate %s to %d bytes: %w", f.name, size, err)
+		}
+		f.frames = append(f.frames, fr)
 	}
 	for len(f.frames) > want {
 		last := f.frames[len(f.frames)-1]

@@ -3,6 +3,8 @@ package mem
 import (
 	"fmt"
 	"sort"
+
+	"kard/internal/faultinject"
 )
 
 // PTE is a simulated page-table entry: which physical frame a virtual page
@@ -37,6 +39,7 @@ type AddressSpace struct {
 	frames framePool
 	memfds []*Memfd
 	tlb    *TLB
+	inj    *faultinject.Injector
 
 	// residentPages counts touched, mapped pages. Linux VmRSS counts
 	// present page-table entries, so a physical frame shared by many
@@ -78,6 +81,25 @@ func NewAddressSpace(tlbEntries int) *AddressSpace {
 // TLB returns the address space's dTLB model.
 func (as *AddressSpace) TLB() *TLB { return as.tlb }
 
+// SetInjector attaches a fault-injection layer consulted at the space's
+// syscall-like boundaries (mmap, ftruncate, frame allocation). The
+// address space is where every layer of the stack meets, so the engine
+// parks the run's single injector here and mpk/alloc/core reach it
+// through Injector. A nil injector (the default) injects nothing.
+func (as *AddressSpace) SetInjector(in *faultinject.Injector) {
+	as.inj = in
+	as.frames.inj = in
+}
+
+// Injector returns the attached fault injector, possibly nil. All
+// injector methods are nil-safe, so callers use the result directly.
+func (as *AddressSpace) Injector() *faultinject.Injector { return as.inj }
+
+// SetFrameLimit bounds the physical frame pool at the given number of
+// frames (0 = unlimited), after which allocation fails with
+// ErrFrameExhausted — the simulated machine is out of physical memory.
+func (as *AddressSpace) SetFrameLimit(frames uint64) { as.frames.limit = frames }
+
 // reserve returns the base address of n fresh, unmapped virtual pages.
 func (as *AddressSpace) reserve(n uint64) Page {
 	p := as.nextPage
@@ -88,13 +110,16 @@ func (as *AddressSpace) reserve(n uint64) Page {
 // MmapAnon maps n fresh virtual pages tagged with pkey, returning the base
 // address (mmap with MAP_PRIVATE|MAP_ANONYMOUS). Frames are allocated on
 // first touch.
-func (as *AddressSpace) MmapAnon(n uint64, pkey uint8) Addr {
+func (as *AddressSpace) MmapAnon(n uint64, pkey uint8) (Addr, error) {
 	as.MmapCalls++
+	if err := as.inj.Fail(faultinject.SiteMmap); err != nil {
+		return 0, fmt.Errorf("mem: mmap of %d pages: %w", n, err)
+	}
 	base := as.reserve(n)
 	for i := uint64(0); i < n; i++ {
 		as.pages[base+Page(i)] = &PTE{Pkey: pkey}
 	}
-	return base.Base()
+	return base.Base(), nil
 }
 
 // MmapShared maps n virtual pages onto file f starting at byte offset off
@@ -103,6 +128,9 @@ func (as *AddressSpace) MmapAnon(n uint64, pkey uint8) Addr {
 // touch.
 func (as *AddressSpace) MmapShared(f *Memfd, off uint64, n uint64, pkey uint8) (Addr, error) {
 	as.MmapCalls++
+	if err := as.inj.Fail(faultinject.SiteMmap); err != nil {
+		return 0, fmt.Errorf("mem: mmap of %s: %w", f.name, err)
+	}
 	if off%PageSize != 0 {
 		return 0, fmt.Errorf("mem: mmap offset %d not page-aligned", off)
 	}
@@ -128,20 +156,25 @@ func (as *AddressSpace) MmapShared(f *Memfd, off uint64, n uint64, pkey uint8) (
 
 // touch faults the page in: the anonymous frame is allocated if missing
 // and the page starts counting toward RSS. It reports whether this was the
-// first touch (a minor fault).
-func (as *AddressSpace) touch(pte *PTE) bool {
+// first touch (a minor fault). Frame-pool exhaustion propagates as an
+// error: the simulated machine has no physical page to back the fault.
+func (as *AddressSpace) touch(pte *PTE) (bool, error) {
 	if pte.touched {
-		return false
+		return false, nil
+	}
+	if pte.Frame == nil {
+		fr, err := as.frames.alloc()
+		if err != nil {
+			return false, err
+		}
+		pte.Frame = fr
+		fr.mappings++
 	}
 	pte.touched = true
-	if pte.Frame == nil {
-		pte.Frame = as.frames.alloc()
-		pte.Frame.mappings++
-	}
 	as.MinorFaults++
 	as.residentPages++
 	as.updatePeaks()
-	return true
+	return true, nil
 }
 
 func (as *AddressSpace) updatePeaks() {
@@ -224,7 +257,10 @@ func (as *AddressSpace) Translate(addr Addr) (pte *PTE, miss, minor bool, err er
 	if !ok {
 		return nil, true, false, fmt.Errorf("mem: access to unmapped address %s", addr)
 	}
-	minor = as.touch(pte)
+	minor, err = as.touch(pte)
+	if err != nil {
+		return nil, true, false, fmt.Errorf("mem: faulting in %s: %w", addr, err)
+	}
 	as.tlb.Insert(p, pte)
 	return pte, true, minor, nil
 }
@@ -308,7 +344,9 @@ func (as *AddressSpace) copy(addr Addr, size uint64, f func(frame []byte, src, n
 		if !ok {
 			return fmt.Errorf("mem: data access to unmapped address %s", addr+Addr(done))
 		}
-		as.touch(pte)
+		if _, err := as.touch(pte); err != nil {
+			return err
+		}
 		off := Offset(addr + Addr(done))
 		n := PageSize - off
 		if n > size-done {

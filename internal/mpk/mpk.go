@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"kard/internal/cycles"
+	"kard/internal/faultinject"
 	"kard/internal/mem"
 )
 
@@ -171,10 +172,15 @@ func Check(r PKRU, pte *mem.PTE, addr mem.Addr, kind AccessKind) *Fault {
 
 // PkeyMprotect tags [addr, addr+size) with key k, as pkey_mprotect(2)
 // does. The returned duration is the syscall cost the calling thread must
-// charge to its clock.
+// charge to its clock. An injected transient failure (EAGAIN-style) still
+// costs the full syscall round-trip — the caller paid for the kernel trip
+// that failed — and leaves the page tags unchanged.
 func PkeyMprotect(as *mem.AddressSpace, addr mem.Addr, size uint64, k Pkey) (cycles.Duration, error) {
 	if !k.Valid() {
 		return 0, fmt.Errorf("mpk: invalid pkey %d", k)
+	}
+	if err := as.Injector().Fail(faultinject.SitePkeyMprotect); err != nil {
+		return cycles.PkeyMprotect, fmt.Errorf("mpk: pkey_mprotect(%s, %d, %s): %w", addr, size, k, err)
 	}
 	if err := as.Protect(addr, size, uint8(k)); err != nil {
 		return 0, err

@@ -22,7 +22,7 @@ func BenchmarkPKRUOps(b *testing.B) {
 // no-fault fast path.
 func BenchmarkCheck(b *testing.B) {
 	as := mem.NewAddressSpace(0)
-	a := as.MmapAnon(1, 3)
+	a := mustMmap(b, as, 1, 3)
 	pte, _ := as.Peek(a)
 	r := DenyAll().With(3, PermRW)
 	b.ResetTimer()

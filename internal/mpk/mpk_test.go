@@ -97,7 +97,7 @@ func TestKeyZeroAlwaysAccessible(t *testing.T) {
 
 func TestCheckRaisesFault(t *testing.T) {
 	as := mem.NewAddressSpace(0)
-	a := as.MmapAnon(1, 5)
+	a := mustMmap(t, as, 1, 5)
 	pte, _ := as.Peek(a)
 
 	var r PKRU
@@ -122,7 +122,7 @@ func TestCheckRaisesFault(t *testing.T) {
 
 func TestPkeyMprotect(t *testing.T) {
 	as := mem.NewAddressSpace(0)
-	a := as.MmapAnon(2, 0)
+	a := mustMmap(t, as, 2, 0)
 	d, err := PkeyMprotect(as, a, 2*mem.PageSize, 9)
 	if err != nil {
 		t.Fatal(err)
@@ -152,4 +152,14 @@ func TestPermAndKeyStrings(t *testing.T) {
 	if Read.String() != "read" || Write.String() != "write" {
 		t.Error("unexpected AccessKind strings")
 	}
+}
+
+// mustMmap is the test shorthand for MmapAnon calls that cannot fail.
+func mustMmap(tb testing.TB, as *mem.AddressSpace, n uint64, pkey uint8) mem.Addr {
+	tb.Helper()
+	a, err := as.MmapAnon(n, pkey)
+	if err != nil {
+		tb.Fatalf("MmapAnon(%d, %d): %v", n, pkey, err)
+	}
+	return a
 }

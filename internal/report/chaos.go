@@ -1,0 +1,110 @@
+package report
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"kard/internal/faultinject"
+	"kard/internal/harness"
+	"kard/internal/workload"
+)
+
+// Chaos is the fault-injection soak behind kardbench -chaos: every
+// real-world workload runs under Kard and the TSan comparator twice — once
+// fault-free and once under faultinject.DefaultPlan, whose faults are all
+// transient or degradable — and the race verdicts (distinct racy objects,
+// Table 6's metric) must be identical. It demonstrates the degradation
+// policies end to end: injected mmap/truncate/pkey_mprotect/malloc
+// failures are retried or absorbed by fallbacks, never changing what the
+// detector reports.
+//
+// Chaos returns an error when any verdict differs, or when the plan
+// injected nothing at all (a silent no-op would make the check vacuous).
+func Chaos(w io.Writer, o Options) error {
+	o.defaults()
+	plan := faultinject.DefaultPlan()
+	fmt.Fprintf(w, "Chaos: race verdicts under fault injection (threads=%d scale=%.2f seed=%d)\n\n",
+		o.Threads, o.Scale, o.Seed)
+	header := fmt.Sprintf("%-12s %-8s %6s %6s %-6s %9s %8s %9s %9s", "application", "mode",
+		"clean", "chaos", "same", "injected", "retried", "degraded", "fallback")
+	fmt.Fprintln(w, header)
+	rule(w, len(header))
+
+	names := workload.BySuite("real-world")
+	modes := []harness.Mode{harness.ModeKard, harness.ModeTSan}
+	var specs []harness.Spec
+	for _, name := range names {
+		for _, mode := range modes {
+			base := harness.Options{Workload: name, Mode: mode,
+				Threads: o.Threads, Scale: o.Scale, Seed: o.Seed}
+			specs = append(specs, harness.Spec{Options: base})
+			chaos := base
+			chaos.Faults = plan
+			specs = append(specs, harness.Spec{Options: chaos})
+		}
+	}
+
+	mo := harness.MatrixOptions{
+		Jobs: o.Jobs,
+		// The watchdog and single retry are part of what -chaos
+		// exercises: a cell wedged or felled by a transient fault is
+		// retried once under a bumped salt instead of failing the soak.
+		CellTimeout:    2 * time.Minute,
+		RetryTransient: true,
+	}
+	if o.CacheDir != "" {
+		c, err := harness.OpenCache(o.CacheDir)
+		if err != nil {
+			return err
+		}
+		mo.Cache = c
+	}
+	if o.Progress != nil {
+		tr := &tracker{w: o.Progress, name: "chaos", start: time.Now()}
+		mo.OnCell = tr.cell
+	}
+	cells := harness.RunMatrixContext(context.Background(), specs, mo)
+
+	var mismatches []string
+	var injected, retried, degraded uint64
+	i := 0
+	for _, name := range names {
+		for _, mode := range modes {
+			clean, chaos := cells[i], cells[i+1]
+			i += 2
+			if clean.Err != nil {
+				return fmt.Errorf("report: chaos: clean cell %s: %w", clean.Spec.Label(), clean.Err)
+			}
+			if chaos.Err != nil {
+				return fmt.Errorf("report: chaos: chaos cell %s: %w", chaos.Spec.Label(), chaos.Err)
+			}
+			cv := harness.DistinctRacyObjects(clean.Result)
+			xv := harness.DistinctRacyObjects(chaos.Result)
+			st := chaos.Result.Stats
+			injected += st.FaultsInjected
+			retried += st.FaultRetries
+			degraded += st.Degraded
+			same := "yes"
+			if cv != xv {
+				same = "NO"
+				mismatches = append(mismatches,
+					fmt.Sprintf("%s/%s: %d clean vs %d chaos", name, mode, cv, xv))
+			}
+			fmt.Fprintf(w, "%-12s %-8s %6d %6d %-6s %9d %8d %9d %9d\n",
+				name, mode, cv, xv, same,
+				st.FaultsInjected, st.FaultRetries, st.Degraded, st.AllocFallbacks)
+		}
+	}
+	fmt.Fprintf(w, "\ntotals: %d faults injected, %d retried, %d degraded\n",
+		injected, retried, degraded)
+	if len(mismatches) > 0 {
+		return fmt.Errorf("report: chaos: race verdicts changed under fault injection: %v", mismatches)
+	}
+	if injected == 0 {
+		return fmt.Errorf("report: chaos: the fault plan injected nothing; the check is vacuous")
+	}
+	fmt.Fprintf(w, "verdicts identical under fault injection across %d cells\n", len(cells))
+	return nil
+}

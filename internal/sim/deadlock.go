@@ -77,6 +77,74 @@ func (e *Engine) blockageReport() string {
 	return strings.Join(lines, "\n")
 }
 
+// queueBlocked returns every thread parked in a synchronization queue —
+// mutex and rwmutex waiters, condition and barrier waits, joiners. Such
+// threads are blocked at their resume channel without appearing in the
+// scheduler's parked list, so watchdog teardown can release them safely.
+func (e *Engine) queueBlocked() []*Thread {
+	var out []*Thread
+	for _, m := range e.mutexes {
+		out = append(out, m.waiters...)
+	}
+	for _, rw := range e.rwmutexes {
+		out = append(out, rw.waitingW...)
+		out = append(out, rw.waitingR...)
+	}
+	for _, c := range e.conds {
+		out = append(out, c.waiting...)
+	}
+	for _, b := range e.barriers {
+		out = append(out, b.waiting...)
+	}
+	for _, t := range e.threads {
+		out = append(out, t.joiners...)
+	}
+	return out
+}
+
+// stateDump renders every thread's state — virtual clock, operation
+// count, and whether it is exited, parked (and on what operation),
+// blocked in a synchronization queue, or still running — plus the
+// blockage report. Watchdog-timeout errors carry it so a hung cell is
+// diagnosable from its error alone.
+func (e *Engine) stateDump() string {
+	parked := map[*Thread]bool{}
+	for _, t := range e.parked {
+		parked[t] = true
+	}
+	queued := map[*Thread]bool{}
+	for _, t := range e.queueBlocked() {
+		queued[t] = true
+	}
+	var lines []string
+	for _, t := range e.threads {
+		var line string
+		switch {
+		case t.done:
+			line = fmt.Sprintf("  thread %d (%s): clock %d, %d ops, exited",
+				t.id, t.name, uint64(t.clock), t.opCount)
+		case parked[t]:
+			line = fmt.Sprintf("  thread %d (%s): clock %d, %d ops, parked at %s",
+				t.id, t.name, uint64(t.clock), t.opCount, t.pending.kind)
+		case queued[t]:
+			line = fmt.Sprintf("  thread %d (%s): clock %d, %d ops, blocked at %s",
+				t.id, t.name, uint64(t.clock), t.opCount, t.pending.kind)
+		default:
+			// The thread's body goroutine may still be executing (a
+			// runner the watchdog could not park): reading its pending
+			// op or op count here would be a host-level data race. The
+			// clock is advanced only by the engine, which has stopped.
+			line = fmt.Sprintf("  thread %d (%s): clock %d, running",
+				t.id, t.name, uint64(t.clock))
+		}
+		lines = append(lines, line)
+	}
+	if br := e.blockageReport(); br != "" {
+		lines = append(lines, br)
+	}
+	return strings.Join(lines, "\n")
+}
+
 // findCycle returns one cycle in the waits-for graph, if any, ending with
 // the thread that closes it.
 func findCycle(edges map[*Thread]*Thread) []*Thread {

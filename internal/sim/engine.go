@@ -1,13 +1,16 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 	"runtime/debug"
 	"strings"
 	"sync"
+	"time"
 
 	"kard/internal/alloc"
 	"kard/internal/cycles"
+	"kard/internal/faultinject"
 	"kard/internal/mem"
 	"kard/internal/mpk"
 )
@@ -25,6 +28,16 @@ type Config struct {
 	// AllocRecycle enables virtual-page recycling in the unique-page
 	// allocator (ablation; off in the paper).
 	AllocRecycle bool
+	// Faults is the deterministic fault-injection plan threaded through
+	// the run's syscall-like boundaries. The zero plan injects nothing.
+	Faults faultinject.Plan
+	// Watchdog bounds the run's wall-clock time (0 = unbounded). An
+	// exceeded deadline aborts the run with an error wrapping
+	// ErrWatchdog and a per-thread state dump.
+	Watchdog time.Duration
+	// MaxFrames bounds the simulated physical frame pool (0 =
+	// unlimited); exhaustion surfaces as mem.ErrFrameExhausted.
+	MaxFrames uint64
 }
 
 // Engine is the discrete-event execution engine. Create one per run with
@@ -74,6 +87,17 @@ type Engine struct {
 	// mu: thread goroutines append concurrently). Run reports them as
 	// errors instead of letting one diverging workload kill the process.
 	panics []string
+
+	// runErrs records structured run-level errors — failed setup
+	// allocations, operation errors a thread could not continue past,
+	// detector invariant violations — reported by Run without the
+	// panic-to-error net (guarded by mu).
+	runErrs []error
+
+	// inj is the run's fault injector, nil without a Faults plan. It is
+	// also attached to the address space, where mem/mpk/alloc/core
+	// consult it.
+	inj *faultinject.Injector
 }
 
 // New creates an engine with the given configuration and detector. The
@@ -93,6 +117,13 @@ func New(cfg Config, det Detector) *Engine {
 		runToken:       make(chan struct{}, 1),
 		sections:       make(map[string]*CriticalSection),
 		activeSections: make(map[*CriticalSection]int),
+	}
+	if !cfg.Faults.Empty() {
+		e.inj = faultinject.New(cfg.Seed, cfg.Faults)
+		as.SetInjector(e.inj)
+	}
+	if cfg.MaxFrames > 0 {
+		as.SetFrameLimit(cfg.MaxFrames)
 	}
 	if cfg.UniquePageAllocator {
 		u := alloc.NewUniquePage(as, tbl)
@@ -129,19 +160,53 @@ func (e *Engine) Config() Config { return e.cfg }
 // Global registers a global object before the run starts. Kard aggregates
 // global metadata during compilation and registers it when the program
 // starts (§5.3); the cost is charged to startup.
+//
+// Transient allocation faults are retried with backoff charged to
+// startup. A persistent failure records a run error and returns nil: Run
+// reports it before executing any thread, so callers registering several
+// globals need not check each one.
 func (e *Engine) Global(size uint64, name string) *alloc.Object {
 	if e.running || e.finished {
 		panic("sim: Global must be called before Run")
 	}
 	o, d, err := e.alloc.Global(size, name)
+	for r := 0; err != nil && faultinject.IsTransient(err) && r < allocMaxRetries; r++ {
+		e.inj.NoteRetry()
+		e.startup = e.startup.Add(allocRetryBackoff << r)
+		o, d, err = e.alloc.Global(size, name)
+	}
 	if err != nil {
-		panic(err)
+		e.FailRun(fmt.Errorf("sim: registering global %q: %w", name, err))
+		return nil
 	}
 	e.startup = e.startup.Add(d)
 	e.startup = e.startup.Add(e.detector.ObjectAllocated(nil, o))
 	e.globalsRegistered++
 	return o
 }
+
+// FailRun records a run-level error for Run to report: a failed setup
+// allocation or a detector invariant violation. Hooks whose signatures
+// only return durations use it instead of panicking; the run continues
+// (degraded) and the error surfaces when Run finishes — or immediately,
+// for errors recorded before Run starts.
+func (e *Engine) FailRun(err error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.runErrs = append(e.runErrs, err)
+}
+
+// allocMaxRetries bounds retries of transient allocation faults;
+// allocRetryBackoff is the simulated cost of the first retry, doubling
+// per attempt.
+const (
+	allocMaxRetries                   = 3
+	allocRetryBackoff cycles.Duration = 2000
+)
+
+// ErrWatchdog marks run failures caused by the wall-clock watchdog.
+// Callers match it with errors.Is.
+var ErrWatchdog = errors.New("watchdog timeout")
 
 // Run executes body as the main thread and drives the simulation until
 // every thread exits. It returns the run statistics, or an error if the
@@ -152,22 +217,58 @@ func (e *Engine) Run(body func(*Thread)) (*Stats, error) {
 	if e.finished {
 		return nil, fmt.Errorf("sim: engine already ran")
 	}
+	if err := e.takeRunErrs(); err != nil {
+		// Setup (Global registration) already failed: report it before
+		// executing any thread code.
+		e.finished = true
+		return nil, fmt.Errorf("sim: setup failed: %w", err)
+	}
 	e.running = true
+	var watchC <-chan time.Time
+	if e.cfg.Watchdog > 0 {
+		timer := time.NewTimer(e.cfg.Watchdog)
+		defer timer.Stop()
+		watchC = timer.C
+	}
 	main := e.startThread("main", e.startup, body)
 	_ = main
 
+	timedOut := false
+loop:
 	for e.runnable > 0 || len(e.parked) > 0 {
 		for len(e.parked) < e.runnable {
-			e.parked = append(e.parked, <-e.arrivals)
+			if watchC == nil {
+				e.parked = append(e.parked, <-e.arrivals)
+				continue
+			}
+			select {
+			case th := <-e.arrivals:
+				e.parked = append(e.parked, th)
+			case <-watchC:
+				timedOut = true
+				break loop
+			}
 		}
 		if len(e.parked) == 0 {
 			break
+		}
+		if watchC != nil {
+			select {
+			case <-watchC:
+				timedOut = true
+				break loop
+			default:
+			}
 		}
 		th := e.pickNext()
 		e.execute(th)
 	}
 	e.running = false
 	e.finished = true
+
+	if timedOut {
+		return nil, e.abortTimeout()
+	}
 
 	var blocked []string
 	var report string
@@ -191,11 +292,73 @@ func (e *Engine) Run(body func(*Thread)) (*Stats, error) {
 		}
 		return nil, fmt.Errorf("sim: workload panic: %s", msg)
 	}
+	if err := e.takeRunErrs(); err != nil {
+		if len(blocked) > 0 {
+			return nil, fmt.Errorf("sim: run failed: %w (threads %v were left blocked)", err, blocked)
+		}
+		return nil, fmt.Errorf("sim: run failed: %w", err)
+	}
 	if len(blocked) > 0 {
 		return nil, fmt.Errorf("sim: deadlock: threads %v blocked forever\n%s", blocked, report)
 	}
 	e.detector.Finish()
 	return e.collectStats(), nil
+}
+
+// takeRunErrs joins and clears the recorded run errors.
+func (e *Engine) takeRunErrs() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(e.runErrs) == 0 {
+		return nil
+	}
+	err := errors.Join(e.runErrs...)
+	e.runErrs = nil
+	return err
+}
+
+// abortTimeout tears the run down after the watchdog fired: every thread
+// known to be parked (at the scheduler or in a synchronization queue) is
+// released with errAborted; threads still executing body code cannot be
+// stopped safely and their goroutines are leaked — by construction at
+// most one runs at a time, and it parks (dormant, still leaked) at its
+// next operation.
+func (e *Engine) abortTimeout() error {
+	// Collect threads that parked between the timeout and now.
+	for {
+		select {
+		case th := <-e.arrivals:
+			e.parked = append(e.parked, th)
+			continue
+		default:
+		}
+		break
+	}
+	dump := e.stateDump()
+	safe := make(map[*Thread]bool, len(e.threads))
+	for _, t := range e.parked {
+		safe[t] = true
+	}
+	for _, t := range e.queueBlocked() {
+		safe[t] = true
+	}
+	var leaked []string
+	for _, t := range e.threads {
+		if t.done {
+			continue
+		}
+		if safe[t] {
+			t.done = true
+			t.resume <- opResult{err: errAborted}
+		} else {
+			leaked = append(leaked, fmt.Sprintf("%s(#%d)", t.name, t.id))
+		}
+	}
+	err := fmt.Errorf("sim: %w: run exceeded %v wall-clock\n%s", ErrWatchdog, e.cfg.Watchdog, dump)
+	if len(leaked) > 0 {
+		err = fmt.Errorf("%w\n(goroutines of running threads %v were leaked)", err, leaked)
+	}
+	return err
 }
 
 // startThread creates a simulated thread at the given start time and
@@ -220,6 +383,15 @@ func (e *Engine) startThread(name string, start cycles.Time, body func(*Thread))
 				if err, ok := r.(error); ok && err == errAborted {
 					return // engine tore the deadlocked thread down
 				}
+				if oe, ok := r.(*opError); ok {
+					// A failed operation the body did not handle:
+					// record it as a structured run error (no stack —
+					// the error chain identifies the site) and exit
+					// the thread so the scheduler keeps running.
+					e.FailRun(fmt.Errorf("thread %s(#%d): %w", t.name, t.id, oe.err))
+					t.submit(op{kind: opExit})
+					return
+				}
 				// An unrecovered panic in the thread body: record it
 				// and exit the thread normally so the scheduler keeps
 				// running and Run can report the panic as an error.
@@ -242,9 +414,18 @@ func (e *Engine) recordPanic(t *Thread, v any) {
 }
 
 // errAborted is delivered to threads that are still blocked when the
-// engine shuts down after detecting a deadlock, so their goroutines exit
-// instead of leaking.
+// engine shuts down after detecting a deadlock (or a watchdog timeout),
+// so their goroutines exit instead of leaking.
 var errAborted = fmt.Errorf("sim: thread aborted at engine shutdown")
+
+// opError wraps an operation error delivered to a thread, so the
+// thread-goroutine recover distinguishes failed operations (structured
+// run errors, error chain preserved for errors.Is/As) from genuine
+// workload panics (reported with stacks).
+type opError struct{ err error }
+
+func (e *opError) Error() string { return e.err.Error() }
+func (e *opError) Unwrap() error { return e.err }
 
 // pickNext removes and returns the parked thread with the smallest
 // (clock, tie-break hash) pair.
@@ -292,6 +473,14 @@ func (e *Engine) execute(t *Thread) {
 
 	case opMalloc:
 		obj, d, err := e.alloc.Malloc(o.size, o.site)
+		// Transient allocation faults (injected OOM, mmap EAGAIN) are
+		// retried with exponential backoff charged in simulated cycles,
+		// as a production allocator would sleep and retry.
+		for r := 0; err != nil && faultinject.IsTransient(err) && r < allocMaxRetries; r++ {
+			e.inj.NoteRetry()
+			t.charge(allocRetryBackoff << r)
+			obj, d, err = e.alloc.Malloc(o.size, o.site)
+		}
 		if err != nil {
 			t.resume <- opResult{err: err}
 			return
@@ -590,6 +779,19 @@ type op struct {
 }
 
 type opKind uint8
+
+var opNames = [...]string{
+	"compute", "malloc", "free", "access", "sweep", "lock", "unlock",
+	"trylock", "barrier", "spawn", "join", "exit", "rlock", "runlock",
+	"wlock", "wunlock", "condwait", "condsignal", "condbroadcast",
+}
+
+func (k opKind) String() string {
+	if int(k) < len(opNames) {
+		return opNames[k]
+	}
+	return fmt.Sprintf("op(%d)", uint8(k))
+}
 
 const (
 	opCompute opKind = iota

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"kard/internal/alloc"
 	"kard/internal/cycles"
 )
 
@@ -44,6 +45,15 @@ type Stats struct {
 	MmapCalls    uint64
 	ProtectCalls uint64
 
+	// Fault-injection robustness counters, all zero without a
+	// Config.Faults plan: faults injected, retries performed in response
+	// to transient faults, degradation events, and allocations the
+	// unique-page allocator degraded to native compact placement.
+	FaultsInjected uint64
+	FaultRetries   uint64
+	Degraded       uint64
+	AllocFallbacks uint64
+
 	// Races are the detector's filtered reports.
 	Races []Race
 }
@@ -68,7 +78,7 @@ func (e *Engine) collectStats() *Stats {
 		execTime = cycles.Max(execTime, t.final)
 	}
 	heap := e.objects.Created() - uint64(e.globalsRegistered)
-	return &Stats{
+	s := &Stats{
 		Detector:              e.detector.Name(),
 		Allocator:             e.alloc.Name(),
 		Seed:                  e.cfg.Seed,
@@ -86,4 +96,12 @@ func (e *Engine) collectStats() *Stats {
 		ProtectCalls:          e.space.ProtectCalls,
 		Races:                 e.detector.Races(),
 	}
+	if e.inj != nil {
+		fs := e.inj.Stats()
+		s.FaultsInjected, s.FaultRetries, s.Degraded = fs.Injected, fs.Retried, fs.Degraded
+	}
+	if u, ok := e.alloc.(*alloc.UniquePage); ok {
+		s.AllocFallbacks = u.FallbackAllocs
+	}
+	return s
 }

@@ -224,7 +224,14 @@ func (t *Thread) submit(o op) opResult {
 	r := <-t.resume
 	t.eng.runToken <- struct{}{} // reacquire before running body code
 	if r.err != nil {
-		panic(r.err)
+		if r.err == errAborted {
+			panic(errAborted) // engine teardown: unwind without recording
+		}
+		// Wrapping preserves the error chain through the goroutine
+		// recover, so Run reports a structured error instead of a
+		// panic with a stack. Bodies may still recover it to handle
+		// failed operations themselves.
+		panic(&opError{err: r.err})
 	}
 	return r
 }
