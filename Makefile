@@ -11,7 +11,7 @@ JOBS     ?= $(shell nproc 2>/dev/null || echo 4)
 CACHEDIR ?= .cache/kard
 SEED     ?= 1
 
-.PHONY: all build test vet race bench chaos fuzz repro repro-fast clean-cache clean
+.PHONY: all build test vet race bench chaos fuzz daemon killrecover soak govulncheck repro repro-fast clean-cache clean
 
 all: build test
 
@@ -41,6 +41,29 @@ chaos:
 # Fuzz the allocator's graceful degradation under arbitrary fault plans.
 fuzz:
 	$(GO) test -fuzz=FuzzAllocatorFaults -fuzztime=20s -run '^$$' ./internal/alloc/
+
+# In-process kardd service smoke: run the real-world workloads as
+# detection jobs through a crash-and-recover cycle; verdicts must be
+# byte-identical across the uninterrupted, crash-recovered, and
+# replay-only passes.
+daemon:
+	$(GO) run ./cmd/kardbench -daemon -scale 0.05 -seed $(SEED) -jobs $(JOBS)
+
+# End-to-end crash-safety smoke against the real daemon binary: SIGKILL
+# kardd mid-run, restart it over the same state directory, diff the
+# verdicts against an uninterrupted run, then check a SIGTERM drain
+# journals a drain record and exits 0.
+killrecover:
+	./scripts/killrecover.sh
+
+# Crash soak: three SIGKILL/resume rounds before the final recovery.
+soak:
+	./scripts/killrecover.sh 3
+
+# Known-vulnerability scan over the module graph (needs network access to
+# fetch the tool and the vulnerability database; CI runs it on push).
+govulncheck:
+	$(GO) run golang.org/x/vuln/cmd/govulncheck@latest ./...
 
 # Full-fidelity regeneration of every table and figure (EXPERIMENTS.md is
 # written from such a run). Sequential this takes ~24 minutes; with the

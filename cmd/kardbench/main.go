@@ -13,6 +13,7 @@
 //	kardbench -sweep nginx            # §7.2 file-size sweep
 //	kardbench -table ilu              # §3.1 ILU share over the corpus
 //	kardbench -chaos                  # fault-injection soak: verdicts must hold
+//	kardbench -daemon                 # kardd service smoke: crash, recover, verify
 //
 // The -scale flag trades run time for fidelity of the absolute counters
 // (entries, faults); overhead percentages are far less sensitive. The
@@ -49,6 +50,7 @@ func main() {
 		figure   = flag.String("figure", "", "regenerate one figure: 5")
 		sweep    = flag.String("sweep", "", "run a parameter sweep: nginx")
 		chaos    = flag.Bool("chaos", false, "run the fault-injection soak: race verdicts must not change under the default fault plan")
+		daemon   = flag.Bool("daemon", false, "run the kardd service smoke: crash-recovered verdicts must match an uninterrupted run")
 		all      = flag.Bool("all", false, "regenerate every table and figure")
 		threads  = flag.Int("threads", 4, "worker threads (the paper's testing scenario is 4)")
 		scale    = flag.Float64("scale", 0.2, "critical-section entry scale in (0,1]")
@@ -141,6 +143,10 @@ func main() {
 	if *chaos {
 		did = true
 		run("Chaos (fault-injection soak)", func() error { return report.Chaos(out, o) })
+	}
+	if *daemon {
+		did = true
+		run("Daemon (kardd crash/recover smoke)", func() error { return report.Daemon(out, o) })
 	}
 	if !did {
 		flag.Usage()

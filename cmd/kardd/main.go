@@ -1,0 +1,190 @@
+// Command kardd is the long-running detection daemon: it accepts
+// detection jobs (workload spec + configuration) on a bounded queue,
+// executes them on the parallel evaluation harness, and survives crashes,
+// overload, and operators.
+//
+// Usage:
+//
+//	kardd -dir state -submit jobs.json -exit-when-idle -verdicts out.json
+//	kardd -dir state -listen 127.0.0.1:7707
+//
+// Every admission and every finished cell is journaled (fsync'd,
+// checksummed) under -dir before it is acknowledged, so a SIGKILL mid-run
+// loses nothing: restarting kardd over the same -dir replays the journal,
+// skips completed cells, resumes interrupted jobs, and produces verdicts
+// byte-identical to an uninterrupted run. SIGTERM (and SIGINT) drains
+// gracefully — admission stops, in-flight cells finish or are
+// checkpointed, the journal is flushed — and kardd exits 0.
+//
+// Job files are JSON arrays of job specs:
+//
+//	[{"workload": "memcached", "modes": ["kard", "tsan"], "seeds": [1, 2]}]
+//
+// Jobs already journaled under the same ID (IDs default to a content
+// hash) are skipped on resubmission, so rerunning kardd with the same
+// -submit file after a crash is idempotent.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"kard/internal/report"
+	"kard/internal/service"
+)
+
+func main() {
+	var (
+		dir          = flag.String("dir", ".kardd", "state directory (journal + result cache)")
+		listen       = flag.String("listen", "", "serve the HTTP API on this address (empty = disabled)")
+		submit       = flag.String("submit", "", "admit the jobs in this JSON file at startup")
+		queue        = flag.Int("queue", 64, "bounded admission queue depth; submissions beyond it are rejected, never blocked")
+		workers      = flag.Int("workers", 2, "concurrent jobs")
+		cellWorkers  = flag.Int("cell-workers", 0, "parallel cells per job (0 = 1)")
+		cellTimeout  = flag.Duration("cell-timeout", 2*time.Minute, "default per-cell watchdog")
+		maxFrames    = flag.Uint64("max-frames", 0, "default per-cell simulated frame budget (0 = unlimited)")
+		maxRWKeys    = flag.Int("max-rw-keys", 0, "default per-cell hardware pkey budget (0 = all 13)")
+		drainTimeout = flag.Duration("drain-timeout", time.Minute, "how long a SIGTERM drain may take before in-flight jobs are checkpointed instead")
+		exitIdle     = flag.Bool("exit-when-idle", false, "drain and exit 0 once every admitted job has settled (smoke/CI mode)")
+		verdicts     = flag.String("verdicts", "", "write canonical verdict JSON for completed jobs here on shutdown")
+		printReport  = flag.Bool("report", false, "print the journal-backed job report on shutdown")
+	)
+	flag.Parse()
+
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "kardd: "+format+"\n", args...)
+	}
+	srv, err := service.Open(service.Config{
+		Dir:         *dir,
+		QueueDepth:  *queue,
+		Workers:     *workers,
+		CellWorkers: *cellWorkers,
+		Defaults: service.ServerDefaults{
+			CellTimeout: *cellTimeout,
+			MaxFrames:   *maxFrames,
+			MaxRWKeys:   *maxRWKeys,
+		},
+		Logf: logf,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	if *submit != "" {
+		if err := submitFile(srv, *submit, logf); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *listen != "" {
+		httpSrv := &http.Server{Addr: *listen, Handler: srv.Handler()}
+		go func() {
+			logf("listening on %s", *listen)
+			if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fatal(err)
+			}
+		}()
+		defer httpSrv.Close()
+	}
+
+	// SIGTERM and SIGINT drain gracefully; -exit-when-idle drains as
+	// soon as the queue settles.
+	sigC := make(chan os.Signal, 1)
+	signal.Notify(sigC, syscall.SIGTERM, syscall.SIGINT)
+	idleC := make(chan struct{})
+	if *exitIdle {
+		go func() {
+			_ = srv.WaitIdle(context.Background())
+			close(idleC)
+		}()
+	}
+	select {
+	case sig := <-sigC:
+		logf("received %v, draining (timeout %v)", sig, *drainTimeout)
+	case <-idleC:
+		logf("idle, draining")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		logf("forced drain: %v (in-flight work is checkpointed in the journal)", err)
+	} else {
+		logf("drained cleanly")
+	}
+
+	if *verdicts != "" {
+		if err := writeVerdicts(srv, *verdicts); err != nil {
+			fatal(err)
+		}
+		logf("wrote verdicts to %s", *verdicts)
+	}
+	if *printReport {
+		if err := report.Journal(os.Stdout, *dir); err != nil {
+			fatal(err)
+		}
+	}
+	// A drain — even a forced one — is a controlled shutdown: exit 0.
+}
+
+// submitFile admits every job spec in a JSON file, treating duplicates
+// (already journaled, e.g. before a crash) as fine and counting
+// rejections.
+func submitFile(srv *service.Server, path string, logf func(string, ...any)) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var specs []service.JobSpec
+	if err := json.Unmarshal(data, &specs); err != nil {
+		return fmt.Errorf("kardd: parsing %s: %w", path, err)
+	}
+	admitted, duplicate, rejected := 0, 0, 0
+	for _, spec := range specs {
+		id, err := srv.Submit(spec)
+		switch {
+		case err == nil:
+			admitted++
+		case errors.Is(err, service.ErrDuplicate):
+			duplicate++
+		default:
+			rejected++
+			logf("job %q rejected: %v", id, err)
+		}
+	}
+	logf("submitted %s: %d admitted, %d already journaled, %d rejected",
+		path, admitted, duplicate, rejected)
+	return nil
+}
+
+// writeVerdicts renders the completed jobs' canonical verdicts, sorted
+// by job ID — the artifact the kill-and-recover smoke test diffs against
+// an uninterrupted run.
+func writeVerdicts(srv *service.Server, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	for _, v := range srv.Verdicts() {
+		f.Write(v.Canonical())
+		f.Write([]byte("\n"))
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "kardd:", err)
+	os.Exit(1)
+}

@@ -97,6 +97,13 @@ type Options struct {
 	// whether a released key was still held when a fault was raised
 	// (§5.5). Zero selects the paper's 24,000 cycles.
 	FaultWindow cycles.Duration
+
+	// MaxRWKeys caps the hardware Read-write keys available to this run
+	// (1..13, 0 = all). The detection service uses it as a per-job pkey
+	// budget: beyond the cap the detector recycles, shares, or degrades
+	// per §5.4/§8 exactly as it does at genuine key exhaustion, so a
+	// budgeted job can never starve other tenants of keys.
+	MaxRWKeys int
 }
 
 // Detector is the Kard runtime. Create one per run with New and pass it to

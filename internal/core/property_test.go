@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"kard/internal/alloc"
+	"kard/internal/faultinject"
 	"kard/internal/mpk"
 	"kard/internal/sim"
 )
@@ -196,6 +197,108 @@ func TestInvariantKeyMapsConsistent(t *testing.T) {
 				t.Errorf("seed %d: object %d page key %d != recorded %s", seed, id, pte.Pkey, os.key)
 			}
 		}
+	}
+}
+
+// TestPropertyKeyBudgetNeverExceeded: under any interleaving of key
+// assignment, recycling, sharing, and injected pkey_alloc failures, the
+// detector must stay inside its hardware budget — the invariant the
+// detection service's per-job MaxRWKeys budget (and the x86 limit of 16
+// pkeys) depends on:
+//
+//   - the distinct hardware keys protecting Read-write objects never
+//     exceed Options.MaxRWKeys, and every one lies in [k1, k_budget];
+//   - every page tag stays within the 16-key space;
+//   - a degraded or recycled object lands in the Read-only domain with
+//     its pages tagged k14 — never silently left writable;
+//   - Read-write objects' pages carry exactly their recorded key.
+func TestPropertyKeyBudgetNeverExceeded(t *testing.T) {
+	var degradedTotal uint64
+	for seed := int64(0); seed < 12; seed++ {
+		budget := 1 + int(seed%4) // 1..4 hardware keys, far below demand
+		var plan faultinject.Plan
+		faulty := seed%2 == 1
+		if faulty {
+			// Deterministic rate-based pkey_alloc failures force the
+			// degradation path on top of recycling and sharing.
+			plan = faultinject.Plan{Salt: seed, Sites: map[faultinject.Site]faultinject.Rule{
+				faultinject.SitePkeyAlloc: {Rate: 0.5},
+			}}
+		}
+		rng := rand.New(rand.NewSource(seed * 1337))
+		det := New(Options{MaxRWKeys: budget})
+		e := sim.New(sim.Config{Seed: seed, UniquePageAllocator: true, Faults: plan}, det)
+		nThr := 3
+		nObjPer := 4 + rng.Intn(4) // nThr× this many objects compete for the keys
+		_, err := e.Run(func(m *sim.Thread) {
+			var ws []*sim.Thread
+			for w := 0; w < nThr; w++ {
+				objs := make([]*alloc.Object, nObjPer)
+				for i := range objs {
+					objs[i] = m.Malloc(uint64(16+rng.Intn(100)), "o")
+				}
+				mu := e.NewMutex("mu")
+				site := "s" + string(rune('a'+w))
+				steps := make([]int, 15+rng.Intn(20))
+				for j := range steps {
+					steps[j] = rng.Intn(nObjPer)
+				}
+				ws = append(ws, m.Go("w", func(th *sim.Thread) {
+					for _, oi := range steps {
+						th.Lock(mu, site)
+						th.Write(objs[oi], 0, 8, "w")
+						th.Unlock(mu)
+						th.Compute(300)
+					}
+				}))
+			}
+			for _, w := range ws {
+				m.Join(w)
+			}
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+
+		used := map[mpk.Pkey]bool{}
+		lastAllowed := FirstRW + mpk.Pkey(budget) - 1
+		for id, os := range det.objects {
+			pte, ok := e.Space().Peek(os.obj.Base)
+			if !ok {
+				t.Fatalf("seed %d: object %d has no page table entry", seed, id)
+			}
+			if pte.Pkey > 15 {
+				t.Errorf("seed %d: object %d page tag %d beyond the 16-key space", seed, id, pte.Pkey)
+			}
+			if os.unprotected {
+				continue // interleaving termination: deliberately untagged
+			}
+			switch os.domain {
+			case DomainReadWrite:
+				if os.key < FirstRW || os.key > lastAllowed {
+					t.Errorf("seed %d: RW object %d on key %s outside budget [%s, %s]",
+						seed, id, os.key, FirstRW, lastAllowed)
+				}
+				used[os.key] = true
+				if mpk.Pkey(pte.Pkey) != os.key {
+					t.Errorf("seed %d: RW object %d page tag %d != key %s", seed, id, pte.Pkey, os.key)
+				}
+			case DomainReadOnly:
+				if mpk.Pkey(pte.Pkey) != KeyRO {
+					t.Errorf("seed %d: read-only object %d page tag %d, want k14 — a degraded object left writable",
+						seed, id, pte.Pkey)
+				}
+			}
+		}
+		if len(used) > budget {
+			t.Errorf("seed %d: %d distinct hardware keys in use, budget %d", seed, len(used), budget)
+		}
+		if faulty {
+			degradedTotal += det.Counters().KeyAllocDegraded
+		}
+	}
+	if degradedTotal == 0 {
+		t.Error("no KeyAllocDegraded events across the faulty seeds: the degradation path went unexercised")
 	}
 }
 

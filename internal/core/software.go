@@ -30,12 +30,17 @@ import (
 const KeySW = LastRW // k13
 
 // lastHW returns the last hardware key available for the Read-write
-// domain: k13 normally, k12 when k13 is reserved for the fallback.
+// domain: k13 normally, k12 when k13 is reserved for the fallback, and
+// lower still under an Options.MaxRWKeys budget.
 func (d *Detector) lastHW() mpk.Pkey {
+	last := LastRW
 	if d.opts.SoftwareFallback {
-		return LastRW - 1
+		last--
 	}
-	return LastRW
+	if n := d.opts.MaxRWKeys; n > 0 && FirstRW+mpk.Pkey(n)-1 < last {
+		last = FirstRW + mpk.Pkey(n) - 1
+	}
+	return last
 }
 
 // softState returns the virtual key state for id, growing the table on

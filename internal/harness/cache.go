@@ -18,8 +18,9 @@ import (
 // cacheSchema names the on-disk result format. Bump it whenever the
 // Result layout (or anything it transitively serializes) changes shape.
 // v2: fault-injection plan joined the key; Stats gained robustness
-// counters.
-const cacheSchema = "kard-result-v2"
+// counters. v3: MaxFrames (frame budget) and core.Options.MaxRWKeys
+// (pkey budget) joined the key; Result gained the engine Summary.
+const cacheSchema = "kard-result-v3"
 
 // Cache is a content-addressed store of finished harness results: one
 // JSON file per cell, keyed by the full run configuration plus a code
@@ -77,11 +78,14 @@ type cacheKey struct {
 	Seed       int64
 	TLBEntries int
 	Kard       core.Options
+	// MaxFrames participates because a frame budget changes allocator
+	// degradation behavior.
+	MaxFrames uint64
 	// Faults participates because an armed fault plan changes simulated
-	// timing and counters. Options.Timeout deliberately does not: a
-	// wall-clock bound never alters a run that finishes. (Go marshals
-	// the plan's site map with sorted keys, so the encoding stays
-	// deterministic.)
+	// timing and counters. Options.Timeout and Options.Deadline
+	// deliberately do not: a wall-clock bound never alters a run that
+	// finishes. (Go marshals the plan's site map with sorted keys, so
+	// the encoding stays deterministic.)
 	Faults faultinject.Plan
 }
 
@@ -98,6 +102,7 @@ func (c *Cache) key(s Spec) cacheKey {
 		Seed:       s.Seed,
 		TLBEntries: s.TLBEntries,
 		Kard:       s.Kard,
+		MaxFrames:  s.MaxFrames,
 		Faults:     s.Faults,
 	}
 	if k.Mode == "" {
@@ -153,9 +158,12 @@ func (c *Cache) Get(s Spec) (*Result, bool) {
 	return e.Result, true
 }
 
-// Put stores a finished result. Writes go through a temp file and rename,
-// so concurrent writers and readers of the same cell never see a torn
-// file.
+// Put stores a finished result. Writes go through a temp file that is
+// fsync'd before an atomic rename, so concurrent writers and readers of
+// the same cell never see a torn file — and neither does a reader after
+// a crash: without the fsync a power cut can persist the rename but not
+// the data, leaving exactly the torn entry the corrupt-entry path then
+// deletes and recomputes.
 func (c *Cache) Put(s Spec, r *Result) (err error) {
 	defer func() {
 		if err != nil {
@@ -171,6 +179,11 @@ func (c *Cache) Put(s Spec, r *Result) (err error) {
 		return fmt.Errorf("harness: cache write: %w", err)
 	}
 	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("harness: cache write: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
 		return fmt.Errorf("harness: cache write: %w", err)

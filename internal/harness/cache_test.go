@@ -3,9 +3,14 @@ package harness
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
+	"time"
+
+	"kard/internal/sim"
 )
 
 func testSpec() Spec {
@@ -108,6 +113,96 @@ func TestCacheCorruptEntryIsMiss(t *testing.T) {
 	}
 	if _, ok := c.Get(spec); !ok {
 		t.Error("corrupt entry was not repaired by the fresh run")
+	}
+}
+
+// TestCacheConcurrentWriters hammers one cell with concurrent Puts while
+// readers poll the same entry: because writes go through a temp file that
+// is fsync'd and atomically renamed, a reader must only ever see a miss
+// or a complete, valid entry — never a torn one. (Before the atomic-write
+// fix, interleaved direct writes could serve truncated JSON.)
+func TestCacheConcurrentWriters(t *testing.T) {
+	c, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Version = "concurrent-test"
+	spec := testSpec()
+	result := &Result{Stats: &sim.Stats{Seed: spec.Seed, ExecTime: 12345}}
+	want, _ := json.Marshal(result)
+
+	const writers, puts, readers = 8, 25, 4
+	var wg sync.WaitGroup
+	errs := make(chan error, writers+readers)
+	stop := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < puts; i++ {
+				if err := c.Put(spec, result); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if got, ok := c.Get(spec); ok {
+					b, _ := json.Marshal(got)
+					if string(b) != string(want) {
+						errs <- fmt.Errorf("reader observed a wrong result: %s", b)
+						return
+					}
+				}
+			}
+		}()
+	}
+	// Let writers finish, then release the readers.
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 50; i++ {
+			time.Sleep(5 * time.Millisecond)
+			if c.Stats().Writes >= writers*puts {
+				break
+			}
+		}
+		close(stop)
+		close(done)
+	}()
+	wg.Wait()
+	<-done
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	st := c.Stats()
+	if st.Writes != writers*puts || st.WriteErrors != 0 {
+		t.Errorf("stats after concurrent writes: %+v, want %d clean writes", st, writers*puts)
+	}
+	if st.Corrupt != 0 {
+		t.Errorf("readers hit %d corrupt entries under concurrent writers", st.Corrupt)
+	}
+	// No temp files may leak.
+	leftovers, _ := filepath.Glob(filepath.Join(c.dir, ".put-*"))
+	if len(leftovers) != 0 {
+		t.Errorf("%d temp files left behind: %v", len(leftovers), leftovers)
+	}
+	// The surviving entry is valid.
+	if got, ok := c.Get(spec); !ok {
+		t.Error("entry missing after concurrent writes")
+	} else if b, _ := json.Marshal(got); string(b) != string(want) {
+		t.Errorf("final entry differs: %s", b)
 	}
 }
 

@@ -74,7 +74,7 @@ func TestRetryTransientRecoversCell(t *testing.T) {
 		}
 	}
 	fails := func(salt int64) bool {
-		r := runCell(mkSpec(salt), MatrixOptions{})
+		r := runCell(0, mkSpec(salt), MatrixOptions{})
 		if r.Err != nil && !retryable(r.Err) {
 			t.Fatalf("salt %d: unexpected non-transient failure: %v", salt, r.Err)
 		}

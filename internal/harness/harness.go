@@ -69,6 +69,18 @@ type Options struct {
 	// with a thread-state dump, instead of blocking forever (default
 	// off).
 	Timeout time.Duration
+	// Deadline, when nonzero, is an absolute wall-clock deadline
+	// propagated from job submission (internal/service) down to the
+	// engine: when nearer than Timeout it becomes the effective bound,
+	// and a run whose deadline already passed fails with sim.ErrDeadline
+	// without starting. Like Timeout it never alters a run that
+	// finishes, so it does not participate in cache keys.
+	Deadline time.Time
+	// MaxFrames, when positive, bounds the simulated physical frame
+	// pool — the per-job memory budget of the detection service.
+	// Exhaustion surfaces through the allocator's degradation paths, so
+	// it changes simulated behavior and participates in cache keys.
+	MaxFrames uint64
 }
 
 // Result is one finished run.
@@ -80,6 +92,9 @@ type Result struct {
 	// ModeKard.
 	Kard    core.Counts
 	HasKard bool
+	// Summary is the engine's compact progress snapshot, journaled by
+	// the detection service as the cell's checkpoint record.
+	Summary sim.Summary
 }
 
 // Run executes one configuration of the named workload.
@@ -104,7 +119,8 @@ func RunWorkload(o Options, w workload.Workload) (*Result, error) {
 		o.Workload = w.Spec().Name
 	}
 
-	cfg := sim.Config{Seed: o.Seed, TLBEntries: o.TLBEntries, Faults: o.Faults, Watchdog: o.Timeout}
+	cfg := sim.Config{Seed: o.Seed, TLBEntries: o.TLBEntries, Faults: o.Faults,
+		Watchdog: o.Timeout, Deadline: o.Deadline, MaxFrames: o.MaxFrames}
 	var det sim.Detector
 	var kd *core.Detector
 	switch o.Mode {
@@ -130,7 +146,7 @@ func RunWorkload(o Options, w workload.Workload) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("harness: %s/%s: %w", o.Workload, o.Mode, err)
 	}
-	r := &Result{Options: o, Spec: w.Spec(), Stats: st}
+	r := &Result{Options: o, Spec: w.Spec(), Stats: st, Summary: e.Summary()}
 	if kd != nil {
 		r.Kard = kd.Counters()
 		r.HasKard = true

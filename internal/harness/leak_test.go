@@ -1,0 +1,113 @@
+package harness
+
+import (
+	"context"
+	"runtime"
+	"testing"
+	"time"
+
+	"kard/internal/sim"
+	"kard/internal/workload"
+)
+
+// deadlockWorkload reaches a guaranteed two-thread lock-ordering cycle.
+type deadlockWorkload struct{}
+
+func (deadlockWorkload) Spec() workload.Spec { return workload.Spec{Name: "deadlock", Suite: "test"} }
+func (deadlockWorkload) Prepare(*sim.Engine) {}
+func (deadlockWorkload) Body(m *sim.Thread, threads int, scale float64) {
+	e := m.Engine()
+	a, b := e.NewMutex("A"), e.NewMutex("B")
+	bar := e.NewBarrier(2)
+	t1 := m.Go("t1", func(th *sim.Thread) {
+		th.Lock(a, "sa")
+		th.Barrier(bar)
+		th.Lock(b, "sb")
+	})
+	t2 := m.Go("t2", func(th *sim.Thread) {
+		th.Lock(b, "sb")
+		th.Barrier(bar)
+		th.Lock(a, "sa")
+	})
+	m.Join(t1)
+	m.Join(t2)
+}
+
+// waitForGoroutines polls until the goroutine count drops back to the
+// baseline (thread teardown is asynchronous: released runners still need
+// a moment to observe their abort and exit).
+func waitForGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	var n int
+	for {
+		n = runtime.NumGoroutine()
+		if n <= baseline {
+			return
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	t.Errorf("goroutine leak: %d at baseline, %d after\n%s",
+		baseline, n, buf[:runtime.Stack(buf, true)])
+}
+
+// TestRunMatrixLeavesNoGoroutines runs a matrix mixing healthy cells,
+// a deadlocking cell, a panicking cell, and a watchdog-killed cell: every
+// simulated thread's goroutine must be torn down when RunMatrix returns,
+// whatever way its cell ended. Long-running services (kardd) call
+// RunMatrix per job for days — any per-cell leak compounds into OOM.
+func TestRunMatrixLeavesNoGoroutines(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	specs := []Spec{
+		{Options: Options{Workload: "aget", Scale: 0.02, Seed: 1, Mode: ModeKard}},
+		{Options: Options{Workload: "pigz", Scale: 0.02, Seed: 2}},
+		{Make: func() workload.Workload { return deadlockWorkload{} }, Variant: "deadlock"},
+		{Make: func() workload.Workload { return panicBodyWorkload{} }, Variant: "panicker"},
+		{Options: Options{Timeout: 30 * time.Millisecond},
+			Make: func() workload.Workload { return hangWorkload{} }, Variant: "hang"},
+	}
+	rs := RunMatrix(4, specs)
+	for i, r := range rs[:2] {
+		if r.Err != nil {
+			t.Fatalf("healthy cell %d failed: %v", i, r.Err)
+		}
+	}
+	for i, r := range rs[2:] {
+		if r.Err == nil {
+			t.Fatalf("failing cell %d succeeded", i+2)
+		}
+	}
+	waitForGoroutines(t, baseline)
+}
+
+// TestRunMatrixCancelledLeavesNoGoroutines cancels a matrix mid-flight —
+// the forced-drain path of the detection service — and requires the same
+// cleanliness: started cells finish and tear down, unstarted cells never
+// start.
+func TestRunMatrixCancelledLeavesNoGoroutines(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	var specs []Spec
+	for seed := int64(1); seed <= 8; seed++ {
+		specs = append(specs, Spec{Options: Options{Workload: "aget", Scale: 0.02, Seed: seed}})
+	}
+	done := make(chan []MatrixResult, 1)
+	go func() { done <- RunMatrixContext(ctx, specs, MatrixOptions{Jobs: 2}) }()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	rs := <-done
+	cancelled := 0
+	for _, r := range rs {
+		if r.Err == context.Canceled {
+			cancelled++
+		}
+	}
+	if cancelled == 0 {
+		t.Log("all cells finished before the cancel; leak check still applies")
+	}
+	waitForGoroutines(t, baseline)
+}

@@ -53,9 +53,18 @@ type MatrixResult struct {
 	Spec   Spec
 	Result *Result
 	Err    error
+	// Index is the cell's position in the specs slice — completion
+	// callbacks observe cells in completion order and use it to file
+	// outcomes (e.g. journal records) under the right cell.
+	Index int
 	// Cached reports whether the result came from the cache rather than
 	// a fresh simulation.
 	Cached bool
+	// Resumed reports that MatrixOptions.Resume marked the cell as
+	// already completed by an earlier (crashed or drained) run: the
+	// cell was skipped and Result/Err are nil — the caller merges the
+	// outcome it recorded (e.g. a journaled verdict) itself.
+	Resumed bool
 	// Elapsed is the wall-clock cost of the cell (zero on cache hits).
 	Elapsed time.Duration
 	// Attempts counts simulation attempts: 0 on cache hits, 1 normally,
@@ -89,6 +98,15 @@ type MatrixOptions struct {
 	// so rate-based injection decisions re-roll. Deterministic: the same
 	// specs and options always retry the same cells the same way.
 	RetryTransient bool
+
+	// Resume, when non-nil, reports cells a previous (crashed, killed,
+	// or drained) run already completed — the detection service answers
+	// from its replayed journal. Such cells are skipped entirely: their
+	// MatrixResult carries Resumed=true and neither Result nor Err, and
+	// OnCell still fires so progress accounting stays complete. The
+	// simulations are deterministic, so merging the recorded outcomes
+	// with the freshly computed ones reproduces an uninterrupted run.
+	Resume func(i int, s Spec) bool
 }
 
 // RunMatrix fans the given cells out across jobs workers and returns the
@@ -148,7 +166,7 @@ func RunMatrixContext(ctx context.Context, specs []Spec, mo MatrixOptions) []Mat
 		go func() {
 			defer wg.Done()
 			for i := range indices {
-				results[i] = runCell(specs[i], mo)
+				results[i] = runCell(i, specs[i], mo)
 				if mo.OnCell != nil {
 					mu.Lock()
 					done++
@@ -162,7 +180,7 @@ func RunMatrixContext(ctx context.Context, specs []Spec, mo MatrixOptions) []Mat
 
 	if err := ctx.Err(); err != nil {
 		for i := range results {
-			if results[i].Result == nil && results[i].Err == nil {
+			if results[i].Result == nil && results[i].Err == nil && !results[i].Resumed {
 				results[i] = MatrixResult{Spec: specs[i], Err: err}
 			}
 		}
@@ -170,10 +188,14 @@ func RunMatrixContext(ctx context.Context, specs []Spec, mo MatrixOptions) []Mat
 	return results
 }
 
-// runCell executes one cell: cache lookup, simulation (with an optional
-// single retry on transient failure), cache store.
-func runCell(spec Spec, mo MatrixOptions) MatrixResult {
-	mr := MatrixResult{Spec: spec}
+// runCell executes one cell: resume check, cache lookup, simulation
+// (with an optional single retry on transient failure), cache store.
+func runCell(i int, spec Spec, mo MatrixOptions) MatrixResult {
+	mr := MatrixResult{Spec: spec, Index: i}
+	if mo.Resume != nil && mo.Resume(i, spec) {
+		mr.Resumed = true
+		return mr
+	}
 	if spec.Timeout == 0 {
 		spec.Options.Timeout = mo.CellTimeout
 	}

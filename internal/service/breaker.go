@@ -1,0 +1,196 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrQuarantined marks submissions rejected because the workload's
+// circuit breaker is open. Errors carry a retry-after hint; match with
+// errors.Is.
+var ErrQuarantined = errors.New("service: workload quarantined")
+
+// QuarantineError is the concrete rejection for an open breaker.
+type QuarantineError struct {
+	Workload   string
+	RetryAfter time.Duration
+}
+
+func (e *QuarantineError) Error() string {
+	return fmt.Sprintf("service: workload %q quarantined (breaker open, retry in %v)",
+		e.Workload, e.RetryAfter.Round(time.Millisecond))
+}
+
+// Is makes errors.Is(err, ErrQuarantined) match.
+func (e *QuarantineError) Is(target error) bool { return target == ErrQuarantined }
+
+// BreakerConfig tunes the per-workload circuit breakers.
+type BreakerConfig struct {
+	// Threshold is the number of consecutive watchdog-tripped jobs that
+	// opens the breaker (default 3).
+	Threshold int
+	// Cooldown is the base open duration; each re-trip doubles it up to
+	// MaxCooldown (defaults 30s and 10m).
+	Cooldown    time.Duration
+	MaxCooldown time.Duration
+	// Seed keys the deterministic jitter applied to each cooldown so a
+	// fleet of daemons quarantining the same workload does not retry in
+	// lockstep.
+	Seed int64
+}
+
+func (c *BreakerConfig) defaults() {
+	if c.Threshold <= 0 {
+		c.Threshold = 3
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 30 * time.Second
+	}
+	if c.MaxCooldown <= 0 {
+		c.MaxCooldown = 10 * time.Minute
+	}
+}
+
+// breakerState is the classic three-state machine.
+type breakerState string
+
+const (
+	breakerClosed   breakerState = "closed"
+	breakerOpen     breakerState = "open"
+	breakerHalfOpen breakerState = "half-open"
+)
+
+// breaker quarantines one workload: jobs whose cells repeatedly trip the
+// wall-clock watchdog open it, open breakers reject admission until
+// their jittered cooldown elapses, and the first admission after that
+// (half-open) is the probe — its success closes the breaker, its failure
+// re-opens it with a doubled cooldown. Callers hold the server mutex;
+// the breaker itself is not concurrency-safe.
+type breaker struct {
+	workload string
+	cfg      BreakerConfig
+	now      func() time.Time
+
+	state    breakerState
+	fails    int  // consecutive failures while closed
+	trips    int  // total times opened (drives backoff and jitter)
+	probing  bool // a half-open probe is in flight
+	openedAt time.Time
+	openFor  time.Duration
+}
+
+func newBreaker(workload string, cfg BreakerConfig, now func() time.Time) *breaker {
+	cfg.defaults()
+	return &breaker{workload: workload, cfg: cfg, now: now, state: breakerClosed}
+}
+
+// allow decides admission for one job of the breaker's workload.
+func (b *breaker) allow() error {
+	switch b.state {
+	case breakerClosed:
+		return nil
+	case breakerOpen:
+		if remaining := b.openedAt.Add(b.openFor).Sub(b.now()); remaining > 0 {
+			return &QuarantineError{Workload: b.workload, RetryAfter: remaining}
+		}
+		b.state = breakerHalfOpen
+		b.probing = false
+		fallthrough
+	default: // half-open: exactly one probe at a time
+		if b.probing {
+			return &QuarantineError{Workload: b.workload, RetryAfter: b.cfg.Cooldown}
+		}
+		b.probing = true
+		return nil
+	}
+}
+
+// record feeds one finished job back: tripped means its cells hit the
+// watchdog (or deadline). It returns true when the breaker changed
+// state, so the server can journal the transition.
+func (b *breaker) record(tripped bool) bool {
+	switch b.state {
+	case breakerHalfOpen:
+		b.probing = false
+		if tripped {
+			b.trip()
+			return true
+		}
+		b.state = breakerClosed
+		b.fails = 0
+		return true
+	default:
+		if !tripped {
+			b.fails = 0
+			return false
+		}
+		b.fails++
+		if b.state == breakerClosed && b.fails >= b.cfg.Threshold {
+			b.trip()
+			return true
+		}
+		return false
+	}
+}
+
+// trip opens the breaker with exponential backoff and seeded jitter.
+func (b *breaker) trip() {
+	b.trips++
+	cooldown := b.cfg.Cooldown << (b.trips - 1)
+	if b.trips > 30 || cooldown > b.cfg.MaxCooldown || cooldown <= 0 {
+		cooldown = b.cfg.MaxCooldown
+	}
+	// Jitter in [0.5, 1.5)×, derived deterministically from the seed,
+	// the workload, and the trip ordinal — reproducible in tests, yet
+	// de-correlated across workloads and daemons.
+	b.openFor = time.Duration(float64(cooldown) * (0.5 + jitter(b.cfg.Seed, b.workload, b.trips)))
+	b.openedAt = b.now()
+	b.state = breakerOpen
+	b.fails = 0
+}
+
+// restore rehydrates an open breaker from a replayed journal record; a
+// quarantine must survive the crash of the daemon that imposed it.
+func (b *breaker) restore(trips int, until time.Time) {
+	if !until.After(b.now()) {
+		return // the cooldown elapsed while the daemon was down
+	}
+	b.trips = trips
+	b.state = breakerOpen
+	b.openedAt = b.now()
+	b.openFor = until.Sub(b.now())
+}
+
+// status snapshots the breaker for stats and reports.
+type BreakerStatus struct {
+	Workload string    `json:"workload"`
+	State    string    `json:"state"`
+	Trips    int       `json:"trips"`
+	Until    time.Time `json:"until,omitempty"`
+}
+
+func (b *breaker) status() BreakerStatus {
+	s := BreakerStatus{Workload: b.workload, State: string(b.state), Trips: b.trips}
+	if b.state == breakerOpen {
+		s.Until = b.openedAt.Add(b.openFor)
+	}
+	return s
+}
+
+// jitter maps (seed, name, n) to a uniform-ish value in [0, 1) via a
+// splitmix64-style mix — no global randomness, so breaker timing is
+// reproducible under test.
+func jitter(seed int64, name string, n int) float64 {
+	x := uint64(seed) ^ 0x9e3779b97f4a7c15
+	for _, c := range name {
+		x = (x ^ uint64(c)) * 0xbf58476d1ce4e5b9
+	}
+	x ^= uint64(n) * 0x94d049bb133111eb
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11) / float64(1<<53)
+}

@@ -1,0 +1,100 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Handler exposes the server over HTTP:
+//
+//	POST /jobs        submit a JobSpec        → 202 {"id": ...}
+//	GET  /jobs        list job statuses       → 200 [...]
+//	GET  /jobs/{id}   one job's status        → 200 {...}
+//	GET  /stats       server counters         → 200 {...}
+//	GET  /healthz     liveness                → 200 "ok" | 503 "draining"
+//
+// Admission-control rejections map onto the HTTP status codes a loaded
+// service is expected to speak: a full queue is 429 Too Many Requests, a
+// quarantined workload or a draining server is 503 Service Unavailable
+// with a Retry-After hint. Rejections are immediate — the handler never
+// parks a request waiting for queue space.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/jobs", func(w http.ResponseWriter, r *http.Request) {
+		switch r.Method {
+		case http.MethodPost:
+			s.handleSubmit(w, r)
+		case http.MethodGet:
+			writeJSON(w, http.StatusOK, s.Jobs())
+		default:
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		}
+	})
+	mux.HandleFunc("/jobs/", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		id := strings.TrimPrefix(r.URL.Path, "/jobs/")
+		st, ok := s.Status(id)
+		if !ok {
+			http.Error(w, "unknown job", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		s.mu.Lock()
+		draining := s.draining
+		s.mu.Unlock()
+		if draining {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		http.Error(w, fmt.Sprintf("bad job spec: %v", err), http.StatusBadRequest)
+		return
+	}
+	id, err := s.Submit(spec)
+	var quarantined *QuarantineError
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusAccepted, map[string]string{"id": id})
+	case errors.Is(err, ErrDuplicate):
+		// Resubmitting a known job is how clients recover from their own
+		// crashes; point them at the existing job.
+		writeJSON(w, http.StatusOK, map[string]string{"id": id, "note": "already submitted"})
+	case errors.Is(err, ErrSaturated):
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, err.Error(), http.StatusTooManyRequests)
+	case errors.As(err, &quarantined):
+		w.Header().Set("Retry-After", fmt.Sprint(int(quarantined.RetryAfter/time.Second)+1))
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	case errors.Is(err, ErrDraining):
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	default:
+		http.Error(w, err.Error(), http.StatusBadRequest)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

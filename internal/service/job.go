@@ -1,0 +1,204 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"time"
+
+	"kard/internal/core"
+	"kard/internal/harness"
+	"kard/internal/sim"
+	"kard/internal/workload"
+)
+
+// JobSpec is one detection job: a registry workload crossed with modes
+// and seeds, plus the resource budgets and deadline the service enforces.
+// The spec fully determines the job's matrix cells, and the simulations
+// are deterministic, so the same spec always yields the same verdicts —
+// the property crash recovery relies on.
+type JobSpec struct {
+	// ID names the job. Empty IDs are filled with a content hash of the
+	// spec, so resubmitting the same file after a restart dedupes
+	// against the journal instead of re-running.
+	ID string `json:"id,omitempty"`
+
+	// Workload is a registry workload name (workload.Names).
+	Workload string `json:"workload"`
+	// Modes lists the harness configurations to run (default: kard).
+	Modes []harness.Mode `json:"modes,omitempty"`
+	// Seeds lists scheduler seeds, one cell per mode×seed (default: 1).
+	Seeds []int64 `json:"seeds,omitempty"`
+
+	// Threads and Scale mirror harness.Options (defaults 4 and 1).
+	Threads int     `json:"threads,omitempty"`
+	Scale   float64 `json:"scale,omitempty"`
+
+	// MaxFrames budgets the simulated physical frame pool per cell
+	// (0 = the server default); exhaustion degrades instead of
+	// crashing.
+	MaxFrames uint64 `json:"maxFrames,omitempty"`
+	// MaxRWKeys budgets hardware protection keys per cell (0 = the
+	// server default, 1..13 to constrain); the detector recycles,
+	// shares, or degrades beyond the budget.
+	MaxRWKeys int `json:"maxRWKeys,omitempty"`
+	// CellTimeout bounds each cell's wall clock (0 = server default).
+	CellTimeout time.Duration `json:"cellTimeout,omitempty"`
+	// Deadline is the job's absolute wall-clock deadline (zero = none),
+	// propagated through harness.Options into sim.Config: queued jobs
+	// whose deadline passed fail fast, and running cells are torn down
+	// by the engine when they hit it.
+	Deadline time.Time `json:"deadline,omitempty"`
+}
+
+// normalize applies defaults and fills an empty ID with the content hash
+// of the defaulted spec.
+func (s *JobSpec) normalize(d ServerDefaults) error {
+	if s.Workload == "" {
+		return fmt.Errorf("service: job has no workload")
+	}
+	if _, err := workload.New(s.Workload); err != nil {
+		return fmt.Errorf("service: %w", err)
+	}
+	if len(s.Modes) == 0 {
+		s.Modes = []harness.Mode{harness.ModeKard}
+	}
+	for _, m := range s.Modes {
+		switch m {
+		case harness.ModeBaseline, harness.ModeAlloc, harness.ModeKard, harness.ModeTSan, harness.ModeLockset:
+		default:
+			return fmt.Errorf("service: unknown mode %q", m)
+		}
+	}
+	if len(s.Seeds) == 0 {
+		s.Seeds = []int64{1}
+	}
+	if s.Threads <= 0 {
+		s.Threads = 4
+	}
+	if s.Scale <= 0 || s.Scale > 1 {
+		s.Scale = 1
+	}
+	if s.MaxFrames == 0 {
+		s.MaxFrames = d.MaxFrames
+	}
+	if s.MaxRWKeys == 0 {
+		s.MaxRWKeys = d.MaxRWKeys
+	}
+	if s.CellTimeout == 0 {
+		s.CellTimeout = d.CellTimeout
+	}
+	if s.ID == "" {
+		b, err := json.Marshal(s)
+		if err != nil {
+			return fmt.Errorf("service: hashing job spec: %w", err)
+		}
+		sum := sha256.Sum256(b)
+		s.ID = hex.EncodeToString(sum[:6])
+	}
+	return nil
+}
+
+// cells expands the spec into its matrix cells, in deterministic
+// mode-major order.
+func (s *JobSpec) cells() []harness.Spec {
+	var specs []harness.Spec
+	for _, mode := range s.Modes {
+		for _, seed := range s.Seeds {
+			specs = append(specs, harness.Spec{Options: harness.Options{
+				Workload:  s.Workload,
+				Mode:      mode,
+				Threads:   s.Threads,
+				Scale:     s.Scale,
+				Seed:      seed,
+				MaxFrames: s.MaxFrames,
+				Timeout:   s.CellTimeout,
+				Deadline:  s.Deadline,
+				Kard:      core.Options{MaxRWKeys: s.MaxRWKeys},
+			}})
+		}
+	}
+	return specs
+}
+
+// JobState is a job's lifecycle position.
+type JobState string
+
+const (
+	// StateQueued covers admitted jobs waiting for a worker, including
+	// jobs requeued by journal replay after a crash.
+	StateQueued JobState = "queued"
+	// StateRunning marks a job a worker is executing.
+	StateRunning JobState = "running"
+	// StateDone marks a job whose every cell completed; its verdict is
+	// journaled and queryable.
+	StateDone JobState = "done"
+	// StateFailed marks a job that exhausted its cells' retries, hit
+	// its deadline, or carried an invalid spec.
+	StateFailed JobState = "failed"
+)
+
+// CellVerdict is the durable outcome of one matrix cell: the race
+// verdict (Table 6's distinct-racy-objects metric plus the distinct
+// sites), the simulated execution time, and the engine's checkpoint
+// summary. Everything in it is deterministic, so verdicts from a
+// recovered run are byte-identical to an uninterrupted one.
+type CellVerdict struct {
+	Label       string      `json:"label"`
+	RacyObjects int         `json:"racyObjects"`
+	Sites       []string    `json:"sites,omitempty"`
+	Races       int         `json:"races"`
+	ExecTime    uint64      `json:"execTime"`
+	Summary     sim.Summary `json:"summary"`
+}
+
+// newCellVerdict condenses a finished cell into its verdict.
+func newCellVerdict(s harness.Spec, r *harness.Result) *CellVerdict {
+	sites := map[string]bool{}
+	for _, race := range r.Stats.Races {
+		if race.Object != nil {
+			sites[race.Object.Site] = true
+		}
+	}
+	v := &CellVerdict{
+		Label:       s.Label(),
+		RacyObjects: len(sites),
+		Races:       len(r.Stats.Races),
+		ExecTime:    uint64(r.Stats.ExecTime),
+		Summary:     r.Summary,
+	}
+	for site := range sites {
+		v.Sites = append(v.Sites, site)
+	}
+	sort.Strings(v.Sites)
+	return v
+}
+
+// JobVerdict is a completed job's full outcome, cells in spec order.
+type JobVerdict struct {
+	JobID string         `json:"jobId"`
+	Cells []*CellVerdict `json:"cells"`
+}
+
+// Canonical renders the verdict as deterministic JSON — the bytes the
+// crash-recovery equivalence check compares.
+func (v *JobVerdict) Canonical() []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		// All fields are marshal-safe by construction.
+		panic(fmt.Sprintf("service: verdict marshal: %v", err))
+	}
+	return b
+}
+
+// JobStatus is the queryable view of a job.
+type JobStatus struct {
+	Spec    JobSpec     `json:"spec"`
+	State   JobState    `json:"state"`
+	Cells   int         `json:"cells"`
+	Done    int         `json:"cellsDone"`
+	Error   string      `json:"error,omitempty"`
+	Verdict *JobVerdict `json:"verdict,omitempty"`
+}

@@ -1,0 +1,243 @@
+package journal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func openT(t *testing.T, path string) (*Journal, [][]byte) {
+	t.Helper()
+	j, recs, err := Open(path)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", path, err)
+	}
+	return j, recs
+}
+
+func appendT(t *testing.T, j *Journal, payloads ...string) {
+	t.Helper()
+	for _, p := range payloads {
+		if err := j.Append([]byte(p)); err != nil {
+			t.Fatalf("Append(%q): %v", p, err)
+		}
+	}
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	j, recs := openT(t, path)
+	if len(recs) != 0 {
+		t.Fatalf("fresh journal replayed %d records, want 0", len(recs))
+	}
+	want := []string{"alpha", "beta", `{"t":"admit","job":{"id":"x"}}`}
+	appendT(t, j, want...)
+	if st := j.Stats(); st.Appended != 3 || st.Syncs != 3 {
+		t.Fatalf("stats after 3 appends: %+v", st)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	j2, recs := openT(t, path)
+	defer j2.Close()
+	if len(recs) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(recs), len(want))
+	}
+	for i, r := range recs {
+		if string(r) != want[i] {
+			t.Fatalf("record %d = %q, want %q", i, r, want[i])
+		}
+	}
+	if st := j2.Stats(); st.Replayed != 3 || st.TornBytes != 0 {
+		t.Fatalf("replay stats: %+v", st)
+	}
+}
+
+// TestJournalTornTail covers the crash case the format exists for: the
+// process died mid-append, leaving a partial record. Replay must keep the
+// intact prefix, truncate the tear, and leave the journal appendable.
+func TestJournalTornTail(t *testing.T) {
+	cases := []struct {
+		name string
+		tear func(full []byte) []byte // full = bytes of the last record's frame
+	}{
+		{"mid-header", func(full []byte) []byte { return full[:5] }},
+		{"mid-payload", func(full []byte) []byte { return full[:8+2] }},
+		{"length-only", func(full []byte) []byte { return full[:4] }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "j.wal")
+			j, _ := openT(t, path)
+			appendT(t, j, "one", "two")
+			j.Close()
+
+			// Hand-frame a third record and append only a torn prefix of it.
+			payload := []byte("three")
+			frame := make([]byte, 8+len(payload))
+			binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+			binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(payload, castagnoli))
+			copy(frame[8:], payload)
+			f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			torn := tc.tear(frame)
+			if _, err := f.Write(torn); err != nil {
+				t.Fatal(err)
+			}
+			f.Close()
+
+			j2, recs := openT(t, path)
+			if len(recs) != 2 || string(recs[0]) != "one" || string(recs[1]) != "two" {
+				t.Fatalf("replay after tear: %q, want [one two]", recs)
+			}
+			if st := j2.Stats(); st.TornBytes != int64(len(torn)) {
+				t.Fatalf("TornBytes = %d, want %d", st.TornBytes, len(torn))
+			}
+			// The tear is gone from disk and appends continue cleanly.
+			appendT(t, j2, "three")
+			j2.Close()
+			_, recs = openT(t, path)
+			if len(recs) != 3 || string(recs[2]) != "three" {
+				t.Fatalf("replay after recovery append: %q", recs)
+			}
+		})
+	}
+}
+
+// TestJournalChecksumCorruption flips a payload byte: replay must stop at
+// the corrupt record and everything after it (prefix semantics — a WAL
+// cannot vouch for records beyond the first broken checksum).
+func TestJournalChecksumCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	j, _ := openT(t, path)
+	appendT(t, j, "good-1", "good-2", "good-3")
+	j.Close()
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt one byte inside the second record's payload.
+	off := len(magic) + (8 + len("good-1")) + 8 + 2
+	data[off] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, recs := openT(t, path)
+	defer j2.Close()
+	if len(recs) != 1 || string(recs[0]) != "good-1" {
+		t.Fatalf("replay after corruption: %q, want [good-1]", recs)
+	}
+	if st := j2.Stats(); st.TornBytes == 0 {
+		t.Fatal("corrupt tail not counted as torn")
+	}
+}
+
+func TestJournalBadMagic(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "not-a-journal")
+	if err := os.WriteFile(path, []byte("definitely not a WAL"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := Open(path)
+	if !errors.Is(err, ErrNotJournal) {
+		t.Fatalf("Open over a foreign file: %v, want ErrNotJournal", err)
+	}
+	// The foreign file must be untouched.
+	data, _ := os.ReadFile(path)
+	if string(data) != "definitely not a WAL" {
+		t.Fatalf("foreign file was modified: %q", data)
+	}
+}
+
+func TestJournalRejectsOversizeAndEmpty(t *testing.T) {
+	j, _ := openT(t, filepath.Join(t.TempDir(), "j.wal"))
+	defer j.Close()
+	if err := j.Append(nil); err == nil {
+		t.Fatal("empty record accepted")
+	}
+	if err := j.Append(make([]byte, maxRecord+1)); err == nil {
+		t.Fatal("oversize record accepted")
+	}
+}
+
+func TestJournalConcurrentAppends(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	j, _ := openT(t, path)
+	const writers, per = 8, 20
+	done := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		go func(w int) {
+			for i := 0; i < per; i++ {
+				if err := j.Append([]byte(fmt.Sprintf("w%d-%d", w, i))); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}(w)
+	}
+	for w := 0; w < writers; w++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+	_, recs := openT(t, path)
+	if len(recs) != writers*per {
+		t.Fatalf("replayed %d records, want %d", len(recs), writers*per)
+	}
+	// Per-writer order is preserved even though writers interleave.
+	last := make([]int, writers)
+	for i := range last {
+		last[i] = -1
+	}
+	for _, r := range recs {
+		var w, i int
+		if _, err := fmt.Sscanf(string(r), "w%d-%d", &w, &i); err != nil {
+			t.Fatalf("unparseable record %q", r)
+		}
+		if i != last[w]+1 {
+			t.Fatalf("writer %d records out of order: saw %d after %d", w, i, last[w])
+		}
+		last[w] = i
+	}
+}
+
+func TestJournalCloseIsIdempotentAndFinal(t *testing.T) {
+	j, _ := openT(t, filepath.Join(t.TempDir(), "j.wal"))
+	appendT(t, j, "x")
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if err := j.Append([]byte("y")); err == nil {
+		t.Fatal("Append after Close succeeded")
+	}
+}
+
+// TestJournalEmptyFileGetsMagic checks that opening a fresh path writes
+// the header immediately, so a crash before the first Append still leaves
+// a well-formed journal.
+func TestJournalEmptyFileGetsMagic(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	j, _ := openT(t, path)
+	j.Close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, []byte(magic)) {
+		t.Fatalf("fresh journal bytes = %q, want bare magic", data)
+	}
+}

@@ -1,0 +1,735 @@
+// Package service is the long-running detection layer behind cmd/kardd:
+// it accepts detection jobs (a workload spec crossed with modes, seeds,
+// budgets, and a deadline) on a bounded queue, executes them on the
+// parallel evaluation harness, and survives both crashes and overload.
+//
+// Crash safety comes from a write-ahead journal (see subpackage
+// journal): job admission is journaled before a job is queued, and every
+// finished cell's verdict is journaled (fsync'd, checksummed) as it
+// completes. On restart the journal's intact prefix is replayed —
+// completed jobs come back with their verdicts, interrupted jobs are
+// requeued with their finished cells marked resumable — and because the
+// simulations are deterministic, the recovered run's verdicts are
+// byte-identical to an uninterrupted one. The result cache doubles as a
+// second recovery layer for cells that finished after their journal
+// record was lost.
+//
+// Overload safety comes from admission control: the queue is bounded and
+// Submit rejects (ErrSaturated, a 429, never blocking) when it is full;
+// per-job budgets cap simulated frames (MaxFrames) and protection keys
+// (MaxRWKeys); and job deadlines propagate through harness.Options into
+// the engine, which tears down cells that outlive them. Workloads whose
+// cells repeatedly trip the wall-clock watchdog are quarantined by a
+// per-workload circuit breaker (closed → open → half-open, exponential
+// cooldown with seeded jitter) instead of monopolizing the pool.
+//
+// Shutdown is graceful: Drain stops admission, lets in-flight cells
+// finish (or checkpoints them mid-job when the drain context expires),
+// flushes the journal, and returns — kardd then exits 0.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"kard/internal/harness"
+	"kard/internal/service/journal"
+	"kard/internal/sim"
+)
+
+// Admission-control rejections. All are immediate: Submit never blocks.
+var (
+	// ErrSaturated is the 429: the bounded queue is full.
+	ErrSaturated = errors.New("service: queue saturated")
+	// ErrDraining rejects submissions once Drain has begun.
+	ErrDraining = errors.New("service: draining")
+	// ErrDuplicate rejects a job whose ID the journal already knows;
+	// callers resubmitting a job file after a restart treat it as
+	// success.
+	ErrDuplicate = errors.New("service: duplicate job id")
+)
+
+// ServerDefaults are the per-job budget defaults applied to specs that
+// do not set their own.
+type ServerDefaults struct {
+	// CellTimeout bounds each cell's wall clock (default 2m).
+	CellTimeout time.Duration
+	// MaxFrames bounds each cell's simulated frame pool (0 =
+	// unlimited).
+	MaxFrames uint64
+	// MaxRWKeys bounds each cell's hardware protection keys (0 = all).
+	MaxRWKeys int
+}
+
+// Config parameterizes a Server.
+type Config struct {
+	// Dir is the state directory: the journal (journal.wal) and the
+	// result cache (cache/) live under it.
+	Dir string
+	// QueueDepth bounds the admission queue (default 64). Submissions
+	// beyond it are rejected with ErrSaturated, never blocked, so queue
+	// memory stays bounded under any overload.
+	QueueDepth int
+	// Workers is the number of concurrent jobs (default 2); each job's
+	// cells run on its own matrix pool of CellWorkers (default 1).
+	Workers     int
+	CellWorkers int
+	// Defaults are the per-job budget defaults.
+	Defaults ServerDefaults
+	// Breaker tunes the per-workload circuit breakers.
+	Breaker BreakerConfig
+	// Logf, when non-nil, receives operational log lines.
+	Logf func(format string, args ...any)
+
+	// now is the clock, injectable by tests (nil = time.Now).
+	now func() time.Time
+	// gate, when non-nil, is received from before each dequeue attempt —
+	// a test hook that freezes the workers so admission-control tests
+	// can fill the queue deterministically.
+	gate chan struct{}
+}
+
+func (c *Config) defaults() {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.CellWorkers <= 0 {
+		c.CellWorkers = 1
+	}
+	if c.Defaults.CellTimeout <= 0 {
+		c.Defaults.CellTimeout = 2 * time.Minute
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+}
+
+// record is the journal payload envelope. Admission, per-cell verdicts,
+// job completion, job failure, breaker transitions, and clean drains are
+// each one record.
+type record struct {
+	T          string         `json:"t"`
+	Job        *JobSpec       `json:"job,omitempty"`
+	JobID      string         `json:"jobId,omitempty"`
+	Cell       int            `json:"cell,omitempty"`
+	Verdict    *CellVerdict   `json:"verdict,omitempty"`
+	JobVerdict *JobVerdict    `json:"jobVerdict,omitempty"`
+	Err        string         `json:"err,omitempty"`
+	Breaker    *BreakerStatus `json:"breaker,omitempty"`
+}
+
+// job is the server-side state of one admitted job. Fields other than
+// done are guarded by the server mutex; done is guarded by its own mutex
+// because matrix workers update it while Status readers inspect it.
+type job struct {
+	spec  JobSpec
+	state JobState
+	cells []harness.Spec
+	err   string
+
+	mu      sync.Mutex
+	done    []*CellVerdict // non-nil = completed (journaled or replayed)
+	verdict *JobVerdict
+}
+
+func newJob(spec JobSpec) *job {
+	cells := spec.cells()
+	return &job{spec: spec, state: StateQueued, cells: cells, done: make([]*CellVerdict, len(cells))}
+}
+
+func (j *job) cellDone(i int) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.done[i] != nil
+}
+
+func (j *job) setDone(i int, v *CellVerdict) {
+	j.mu.Lock()
+	j.done[i] = v
+	j.mu.Unlock()
+}
+
+func (j *job) doneCount() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	n := 0
+	for _, v := range j.done {
+		if v != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Server is the detection service. Create one with Open; it immediately
+// resumes whatever the journal says was interrupted.
+type Server struct {
+	cfg   Config
+	jr    *journal.Journal
+	cache *harness.Cache
+
+	runCtx context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	order    []string // admission order
+	breakers map[string]*breaker
+	queue    chan *job
+	queued   int // jobs sitting in the queue (≤ QueueDepth for new admissions)
+	pending  int // queued + running
+	idleCh   chan struct{}
+	draining bool
+	closed   bool
+
+	rejSaturated  uint64
+	rejQuarantine uint64
+	rejDraining   uint64
+	resumedCells  uint64
+	journalErrs   uint64
+}
+
+// Open opens (creating if needed) the service state under cfg.Dir,
+// replays the journal, requeues interrupted jobs, and starts the
+// workers.
+func Open(cfg Config) (*Server, error) {
+	cfg.defaults()
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("service: Config.Dir is required")
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("service: %w", err)
+	}
+	cache, err := harness.OpenCache(filepath.Join(cfg.Dir, "cache"))
+	if err != nil {
+		return nil, err
+	}
+	jr, payloads, err := journal.Open(filepath.Join(cfg.Dir, "journal.wal"))
+	if err != nil {
+		return nil, err
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:      cfg,
+		jr:       jr,
+		cache:    cache,
+		runCtx:   ctx,
+		cancel:   cancel,
+		jobs:     map[string]*job{},
+		breakers: map[string]*breaker{},
+	}
+	resume := s.replay(payloads)
+
+	// The queue must hold every requeued job even when a crash left
+	// more in flight than QueueDepth admits (depth + workers at most).
+	capacity := cfg.QueueDepth
+	if len(resume) > capacity {
+		capacity = len(resume)
+	}
+	s.queue = make(chan *job, capacity)
+	for _, j := range resume {
+		j.state = StateQueued
+		s.queued++
+		s.pending++
+		s.queue <- j
+	}
+	if st := jr.Stats(); st.Replayed > 0 || st.TornBytes > 0 {
+		cfg.Logf("service: journal replayed %d records (%d torn bytes truncated), %d jobs resumed",
+			st.Replayed, st.TornBytes, len(resume))
+	}
+
+	for w := 0; w < cfg.Workers; w++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// replay folds the journal's records into server state and returns the
+// interrupted jobs to requeue, in admission order.
+func (s *Server) replay(payloads [][]byte) []*job {
+	for _, p := range payloads {
+		var r record
+		if err := json.Unmarshal(p, &r); err != nil {
+			// The checksum passed, so this is a version skew, not a
+			// tear; skip the record rather than refuse to start.
+			s.cfg.Logf("service: skipping unreadable journal record: %v", err)
+			continue
+		}
+		switch r.T {
+		case "admit":
+			if r.Job == nil || r.Job.ID == "" {
+				continue
+			}
+			j := newJob(*r.Job)
+			s.jobs[r.Job.ID] = j
+			s.order = append(s.order, r.Job.ID)
+		case "cell":
+			if j := s.jobs[r.JobID]; j != nil && r.Verdict != nil && r.Cell >= 0 && r.Cell < len(j.cells) {
+				j.setDone(r.Cell, r.Verdict)
+			}
+		case "done":
+			if j := s.jobs[r.JobID]; j != nil && r.JobVerdict != nil {
+				j.state = StateDone
+				j.verdict = r.JobVerdict
+			}
+		case "fail":
+			if j := s.jobs[r.JobID]; j != nil {
+				j.state = StateFailed
+				j.err = r.Err
+			}
+		case "breaker":
+			if b := r.Breaker; b != nil && b.State == string(breakerOpen) {
+				s.breakerLocked(b.Workload).restore(b.Trips, b.Until)
+			}
+		case "drain":
+			// Informational: the previous incarnation shut down cleanly.
+		}
+	}
+	var resume []*job
+	for _, id := range s.order {
+		j := s.jobs[id]
+		if j.state == StateQueued || j.state == StateRunning {
+			if n := j.doneCount(); n > 0 {
+				s.resumedCells += uint64(n)
+			}
+			resume = append(resume, j)
+		}
+	}
+	return resume
+}
+
+// breakerLocked returns (creating if needed) the workload's breaker.
+// Callers hold s.mu (or, during Open, have exclusive access).
+func (s *Server) breakerLocked(workload string) *breaker {
+	b := s.breakers[workload]
+	if b == nil {
+		b = newBreaker(workload, s.cfg.Breaker, s.cfg.now)
+		s.breakers[workload] = b
+	}
+	return b
+}
+
+// Submit admits one job. It never blocks: when the queue is full it
+// rejects with ErrSaturated, when the workload is quarantined with a
+// QuarantineError, when draining with ErrDraining, and when the ID is
+// already journaled with ErrDuplicate. On success the admission record
+// is durable before Submit returns.
+func (s *Server) Submit(spec JobSpec) (string, error) {
+	if err := spec.normalize(s.cfg.Defaults); err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining || s.closed {
+		s.rejDraining++
+		return "", ErrDraining
+	}
+	if _, ok := s.jobs[spec.ID]; ok {
+		return spec.ID, ErrDuplicate
+	}
+	if s.queued >= s.cfg.QueueDepth {
+		s.rejSaturated++
+		return "", ErrSaturated
+	}
+	br := s.breakerLocked(spec.Workload)
+	wasProbing := br.probing
+	if err := br.allow(); err != nil {
+		s.rejQuarantine++
+		return "", err
+	}
+	j := newJob(spec)
+	if err := s.appendLocked(record{T: "admit", Job: &spec}); err != nil {
+		// The admission never became durable, so the job must not run;
+		// hand back the half-open probe slot if we just took it.
+		if br.probing && !wasProbing {
+			br.probing = false
+		}
+		return "", err
+	}
+	s.jobs[spec.ID] = j
+	s.order = append(s.order, spec.ID)
+	s.queued++
+	s.pending++
+	s.queue <- j // cannot block: queued < QueueDepth ≤ cap, sends only under s.mu
+	return spec.ID, nil
+}
+
+// appendLocked journals one record. Callers hold s.mu.
+func (s *Server) appendLocked(r record) error {
+	b, err := json.Marshal(r)
+	if err != nil {
+		return fmt.Errorf("service: journal encode: %w", err)
+	}
+	if err := s.jr.Append(b); err != nil {
+		s.journalErrs++
+		return err
+	}
+	return nil
+}
+
+// appendBestEffort journals a record whose loss only costs recomputation
+// after a crash (cell verdicts, breaker transitions), never correctness.
+func (s *Server) appendBestEffort(r record) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.appendLocked(r); err != nil {
+		s.cfg.Logf("service: journal append failed (will recompute after a crash): %v", err)
+	}
+}
+
+// worker drains the queue until the queue closes (drain) or the run
+// context is cancelled (forced shutdown).
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		if s.cfg.gate != nil {
+			select {
+			case <-s.cfg.gate:
+			case <-s.runCtx.Done():
+				return
+			}
+		}
+		select {
+		case <-s.runCtx.Done():
+			return
+		case j, ok := <-s.queue:
+			if !ok {
+				return
+			}
+			s.mu.Lock()
+			s.queued--
+			j.state = StateRunning
+			s.mu.Unlock()
+			s.runJob(j)
+			s.mu.Lock()
+			s.pending--
+			if s.pending == 0 && s.idleCh != nil {
+				close(s.idleCh)
+				s.idleCh = nil
+			}
+			s.mu.Unlock()
+		}
+	}
+}
+
+// runJob executes one job's cells through the harness, journaling each
+// verdict as it lands, and settles the job (done or failed) unless a
+// forced shutdown interrupted it — then the job stays unsettled in the
+// journal and the next incarnation resumes it.
+func (s *Server) runJob(j *job) {
+	spec := j.spec
+	if !spec.Deadline.IsZero() && s.cfg.now().After(spec.Deadline) {
+		// Expired while queued: shed it without burning a worker on
+		// cells that would each fail the same way.
+		s.settleJob(j, nil, fmt.Errorf("%w before execution started (deadline %s)",
+			sim.ErrDeadline, spec.Deadline.UTC().Format(time.RFC3339)), false)
+		return
+	}
+	mo := harness.MatrixOptions{
+		Jobs:           s.cfg.CellWorkers,
+		Cache:          s.cache,
+		RetryTransient: true,
+		Resume:         func(i int, _ harness.Spec) bool { return j.cellDone(i) },
+		OnCell: func(done, total int, r harness.MatrixResult) {
+			if r.Resumed || r.Err != nil || r.Result == nil {
+				return
+			}
+			v := newCellVerdict(r.Spec, r.Result)
+			j.setDone(r.Index, v)
+			s.appendBestEffort(record{T: "cell", JobID: spec.ID, Cell: r.Index, Verdict: v})
+		},
+	}
+	rs := harness.RunMatrixContext(s.runCtx, j.cells, mo)
+	if s.runCtx.Err() != nil {
+		// Forced shutdown: completed cells are journaled (checkpointed);
+		// the job itself stays open for the next incarnation.
+		return
+	}
+
+	var firstErr error
+	tripped := false
+	verdict := &JobVerdict{JobID: spec.ID}
+	j.mu.Lock()
+	for i, r := range rs {
+		if r.Err != nil {
+			if firstErr == nil {
+				firstErr = r.Err
+			}
+			if errors.Is(r.Err, sim.ErrWatchdog) {
+				tripped = true
+			}
+			continue
+		}
+		verdict.Cells = append(verdict.Cells, j.done[i])
+	}
+	j.mu.Unlock()
+	if firstErr != nil {
+		s.settleJob(j, nil, firstErr, tripped)
+		return
+	}
+	s.settleJob(j, verdict, nil, false)
+}
+
+// settleJob journals and publishes a job's final state and feeds its
+// circuit breaker, journaling any breaker transition.
+func (s *Server) settleJob(j *job, verdict *JobVerdict, jobErr error, tripped bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if jobErr != nil {
+		j.state = StateFailed
+		j.err = jobErr.Error()
+		if err := s.appendLocked(record{T: "fail", JobID: j.spec.ID, Err: j.err}); err != nil {
+			s.cfg.Logf("service: journal append failed (job %s will re-run after a crash): %v", j.spec.ID, err)
+		}
+		s.cfg.Logf("service: job %s failed: %v", j.spec.ID, jobErr)
+	} else {
+		j.mu.Lock()
+		j.verdict = verdict
+		j.mu.Unlock()
+		j.state = StateDone
+		if err := s.appendLocked(record{T: "done", JobID: j.spec.ID, JobVerdict: verdict}); err != nil {
+			s.cfg.Logf("service: journal append failed (job %s will re-run after a crash): %v", j.spec.ID, err)
+		}
+	}
+	br := s.breakerLocked(j.spec.Workload)
+	if br.record(tripped) {
+		st := br.status()
+		if err := s.appendLocked(record{T: "breaker", Breaker: &st}); err != nil {
+			s.cfg.Logf("service: journal append failed (breaker state not durable): %v", err)
+		}
+		s.cfg.Logf("service: breaker %s -> %s (trips %d)", j.spec.Workload, st.State, st.Trips)
+	}
+}
+
+// WaitIdle blocks until no job is queued or running (or ctx ends). A
+// server that was opened over a fully settled journal is idle
+// immediately.
+func (s *Server) WaitIdle(ctx context.Context) error {
+	s.mu.Lock()
+	if s.pending == 0 {
+		s.mu.Unlock()
+		return nil
+	}
+	if s.idleCh == nil {
+		s.idleCh = make(chan struct{})
+	}
+	ch := s.idleCh
+	s.mu.Unlock()
+	select {
+	case <-ch:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Drain shuts the server down gracefully: admission stops immediately,
+// queued and in-flight jobs run to completion (every finished cell is
+// journaled as it lands), and the journal is flushed and closed. If ctx
+// ends first, execution is cancelled — in-flight jobs stay open in the
+// journal with their completed cells checkpointed, and the next
+// incarnation resumes them. Drain returns nil on a clean drain.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return fmt.Errorf("service: already draining")
+	}
+	s.draining = true
+	close(s.queue) // safe: sends happen under s.mu and draining is set
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	var derr error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		derr = ctx.Err()
+		s.cancel()
+		<-done
+	}
+
+	s.mu.Lock()
+	s.closed = true
+	if err := s.appendLocked(record{T: "drain"}); err != nil {
+		s.cfg.Logf("service: drain record not journaled: %v", err)
+	}
+	s.mu.Unlock()
+	if err := s.jr.Close(); err != nil && derr == nil {
+		derr = err
+	}
+	s.cancel()
+	return derr
+}
+
+// Abort simulates an unclean shutdown for tests and emergency stops:
+// execution is cancelled immediately and the journal file is closed
+// without a drain record, leaving exactly the state a crash would —
+// minus any tear, which the journal's per-record fsync already bounds to
+// the final record.
+func (s *Server) Abort() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.draining = true
+	s.closed = true
+	s.cancel()
+	s.mu.Unlock()
+	s.wg.Wait()
+	_ = s.jr.Close()
+}
+
+// Status returns one job's queryable state.
+func (s *Server) Status(id string) (JobStatus, bool) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return JobStatus{}, false
+	}
+	st := JobStatus{Spec: j.spec, State: j.state, Cells: len(j.cells), Error: j.err}
+	s.mu.Unlock()
+	j.mu.Lock()
+	st.Verdict = j.verdict
+	for _, v := range j.done {
+		if v != nil {
+			st.Done++
+		}
+	}
+	j.mu.Unlock()
+	return st, true
+}
+
+// Jobs returns every known job's status, in admission order.
+func (s *Server) Jobs() []JobStatus {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	s.mu.Unlock()
+	out := make([]JobStatus, 0, len(ids))
+	for _, id := range ids {
+		if st, ok := s.Status(id); ok {
+			out = append(out, st)
+		}
+	}
+	return out
+}
+
+// Verdicts returns the verdicts of every completed job, sorted by job
+// ID — the deterministic artifact the crash-recovery equivalence check
+// compares.
+func (s *Server) Verdicts() []*JobVerdict {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []*JobVerdict
+	for _, j := range s.jobs {
+		j.mu.Lock()
+		if j.state == StateDone && j.verdict != nil {
+			out = append(out, j.verdict)
+		}
+		j.mu.Unlock()
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].JobID < out[k].JobID })
+	return out
+}
+
+// Inspect replays the journal under dir without starting workers and
+// returns every job's status (admission order) plus the journal stats —
+// the read path behind report.Journal. It must not run concurrently with
+// a live daemon on the same dir: replay truncates a torn tail, which is
+// recovery, not something to do under a writer.
+func Inspect(dir string) ([]JobStatus, journal.Stats, error) {
+	jr, payloads, err := journal.Open(filepath.Join(dir, "journal.wal"))
+	if err != nil {
+		return nil, journal.Stats{}, err
+	}
+	defer jr.Close()
+	cfg := Config{Dir: dir}
+	cfg.defaults()
+	s := &Server{cfg: cfg, jr: jr, jobs: map[string]*job{}, breakers: map[string]*breaker{}}
+	s.replay(payloads)
+	out := make([]JobStatus, 0, len(s.order))
+	for _, id := range s.order {
+		if st, ok := s.Status(id); ok {
+			out = append(out, st)
+		}
+	}
+	return out, jr.Stats(), nil
+}
+
+// ServerStats snapshots the server for /stats and reports.
+type ServerStats struct {
+	Queued     int `json:"queued"`
+	Running    int `json:"running"`
+	Done       int `json:"done"`
+	Failed     int `json:"failed"`
+	QueueDepth int `json:"queueDepth"`
+
+	RejectedSaturated   uint64 `json:"rejectedSaturated"`
+	RejectedQuarantined uint64 `json:"rejectedQuarantined"`
+	RejectedDraining    uint64 `json:"rejectedDraining"`
+	ResumedCells        uint64 `json:"resumedCells"`
+	JournalErrors       uint64 `json:"journalErrors"`
+
+	Breakers []BreakerStatus    `json:"breakers,omitempty"`
+	Journal  journal.Stats      `json:"journal"`
+	Cache    harness.CacheStats `json:"cache"`
+}
+
+// Stats returns a snapshot of the server counters.
+func (s *Server) Stats() ServerStats {
+	s.mu.Lock()
+	st := ServerStats{
+		QueueDepth:          s.cfg.QueueDepth,
+		RejectedSaturated:   s.rejSaturated,
+		RejectedQuarantined: s.rejQuarantine,
+		RejectedDraining:    s.rejDraining,
+		ResumedCells:        s.resumedCells,
+		JournalErrors:       s.journalErrs,
+	}
+	for _, j := range s.jobs {
+		switch j.state {
+		case StateQueued:
+			st.Queued++
+		case StateRunning:
+			st.Running++
+		case StateDone:
+			st.Done++
+		case StateFailed:
+			st.Failed++
+		}
+	}
+	names := make([]string, 0, len(s.breakers))
+	for name := range s.breakers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		st.Breakers = append(st.Breakers, s.breakers[name].status())
+	}
+	s.mu.Unlock()
+	st.Journal = s.jr.Stats()
+	st.Cache = s.cache.Stats()
+	return st
+}

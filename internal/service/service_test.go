@@ -1,0 +1,418 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"kard/internal/harness"
+	"kard/internal/sim"
+)
+
+// quiet keeps service logs out of test output unless -v is set.
+func quiet(t *testing.T) func(string, ...any) {
+	return func(format string, args ...any) { t.Logf("service: "+format, args...) }
+}
+
+func drainT(t *testing.T, s *Server) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	if err := s.WaitIdle(ctx); err != nil {
+		t.Fatalf("WaitIdle: %v", err)
+	}
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+}
+
+func canonVerdicts(vs []*JobVerdict) []byte {
+	var b bytes.Buffer
+	for _, v := range vs {
+		b.Write(v.Canonical())
+		b.WriteByte('\n')
+	}
+	return b.Bytes()
+}
+
+// checkGoroutines waits for the goroutine count to come back down to the
+// pre-test level; harness and service workers must not outlive a drain.
+func checkGoroutines(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	var n int
+	for {
+		n = runtime.NumGoroutine()
+		if n <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	t.Errorf("goroutine leak across Open→Drain: %d before, %d after\n%s",
+		before, n, buf[:runtime.Stack(buf, true)])
+}
+
+// TestCrashRecoveryEquivalence is the tentpole acceptance check in
+// miniature: a server aborted mid-run (SIGKILL semantics, plus a
+// hand-torn journal tail) must, after reopen and drain, produce verdicts
+// byte-identical to an uninterrupted run over the same specs.
+func TestCrashRecoveryEquivalence(t *testing.T) {
+	goroutines := runtime.NumGoroutine()
+	specs := []JobSpec{
+		{ID: "j-aget", Workload: "aget", Modes: []harness.Mode{harness.ModeKard, harness.ModeBaseline},
+			Seeds: []int64{1, 2}, Scale: 0.05},
+		{ID: "j-pigz", Workload: "pigz", Modes: []harness.Mode{harness.ModeKard},
+			Seeds: []int64{1, 2}, Scale: 0.05},
+	}
+	cfg := func(dir string) Config {
+		return Config{Dir: dir, QueueDepth: 8, Workers: 1, Logf: quiet(t)}
+	}
+
+	// Uninterrupted reference run.
+	refDir := t.TempDir()
+	ref, err := Open(cfg(refDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sp := range specs {
+		if _, err := ref.Submit(sp); err != nil {
+			t.Fatalf("Submit(%s): %v", sp.ID, err)
+		}
+	}
+	drainT(t, ref)
+	want := canonVerdicts(ref.Verdicts())
+	if len(ref.Verdicts()) != len(specs) {
+		t.Fatalf("reference run settled %d jobs, want %d", len(ref.Verdicts()), len(specs))
+	}
+
+	// Crash run: abort as soon as at least one cell has been journaled,
+	// so the interruption lands mid-job.
+	crashDir := t.TempDir()
+	first, err := Open(cfg(crashDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sp := range specs {
+		if _, err := first.Submit(sp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitUntil := time.Now().Add(time.Minute)
+	for {
+		st, ok := first.Status("j-aget")
+		if ok && st.Done > 0 {
+			break
+		}
+		if time.Now().After(waitUntil) {
+			t.Fatal("no cell completed within a minute")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	first.Abort()
+
+	// A real SIGKILL can additionally tear the record being appended;
+	// simulate that too.
+	wal := filepath.Join(crashDir, "journal.wal")
+	f, err := os.OpenFile(wal, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x07, 0x00, 0x00, 0x00, 0xde, 0xad}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// Recover: replay must requeue the interrupted jobs and the rerun
+	// must converge on identical verdicts without resubmission.
+	second, err := Open(cfg(crashDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := second.Stats(); st.Journal.TornBytes == 0 {
+		t.Error("recovery did not truncate the torn tail")
+	}
+	drainT(t, second)
+	got := canonVerdicts(second.Verdicts())
+	if !bytes.Equal(want, got) {
+		t.Fatalf("recovered verdicts differ from uninterrupted run:\n--- want\n%s--- got\n%s", want, got)
+	}
+
+	// Third view: the journal alone, with no execution, carries the same
+	// verdicts.
+	jobs, _, err := Inspect(crashDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var replayOnly []*JobVerdict
+	for _, j := range jobs {
+		if j.State != StateDone || j.Verdict == nil {
+			t.Fatalf("job %s not done after recovery: %s %q", j.Spec.ID, j.State, j.Error)
+		}
+		replayOnly = append(replayOnly, j.Verdict)
+	}
+	// Inspect reports admission order; Verdicts sorts by ID. The IDs here
+	// happen to be admitted in sorted order, so compare directly.
+	if !bytes.Equal(want, canonVerdicts(replayOnly)) {
+		t.Fatal("journal replay alone does not reproduce the verdicts")
+	}
+
+	checkGoroutines(t, goroutines)
+}
+
+// TestOverloadShedding drives 2× the queue depth into a server whose
+// worker is frozen: exactly QueueDepth jobs are admitted, the rest are
+// rejected immediately with ErrSaturated, and the queue never grows past
+// its bound. Unfreezing drains everything that was admitted.
+func TestOverloadShedding(t *testing.T) {
+	const depth = 3
+	gate := make(chan struct{})
+	s, err := Open(Config{Dir: t.TempDir(), QueueDepth: depth, Workers: 1,
+		Logf: quiet(t), gate: gate})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	admitted, saturated := 0, 0
+	for i := 0; i < 2*depth; i++ {
+		spec := JobSpec{Workload: "aget", Scale: 0.02, Seeds: []int64{int64(i + 1)}}
+		start := time.Now()
+		_, err := s.Submit(spec)
+		if took := time.Since(start); took > 5*time.Second {
+			t.Fatalf("Submit blocked for %v; admission must be immediate", took)
+		}
+		switch {
+		case err == nil:
+			admitted++
+		case errors.Is(err, ErrSaturated):
+			saturated++
+		default:
+			t.Fatalf("Submit %d: %v", i, err)
+		}
+	}
+	if admitted != depth || saturated != depth {
+		t.Fatalf("admitted %d rejected %d, want %d and %d", admitted, saturated, depth, depth)
+	}
+	st := s.Stats()
+	if st.Queued != depth || st.RejectedSaturated != depth {
+		t.Fatalf("stats: queued=%d rejectedSaturated=%d, want %d/%d",
+			st.Queued, st.RejectedSaturated, depth, depth)
+	}
+
+	// Unfreeze and finish what was admitted. Rejected jobs are gone for
+	// good — shedding, not deferring.
+	close(gate)
+	drainT(t, s)
+	done := 0
+	for _, js := range s.Jobs() {
+		if js.State == StateDone {
+			done++
+		}
+	}
+	if done != depth {
+		t.Fatalf("%d jobs done after drain, want %d", done, depth)
+	}
+	if _, err := s.Submit(JobSpec{Workload: "aget", Scale: 0.02}); !errors.Is(err, ErrDraining) {
+		t.Fatalf("Submit after drain: %v, want ErrDraining", err)
+	}
+}
+
+func TestDuplicateSubmission(t *testing.T) {
+	s, err := Open(Config{Dir: t.TempDir(), QueueDepth: 4, Workers: 1, Logf: quiet(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := JobSpec{Workload: "pigz", Scale: 0.02}
+	id1, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id1 == "" {
+		t.Fatal("content-hash ID not assigned")
+	}
+	// The same spec resubmitted (ID re-derived from content) dedupes.
+	id2, err := s.Submit(JobSpec{Workload: "pigz", Scale: 0.02})
+	if !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("resubmission: %v, want ErrDuplicate", err)
+	}
+	if id2 != id1 {
+		t.Fatalf("duplicate reported ID %q, want %q", id2, id1)
+	}
+	drainT(t, s)
+}
+
+// TestDeadlineFailFast: a job whose deadline passed while it sat in the
+// queue is shed without running a single cell, and the failure names the
+// deadline rather than a watchdog (so it does not feed the breaker).
+func TestDeadlineFailFast(t *testing.T) {
+	frozen := time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC)
+	s, err := Open(Config{Dir: t.TempDir(), QueueDepth: 4, Workers: 1, Logf: quiet(t),
+		now: func() time.Time { return frozen }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := s.Submit(JobSpec{ID: "late", Workload: "aget", Scale: 0.02,
+		Deadline: frozen.Add(-time.Hour)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drainT(t, s)
+	st, ok := s.Status(id)
+	if !ok || st.State != StateFailed {
+		t.Fatalf("expired job state = %+v, want failed", st)
+	}
+	if want := sim.ErrDeadline.Error(); !bytes.Contains([]byte(st.Error), []byte(want)) {
+		t.Fatalf("failure %q does not mention %q", st.Error, want)
+	}
+	if st.Done != 0 {
+		t.Fatalf("expired job ran %d cells, want 0", st.Done)
+	}
+}
+
+// TestQuarantineSurvivesRestart: repeated watchdog trips open the
+// workload's breaker; the quarantine rejects further submissions and —
+// because the transition is journaled — still holds after the daemon is
+// drained and reopened.
+func TestQuarantineSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Dir: dir, QueueDepth: 8, Workers: 1, Logf: quiet(t),
+		Breaker: BreakerConfig{Threshold: 2, Cooldown: time.Hour, Seed: 9}}
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 1ns watchdog on a scale-1 run trips deterministically; two such
+	// jobs reach the threshold.
+	for i := 0; i < 2; i++ {
+		spec := JobSpec{Workload: "memcached", Seeds: []int64{int64(i + 1)},
+			CellTimeout: time.Nanosecond}
+		if _, err := s.Submit(spec); err != nil {
+			t.Fatalf("Submit %d: %v", i, err)
+		}
+		if err := s.WaitIdle(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, err = s.Submit(JobSpec{Workload: "memcached", Seeds: []int64{99}, CellTimeout: time.Nanosecond})
+	if !errors.Is(err, ErrQuarantined) {
+		t.Fatalf("post-trip submission: %v, want quarantine", err)
+	}
+	var qe *QuarantineError
+	if !errors.As(err, &qe) || qe.RetryAfter <= 0 {
+		t.Fatalf("quarantine lacks a retry hint: %v", err)
+	}
+	// Other workloads are unaffected: the breaker is per-workload.
+	if _, err := s.Submit(JobSpec{Workload: "aget", Scale: 0.02}); err != nil {
+		t.Fatalf("unrelated workload rejected: %v", err)
+	}
+	drainT(t, s)
+
+	// The quarantine must survive the restart via the journaled breaker
+	// transition.
+	s2, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = s2.Submit(JobSpec{Workload: "memcached", Seeds: []int64{100}, CellTimeout: time.Nanosecond})
+	if !errors.Is(err, ErrQuarantined) {
+		t.Fatalf("quarantine did not survive restart: %v", err)
+	}
+	if st := s2.Stats(); st.RejectedQuarantined != 1 {
+		t.Fatalf("RejectedQuarantined = %d, want 1", st.RejectedQuarantined)
+	}
+	drainT(t, s2)
+}
+
+// TestDrainIsGracefulAndFinal: Drain on an idle server returns nil (the
+// clean SIGTERM path kardd maps to exit 0), leaves a drain record, and a
+// second Drain reports rather than hangs.
+func TestDrainIsGracefulAndFinal(t *testing.T) {
+	goroutines := runtime.NumGoroutine()
+	dir := t.TempDir()
+	s, err := Open(Config{Dir: dir, QueueDepth: 2, Workers: 2, Logf: quiet(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(JobSpec{Workload: "aget", Scale: 0.02}); err != nil {
+		t.Fatal(err)
+	}
+	drainT(t, s)
+	if err := s.Drain(context.Background()); err == nil {
+		t.Fatal("second Drain did not report")
+	}
+	checkGoroutines(t, goroutines)
+
+	// The next incarnation sees a settled journal: nothing to resume,
+	// idle immediately.
+	s2, err := Open(Config{Dir: dir, QueueDepth: 2, Workers: 2, Logf: quiet(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s2.WaitIdle(ctx); err != nil {
+		t.Fatalf("reopened settled server not idle: %v", err)
+	}
+	if st := s2.Stats(); st.Done != 1 || st.Queued != 0 {
+		t.Fatalf("reopened stats: %+v", st)
+	}
+	drainT(t, s2)
+}
+
+// TestForcedDrainCheckpoints: a drain whose context is already expired
+// cancels in-flight work; the journal keeps the job open and the next
+// incarnation resumes it to the same verdict.
+func TestForcedDrainCheckpoints(t *testing.T) {
+	dir := t.TempDir()
+	gate := make(chan struct{})
+	s, err := Open(Config{Dir: dir, QueueDepth: 4, Workers: 1, Logf: quiet(t), gate: gate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := s.Submit(JobSpec{ID: "held", Workload: "pigz", Scale: 0.05, Seeds: []int64{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The worker never gets a gate token, so the job is still queued when
+	// the expired context forces the drain.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := s.Drain(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("forced drain: %v, want context.Canceled", err)
+	}
+
+	s2, err := Open(Config{Dir: dir, QueueDepth: 4, Workers: 1, Logf: quiet(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drainT(t, s2)
+	st, ok := s2.Status(id)
+	if !ok || st.State != StateDone {
+		t.Fatalf("checkpointed job after resume: %+v", st)
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	s, err := Open(Config{Dir: t.TempDir(), Workers: 1, Logf: quiet(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer drainT(t, s)
+	if _, err := s.Submit(JobSpec{}); err == nil {
+		t.Fatal("empty spec admitted")
+	}
+	if _, err := s.Submit(JobSpec{Workload: "no-such-workload"}); err == nil {
+		t.Fatal("unknown workload admitted")
+	}
+	if _, err := s.Submit(JobSpec{Workload: "aget", Modes: []harness.Mode{"warp"}}); err == nil {
+		t.Fatal("unknown mode admitted")
+	}
+}

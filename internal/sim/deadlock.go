@@ -146,15 +146,23 @@ func (e *Engine) stateDump() string {
 }
 
 // findCycle returns one cycle in the waits-for graph, if any, ending with
-// the thread that closes it.
+// the thread that closes it. The result is deterministic: starts are
+// probed in thread-id order and the cycle is rotated so its lowest-id
+// thread comes first, so blockage reports (and their golden tests) never
+// depend on map iteration order.
 func findCycle(edges map[*Thread]*Thread) []*Thread {
+	starts := make([]*Thread, 0, len(edges))
 	for start := range edges {
+		starts = append(starts, start)
+	}
+	sort.Slice(starts, func(i, j int) bool { return starts[i].id < starts[j].id })
+	for _, start := range starts {
 		seen := map[*Thread]int{}
 		var path []*Thread
 		t := start
 		for t != nil {
 			if i, ok := seen[t]; ok {
-				return append(path[i:], t)
+				return canonicalCycle(append(path[i:], t))
 			}
 			seen[t] = len(path)
 			path = append(path, t)
@@ -162,4 +170,24 @@ func findCycle(edges map[*Thread]*Thread) []*Thread {
 		}
 	}
 	return nil
+}
+
+// canonicalCycle rotates a cycle (whose last element repeats the first)
+// so the lowest-id thread leads.
+func canonicalCycle(c []*Thread) []*Thread {
+	if len(c) < 2 {
+		return c
+	}
+	ring := c[:len(c)-1] // drop the closing repeat
+	min := 0
+	for i, t := range ring {
+		if t.id < ring[min].id {
+			min = i
+		}
+	}
+	out := make([]*Thread, 0, len(c))
+	for i := 0; i < len(ring); i++ {
+		out = append(out, ring[(min+i)%len(ring)])
+	}
+	return append(out, ring[min])
 }

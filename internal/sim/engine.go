@@ -35,6 +35,11 @@ type Config struct {
 	// exceeded deadline aborts the run with an error wrapping
 	// ErrWatchdog and a per-thread state dump.
 	Watchdog time.Duration
+	// Deadline is an absolute wall-clock deadline propagated from job
+	// submission (zero = none). When it is nearer than Watchdog it
+	// becomes the effective bound; a run whose deadline already passed
+	// fails immediately with ErrDeadline instead of starting.
+	Deadline time.Time
 	// MaxFrames bounds the simulated physical frame pool (0 =
 	// unlimited); exhaustion surfaces as mem.ErrFrameExhausted.
 	MaxFrames uint64
@@ -208,6 +213,12 @@ const (
 // Callers match it with errors.Is.
 var ErrWatchdog = errors.New("watchdog timeout")
 
+// ErrDeadline marks run failures caused by an expired Config.Deadline —
+// before the run started, or mid-run when the deadline was the binding
+// wall-clock bound (such errors also match ErrWatchdog). Callers match
+// it with errors.Is.
+var ErrDeadline = errors.New("deadline exceeded")
+
 // Run executes body as the main thread and drives the simulation until
 // every thread exits. It returns the run statistics, or an error if the
 // simulated program deadlocked or a thread body panicked without
@@ -223,10 +234,22 @@ func (e *Engine) Run(body func(*Thread)) (*Stats, error) {
 		e.finished = true
 		return nil, fmt.Errorf("sim: setup failed: %w", err)
 	}
+	bound, deadlineBound := e.cfg.Watchdog, false
+	if !e.cfg.Deadline.IsZero() {
+		rem := time.Until(e.cfg.Deadline)
+		if rem <= 0 {
+			e.finished = true
+			return nil, fmt.Errorf("sim: %w: job deadline %v passed before the run started",
+				ErrDeadline, e.cfg.Deadline.UTC().Format(time.RFC3339))
+		}
+		if bound == 0 || rem < bound {
+			bound, deadlineBound = rem, true
+		}
+	}
 	e.running = true
 	var watchC <-chan time.Time
-	if e.cfg.Watchdog > 0 {
-		timer := time.NewTimer(e.cfg.Watchdog)
+	if bound > 0 {
+		timer := time.NewTimer(bound)
 		defer timer.Stop()
 		watchC = timer.C
 	}
@@ -267,7 +290,7 @@ loop:
 	e.finished = true
 
 	if timedOut {
-		return nil, e.abortTimeout()
+		return nil, e.abortTimeout(bound, deadlineBound)
 	}
 
 	var blocked []string
@@ -322,8 +345,10 @@ func (e *Engine) takeRunErrs() error {
 // released with errAborted; threads still executing body code cannot be
 // stopped safely and their goroutines are leaked — by construction at
 // most one runs at a time, and it parks (dormant, still leaked) at its
-// next operation.
-func (e *Engine) abortTimeout() error {
+// next operation. bound is the wall-clock bound that fired;
+// deadlineBound marks it as the job deadline rather than the watchdog
+// setting.
+func (e *Engine) abortTimeout(bound time.Duration, deadlineBound bool) error {
 	// Collect threads that parked between the timeout and now.
 	for {
 		select {
@@ -354,7 +379,13 @@ func (e *Engine) abortTimeout() error {
 			leaked = append(leaked, fmt.Sprintf("%s(#%d)", t.name, t.id))
 		}
 	}
-	err := fmt.Errorf("sim: %w: run exceeded %v wall-clock\n%s", ErrWatchdog, e.cfg.Watchdog, dump)
+	var err error
+	if deadlineBound {
+		err = fmt.Errorf("sim: %w: %w: run hit the job deadline after %v wall-clock\n%s",
+			ErrWatchdog, ErrDeadline, bound, dump)
+	} else {
+		err = fmt.Errorf("sim: %w: run exceeded %v wall-clock\n%s", ErrWatchdog, bound, dump)
+	}
 	if len(leaked) > 0 {
 		err = fmt.Errorf("%w\n(goroutines of running threads %v were leaked)", err, leaked)
 	}

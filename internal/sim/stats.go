@@ -72,6 +72,40 @@ func (s *Stats) DTLBMissRate() float64 {
 	return float64(s.TLBMisses) / float64(s.AccessUnits)
 }
 
+// Summary is a compact snapshot of engine progress: enough for a service
+// checkpoint record (internal/service journals one per finished cell) to
+// tell how far a run got without carrying the full Stats. It must only be
+// taken once Run has returned — thread clocks and op counts are owned by
+// the scheduler while the run is live.
+type Summary struct {
+	// Threads counts threads created; Exited counts those that ran to
+	// completion (fewer after a watchdog or deadline teardown).
+	Threads int `json:"threads"`
+	Exited  int `json:"exited"`
+	// Ops is the total number of simulated operations executed.
+	Ops uint64 `json:"ops"`
+	// Clock is the maximum thread virtual clock, in cycles.
+	Clock uint64 `json:"clock"`
+	// CSEntries is the total number of critical-section entries.
+	CSEntries uint64 `json:"csEntries"`
+}
+
+// Summary returns the engine's progress snapshot. Call it only after Run
+// has returned.
+func (e *Engine) Summary() Summary {
+	s := Summary{Threads: len(e.threads), CSEntries: e.totalCSEntries}
+	for _, t := range e.threads {
+		if t.done {
+			s.Exited++
+		}
+		s.Ops += t.opCount
+		if c := uint64(t.clock); c > s.Clock {
+			s.Clock = c
+		}
+	}
+	return s
+}
+
 func (e *Engine) collectStats() *Stats {
 	var execTime cycles.Time
 	for _, t := range e.threads {
