@@ -11,7 +11,7 @@ JOBS     ?= $(shell nproc 2>/dev/null || echo 4)
 CACHEDIR ?= .cache/kard
 SEED     ?= 1
 
-.PHONY: all build test vet race bench chaos fuzz daemon killrecover soak govulncheck repro repro-fast clean-cache clean
+.PHONY: all build test vet race bench bench-json bench-gate chaos fuzz daemon killrecover soak govulncheck repro repro-fast clean-cache clean
 
 all: build test
 
@@ -31,6 +31,19 @@ race:
 
 bench:
 	$(GO) test -bench . -benchmem -run '^$$'
+
+# Snapshot the hot-path benchmarks (mem + sim) as BENCH_<date>.json:
+# median-of-3 ns/op, allocs/op, bytes/op, and derived accesses/sec per
+# benchmark. Compare snapshots over time to track the fast path.
+bench-json:
+	$(GO) run ./cmd/benchgate -out BENCH_$(shell date +%Y-%m-%d).json
+
+# Gate the hot path against the committed baseline: fails on a >15% ns/op
+# regression or any allocs/op increase. CI runs this on every push; after
+# an intentional, understood change in hot-path cost, re-record with
+#   go run ./cmd/benchgate -out BENCH_baseline.json -count 5 -pad 30
+bench-gate:
+	$(GO) run ./cmd/benchgate -baseline BENCH_baseline.json
 
 # Fault-injection soak: race verdicts must be identical with and without
 # the default fault plan (all faults transient or degradable), and the

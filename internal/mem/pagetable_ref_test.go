@@ -1,0 +1,39 @@
+package mem
+
+import "sort"
+
+// mapTable is the original flat map-backed page table, kept as the
+// test-only reference implementation. The differential test drives an
+// AddressSpace over it and one over the radix table through identical
+// operation sequences and asserts every observable statistic matches.
+type mapTable struct {
+	m map[Page]*PTE
+}
+
+func newMapTable() *mapTable { return &mapTable{m: make(map[Page]*PTE)} }
+
+func (t *mapTable) lookup(p Page) *PTE { return t.m[p] }
+
+func (t *mapTable) insert(p Page, pte PTE) *PTE {
+	e := &PTE{}
+	*e = pte
+	t.m[p] = e
+	return e
+}
+
+func (t *mapTable) remove(p Page) { delete(t.m, p) }
+
+func (t *mapTable) size() int { return len(t.m) }
+
+func (t *mapTable) walk(fn func(p Page, pte *PTE) bool) {
+	keys := make([]Page, 0, len(t.m))
+	for p := range t.m {
+		keys = append(keys, p)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, p := range keys {
+		if !fn(p, t.m[p]) {
+			return
+		}
+	}
+}

@@ -108,7 +108,10 @@ type Detector interface {
 	CSEnter(t *Thread, cs *CriticalSection, m *Mutex) cycles.Duration
 	CSExit(t *Thread, cs *CriticalSection, m *Mutex) cycles.Duration
 
-	// OnAccess fires for every data access.
+	// OnAccess fires for every data access. The engine reuses one Access
+	// record across all calls (the zero-allocation fast path depends on
+	// it): implementations must copy any fields they need and must not
+	// retain the pointer past the call.
 	OnAccess(a *Access) cycles.Duration
 
 	// BarrierPassed fires when all participants passed a barrier.

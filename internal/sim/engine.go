@@ -22,6 +22,12 @@ type Config struct {
 	Seed int64
 	// TLBEntries sizes the dTLB model (0 = default).
 	TLBEntries int
+	// TLBModel selects the dTLB replacement model: "" or "clock" is the
+	// flat CLOCK model whose hit/miss sequences pin the golden outputs;
+	// "setassoc" is the two-level set-associative geometry of the paper's
+	// evaluation machine (64-entry 8-way L1 + 1536-entry 12-way STLB;
+	// TLBEntries is ignored). New panics on any other value.
+	TLBModel string
 	// UniquePageAllocator selects Kard's consolidated unique-page
 	// allocator instead of the compact native one.
 	UniquePageAllocator bool
@@ -103,6 +109,14 @@ type Engine struct {
 	// also attached to the address space, where mem/mpk/alloc/core
 	// consult it.
 	inj *faultinject.Injector
+
+	// scratch is the reusable Access record for executeAccess and
+	// executeSweep. Passing its address to OnAccess keeps the per-access
+	// path allocation-free (a local would escape to the heap through the
+	// interface call); detectors must not retain the pointer past the
+	// OnAccess call, which the Detector interface documents. Workload
+	// bodies are serialized by runToken, so one record per engine is safe.
+	scratch Access
 }
 
 // New creates an engine with the given configuration and detector. The
@@ -111,7 +125,15 @@ func New(cfg Config, det Detector) *Engine {
 	if det == nil {
 		det = NewBaseline()
 	}
-	as := mem.NewAddressSpace(cfg.TLBEntries)
+	var as *mem.AddressSpace
+	switch cfg.TLBModel {
+	case "", "clock":
+		as = mem.NewAddressSpace(cfg.TLBEntries)
+	case "setassoc":
+		as = mem.NewAddressSpaceWithTLB(mem.NewSetAssocTLB())
+	default:
+		panic(fmt.Sprintf("sim: unknown TLBModel %q (want \"\", \"clock\", or \"setassoc\")", cfg.TLBModel))
+	}
 	tbl := alloc.NewObjectTable(as)
 	e := &Engine{
 		cfg:            cfg,
@@ -745,12 +767,15 @@ func (e *Engine) executeAccess(t *Thread, o op) {
 			t.charge(cycles.MinorFault)
 		}
 	}
-	acc := Access{Thread: t, Object: obj, Addr: addr, Size: o.size, Kind: o.access, Site: o.site}
-	units := acc.Units()
+	// Reuse the engine's scratch record: a local Access would escape to
+	// the heap through the OnAccess interface call, costing one allocation
+	// per simulated access.
+	e.scratch = Access{Thread: t, Object: obj, Addr: addr, Size: o.size, Kind: o.access, Site: o.site}
+	units := e.scratch.Units()
 	t.charge(cycles.Duration(units) * cycles.Access)
 	t.accessUnits += units
 	e.accessUnits += units
-	t.charge(e.detector.OnAccess(&acc))
+	t.charge(e.detector.OnAccess(&e.scratch))
 	t.resume <- opResult{}
 }
 
@@ -759,7 +784,7 @@ func (e *Engine) executeAccess(t *Thread, o op) {
 // and invoking the detector per object. The Access record is reused
 // across the loop; detectors must not retain it past the OnAccess call.
 func (e *Engine) executeSweep(t *Thread, o op) {
-	acc := Access{Thread: t, Kind: o.access, Site: o.site}
+	e.scratch = Access{Thread: t, Kind: o.access, Site: o.site}
 	for _, obj := range o.objs {
 		if obj.Freed() {
 			t.resume <- opResult{err: fmt.Errorf("sim: thread %d sweep over freed %s at %s", t.id, obj, o.site)}
@@ -781,12 +806,12 @@ func (e *Engine) executeSweep(t *Thread, o op) {
 		if minor {
 			t.charge(cycles.MinorFault)
 		}
-		acc.Object, acc.Addr, acc.Size = obj, obj.Base, size
-		units := acc.Units()
+		e.scratch.Object, e.scratch.Addr, e.scratch.Size = obj, obj.Base, size
+		units := e.scratch.Units()
 		t.charge(cycles.Duration(units) * cycles.Access)
 		t.accessUnits += units
 		e.accessUnits += units
-		t.charge(e.detector.OnAccess(&acc))
+		t.charge(e.detector.OnAccess(&e.scratch))
 	}
 	t.resume <- opResult{}
 }

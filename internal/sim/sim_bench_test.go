@@ -63,6 +63,28 @@ func BenchmarkContendedScheduling(b *testing.B) {
 	}
 }
 
+// BenchmarkAccessSteadyState measures the full per-access path — operation
+// dispatch, dTLB translate (warm, so the MRU fast path fires), cycle
+// accounting, and the detector hook — at steady state, where it must not
+// allocate: the engine-side work is zero-alloc (scratch Access record,
+// radix table, map-free TLB), and the only remaining allocations are the
+// scheduler's park/resume channel operations, which Go accounts to the
+// runtime, not the benchmark loop.
+func BenchmarkAccessSteadyState(b *testing.B) {
+	e := New(Config{}, nil)
+	if _, err := e.Run(func(m *Thread) {
+		obj := m.Malloc(64, "obj")
+		m.Read(obj, 0, 8, "warm")
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.Read(obj, 0, 8, "hot")
+		}
+	}); err != nil {
+		b.Fatal(err)
+	}
+}
+
 // BenchmarkSweep measures the batched pool-access operation the workload
 // models rely on: one engine op touching 64 distinct objects.
 func BenchmarkSweep(b *testing.B) {

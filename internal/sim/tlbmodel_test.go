@@ -1,0 +1,59 @@
+package sim
+
+import (
+	"testing"
+
+	"kard/internal/mem"
+)
+
+// TestTLBModelSetAssoc runs a small workload over the set-associative dTLB
+// and checks the run completes with translations flowing through it.
+func TestTLBModelSetAssoc(t *testing.T) {
+	e := New(Config{TLBModel: "setassoc"}, nil)
+	tlb, ok := e.Space().TLB().(*mem.SetAssocTLB)
+	if !ok {
+		t.Fatalf("TLBModel=setassoc built a %T", e.Space().TLB())
+	}
+	stats, err := e.Run(func(m *Thread) {
+		obj := m.Malloc(64, "obj")
+		for i := 0; i < 100; i++ {
+			m.Read(obj, 0, 8, "r")
+			m.Write(obj, 8, 8, "w")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.AccessUnits == 0 {
+		t.Fatal("no accesses recorded")
+	}
+	if tlb.Hits() == 0 {
+		t.Error("repeated accesses to one object never hit the set-associative TLB")
+	}
+	if tlb.L1Hits() == 0 {
+		t.Error("hot-loop accesses never hit the first-level dTLB")
+	}
+}
+
+// TestTLBModelClockAliases: "" and "clock" both select the default CLOCK
+// model.
+func TestTLBModelClockAliases(t *testing.T) {
+	for _, model := range []string{"", "clock"} {
+		e := New(Config{TLBModel: model}, nil)
+		if _, ok := e.Space().TLB().(*mem.TLB); !ok {
+			t.Errorf("TLBModel=%q built a %T, want *mem.TLB", model, e.Space().TLB())
+		}
+	}
+}
+
+// TestTLBModelUnknownPanics: a typo in the knob must fail loudly at
+// construction, not silently fall back to a model that changes every
+// reported statistic.
+func TestTLBModelUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown TLBModel accepted")
+		}
+	}()
+	New(Config{TLBModel: "lru"}, nil)
+}

@@ -134,6 +134,13 @@ type Config struct {
 	Seed int64
 	// TLBEntries sizes the dTLB model (0 = a Xeon-like 1536 entries).
 	TLBEntries int
+	// TLBModel selects the dTLB replacement model: "" or "clock" for the
+	// default flat CLOCK model, "setassoc" for the evaluation machine's
+	// two-level set-associative geometry (64-entry 8-way L1 dTLB +
+	// 1536-entry 12-way STLB; TLBEntries is then ignored). The CLOCK
+	// model remains the default because its hit/miss sequences pin the
+	// repository's golden outputs.
+	TLBModel string
 	// Kard tunes the Kard detector when Detector is DetectorKard.
 	Kard KardOptions
 }
@@ -170,7 +177,7 @@ type System struct {
 
 // NewSystem creates a system with the given configuration.
 func NewSystem(cfg Config) *System {
-	sc := sim.Config{Seed: cfg.Seed, TLBEntries: cfg.TLBEntries}
+	sc := sim.Config{Seed: cfg.Seed, TLBEntries: cfg.TLBEntries, TLBModel: cfg.TLBModel}
 	var det sim.Detector
 	var kd *core.Detector
 	switch cfg.Detector {
