@@ -11,7 +11,7 @@ JOBS     ?= $(shell nproc 2>/dev/null || echo 4)
 CACHEDIR ?= .cache/kard
 SEED     ?= 1
 
-.PHONY: all build test vet race bench bench-json bench-gate chaos fuzz daemon killrecover soak govulncheck repro repro-fast clean-cache clean
+.PHONY: all build test vet race bench bench-json bench-gate chaos fuzz daemon killrecover soak metrics-smoke govulncheck repro repro-fast clean-cache clean
 
 all: build test
 
@@ -72,6 +72,12 @@ killrecover:
 # Crash soak: three SIGKILL/resume rounds before the final recovery.
 soak:
 	./scripts/killrecover.sh 3
+
+# Observability smoke: start kardd with -listen, scrape /metrics twice
+# via cmd/metricscheck (must parse, no duplicate families, counters
+# monotonic), then drain with SIGTERM.
+metrics-smoke:
+	./scripts/metricssmoke.sh
 
 # Known-vulnerability scan over the module graph (needs network access to
 # fetch the tool and the vulnerability database; CI runs it on push).

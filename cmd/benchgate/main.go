@@ -49,6 +49,7 @@ var gated = []struct {
 	{"MmapAnon", true},
 	{"Protect", true},
 	{"AccessSteadyState", false},
+	{"AccessSteadyStateMetrics", false},
 }
 
 // packages holds the benchmark packages to run.

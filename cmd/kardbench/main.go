@@ -35,6 +35,7 @@ import (
 	"strings"
 	"time"
 
+	"kard/internal/obs"
 	"kard/internal/report"
 )
 
@@ -64,6 +65,7 @@ func main() {
 		outPath  = flag.String("o", "", "write output to this file instead of stdout")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		metrics  = flag.String("metrics", "", "write a Prometheus-text snapshot of the run's metrics to this file at exit (- for stderr)")
 	)
 	flag.Parse()
 
@@ -184,6 +186,23 @@ func main() {
 	// Wall clock goes to stderr: the table output must stay byte-identical
 	// across -jobs values and cache states so reproductions diff cleanly.
 	fmt.Fprintf(os.Stderr, "done in %v\n", time.Since(start).Round(time.Second))
+
+	// The metrics snapshot is diagnostic, never part of the table output,
+	// so it goes to its own file (or stderr with -metrics -).
+	if *metrics != "" {
+		w := io.Writer(os.Stderr)
+		if *metrics != "-" {
+			f, err := os.Create(*metrics)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := obs.DefaultRegistry.WritePrometheus(w); err != nil {
+			fatal(err)
+		}
+	}
 }
 
 // validate exits with a usage message when a selector flag carries an

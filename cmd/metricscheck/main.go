@@ -1,0 +1,197 @@
+// Command metricscheck validates a Prometheus /metrics endpoint the way
+// a scraper would: it fetches the exposition twice and fails unless both
+// scrapes parse, no metric family is declared twice, every sample belongs
+// to a declared family, and every counter is monotonic across the two
+// scrapes. The metrics-smoke make target points it at a live kardd.
+//
+// Usage:
+//
+//	metricscheck -url http://127.0.0.1:7707/metrics -interval 500ms
+//
+// Exit status 0 means both scrapes passed every check; any violation is
+// reported to stderr and exits 1.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+func main() {
+	var (
+		url      = flag.String("url", "http://127.0.0.1:7707/metrics", "metrics endpoint to scrape")
+		interval = flag.Duration("interval", 500*time.Millisecond, "pause between the two scrapes")
+		wait     = flag.Duration("wait", 10*time.Second, "how long to retry the first scrape while the daemon starts")
+	)
+	flag.Parse()
+
+	first, err := scrapeRetry(*url, *wait)
+	if err != nil {
+		fatal(err)
+	}
+	s1, err := parse(first)
+	if err != nil {
+		fatal(fmt.Errorf("first scrape: %w", err))
+	}
+	time.Sleep(*interval)
+	second, err := scrape(*url)
+	if err != nil {
+		fatal(err)
+	}
+	s2, err := parse(second)
+	if err != nil {
+		fatal(fmt.Errorf("second scrape: %w", err))
+	}
+
+	var violations []string
+	for name, v1 := range s1.samples {
+		fam := s1.family(name)
+		if s1.types[fam] != "counter" {
+			continue
+		}
+		v2, ok := s2.samples[name]
+		if !ok {
+			violations = append(violations, fmt.Sprintf("counter %s vanished between scrapes", name))
+			continue
+		}
+		if v2 < v1 {
+			violations = append(violations, fmt.Sprintf("counter %s went backwards: %g -> %g", name, v1, v2))
+		}
+	}
+	sort.Strings(violations)
+	for _, v := range violations {
+		fmt.Fprintln(os.Stderr, "metricscheck:", v)
+	}
+	if len(violations) > 0 {
+		os.Exit(1)
+	}
+	fmt.Printf("metricscheck: ok, %d families, %d series, counters monotonic across %v\n",
+		len(s1.types), len(s2.samples), *interval)
+}
+
+// scrapeRetry polls the endpoint until it answers or the wait budget runs
+// out — the daemon may still be binding its listener when we start.
+func scrapeRetry(url string, wait time.Duration) (string, error) {
+	deadline := time.Now().Add(wait)
+	for {
+		body, err := scrape(url)
+		if err == nil {
+			return body, nil
+		}
+		if time.Now().After(deadline) {
+			return "", fmt.Errorf("endpoint never came up: %w", err)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+}
+
+func scrape(url string) (string, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		return "", fmt.Errorf("GET %s: Content-Type %q, want text/plain exposition", url, ct)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// scrapeState is one parsed exposition: family -> type, and full series
+// id (name + labels) -> value.
+type scrapeState struct {
+	types   map[string]string
+	samples map[string]float64
+}
+
+// family maps a series id back to its declaring family, peeling the
+// histogram suffixes (_bucket/_sum/_count attach to the family name).
+func (s *scrapeState) family(series string) string {
+	name := series
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		name = name[:i]
+	}
+	if _, ok := s.types[name]; ok {
+		return name
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		if base := strings.TrimSuffix(name, suffix); base != name {
+			if _, ok := s.types[base]; ok {
+				return base
+			}
+		}
+	}
+	return name
+}
+
+// parse validates one exposition body: every line is a comment or a
+// well-formed sample, TYPE is declared at most once per family, and every
+// sample's family is declared.
+func parse(body string) (*scrapeState, error) {
+	s := &scrapeState{types: map[string]string{}, samples: map[string]float64{}}
+	for i, line := range strings.Split(body, "\n") {
+		switch {
+		case line == "":
+		case strings.HasPrefix(line, "# TYPE "):
+			fields := strings.Fields(line)
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("line %d: malformed TYPE comment %q", i+1, line)
+			}
+			name, kind := fields[2], fields[3]
+			switch kind {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return nil, fmt.Errorf("line %d: unknown metric type %q", i+1, kind)
+			}
+			if _, dup := s.types[name]; dup {
+				return nil, fmt.Errorf("line %d: duplicate family %s", i+1, name)
+			}
+			s.types[name] = kind
+		case strings.HasPrefix(line, "#"):
+		default:
+			// Sample: metric-id then value, separated by the last space
+			// (label values may contain escaped spaces inside quotes, but
+			// never an unescaped one outside them).
+			cut := strings.LastIndexByte(line, ' ')
+			if cut <= 0 {
+				return nil, fmt.Errorf("line %d: malformed sample %q", i+1, line)
+			}
+			series, valueText := line[:cut], line[cut+1:]
+			value, err := strconv.ParseFloat(valueText, 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: bad sample value %q: %v", i+1, valueText, err)
+			}
+			fam := s.family(series)
+			if _, ok := s.types[fam]; !ok {
+				return nil, fmt.Errorf("line %d: sample %s has no # TYPE declaration", i+1, series)
+			}
+			if _, dup := s.samples[series]; dup {
+				return nil, fmt.Errorf("line %d: duplicate series %s", i+1, series)
+			}
+			s.samples[series] = value
+		}
+	}
+	if len(s.samples) == 0 {
+		return nil, fmt.Errorf("exposition has no samples")
+	}
+	return s, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "metricscheck:", err)
+	os.Exit(1)
+}

@@ -6,6 +6,7 @@ import (
 	"kard/internal/cycles"
 	"kard/internal/faultinject"
 	"kard/internal/mem"
+	"kard/internal/obs"
 )
 
 // SlotSize is the allocation granularity of Kard's allocator: every
@@ -90,12 +91,17 @@ func (u *UniquePage) Malloc(size uint64, site string) (*Object, cycles.Duration,
 	}
 	o, d, err := u.mallocUnique(size, site)
 	if err == nil || faultinject.IsTransient(err) {
+		if err == nil {
+			obs.Std.AllocUniquePages.Inc()
+		}
 		return o, d, err
 	}
 	// Persistent exhaustion of the unique-page path: degrade rather than
 	// abort (the §8 spirit — keep the program alive, lose precision).
 	u.FallbackAllocs++
 	u.space.Injector().NoteDegraded()
+	obs.Std.AllocFallbacks.Inc()
+	obs.Flight.Recordf(obs.EvAllocFallback, "malloc %d B at %s degraded to compact placement: %v", size, site, err)
 	o, d, err = u.nativeFallback().Malloc(size, site)
 	if err != nil {
 		return nil, 0, err

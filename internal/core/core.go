@@ -26,6 +26,7 @@ import (
 	"kard/internal/alloc"
 	"kard/internal/cycles"
 	"kard/internal/mpk"
+	"kard/internal/obs"
 	"kard/internal/sim"
 )
 
@@ -139,6 +140,12 @@ type Detector struct {
 	races  []sim.Race
 	seen   map[raceKey]int // dedupe index into races
 	counts Counts
+
+	// occupied is this detector's contribution to the global
+	// pkey-occupancy gauge: Read-write keys currently protecting at
+	// least one object. Maintained by keyObjInsert/keyObjDelete and
+	// retracted by FlushObs when the run tears down.
+	occupied int
 }
 
 // Counts are Kard's internal event counters, feeding Tables 3–6.
@@ -232,6 +239,18 @@ func (d *Detector) Races() []sim.Race {
 // exit keep their candidate reports: Kard cannot verify them, which is how
 // the pigz false positive survives (§7.3).
 func (d *Detector) Finish() {}
+
+// FlushObs implements the engine's optional teardown hook: the detector's
+// keys stop existing with the run, so its contribution to the global
+// pkey-occupancy gauge is retracted. The engine calls this on every run
+// exit path — Finish only runs on success, which would leak occupancy
+// from watchdog-torn and failed runs.
+func (d *Detector) FlushObs() {
+	if d.occupied != 0 {
+		obs.Std.MpkPkeyOccupancy.Add(-int64(d.occupied))
+		d.occupied = 0
+	}
+}
 
 // objState is Kard's per-object record: current domain, assigned key, and
 // interleaving state.

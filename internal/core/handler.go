@@ -4,6 +4,7 @@ import (
 	"kard/internal/cycles"
 	"kard/internal/faultinject"
 	"kard/internal/mpk"
+	"kard/internal/obs"
 	"kard/internal/sim"
 )
 
@@ -26,24 +27,33 @@ func (d *Detector) handleFault(a *sim.Access, f *mpk.Fault) cycles.Duration {
 	t := a.Thread
 	os := d.state(a.Object)
 
+	// Each arm observes the handler's total simulated-cycle cost on its
+	// stage's latency histogram; the faults are already kernel-trip
+	// expensive, so the extra atomic updates are free by comparison.
 	switch {
 	case f.Pkey == KeyNA:
 		cost += d.identifyShared(t, a, os)
+		obs.Std.CoreFaultIdentify.Observe(float64(cost))
 
 	case f.Pkey == KeyRO:
 		cost += d.readOnlyWrite(t, a, os)
+		obs.Std.CoreFaultMigrate.Observe(float64(cost))
 
 	case os.soft:
 		// Software-protected object (§8 fallback): no full #GP cost —
 		// the software handler path is cheaper than kernel-delivered
 		// signal analysis.
-		return cycles.Duration(0) + d.softFault(t, a, os)
+		cost = d.softFault(t, a, os)
+		obs.Std.CoreFaultSoft.Observe(float64(cost))
+		return cost
 
 	case os.inter != nil:
 		cost += d.interleaveProgress(t, a, os)
+		obs.Std.CoreFaultInterleave.Observe(float64(cost))
 
 	default:
 		cost += d.readWriteFault(t, a, os, f)
+		obs.Std.CoreFaultRace.Observe(float64(cost))
 	}
 	return cost
 }
@@ -142,7 +152,7 @@ func (d *Detector) readWriteFault(t *sim.Thread, a *sim.Access, os *objState, f 
 		} else if d.opts.SoftwareFallback {
 			// §8 software fallback: instead of sharing the held key,
 			// move the object to its own virtual key.
-			delete(d.key(k).objects, os.obj.ID)
+			d.keyObjDelete(k, os.obj.ID)
 			cost += d.assignSoft(t, os, cs)
 		} else {
 			// The key is held, but only by sections that never touch
@@ -203,6 +213,8 @@ func (d *Detector) record(t *sim.Thread, a *sim.Access, os *objState, c *conflic
 	d.races = append(d.races, r)
 	idx := len(d.races) - 1
 	d.seen[key] = idx
+	obs.Flight.Recordf(obs.EvFault, "race candidate: %s of %s by thread %d at %s vs thread %d at %s",
+		a.Kind, os.obj, t.ID(), a.Site, c.tid, c.site)
 	return idx, true
 }
 

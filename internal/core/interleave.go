@@ -66,9 +66,9 @@ func (d *Detector) startInterleave(t *sim.Thread, a *sim.Access, os *objState, c
 	// Move the object's protection to k2.
 	var cost cycles.Duration
 	if os.domain == DomainReadWrite && !os.unprotected {
-		delete(d.key(os.key).objects, os.obj.ID)
+		d.keyObjDelete(os.key, os.obj.ID)
 	}
-	d.key(k2).objects[os.obj.ID] = os
+	d.keyObjInsert(k2, os)
 	origKey := os.key
 	os.key = k2
 	cost += d.protect(os.obj, k2)
@@ -159,7 +159,7 @@ func (d *Detector) terminateInterleave(os *objState, faulter *sim.Thread) cycles
 	}
 	os.unprotected = true
 	os.parties = parties
-	delete(d.key(os.key).objects, os.obj.ID)
+	d.keyObjDelete(os.key, os.obj.ID)
 	d.unprot[os] = struct{}{}
 	return d.protect(os.obj, KeyDef)
 }
@@ -187,7 +187,7 @@ func (d *Detector) sectionExitInterleaves(t *sim.Thread) cycles.Duration {
 		delete(os.parties, t)
 		if len(os.parties) == 0 {
 			os.unprotected = false
-			d.key(os.key).objects[os.obj.ID] = os
+			d.keyObjInsert(os.key, os)
 			cost += d.protect(os.obj, os.key)
 			delete(d.unprot, os)
 		}

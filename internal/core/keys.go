@@ -8,6 +8,7 @@ import (
 	"kard/internal/faultinject"
 	"kard/internal/mem"
 	"kard/internal/mpk"
+	"kard/internal/obs"
 	"kard/internal/sim"
 )
 
@@ -38,6 +39,32 @@ type keyState struct {
 
 // key returns the state of Read-write key k.
 func (d *Detector) key(k mpk.Pkey) *keyState { return &d.keys[k-FirstRW] }
+
+// keyObjInsert and keyObjDelete are the only mutators of a key's object
+// set: routing every site through them keeps the pkey-occupancy gauge
+// (keys currently guarding at least one object) exact across migrations,
+// interleavings, recycling, and frees. d.occupied mirrors this
+// detector's contribution so FlushObs can retract it at teardown.
+func (d *Detector) keyObjInsert(k mpk.Pkey, os *objState) {
+	ks := d.key(k)
+	if len(ks.objects) == 0 {
+		d.occupied++
+		obs.Std.MpkPkeyOccupancy.Inc()
+	}
+	ks.objects[os.obj.ID] = os
+}
+
+func (d *Detector) keyObjDelete(k mpk.Pkey, id alloc.ObjectID) {
+	ks := d.key(k)
+	if _, ok := ks.objects[id]; !ok {
+		return
+	}
+	delete(ks.objects, id)
+	if len(ks.objects) == 0 {
+		d.occupied--
+		obs.Std.MpkPkeyOccupancy.Dec()
+	}
+}
 
 // assigned reports whether k currently protects any object.
 func (ks *keyState) assigned() bool { return len(ks.objects) > 0 }
@@ -204,6 +231,8 @@ func (d *Detector) assignKey(t *sim.Thread, os *objState, cs *sim.CriticalSectio
 		if err := d.eng.Space().Injector().Fail(faultinject.SitePkeyAlloc); err != nil {
 			d.counts.KeyAllocDegraded++
 			d.eng.Space().Injector().NoteDegraded()
+			obs.Std.CoreKeyDegrades.Inc()
+			obs.Flight.Recordf(obs.EvPkeyDegrade, "pkey_alloc for %s degraded to read-only domain: %v", os.obj, err)
 			hw = false
 		}
 	}
@@ -222,7 +251,7 @@ func (d *Detector) assignKey(t *sim.Thread, os *objState, cs *sim.CriticalSectio
 		return 0, cost
 	}
 	ks := d.key(k)
-	ks.objects[os.obj.ID] = os
+	d.keyObjInsert(k, os)
 	if cs != nil {
 		ks.sections[cs] = struct{}{}
 	}
@@ -255,6 +284,12 @@ func (d *Detector) recycle(k mpk.Pkey) cycles.Duration {
 		if !os.unprotected {
 			cost += d.protect(os.obj, KeyRO)
 		}
+	}
+	obs.Std.CoreKeyRecycles.Inc()
+	obs.Flight.Recordf(obs.EvPkeyRecycle, "key %s recycled, %d objects moved to read-only domain", k, len(ks.objects))
+	if len(ks.objects) > 0 {
+		d.occupied--
+		obs.Std.MpkPkeyOccupancy.Dec()
 	}
 	ks.objects = make(map[alloc.ObjectID]*objState)
 	// Sections that relied on k must re-identify their objects.
@@ -301,6 +336,8 @@ func (d *Detector) protect(o *alloc.Object, k mpk.Pkey) cycles.Duration {
 		if faultinject.IsInjected(err) {
 			d.counts.ProtectDegraded++
 			space.Injector().NoteDegraded()
+			obs.Std.CoreKeyDegrades.Inc()
+			obs.Flight.Recordf(obs.EvPkeyDegrade, "pkey_mprotect of %s with %s degraded after retries: %v", o, k, err)
 			return cost
 		}
 		d.eng.FailRun(fmt.Errorf("core: protecting %s with %s: %w", o, k, err))

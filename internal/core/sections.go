@@ -4,6 +4,7 @@ import (
 	"kard/internal/alloc"
 	"kard/internal/cycles"
 	"kard/internal/mpk"
+	"kard/internal/obs"
 	"kard/internal/sim"
 )
 
@@ -116,7 +117,7 @@ func (d *Detector) ObjectFreed(t *sim.Thread, o *alloc.Object) cycles.Duration {
 		return 0
 	}
 	if os.domain == DomainReadWrite && !os.unprotected && !os.soft {
-		delete(d.key(os.key).objects, o.ID)
+		d.keyObjDelete(os.key, o.ID)
 	}
 	delete(d.pending, os)
 	delete(d.unprot, os)
@@ -162,6 +163,9 @@ func (d *Detector) CSEnter(t *sim.Thread, cs *sim.CriticalSection, m *sim.Mutex)
 		d.releaseDiff(t, t.PKRU, old, cs, m)
 		t.PKRU = old.With(KeyNA, mpk.PermNone)
 	}
+	// One WRPKRU installs the section-entry PKRU; the counter mirrors
+	// the cycle charge on the next line.
+	obs.Std.MpkWRPKRU.Inc()
 	return cost + cycles.WRPKRU + cycles.WrapperCall
 }
 
@@ -175,6 +179,7 @@ func (d *Detector) CSExit(t *sim.Thread, cs *sim.CriticalSection, m *sim.Mutex) 
 	ts.pkruStack = ts.pkruStack[:n-1]
 	d.releaseDiff(t, t.PKRU, old, cs, m)
 	t.PKRU = old
+	obs.Std.MpkWRPKRU.Inc()
 	cost := cycles.WRPKRU + cycles.RDTSCP + cycles.WrapperCall
 	cost += d.serialize(t, cycles.AtomicOp+cycles.RDTSCP) // release timestamps under the runtime lock
 	if len(t.Sections) == 0 {
@@ -239,5 +244,6 @@ func (d *Detector) releaseClaims(t *sim.Thread) cycles.Duration {
 		t.PKRU = t.PKRU.With(k, mpk.PermNone)
 	}
 	ts.claims = ts.claims[:0]
+	obs.Std.MpkWRPKRU.Inc()
 	return cycles.WRPKRU
 }

@@ -81,6 +81,11 @@ type Options struct {
 	// Exhaustion surfaces through the allocator's degradation paths, so
 	// it changes simulated behavior and participates in cache keys.
 	MaxFrames uint64
+	// Metrics turns on live publishing to the process-wide obs registry
+	// (sim.Config.Metrics). The detection service sets it so /metrics
+	// tracks running cells; it never alters simulated behavior, so like
+	// Timeout it does not participate in cache keys.
+	Metrics bool
 }
 
 // Result is one finished run.
@@ -120,7 +125,8 @@ func RunWorkload(o Options, w workload.Workload) (*Result, error) {
 	}
 
 	cfg := sim.Config{Seed: o.Seed, TLBEntries: o.TLBEntries, Faults: o.Faults,
-		Watchdog: o.Timeout, Deadline: o.Deadline, MaxFrames: o.MaxFrames}
+		Watchdog: o.Timeout, Deadline: o.Deadline, MaxFrames: o.MaxFrames,
+		Metrics: o.Metrics}
 	var det sim.Detector
 	var kd *core.Detector
 	switch o.Mode {

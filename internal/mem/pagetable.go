@@ -23,6 +23,12 @@ type pageTable interface {
 	// walk visits every mapped page in ascending page order until fn
 	// returns false.
 	walk(fn func(p Page, pte *PTE) bool)
+	// walkDepths returns how many lookups terminated after touching
+	// 1..4 table nodes. Plain per-table counters (the table is engine-
+	// serialized like the rest of the space); the engine flushes them to
+	// the obs depth histogram at run end. The flat reference table has
+	// no walk, so it reports zeros.
+	walkDepths() [4]uint64
 }
 
 // The radix page table is x86-style: a page number (at most 52 bits, since
@@ -40,8 +46,9 @@ const (
 )
 
 type radixTable struct {
-	root [radixFan]*radixL2
-	n    int
+	root   [radixFan]*radixL2
+	n      int
+	depths [4]uint64 // lookups terminating after touching 1..4 nodes
 }
 
 type radixL2 struct{ kids [radixFan]*radixL3 }
@@ -59,16 +66,20 @@ func newRadixTable() *radixTable { return &radixTable{} }
 func (t *radixTable) lookup(p Page) *PTE {
 	l2 := t.root[p>>(3*radixBits)]
 	if l2 == nil {
+		t.depths[0]++
 		return nil
 	}
 	l3 := l2.kids[(p>>(2*radixBits))&radixMask]
 	if l3 == nil {
+		t.depths[1]++
 		return nil
 	}
 	leaf := l3.kids[(p>>radixBits)&radixMask]
 	if leaf == nil {
+		t.depths[2]++
 		return nil
 	}
+	t.depths[3]++
 	i := p & radixMask
 	if leaf.present[i>>6]&(1<<(i&63)) == 0 {
 		return nil
@@ -133,6 +144,8 @@ func (t *radixTable) remove(p Page) {
 }
 
 func (t *radixTable) size() int { return t.n }
+
+func (t *radixTable) walkDepths() [4]uint64 { return t.depths }
 
 func (t *radixTable) walk(fn func(p Page, pte *PTE) bool) {
 	for i1, l2 := range t.root {

@@ -25,6 +25,11 @@ func (t *mapTable) remove(p Page) { delete(t.m, p) }
 
 func (t *mapTable) size() int { return len(t.m) }
 
+// walkDepths reports zeros: a flat map has no multi-level walk to
+// measure, and the differential test compares simulation-visible
+// statistics, which depth telemetry is not part of.
+func (t *mapTable) walkDepths() [4]uint64 { return [4]uint64{} }
+
 func (t *mapTable) walk(fn func(p Page, pte *PTE) bool) {
 	keys := make([]Page, 0, len(t.m))
 	for p := range t.m {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"kard/internal/faultinject"
+	"kard/internal/obs"
 )
 
 // PTE is a simulated page-table entry: which physical frame a virtual page
@@ -438,6 +439,28 @@ func (as *AddressSpace) copy(addr Addr, size uint64, f func(frame []byte, src, n
 		done += n
 	}
 	return nil
+}
+
+// FlushObs publishes the space's per-run counters — TLB hits/misses,
+// syscall tallies, minor faults, and the radix-walk depth distribution —
+// to the process-wide obs metric set. The space's own counters are plain
+// fields updated on the engine-serialized hot path (the PR-4 gate forbids
+// atomics there); the engine calls this exactly once, at run teardown on
+// every exit path, so the global counters see each run's totals without
+// double counting.
+func (as *AddressSpace) FlushObs() {
+	m := obs.Std
+	tlb := as.TLB()
+	m.MemTLBHits.Add(tlb.Hits())
+	m.MemTLBMisses.Add(tlb.Misses())
+	m.MemMinorFaults.Add(as.MinorFaults)
+	m.MemMmapCalls.Add(as.MmapCalls)
+	m.MemMunmapCalls.Add(as.MunmapCalls)
+	m.MemProtectCalls.Add(as.ProtectCalls)
+	m.MemTruncateCalls.Add(as.TruncateCalls)
+	for i, n := range as.pages.walkDepths() {
+		m.MemRadixDepth.ObserveN(float64(i+1), n)
+	}
 }
 
 // PagesWithKey returns the mapped pages currently tagged with pkey, sorted.

@@ -17,6 +17,7 @@ import (
 	"kard/internal/cycles"
 	"kard/internal/faultinject"
 	"kard/internal/mem"
+	"kard/internal/obs"
 )
 
 // Pkey is a protection key, 0 through 15.
@@ -179,6 +180,7 @@ func PkeyMprotect(as *mem.AddressSpace, addr mem.Addr, size uint64, k Pkey) (cyc
 	if !k.Valid() {
 		return 0, fmt.Errorf("mpk: invalid pkey %d", k)
 	}
+	obs.Std.MpkPkeyMprotect.Inc()
 	if err := as.Injector().Fail(faultinject.SitePkeyMprotect); err != nil {
 		return cycles.PkeyMprotect, fmt.Errorf("mpk: pkey_mprotect(%s, %d, %s): %w", addr, size, k, err)
 	}

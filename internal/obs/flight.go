@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// EventKind classifies a flight-recorder event. The set is closed on
+// purpose: the recorder exists for teardown triage, and a bounded
+// vocabulary keeps dumps scannable.
+type EventKind uint8
+
+const (
+	// EvFault is a #GP fault the detector analyzed for a race (the
+	// interesting tail of fault traffic; identification faults are
+	// counted, not recorded, to keep the ring useful).
+	EvFault EventKind = iota
+	// EvPkeyDegrade is a protection-key operation that degraded: pkey
+	// allocation exhausted or pkey_mprotect retries gave up.
+	EvPkeyDegrade
+	// EvPkeyRecycle is a protection key reclaimed from its previous
+	// objects for reassignment (the paper's key-recycling pressure).
+	EvPkeyRecycle
+	// EvAllocFallback is the unique-page allocator degrading to native
+	// compact allocation.
+	EvAllocFallback
+	// EvBreakerTrip is a per-workload circuit breaker changing state.
+	EvBreakerTrip
+	// EvJournalTruncate is the service journal discarding a torn tail
+	// during replay.
+	EvJournalTruncate
+	// EvWatchdog is the engine watchdog firing and tearing a run down.
+	EvWatchdog
+	// EvRunFail is a detector or workload aborting the run via FailRun.
+	EvRunFail
+)
+
+var kindNames = [...]string{
+	EvFault:           "fault",
+	EvPkeyDegrade:     "pkey-degrade",
+	EvPkeyRecycle:     "pkey-recycle",
+	EvAllocFallback:   "alloc-fallback",
+	EvBreakerTrip:     "breaker-trip",
+	EvJournalTruncate: "journal-truncate",
+	EvWatchdog:        "watchdog",
+	EvRunFail:         "run-fail",
+}
+
+func (k EventKind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Event is one recorded occurrence. Seq orders events globally; Time is
+// wall-clock (events never feed the deterministic simulation, so
+// wall-clock here cannot perturb verdicts or goldens).
+type Event struct {
+	Seq    uint64
+	Time   time.Time
+	Kind   EventKind
+	Detail string
+}
+
+// Recorder is a lock-free ring buffer of the most recent events. Record
+// claims a slot with one atomic add and publishes the event with one
+// atomic pointer store; concurrent recorders never block each other, and
+// readers (Snapshot, Dump) see each slot's latest fully-built event.
+// Recording allocates one Event — fine for the rare, already-expensive
+// occurrences it captures (faults analyzed for races, degradations,
+// breaker trips, watchdog fires), and why per-access signals stay in the
+// registry's counters instead.
+type Recorder struct {
+	mask  uint64
+	next  atomic.Uint64
+	slots []atomic.Pointer[Event]
+}
+
+// NewRecorder returns a recorder keeping roughly the last capacity
+// events (rounded up to a power of two, minimum 8).
+func NewRecorder(capacity int) *Recorder {
+	n := 8
+	for n < capacity {
+		n <<= 1
+	}
+	return &Recorder{mask: uint64(n - 1), slots: make([]atomic.Pointer[Event], n)}
+}
+
+// Record appends an event, overwriting the oldest once the ring is full.
+func (r *Recorder) Record(kind EventKind, detail string) {
+	seq := r.next.Add(1) - 1
+	r.slots[seq&r.mask].Store(&Event{Seq: seq, Time: time.Now(), Kind: kind, Detail: detail})
+}
+
+// Recordf is Record with fmt formatting.
+func (r *Recorder) Recordf(kind EventKind, format string, args ...any) {
+	r.Record(kind, fmt.Sprintf(format, args...))
+}
+
+// Seq returns the number of events ever recorded.
+func (r *Recorder) Seq() uint64 { return r.next.Load() }
+
+// Snapshot returns the retained events in ascending Seq order. Under
+// concurrent recording a slot may hold an event newer than a neighbor's;
+// the sort restores global order.
+func (r *Recorder) Snapshot() []Event {
+	evs := make([]Event, 0, len(r.slots))
+	for i := range r.slots {
+		if e := r.slots[i].Load(); e != nil {
+			evs = append(evs, *e)
+		}
+	}
+	sort.Slice(evs, func(i, j int) bool { return evs[i].Seq < evs[j].Seq })
+	return evs
+}
+
+// Last returns up to n most recent events, oldest first.
+func (r *Recorder) Last(n int) []Event {
+	evs := r.Snapshot()
+	if len(evs) > n {
+		evs = evs[len(evs)-n:]
+	}
+	return evs
+}
+
+// Dump renders the last n events as an indented block for inclusion in
+// teardown reports (watchdog thread-state dumps, FailRun errors).
+func (r *Recorder) Dump(n int) string {
+	evs := r.Last(n)
+	var b strings.Builder
+	fmt.Fprintf(&b, "flight recorder (last %d of %d events):", len(evs), r.Seq())
+	if len(evs) == 0 {
+		b.WriteString(" none")
+	}
+	for _, e := range evs {
+		fmt.Fprintf(&b, "\n  [%d] %s %s: %s",
+			e.Seq, e.Time.UTC().Format("15:04:05.000"), e.Kind, e.Detail)
+	}
+	return b.String()
+}

@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRecorderOrderAndWraparound(t *testing.T) {
+	r := NewRecorder(8)
+	for i := 0; i < 20; i++ {
+		r.Recordf(EvFault, "event %d", i)
+	}
+	evs := r.Snapshot()
+	if len(evs) != 8 {
+		t.Fatalf("retained %d events, want 8", len(evs))
+	}
+	for i, e := range evs {
+		wantSeq := uint64(12 + i)
+		if e.Seq != wantSeq || e.Detail != fmt.Sprintf("event %d", wantSeq) {
+			t.Errorf("evs[%d] = seq %d %q, want seq %d", i, e.Seq, e.Detail, wantSeq)
+		}
+	}
+	if got := r.Last(3); len(got) != 3 || got[2].Seq != 19 {
+		t.Errorf("Last(3) = %+v, want seqs 17..19", got)
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Record(EvBreakerTrip, "x")
+				r.Snapshot() // readers race writers; -race must stay quiet
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Seq() != 8000 {
+		t.Fatalf("seq = %d, want 8000", r.Seq())
+	}
+	evs := r.Snapshot()
+	if len(evs) != 64 {
+		t.Fatalf("retained %d events, want 64", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq <= evs[i-1].Seq {
+			t.Fatalf("snapshot not strictly ordered at %d: %d then %d", i, evs[i-1].Seq, evs[i].Seq)
+		}
+	}
+}
+
+func TestRecorderDump(t *testing.T) {
+	r := NewRecorder(8)
+	if got := r.Dump(4); !strings.Contains(got, "none") {
+		t.Errorf("empty dump = %q, want a 'none' marker", got)
+	}
+	r.Record(EvWatchdog, "thread 3 stalled")
+	r.Record(EvJournalTruncate, "dropped 17 bytes")
+	got := r.Dump(4)
+	for _, want := range []string{"flight recorder (last 2 of 2 events):", "watchdog: thread 3 stalled", "journal-truncate: dropped 17 bytes"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("dump missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestEventKindStrings(t *testing.T) {
+	kinds := []EventKind{EvFault, EvPkeyDegrade, EvPkeyRecycle, EvAllocFallback,
+		EvBreakerTrip, EvJournalTruncate, EvWatchdog, EvRunFail}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || strings.HasPrefix(s, "kind(") || seen[s] {
+			t.Errorf("kind %d has bad or duplicate name %q", k, s)
+		}
+		seen[s] = true
+	}
+}

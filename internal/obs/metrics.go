@@ -1,0 +1,162 @@
+package obs
+
+// This file pins the canonical metric set. Every family the stack emits
+// is pre-registered here at init, so a kardd /metrics scrape shows the
+// full schema (at zero) from the first request, and instrumented
+// packages pay only the atomic update — never a registry lookup — per
+// event. See DESIGN.md §8 for the naming scheme and overhead budget.
+
+// DefaultRegistry backs the process-wide metric set and the kardd
+// /metrics endpoint.
+var DefaultRegistry = NewRegistry()
+
+// Flight is the process-wide flight recorder, dumped with watchdog
+// teardown reports and FailRun errors.
+var Flight = NewRecorder(256)
+
+// DepthBuckets bounds the radix-walk depth histogram: the page table has
+// four levels, so a lookup terminates after touching 1–4 nodes.
+var DepthBuckets = []float64{1, 2, 3}
+
+// CycleBuckets bounds the fault-handler stage-latency histograms in
+// simulated cycles, spanning "cheap PKRU fix-up" to "several fault
+// windows" (the paper's handling cost is ~24k cycles).
+var CycleBuckets = []float64{1_000, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 1_000_000}
+
+// FsyncBuckets bounds the journal fsync latency histogram in seconds.
+var FsyncBuckets = []float64{1e-5, 1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 5e-2, 1e-1, 1}
+
+// Metrics is the pre-registered Kard metric set. Instrumented packages
+// update these handles directly.
+type Metrics struct {
+	// mem — simulated MMU.
+	MemTLBHits       *Counter
+	MemTLBMisses     *Counter
+	MemMinorFaults   *Counter
+	MemMmapCalls     *Counter
+	MemMunmapCalls   *Counter
+	MemProtectCalls  *Counter
+	MemTruncateCalls *Counter
+	MemRadixDepth    *Histogram
+
+	// mpk — protection keys.
+	MpkWRPKRU        *Counter
+	MpkPkeyMprotect  *Counter
+	MpkPkeyOccupancy *Gauge
+
+	// alloc — Kard allocator.
+	AllocUniquePages *Counter
+	AllocFallbacks   *Counter
+
+	// core — detector fault handler, by stage.
+	CoreFaultIdentify   *Histogram
+	CoreFaultMigrate    *Histogram
+	CoreFaultRace       *Histogram
+	CoreFaultSoft       *Histogram
+	CoreFaultInterleave *Histogram
+	CoreKeyRecycles     *Counter
+	CoreKeyDegrades     *Counter
+
+	// sim — engine runs.
+	SimAccessUnits    *Counter
+	SimRaces          *Counter
+	SimDegradations   *Counter
+	SimFaultsInjected *Counter
+	SimFaultRetries   *Counter
+	SimRunsOK         *Counter
+	SimRunsFailed     *Counter
+	SimRunsWatchdog   *Counter
+	SimRunsDeadline   *Counter
+
+	// service — kardd.
+	SvcQueueDepth         *Gauge
+	SvcRejectsSaturated   *Counter
+	SvcRejectsQuarantined *Counter
+	SvcRejectsDraining    *Counter
+	SvcBreakerTrips       *Counter
+	SvcJournalFsync       *Histogram
+	SvcJournalTruncations *Counter
+
+	reg *Registry
+}
+
+// RegisterMetrics registers the canonical set on r and returns the
+// handles. Idempotent per registry.
+func RegisterMetrics(r *Registry) *Metrics {
+	stage := func(s string) *Histogram {
+		return r.Histogram("kard_core_fault_stage_cycles",
+			"Simulated-cycle cost of detector fault handling, by stage.", CycleBuckets, "stage", s)
+	}
+	return &Metrics{
+		MemTLBHits:       r.Counter("kard_mem_tlb_hits_total", "TLB lookups served without a page-table walk."),
+		MemTLBMisses:     r.Counter("kard_mem_tlb_misses_total", "TLB lookups that walked the radix page table."),
+		MemMinorFaults:   r.Counter("kard_mem_minor_faults_total", "First-touch minor faults binding frames to pages."),
+		MemMmapCalls:     r.Counter("kard_mem_mmap_calls_total", "Simulated mmap calls."),
+		MemMunmapCalls:   r.Counter("kard_mem_munmap_calls_total", "Simulated munmap calls."),
+		MemProtectCalls:  r.Counter("kard_mem_protect_calls_total", "Simulated mprotect calls."),
+		MemTruncateCalls: r.Counter("kard_mem_truncate_calls_total", "Simulated ftruncate calls on the heap memfd."),
+		MemRadixDepth: r.Histogram("kard_mem_radix_walk_depth",
+			"Page-table nodes touched per radix walk (4 levels; +Inf bucket is a full walk).", DepthBuckets),
+
+		MpkWRPKRU: r.Counter("kard_mpk_wrpkru_total", "WRPKRU register writes charged by the detector."),
+		MpkPkeyMprotect: r.Counter("kard_mpk_pkey_mprotect_calls_total",
+			"pkey_mprotect calls tagging pages with protection keys."),
+		MpkPkeyOccupancy: r.Gauge("kard_mpk_pkey_occupancy",
+			"Protection keys currently guarding at least one object, across live detectors."),
+
+		AllocUniquePages: r.Counter("kard_alloc_unique_pages_total",
+			"Allocations placed on their own page for per-object protection."),
+		AllocFallbacks: r.Counter("kard_alloc_fallbacks_total",
+			"Allocations that degraded to native compact placement."),
+
+		CoreFaultIdentify:   stage("identify"),
+		CoreFaultMigrate:    stage("migrate"),
+		CoreFaultRace:       stage("race"),
+		CoreFaultSoft:       stage("soft"),
+		CoreFaultInterleave: stage("interleave"),
+		CoreKeyRecycles: r.Counter("kard_core_key_recycles_total",
+			"Protection keys reclaimed from previous objects for reassignment."),
+		CoreKeyDegrades: r.Counter("kard_core_key_degrades_total",
+			"Objects left unmonitored after pkey allocation or protection degraded."),
+
+		SimAccessUnits: r.Counter("kard_sim_access_units_total",
+			"Memory-access units executed by workload threads."),
+		SimRaces:        r.Counter("kard_sim_races_total", "Data races reported by detectors."),
+		SimDegradations: r.Counter("kard_sim_degradations_total", "Graceful degradations under injected faults."),
+		SimFaultsInjected: r.Counter("kard_sim_faults_injected_total",
+			"Faults fired by the deterministic injector."),
+		SimFaultRetries: r.Counter("kard_sim_fault_retries_total",
+			"Retries consumed absorbing transient injected faults."),
+		SimRunsOK:       r.Counter("kard_sim_runs_total", "Simulation runs by outcome.", "outcome", "ok"),
+		SimRunsFailed:   r.Counter("kard_sim_runs_total", "Simulation runs by outcome.", "outcome", "failed"),
+		SimRunsWatchdog: r.Counter("kard_sim_runs_total", "Simulation runs by outcome.", "outcome", "watchdog"),
+		SimRunsDeadline: r.Counter("kard_sim_runs_total", "Simulation runs by outcome.", "outcome", "deadline"),
+
+		SvcQueueDepth: r.Gauge("kard_service_queue_depth", "Jobs admitted and not yet dispatched to a worker."),
+		SvcRejectsSaturated: r.Counter("kard_service_rejects_total",
+			"Job submissions rejected at admission, by reason.", "reason", "saturated"),
+		SvcRejectsQuarantined: r.Counter("kard_service_rejects_total",
+			"Job submissions rejected at admission, by reason.", "reason", "quarantined"),
+		SvcRejectsDraining: r.Counter("kard_service_rejects_total",
+			"Job submissions rejected at admission, by reason.", "reason", "draining"),
+		SvcBreakerTrips: r.Counter("kard_service_breaker_trips_total",
+			"Per-workload circuit-breaker trips (closed or half-open to open)."),
+		SvcJournalFsync: r.Histogram("kard_service_journal_fsync_seconds",
+			"Wall-clock fsync latency per journal append.", FsyncBuckets),
+		SvcJournalTruncations: r.Counter("kard_service_journal_truncations_total",
+			"Torn journal tails discarded during replay."),
+
+		reg: r,
+	}
+}
+
+// BreakerState returns the per-workload breaker-state gauge
+// (0 closed, 1 half-open, 2 open), registering it on first use. This is
+// the one runtime-registered family: workloads are not known at init.
+func (m *Metrics) BreakerState(workload string) *Gauge {
+	return m.reg.Gauge("kard_service_breaker_state",
+		"Circuit-breaker state per workload: 0 closed, 1 half-open, 2 open.", "workload", workload)
+}
+
+// Std is the process-wide metric set every instrumented package updates.
+var Std = RegisterMetrics(DefaultRegistry)

@@ -1,0 +1,387 @@
+// Package obs is the observability layer: a zero-allocation metrics
+// registry (atomic counters, gauges, and fixed-bucket histograms with
+// Prometheus text exposition) plus a lock-free flight recorder of recent
+// structured events.
+//
+// The registry is built for a hot path that the PR-4 benchmark gate
+// forbids from allocating: metric handles are registered once, up front,
+// and every subsequent update is a single uncontended atomic operation on
+// a cache-line-padded word. Registration itself takes locks and may
+// allocate — instrumented code holds *Counter/*Gauge/*Histogram pointers
+// and never goes back through the registry per event.
+//
+// Naming follows the Prometheus convention specialized for this repo:
+// kard_<layer>_<name>[_<unit>][_total], where <layer> is the internal
+// package that owns the signal (mem, mpk, alloc, core, sim, service).
+// The canonical pre-registered set lives in metrics.go; DESIGN.md §8
+// documents the scheme and the overhead budget.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// pad fills a metric out to a 64-byte cache line so independently-updated
+// counters registered back to back never share a line (false sharing
+// turns "one cheap atomic add" into cross-core traffic).
+type pad [56]byte
+
+// Counter is a monotonically increasing uint64. The zero value is usable
+// but unregistered; obtain registered counters from Registry.Counter.
+type Counter struct {
+	v atomic.Uint64
+	_ pad
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an int64 that can move both ways.
+type Gauge struct {
+	v atomic.Int64
+	_ pad
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adds n (negative to decrease).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram counts observations into fixed buckets chosen at
+// registration. Observe is lock-free: one atomic add on the bucket, one
+// on the total count, and a CAS loop on the float64 sum. Buckets are
+// upper bounds (Prometheus `le` semantics); an implicit +Inf bucket
+// catches the tail.
+type Histogram struct {
+	upper   []float64 // ascending upper bounds, exclusive of +Inf
+	buckets []paddedUint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+type paddedUint64 struct {
+	v atomic.Uint64
+	_ pad
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.upper) && v > h.upper[i] {
+		i++
+	}
+	h.buckets[i].v.Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// ObserveN records n observations of the same value in one update — the
+// run-boundary flush path for signals tallied as plain per-run counters
+// (e.g. radix-walk terminations per depth).
+func (h *Histogram) ObserveN(v float64, n uint64) {
+	if n == 0 {
+		return
+	}
+	i := 0
+	for i < len(h.upper) && v > h.upper[i] {
+		i++
+	}
+	h.buckets[i].v.Add(n)
+	h.count.Add(n)
+	for {
+		old := h.sumBits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v*float64(n))
+		if h.sumBits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// BucketCounts returns the per-bucket (non-cumulative) counts, the last
+// entry being the +Inf bucket. Concurrent observers may make the slice
+// momentarily inconsistent with Count; after writers quiesce they agree.
+func (h *Histogram) BucketCounts() []uint64 {
+	out := make([]uint64, len(h.buckets))
+	for i := range h.buckets {
+		out[i] = h.buckets[i].v.Load()
+	}
+	return out
+}
+
+// metricKind tags a family with its exposition TYPE.
+type metricKind string
+
+const (
+	kindCounter   metricKind = "counter"
+	kindGauge     metricKind = "gauge"
+	kindHistogram metricKind = "histogram"
+)
+
+// family is one metric name: its metadata plus every labeled series
+// registered under it.
+type family struct {
+	name    string
+	help    string
+	kind    metricKind
+	buckets []float64 // histograms only; fixed for the whole family
+	series  map[string]any
+	order   []string // label strings in first-registration order
+}
+
+// Registry holds metric families and renders them in Prometheus text
+// format. Registration is idempotent: re-registering the same name and
+// label set returns the existing metric, so packages can look up their
+// handles without coordinating. Registering the same name with a
+// different type or (for histograms) different buckets panics — that is
+// a programming error, caught at init time because metrics are
+// pre-registered.
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+// labelString renders alternating key/value pairs as a canonical
+// `{k="v",...}` block ("" when unlabeled). Pairs keep their given order;
+// callers pass the same order everywhere, which pre-registration makes
+// natural.
+func labelString(labels []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	if len(labels)%2 != 0 {
+		panic("obs: labels must be alternating key, value pairs")
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := 0; i < len(labels); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(labels[i])
+		b.WriteString("=\"")
+		b.WriteString(escapeLabel(labels[i+1]))
+		b.WriteString("\"")
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+func escapeHelp(v string) string {
+	if !strings.ContainsAny(v, "\\\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// register finds or creates the series for (name, labels) under the
+// given kind, using mk to build a fresh metric.
+func (r *Registry) register(name, help string, kind metricKind, buckets []float64, labels []string, mk func() any) any {
+	ls := labelString(labels)
+	r.mu.RLock()
+	if f, ok := r.families[name]; ok {
+		if m, ok := f.series[ls]; ok {
+			if f.kind != kind {
+				r.mu.RUnlock()
+				panic(fmt.Sprintf("obs: %s re-registered as %s, was %s", name, kind, f.kind))
+			}
+			r.mu.RUnlock()
+			return m
+		}
+	}
+	r.mu.RUnlock()
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind, buckets: buckets, series: map[string]any{}}
+		r.families[name] = f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("obs: %s re-registered as %s, was %s", name, kind, f.kind))
+	}
+	if kind == kindHistogram && !equalFloats(f.buckets, buckets) {
+		panic(fmt.Sprintf("obs: histogram %s re-registered with different buckets", name))
+	}
+	if m, ok := f.series[ls]; ok {
+		return m
+	}
+	m := mk()
+	f.series[ls] = m
+	f.order = append(f.order, ls)
+	return m
+}
+
+func equalFloats(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Counter registers (or finds) a counter. labels are alternating
+// key/value pairs identifying the series within the family.
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	return r.register(name, help, kindCounter, nil, labels, func() any { return &Counter{} }).(*Counter)
+}
+
+// Gauge registers (or finds) a gauge.
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	return r.register(name, help, kindGauge, nil, labels, func() any { return &Gauge{} }).(*Gauge)
+}
+
+// Histogram registers (or finds) a histogram with the given ascending
+// bucket upper bounds (+Inf is implicit). Buckets are fixed per family:
+// every labeled series shares them.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...string) *Histogram {
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic(fmt.Sprintf("obs: histogram %s buckets not ascending", name))
+		}
+	}
+	return r.register(name, help, kindHistogram, buckets, labels, func() any {
+		return &Histogram{upper: buckets, buckets: make([]paddedUint64, len(buckets)+1)}
+	}).(*Histogram)
+}
+
+// WritePrometheus renders every family in Prometheus text exposition
+// format (version 0.0.4), families sorted by name and series in
+// registration order, so output is deterministic for a fixed sequence of
+// registrations.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fams := make([]*family, len(names))
+	for i, name := range names {
+		fams[i] = r.families[name]
+	}
+	// Snapshot series lists under the lock; values are read atomically
+	// afterwards.
+	type seriesSnap struct {
+		ls string
+		m  any
+	}
+	snaps := make([][]seriesSnap, len(fams))
+	for i, f := range fams {
+		ss := make([]seriesSnap, len(f.order))
+		for j, ls := range f.order {
+			ss[j] = seriesSnap{ls, f.series[ls]}
+		}
+		snaps[i] = ss
+	}
+	r.mu.RUnlock()
+
+	var b strings.Builder
+	for i, f := range fams {
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		for _, s := range snaps[i] {
+			switch m := s.m.(type) {
+			case *Counter:
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, s.ls, m.Value())
+			case *Gauge:
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, s.ls, m.Value())
+			case *Histogram:
+				writeHistogram(&b, f.name, s.ls, m)
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeHistogram renders one histogram series: cumulative le buckets,
+// then _sum and _count.
+func writeHistogram(b *strings.Builder, name, ls string, h *Histogram) {
+	counts := h.BucketCounts()
+	var cum uint64
+	for i, upper := range h.upper {
+		cum += counts[i]
+		fmt.Fprintf(b, "%s_bucket%s %d\n", name, mergeLe(ls, formatFloat(upper)), cum)
+	}
+	cum += counts[len(counts)-1]
+	fmt.Fprintf(b, "%s_bucket%s %d\n", name, mergeLe(ls, "+Inf"), cum)
+	fmt.Fprintf(b, "%s_sum%s %s\n", name, ls, formatFloat(h.Sum()))
+	fmt.Fprintf(b, "%s_count%s %d\n", name, ls, cum)
+}
+
+// mergeLe splices an le label into an existing label block.
+func mergeLe(ls, le string) string {
+	if ls == "" {
+		return `{le="` + le + `"}`
+	}
+	return ls[:len(ls)-1] + `,le="` + le + `"}`
+}
+
+// formatFloat renders a float the way Prometheus clients expect: shortest
+// representation that round-trips, no exponent for typical magnitudes.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Handler serves the registry in Prometheus text format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}

@@ -5,8 +5,11 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"strings"
 	"time"
+
+	"kard/internal/obs"
 )
 
 // Handler exposes the server over HTTP:
@@ -16,6 +19,13 @@ import (
 //	GET  /jobs/{id}   one job's status        → 200 {...}
 //	GET  /stats       server counters         → 200 {...}
 //	GET  /healthz     liveness                → 200 "ok" | 503 "draining"
+//	GET  /metrics     Prometheus exposition   → 200 text/plain
+//	GET  /debug/pprof/...  runtime profiles (net/http/pprof)
+//
+// /metrics serves the process-wide obs registry (every kard_* family
+// from mem, mpk, alloc, core, sim, and service) in Prometheus text
+// format, and /debug/pprof exposes the standard Go profiles, so a
+// long-running daemon can be scraped and profiled without a restart.
 //
 // Admission-control rejections map onto the HTTP status codes a loaded
 // service is expected to speak: a full queue is 429 Too Many Requests, a
@@ -50,6 +60,12 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Stats())
 	})
+	mux.Handle("/metrics", obs.DefaultRegistry.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		s.mu.Lock()
 		draining := s.draining

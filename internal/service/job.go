@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"kard/internal/core"
+	"kard/internal/faultinject"
 	"kard/internal/harness"
 	"kard/internal/sim"
 	"kard/internal/workload"
@@ -46,6 +47,11 @@ type JobSpec struct {
 	MaxRWKeys int `json:"maxRWKeys,omitempty"`
 	// CellTimeout bounds each cell's wall clock (0 = server default).
 	CellTimeout time.Duration `json:"cellTimeout,omitempty"`
+	// Faults, when set, arms deterministic fault injection for every
+	// cell (see internal/faultinject). The plan participates in the
+	// spec's content hash and the harness cache key, so a chaos job and
+	// its fault-free twin never collide.
+	Faults *faultinject.Plan `json:"faults,omitempty"`
 	// Deadline is the job's absolute wall-clock deadline (zero = none),
 	// propagated through harness.Options into sim.Config: queued jobs
 	// whose deadline passed fail fast, and running cells are torn down
@@ -105,6 +111,10 @@ func (s *JobSpec) normalize(d ServerDefaults) error {
 // mode-major order.
 func (s *JobSpec) cells() []harness.Spec {
 	var specs []harness.Spec
+	var faults faultinject.Plan
+	if s.Faults != nil {
+		faults = *s.Faults
+	}
 	for _, mode := range s.Modes {
 		for _, seed := range s.Seeds {
 			specs = append(specs, harness.Spec{Options: harness.Options{
@@ -116,7 +126,10 @@ func (s *JobSpec) cells() []harness.Spec {
 				MaxFrames: s.MaxFrames,
 				Timeout:   s.CellTimeout,
 				Deadline:  s.Deadline,
+				Faults:    faults,
 				Kard:      core.Options{MaxRWKeys: s.MaxRWKeys},
+				// Live metrics so /metrics tracks cells as they run.
+				Metrics: true,
 			}})
 		}
 	}

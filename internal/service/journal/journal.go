@@ -26,6 +26,9 @@ import (
 	"io"
 	"os"
 	"sync"
+	"time"
+
+	"kard/internal/obs"
 )
 
 // magic identifies (and versions) the file format.
@@ -148,6 +151,10 @@ func (j *Journal) replay() ([][]byte, error) {
 		if err := j.f.Sync(); err != nil {
 			return nil, fmt.Errorf("journal: sync truncation: %w", err)
 		}
+		obs.Std.SvcJournalTruncations.Inc()
+		obs.Flight.Recordf(obs.EvJournalTruncate,
+			"truncated %d torn bytes after %d intact records in %s",
+			j.tornBytes, len(records), j.path)
 	}
 	if _, err := j.f.Seek(good, io.SeekStart); err != nil {
 		return nil, fmt.Errorf("journal: seek: %w", err)
@@ -175,9 +182,11 @@ func (j *Journal) Append(payload []byte) error {
 	if _, err := j.f.Write(buf); err != nil {
 		return fmt.Errorf("journal: append: %w", err)
 	}
+	start := time.Now()
 	if err := j.f.Sync(); err != nil {
 		return fmt.Errorf("journal: sync: %w", err)
 	}
+	obs.Std.SvcJournalFsync.Observe(time.Since(start).Seconds())
 	j.appended++
 	j.syncs++
 	j.bytes += int64(len(buf))

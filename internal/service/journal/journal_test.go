@@ -8,7 +8,10 @@ import (
 	"hash/crc32"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+
+	"kard/internal/obs"
 )
 
 func openT(t *testing.T, path string) (*Journal, [][]byte) {
@@ -109,6 +112,41 @@ func TestJournalTornTail(t *testing.T) {
 				t.Fatalf("replay after recovery append: %q", recs)
 			}
 		})
+	}
+}
+
+// TestJournalTruncationObserved: truncating a torn tail bumps the
+// process-wide truncation counter and leaves a flight-recorder event —
+// the crash forensics the observability layer promises.
+func TestJournalTruncationObserved(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	j, _ := openT(t, path)
+	appendT(t, j, "one")
+	j.Close()
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0xde, 0xad, 0xbe}); err != nil { // torn frame header
+		t.Fatal(err)
+	}
+	f.Close()
+
+	before := obs.Std.SvcJournalTruncations.Value()
+	seq := obs.Flight.Seq()
+	j2, _ := openT(t, path)
+	defer j2.Close()
+	if got := obs.Std.SvcJournalTruncations.Value() - before; got != 1 {
+		t.Errorf("journal_truncations_total moved by %d, want 1", got)
+	}
+	var found bool
+	for _, ev := range obs.Flight.Snapshot() {
+		if ev.Seq >= seq && ev.Kind == obs.EvJournalTruncate && strings.Contains(ev.Detail, "3 torn bytes") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no journal-truncate flight event recorded")
 	}
 }
 

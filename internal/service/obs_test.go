@@ -1,0 +1,117 @@
+package service
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+
+	"kard/internal/faultinject"
+	"kard/internal/obs"
+)
+
+// TestStatsExposeFaultTotalsAndBreakers: a chaos job's injected-fault
+// tallies surface in /stats alongside the per-workload breaker states,
+// and /metrics serves the Prometheus families the daemon promises.
+func TestStatsExposeFaultTotalsAndBreakers(t *testing.T) {
+	before := runtime.NumGoroutine()
+	s, err := Open(Config{Dir: t.TempDir(), Workers: 1, Logf: quiet(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	// Every 2nd malloc fails transiently: each one is retried and the
+	// job still succeeds, but the fault counters must move.
+	body := `{"id":"chaos","workload":"aget","scale":0.02,
+		"faults":{"sites":{"alloc.malloc":{"every":2,"transient":true}}}}`
+	resp, err := srv.Client().Post(srv.URL+"/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 202 {
+		t.Fatalf("submit: status %d, want 202", resp.StatusCode)
+	}
+	drainT(t, s)
+
+	st, ok := s.Status("chaos")
+	if !ok || st.State != StateDone {
+		t.Fatalf("job state %v (known=%v), want done", st.State, ok)
+	}
+	resp, err = srv.Client().Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats ServerStats
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats.FaultsInjected == 0 || stats.FaultRetries == 0 {
+		t.Errorf("fault totals not surfaced: injected=%d retries=%d",
+			stats.FaultsInjected, stats.FaultRetries)
+	}
+	if len(stats.Breakers) != 1 || stats.Breakers[0].Workload != "aget" ||
+		stats.Breakers[0].State != "closed" {
+		t.Errorf("breakers = %+v, want one closed aget breaker", stats.Breakers)
+	}
+
+	// The Prometheus surface carries families from every layer, and the
+	// queue-depth gauge is back to zero after the drain.
+	resp, err = srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q, want text/plain exposition", ct)
+	}
+	text := string(raw)
+	for _, family := range []string{
+		"kard_mem_tlb_hits_total", "kard_mpk_wrpkru_total", "kard_alloc_unique_pages_total",
+		"kard_core_fault_stage_cycles", "kard_sim_access_units_total",
+		"kard_sim_faults_injected_total", "kard_service_journal_fsync_seconds",
+		`kard_service_breaker_state{workload="aget"} 0`,
+	} {
+		if !strings.Contains(text, family) {
+			t.Errorf("/metrics missing %q", family)
+		}
+	}
+	if obs.Std.SvcQueueDepth.Value() != 0 {
+		t.Errorf("queue-depth gauge = %d after drain, want 0", obs.Std.SvcQueueDepth.Value())
+	}
+	srv.Close() // before the goroutine check: keep-alives linger otherwise
+	checkGoroutines(t, before)
+}
+
+// TestJobSpecFaultPlanIdentity: a chaos job and its fault-free twin hash
+// to different IDs, so neither the journal dedupe nor the result cache
+// can conflate them.
+func TestJobSpecFaultPlanIdentity(t *testing.T) {
+	plain := JobSpec{Workload: "aget"}
+	chaos := JobSpec{Workload: "aget", Faults: &faultinject.Plan{
+		Sites: map[faultinject.Site]faultinject.Rule{
+			faultinject.SiteMalloc: {Every: 2, Transient: true},
+		}}}
+	d := ServerDefaults{}
+	if err := plain.normalize(d); err != nil {
+		t.Fatal(err)
+	}
+	if err := chaos.normalize(d); err != nil {
+		t.Fatal(err)
+	}
+	if plain.ID == chaos.ID {
+		t.Fatalf("fault plan not part of the job identity: both hash to %s", plain.ID)
+	}
+	if got := chaos.cells()[0].Options.Faults; got.Empty() {
+		t.Fatal("fault plan not threaded into the cell options")
+	}
+}

@@ -40,6 +40,7 @@ import (
 	"time"
 
 	"kard/internal/harness"
+	"kard/internal/obs"
 	"kard/internal/service/journal"
 	"kard/internal/sim"
 )
@@ -201,6 +202,33 @@ type Server struct {
 	rejDraining   uint64
 	resumedCells  uint64
 	journalErrs   uint64
+
+	// Fault-injection totals accumulated across executed cells (cache
+	// hits included, resumed cells not — their run already counted).
+	faultsInjected uint64
+	faultRetries   uint64
+	degraded       uint64
+	allocFallbacks uint64
+}
+
+// setQueued updates the queued count and mirrors it to the process-wide
+// queue-depth gauge. Callers hold s.mu.
+func (s *Server) setQueued(n int) {
+	s.queued = n
+	obs.Std.SvcQueueDepth.Set(int64(n))
+}
+
+// publishBreaker mirrors a breaker's state onto its gauge
+// (0 closed, 1 half-open, 2 open). Callers hold s.mu.
+func publishBreaker(b *breaker) {
+	var v int64
+	switch b.state {
+	case breakerHalfOpen:
+		v = 1
+	case breakerOpen:
+		v = 2
+	}
+	obs.Std.BreakerState(b.workload).Set(v)
 }
 
 // Open opens (creating if needed) the service state under cfg.Dir,
@@ -244,7 +272,7 @@ func Open(cfg Config) (*Server, error) {
 	s.queue = make(chan *job, capacity)
 	for _, j := range resume {
 		j.state = StateQueued
-		s.queued++
+		s.setQueued(s.queued + 1)
 		s.pending++
 		s.queue <- j
 	}
@@ -295,7 +323,9 @@ func (s *Server) replay(payloads [][]byte) []*job {
 			}
 		case "breaker":
 			if b := r.Breaker; b != nil && b.State == string(breakerOpen) {
-				s.breakerLocked(b.Workload).restore(b.Trips, b.Until)
+				br := s.breakerLocked(b.Workload)
+				br.restore(b.Trips, b.Until)
+				publishBreaker(br)
 			}
 		case "drain":
 			// Informational: the previous incarnation shut down cleanly.
@@ -338,6 +368,7 @@ func (s *Server) Submit(spec JobSpec) (string, error) {
 	defer s.mu.Unlock()
 	if s.draining || s.closed {
 		s.rejDraining++
+		obs.Std.SvcRejectsDraining.Inc()
 		return "", ErrDraining
 	}
 	if _, ok := s.jobs[spec.ID]; ok {
@@ -345,12 +376,16 @@ func (s *Server) Submit(spec JobSpec) (string, error) {
 	}
 	if s.queued >= s.cfg.QueueDepth {
 		s.rejSaturated++
+		obs.Std.SvcRejectsSaturated.Inc()
 		return "", ErrSaturated
 	}
 	br := s.breakerLocked(spec.Workload)
 	wasProbing := br.probing
-	if err := br.allow(); err != nil {
+	err := br.allow()
+	publishBreaker(br) // allow() may move open → half-open
+	if err != nil {
 		s.rejQuarantine++
+		obs.Std.SvcRejectsQuarantined.Inc()
 		return "", err
 	}
 	j := newJob(spec)
@@ -364,7 +399,7 @@ func (s *Server) Submit(spec JobSpec) (string, error) {
 	}
 	s.jobs[spec.ID] = j
 	s.order = append(s.order, spec.ID)
-	s.queued++
+	s.setQueued(s.queued + 1)
 	s.pending++
 	s.queue <- j // cannot block: queued < QueueDepth ≤ cap, sends only under s.mu
 	return spec.ID, nil
@@ -413,7 +448,7 @@ func (s *Server) worker() {
 				return
 			}
 			s.mu.Lock()
-			s.queued--
+			s.setQueued(s.queued - 1)
 			j.state = StateRunning
 			s.mu.Unlock()
 			s.runJob(j)
@@ -450,6 +485,13 @@ func (s *Server) runJob(j *job) {
 			if r.Resumed || r.Err != nil || r.Result == nil {
 				return
 			}
+			st := r.Result.Stats
+			s.mu.Lock()
+			s.faultsInjected += st.FaultsInjected
+			s.faultRetries += st.FaultRetries
+			s.degraded += st.Degraded
+			s.allocFallbacks += st.AllocFallbacks
+			s.mu.Unlock()
 			v := newCellVerdict(r.Spec, r.Result)
 			j.setDone(r.Index, v)
 			s.appendBestEffort(record{T: "cell", JobID: spec.ID, Cell: r.Index, Verdict: v})
@@ -510,6 +552,12 @@ func (s *Server) settleJob(j *job, verdict *JobVerdict, jobErr error, tripped bo
 	br := s.breakerLocked(j.spec.Workload)
 	if br.record(tripped) {
 		st := br.status()
+		publishBreaker(br)
+		if br.state == breakerOpen {
+			obs.Std.SvcBreakerTrips.Inc()
+			obs.Flight.Recordf(obs.EvBreakerTrip, "workload %q quarantined until %s (trip %d)",
+				j.spec.Workload, st.Until.Format(time.RFC3339), st.Trips)
+		}
 		if err := s.appendLocked(record{T: "breaker", Breaker: &st}); err != nil {
 			s.cfg.Logf("service: journal append failed (breaker state not durable): %v", err)
 		}
@@ -692,6 +740,13 @@ type ServerStats struct {
 	ResumedCells        uint64 `json:"resumedCells"`
 	JournalErrors       uint64 `json:"journalErrors"`
 
+	// Fault-injection totals across this incarnation's executed cells
+	// (chaos jobs; all zero when no job armed a fault plan).
+	FaultsInjected uint64 `json:"faultsInjected"`
+	FaultRetries   uint64 `json:"faultRetries"`
+	Degraded       uint64 `json:"degraded"`
+	AllocFallbacks uint64 `json:"allocFallbacks"`
+
 	Breakers []BreakerStatus    `json:"breakers,omitempty"`
 	Journal  journal.Stats      `json:"journal"`
 	Cache    harness.CacheStats `json:"cache"`
@@ -707,6 +762,10 @@ func (s *Server) Stats() ServerStats {
 		RejectedDraining:    s.rejDraining,
 		ResumedCells:        s.resumedCells,
 		JournalErrors:       s.journalErrs,
+		FaultsInjected:      s.faultsInjected,
+		FaultRetries:        s.faultRetries,
+		Degraded:            s.degraded,
+		AllocFallbacks:      s.allocFallbacks,
 	}
 	for _, j := range s.jobs {
 		switch j.state {

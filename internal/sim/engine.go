@@ -13,6 +13,7 @@ import (
 	"kard/internal/faultinject"
 	"kard/internal/mem"
 	"kard/internal/mpk"
+	"kard/internal/obs"
 )
 
 // Config parameterizes one simulated execution.
@@ -49,6 +50,14 @@ type Config struct {
 	// MaxFrames bounds the simulated physical frame pool (0 =
 	// unlimited); exhaustion surfaces as mem.ErrFrameExhausted.
 	MaxFrames uint64
+	// Metrics publishes per-access counters to the process-wide obs
+	// registry live (one atomic add per access) instead of only at run
+	// teardown. The detection service turns it on so a /metrics scrape
+	// sees in-flight work; batch evaluation leaves it off and loses
+	// nothing — the same totals are flushed when the run ends. The live
+	// path stays allocation-free (benchgate's AccessSteadyStateMetrics
+	// run enforces it).
+	Metrics bool
 }
 
 // Engine is the discrete-event execution engine. Create one per run with
@@ -93,6 +102,7 @@ type Engine struct {
 	globalsRegistered int
 	running           bool
 	finished          bool
+	obsFlushed        bool
 
 	// panics records unrecovered panics from thread bodies (guarded by
 	// mu: thread goroutines append concurrently). Run reports them as
@@ -218,6 +228,7 @@ func (e *Engine) Global(size uint64, name string) *alloc.Object {
 // (degraded) and the error surfaces when Run finishes — or immediately,
 // for errors recorded before Run starts.
 func (e *Engine) FailRun(err error) {
+	obs.Flight.Recordf(obs.EvRunFail, "%v", err)
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.runErrs = append(e.runErrs, err)
@@ -250,6 +261,11 @@ func (e *Engine) Run(body func(*Thread)) (*Stats, error) {
 	if e.finished {
 		return nil, fmt.Errorf("sim: engine already ran")
 	}
+	// Telemetry flushes exactly once per run, whatever the exit path —
+	// Finish() only runs on success, which is not enough for gauges that
+	// must be retracted on watchdog and failure teardowns too.
+	outcome := "failed"
+	defer func() { e.finishObs(outcome) }()
 	if err := e.takeRunErrs(); err != nil {
 		// Setup (Global registration) already failed: report it before
 		// executing any thread code.
@@ -261,6 +277,7 @@ func (e *Engine) Run(body func(*Thread)) (*Stats, error) {
 		rem := time.Until(e.cfg.Deadline)
 		if rem <= 0 {
 			e.finished = true
+			outcome = "deadline"
 			return nil, fmt.Errorf("sim: %w: job deadline %v passed before the run started",
 				ErrDeadline, e.cfg.Deadline.UTC().Format(time.RFC3339))
 		}
@@ -312,6 +329,10 @@ loop:
 	e.finished = true
 
 	if timedOut {
+		outcome = "watchdog"
+		if deadlineBound {
+			outcome = "deadline"
+		}
 		return nil, e.abortTimeout(bound, deadlineBound)
 	}
 
@@ -338,16 +359,60 @@ loop:
 		return nil, fmt.Errorf("sim: workload panic: %s", msg)
 	}
 	if err := e.takeRunErrs(); err != nil {
+		// FailRun errors get the same flight-recorder context as
+		// watchdog reports: the events leading up to the failure.
 		if len(blocked) > 0 {
-			return nil, fmt.Errorf("sim: run failed: %w (threads %v were left blocked)", err, blocked)
+			return nil, fmt.Errorf("sim: run failed: %w (threads %v were left blocked)\n%s",
+				err, blocked, obs.Flight.Dump(16))
 		}
-		return nil, fmt.Errorf("sim: run failed: %w", err)
+		return nil, fmt.Errorf("sim: run failed: %w\n%s", err, obs.Flight.Dump(16))
 	}
 	if len(blocked) > 0 {
 		return nil, fmt.Errorf("sim: deadlock: threads %v blocked forever\n%s", blocked, report)
 	}
 	e.detector.Finish()
+	outcome = "ok"
 	return e.collectStats(), nil
+}
+
+// finishObs publishes the run's accumulated telemetry — outcome, access
+// units, races, injector tallies, the address space's counters, and any
+// detector-held gauges — to the process-wide obs registry. Hot-path
+// signals are plain per-run fields flushed here in one batch, so the
+// access/translate path never pays an atomic (live per-access publishing
+// is opt-in via Config.Metrics, which makes this skip the access units it
+// already published). Idempotent; Run arranges exactly one call per run
+// on every exit path.
+func (e *Engine) finishObs(outcome string) {
+	if e.obsFlushed {
+		return
+	}
+	e.obsFlushed = true
+	m := obs.Std
+	switch outcome {
+	case "ok":
+		m.SimRunsOK.Inc()
+	case "watchdog":
+		m.SimRunsWatchdog.Inc()
+	case "deadline":
+		m.SimRunsDeadline.Inc()
+	default:
+		m.SimRunsFailed.Inc()
+	}
+	if !e.cfg.Metrics {
+		m.SimAccessUnits.Add(e.accessUnits)
+	}
+	m.SimRaces.Add(uint64(len(e.detector.Races())))
+	if e.inj != nil {
+		fs := e.inj.Stats()
+		m.SimFaultsInjected.Add(fs.Injected)
+		m.SimFaultRetries.Add(fs.Retried)
+		m.SimDegradations.Add(fs.Degraded)
+	}
+	e.space.FlushObs()
+	if f, ok := e.detector.(interface{ FlushObs() }); ok {
+		f.FlushObs()
+	}
 }
 
 // takeRunErrs joins and clears the recorded run errors.
@@ -381,7 +446,16 @@ func (e *Engine) abortTimeout(bound time.Duration, deadlineBound bool) error {
 		}
 		break
 	}
-	dump := e.stateDump()
+	if deadlineBound {
+		obs.Flight.Recordf(obs.EvWatchdog, "job deadline fired after %v wall-clock", bound)
+	} else {
+		obs.Flight.Recordf(obs.EvWatchdog, "watchdog fired after %v wall-clock", bound)
+	}
+	// The thread-state dump carries the flight recorder's recent events:
+	// what the engine was doing (faults, degradations, breaker activity)
+	// right before the run wedged is exactly the triage context a
+	// timeout report needs.
+	dump := e.stateDump() + "\n" + obs.Flight.Dump(16)
 	safe := make(map[*Thread]bool, len(e.threads))
 	for _, t := range e.parked {
 		safe[t] = true
@@ -775,6 +849,9 @@ func (e *Engine) executeAccess(t *Thread, o op) {
 	t.charge(cycles.Duration(units) * cycles.Access)
 	t.accessUnits += units
 	e.accessUnits += units
+	if e.cfg.Metrics {
+		obs.Std.SimAccessUnits.Add(units)
+	}
 	t.charge(e.detector.OnAccess(&e.scratch))
 	t.resume <- opResult{}
 }
@@ -811,6 +888,9 @@ func (e *Engine) executeSweep(t *Thread, o op) {
 		t.charge(cycles.Duration(units) * cycles.Access)
 		t.accessUnits += units
 		e.accessUnits += units
+		if e.cfg.Metrics {
+			obs.Std.SimAccessUnits.Add(units)
+		}
 		t.charge(e.detector.OnAccess(&e.scratch))
 	}
 	t.resume <- opResult{}

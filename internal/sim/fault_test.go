@@ -33,8 +33,10 @@ func TestWatchdogAbortsHungRun(t *testing.T) {
 	if !errors.Is(err, ErrWatchdog) {
 		t.Fatalf("got %v, want ErrWatchdog", err)
 	}
-	// The error carries the thread-state dump.
-	for _, want := range []string{"thread 0 (main)", "thread 1 (worker)", "waits on mutex"} {
+	// The error carries the thread-state dump and the flight recorder's
+	// recent events (the watchdog fire itself is always the latest one).
+	for _, want := range []string{"thread 0 (main)", "thread 1 (worker)", "waits on mutex",
+		"flight recorder", "watchdog fired after"} {
 		if !strings.Contains(err.Error(), want) {
 			t.Errorf("dump missing %q in:\n%s", want, err)
 		}

@@ -85,6 +85,27 @@ func BenchmarkAccessSteadyState(b *testing.B) {
 	}
 }
 
+// BenchmarkAccessSteadyStateMetrics is the same steady-state access loop
+// with live metrics publishing on (Config.Metrics), as the detection
+// service runs it. The only addition on the hot path is one atomic add per
+// access, so the loop must stay at 0 allocs/op — the benchmark gate
+// enforces that, keeping the observability layer honest about its "zero
+// allocation" claim.
+func BenchmarkAccessSteadyStateMetrics(b *testing.B) {
+	e := New(Config{Metrics: true}, nil)
+	if _, err := e.Run(func(m *Thread) {
+		obj := m.Malloc(64, "obj")
+		m.Read(obj, 0, 8, "warm")
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.Read(obj, 0, 8, "hot")
+		}
+	}); err != nil {
+		b.Fatal(err)
+	}
+}
+
 // BenchmarkSweep measures the batched pool-access operation the workload
 // models rely on: one engine op touching 64 distinct objects.
 func BenchmarkSweep(b *testing.B) {

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# metricssmoke.sh — observability smoke for kardd's /metrics endpoint.
+#
+# Builds the daemon and the metricscheck validator, starts kardd with a
+# small job set and the HTTP API listening, scrapes /metrics twice while
+# the jobs run, and requires: both scrapes parse as Prometheus text, no
+# family is declared twice, and every counter is monotonic between the
+# scrapes. Finishes with a SIGTERM drain, which must exit 0.
+#
+# Environment: SCALE (default 0.05) trades fidelity for speed, ADDR
+# overrides the listen address. `make metrics-smoke` runs this.
+set -euo pipefail
+
+SCALE="${SCALE:-0.05}"
+ADDR="${ADDR:-127.0.0.1:7717}"
+WORK="$(mktemp -d)"
+trap 'kill "$pid" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+cd "$(dirname "$0")/.."
+go build -o "$WORK/kardd" ./cmd/kardd
+go build -o "$WORK/metricscheck" ./cmd/metricscheck
+
+cat >"$WORK/jobs.json" <<EOF
+[
+  {"id": "ms-aget", "workload": "aget", "modes": ["kard", "baseline"], "seeds": [1, 2], "scale": $SCALE},
+  {"id": "ms-pigz", "workload": "pigz", "modes": ["kard"],             "seeds": [1, 2], "scale": $SCALE}
+]
+EOF
+
+echo "== start kardd on $ADDR"
+"$WORK/kardd" -dir "$WORK/state" -submit "$WORK/jobs.json" -listen "$ADDR" &
+pid=$!
+
+echo "== scrape /metrics twice and validate"
+"$WORK/metricscheck" -url "http://$ADDR/metrics" -interval 500ms -wait 15s
+
+echo "== SIGTERM drain"
+kill -TERM "$pid"
+rc=0
+wait "$pid" || rc=$?
+if [ "$rc" -ne 0 ]; then
+  echo "FAIL: SIGTERM drain exited $rc, want 0" >&2
+  exit 1
+fi
+echo "OK"
