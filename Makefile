@@ -11,7 +11,7 @@ JOBS     ?= $(shell nproc 2>/dev/null || echo 4)
 CACHEDIR ?= .cache/kard
 SEED     ?= 1
 
-.PHONY: all build test vet race bench bench-json bench-gate chaos fuzz daemon killrecover soak metrics-smoke govulncheck repro repro-fast clean-cache clean
+.PHONY: all build test vet race bench bench-json bench-gate chaos fuzz daemon killrecover soak metrics-smoke cluster-smoke docs-check govulncheck repro repro-fast clean-cache clean
 
 all: build test
 
@@ -78,6 +78,17 @@ soak:
 # monotonic), then drain with SIGTERM.
 metrics-smoke:
 	./scripts/metricssmoke.sh
+
+# Sharded-cluster smoke: run the same jobs single-process and through
+# `kardd -cluster 2`, SIGKILL one subprocess worker mid-run, and require
+# the cluster verdicts to be byte-identical (DESIGN.md §9, OPERATIONS.md).
+cluster-smoke:
+	./scripts/clusterkill.sh
+
+# Docs-link check: every `DESIGN.md §N` reference in Go sources and
+# Markdown must resolve to a real `## N.` heading in DESIGN.md.
+docs-check:
+	./scripts/docscheck.sh
 
 # Known-vulnerability scan over the module graph (needs network access to
 # fetch the tool and the vulnerability database; CI runs it on push).

@@ -1,0 +1,296 @@
+package main
+
+// Cluster and worker modes (DESIGN.md §9, OPERATIONS.md):
+//
+//	kardd -cluster 2 -dir state -submit jobs.json -verdicts out.json
+//	kardd -worker -coordinator http://host:7707 -store state/store
+//
+// -cluster N turns kardd into a coordinator: the job file's specs are
+// normalized exactly as service admission would, expanded to their
+// matrix cells, and sharded across workers; N local subprocess workers
+// (this same binary with -worker) are spawned against a shared artifact
+// store, and any number of remote workers may join the same HTTP
+// endpoint while the run is live. Verdicts are written in the same
+// canonical form as single-process mode, and are byte-identical to it.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"os/exec"
+	"os/signal"
+	"path/filepath"
+	"sort"
+	"syscall"
+	"time"
+
+	"kard/internal/cluster"
+	"kard/internal/harness"
+	"kard/internal/obs"
+	"kard/internal/service"
+)
+
+// clusterFlags groups the coordinator/worker flag values main passes in.
+type clusterFlags struct {
+	dir          string
+	submit       string
+	listen       string
+	verdicts     string
+	storeDir     string
+	workers      int
+	coordinator  string
+	workerName   string
+	hbTimeout    time.Duration
+	cellDeadline time.Duration
+	maxAttempts  int
+	cellTimeout  time.Duration
+	maxFrames    uint64
+	maxRWKeys    int
+}
+
+// runWorkerMode is `kardd -worker`: join the coordinator, drain leases
+// until the matrix is done, exit 0.
+func runWorkerMode(f clusterFlags, logf func(string, ...any)) {
+	if f.coordinator == "" {
+		fatal(fmt.Errorf("kardd: -worker requires -coordinator URL"))
+	}
+	name := f.workerName
+	if name == "" {
+		host, _ := os.Hostname()
+		name = fmt.Sprintf("%s:%d", host, os.Getpid())
+	}
+	var store *harness.Cache
+	if f.storeDir != "" {
+		var err error
+		if store, err = harness.OpenCache(f.storeDir); err != nil {
+			fatal(err)
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	cl, err := cluster.Dial(f.coordinator, name)
+	if err != nil {
+		fatal(err)
+	}
+	logf("worker %s joined %s as %s", name, f.coordinator, cl.WorkerID())
+	if err := cluster.RunWorker(ctx, cl, cluster.WorkerOptions{Store: store, Logf: logf}); err != nil {
+		if errors.Is(err, context.Canceled) {
+			logf("worker %s stopping on signal", cl.WorkerID())
+			return
+		}
+		fatal(err)
+	}
+	logf("worker %s done", cl.WorkerID())
+}
+
+// jobRange maps one job's cells into the sharded matrix.
+type jobRange struct {
+	id    string
+	start int
+	n     int
+	specs []harness.Spec
+}
+
+// runClusterMode is `kardd -cluster N`: coordinate the job file's matrix
+// across N spawned subprocess workers (plus any remote joiners).
+func runClusterMode(f clusterFlags, logf func(string, ...any)) {
+	if f.submit == "" {
+		fatal(fmt.Errorf("kardd: -cluster requires -submit jobs.json"))
+	}
+	jobs, all, ranges, err := expandJobs(f)
+	if err != nil {
+		fatal(err)
+	}
+	logf("cluster: %d jobs, %d cells, %d local workers", jobs, len(all), f.workers)
+
+	storeDir := f.storeDir
+	if storeDir == "" {
+		storeDir = filepath.Join(f.dir, "store")
+	}
+	store, err := harness.OpenCache(storeDir)
+	if err != nil {
+		fatal(err)
+	}
+	coord, err := cluster.New(cluster.Config{
+		Dir:              f.dir,
+		Store:            store,
+		HeartbeatTimeout: f.hbTimeout,
+		CellDeadline:     f.cellDeadline,
+		MaxAttempts:      f.maxAttempts,
+		Logf:             logf,
+	}, all)
+	if err != nil {
+		fatal(err)
+	}
+
+	addr := f.listen
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fatal(err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/cluster/", coord.Handler())
+	mux.Handle("/metrics", obs.DefaultRegistry.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) { fmt.Fprintln(w, "ok") })
+	httpSrv := &http.Server{Handler: mux}
+	go func() {
+		if err := httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fatal(err)
+		}
+	}()
+	defer httpSrv.Close()
+	url := "http://" + ln.Addr().String()
+	logf("cluster: coordinator listening on %s", url)
+
+	procs := spawnWorkers(f.workers, url, storeDir, logf)
+	defer func() {
+		for _, p := range procs {
+			if p.Process != nil {
+				_ = p.Process.Signal(syscall.SIGTERM)
+			}
+		}
+		for _, p := range procs {
+			_ = p.Wait()
+		}
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	if err := coord.Wait(ctx); err != nil {
+		logf("cluster: interrupted: %v (completed cells are journaled; rerun to resume)", err)
+		_ = coord.Close()
+		os.Exit(1)
+	}
+	results := coord.Results()
+	st := coord.Stats()
+	logf("cluster: all %d cells settled (%d failed, %d reassigned, %d store-served)",
+		st.Cells, st.Failed, st.Reassigned, st.CacheServed)
+	// Local workers see LeaseDone on their next poll and exit 0; reap
+	// them before closing so none races Close into a 503.
+	for _, p := range procs {
+		_ = p.Wait()
+	}
+	procs = nil
+	if err := coord.Close(); err != nil {
+		logf("cluster: close: %v", err)
+	}
+
+	failed := 0
+	for _, r := range results {
+		if r.Err != nil {
+			failed++
+			logf("cluster: cell %d (%s): %v", r.Index, r.Spec.Label(), r.Err)
+		}
+	}
+	if f.verdicts != "" {
+		if err := writeClusterVerdicts(f.verdicts, ranges, results); err != nil {
+			fatal(err)
+		}
+		logf("wrote verdicts to %s", f.verdicts)
+	}
+	if failed > 0 {
+		fatal(fmt.Errorf("kardd: %d cells failed", failed))
+	}
+}
+
+// expandJobs loads the -submit file and expands every job to cells the
+// same way service admission does, so IDs, cell order, and therefore
+// verdict bytes match a single-process run of the same file.
+func expandJobs(f clusterFlags) (jobs int, all []harness.Spec, ranges []jobRange, err error) {
+	data, err := os.ReadFile(f.submit)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	var specs []service.JobSpec
+	if err := json.Unmarshal(data, &specs); err != nil {
+		return 0, nil, nil, fmt.Errorf("kardd: parsing %s: %w", f.submit, err)
+	}
+	defaults := service.ServerDefaults{CellTimeout: f.cellTimeout, MaxFrames: f.maxFrames, MaxRWKeys: f.maxRWKeys}
+	seen := map[string]bool{}
+	for i := range specs {
+		if err := specs[i].Normalize(defaults); err != nil {
+			return 0, nil, nil, err
+		}
+		if seen[specs[i].ID] {
+			return 0, nil, nil, fmt.Errorf("kardd: duplicate job id %q in %s", specs[i].ID, f.submit)
+		}
+		seen[specs[i].ID] = true
+		cells := specs[i].Cells()
+		ranges = append(ranges, jobRange{id: specs[i].ID, start: len(all), n: len(cells), specs: cells})
+		all = append(all, cells...)
+	}
+	return len(specs), all, ranges, nil
+}
+
+// spawnWorkers launches n local subprocess workers of this same binary.
+func spawnWorkers(n int, url, storeDir string, logf func(string, ...any)) []*exec.Cmd {
+	exe, err := os.Executable()
+	if err != nil {
+		fatal(fmt.Errorf("kardd: locating own binary for -worker spawn: %w", err))
+	}
+	procs := make([]*exec.Cmd, 0, n)
+	for i := 0; i < n; i++ {
+		cmd := exec.Command(exe, "-worker",
+			"-coordinator", url,
+			"-store", storeDir,
+			"-worker-name", fmt.Sprintf("local-%d", i+1))
+		cmd.Stdout = os.Stderr
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			fatal(fmt.Errorf("kardd: spawning worker %d: %w", i+1, err))
+		}
+		logf("cluster: spawned local worker %d (pid %d)", i+1, cmd.Process.Pid)
+		procs = append(procs, cmd)
+	}
+	return procs
+}
+
+// writeClusterVerdicts renders per-job canonical verdicts from the
+// merged cells, sorted by job ID — the same bytes `kardd -verdicts`
+// writes after a single-process run of the same job file.
+func writeClusterVerdicts(path string, ranges []jobRange, results []harness.MatrixResult) error {
+	verdicts := make([]*service.JobVerdict, 0, len(ranges))
+	for _, jr := range ranges {
+		v := &service.JobVerdict{JobID: jr.id}
+		complete := true
+		for k := 0; k < jr.n; k++ {
+			r := results[jr.start+k]
+			if r.Err != nil || r.Result == nil {
+				complete = false
+				break
+			}
+			v.Cells = append(v.Cells, service.NewCellVerdict(jr.specs[k], r.Result))
+		}
+		if complete {
+			verdicts = append(verdicts, v)
+		}
+	}
+	sort.Slice(verdicts, func(i, k int) bool { return verdicts[i].JobID < verdicts[k].JobID })
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	for _, v := range verdicts {
+		f.Write(v.Canonical())
+		f.Write([]byte("\n"))
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -7,6 +7,17 @@
 //
 //	kardd -dir state -submit jobs.json -exit-when-idle -verdicts out.json
 //	kardd -dir state -listen 127.0.0.1:7707
+//	kardd -cluster 2 -dir state -submit jobs.json -verdicts out.json
+//	kardd -worker -coordinator http://host:7707 -store state/store
+//
+// The last two forms are the sharded cluster (DESIGN.md §9,
+// OPERATIONS.md): -cluster N coordinates the job file's matrix across N
+// local subprocess workers (plus any remote `kardd -worker` processes
+// that join the coordinator's HTTP endpoint), journaling every
+// assignment, reassigning cells from dead workers, and sharing one
+// content-addressed artifact store so no cell is ever computed twice.
+// Cluster verdicts are byte-identical to a single-process run of the
+// same job file.
 //
 // Every admission and every finished cell is journaled (fsync'd,
 // checksummed) under -dir before it is acknowledged, so a SIGKILL mid-run
@@ -56,11 +67,37 @@ func main() {
 		exitIdle     = flag.Bool("exit-when-idle", false, "drain and exit 0 once every admitted job has settled (smoke/CI mode)")
 		verdicts     = flag.String("verdicts", "", "write canonical verdict JSON for completed jobs here on shutdown")
 		printReport  = flag.Bool("report", false, "print the journal-backed job report on shutdown")
+
+		// Cluster modes (DESIGN.md §9, OPERATIONS.md).
+		clusterN     = flag.Int("cluster", 0, "coordinator mode: shard -submit's matrix across N local subprocess workers (0 = single-process service)")
+		worker       = flag.Bool("worker", false, "worker mode: join a coordinator and execute leased cells")
+		coordinator  = flag.String("coordinator", "", "coordinator URL for -worker (e.g. http://127.0.0.1:7707)")
+		storeDir     = flag.String("store", "", "shared artifact store directory (coordinator default: <dir>/store)")
+		workerName   = flag.String("worker-name", "", "operator-facing worker name (default host:pid)")
+		hbTimeout    = flag.Duration("hb-timeout", 5*time.Second, "declare a worker dead after this long without a heartbeat")
+		cellDeadline = flag.Duration("cell-deadline", 5*time.Minute, "revoke a cell assignment older than this (stall guard)")
+		maxAttempts  = flag.Int("max-attempts", 3, "assignment attempts per cell before it settles as failed")
 	)
 	flag.Parse()
 
 	logf := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "kardd: "+format+"\n", args...)
+	}
+
+	if *worker || *clusterN > 0 {
+		cf := clusterFlags{
+			dir: *dir, submit: *submit, listen: *listen, verdicts: *verdicts,
+			storeDir: *storeDir, workers: *clusterN,
+			coordinator: *coordinator, workerName: *workerName,
+			hbTimeout: *hbTimeout, cellDeadline: *cellDeadline, maxAttempts: *maxAttempts,
+			cellTimeout: *cellTimeout, maxFrames: *maxFrames, maxRWKeys: *maxRWKeys,
+		}
+		if *worker {
+			runWorkerMode(cf, logf)
+		} else {
+			runClusterMode(cf, logf)
+		}
+		return
 	}
 	srv, err := service.Open(service.Config{
 		Dir:         *dir,

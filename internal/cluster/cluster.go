@@ -1,0 +1,682 @@
+// Package cluster shards a detection matrix across worker processes: a
+// coordinator owns the full workload × detector × seed matrix
+// ([]harness.Spec), leases one cell at a time to workers, journals every
+// assignment and completion through the same CRC-framed WAL the
+// detection service uses (internal/service/journal), and merges finished
+// cells back in spec order — so the verdict set is byte-identical to a
+// single-process harness.RunMatrix run, no matter how many workers ran
+// it, which died, or which cells were reassigned. DESIGN.md §9 is the
+// architecture document this package implements; OPERATIONS.md is the
+// runbook for driving it.
+//
+// Workers are processes, not goroutines: `kardd -worker` connects to a
+// coordinator over HTTP (the same conventions as the detection service's
+// API), polls for leases, heartbeats while it computes, and reports each
+// cell's result. Local subprocess workers and remote workers are the
+// same protocol — the only difference is whether the -store directory
+// (the shared artifact store, a harness.Cache) is the same filesystem.
+// A cell completed by any worker lands in the store under its
+// content-addressed key before the completion is reported, so no peer —
+// including a reassigned successor after a SIGKILL — ever recomputes it.
+//
+// Failure model: liveness is heartbeats (every worker RPC refreshes the
+// worker's lastSeen; a dedicated heartbeat RPC covers long cells). The
+// coordinator's monitor declares a worker dead after HeartbeatTimeout
+// without contact, revokes its leases, and requeues the cells;
+// individual cells that outlive CellDeadline are revoked from a live
+// worker the same way (a stall, not a death). Each cell is assigned at
+// most MaxAttempts times — beyond that it settles as failed rather than
+// cycling forever. Because the simulations are deterministic and merge
+// order is spec order, none of this reassignment machinery can change
+// the final bytes; it only changes who computed them.
+package cluster
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"kard/internal/harness"
+	"kard/internal/obs"
+	"kard/internal/service/journal"
+)
+
+// Errors the coordinator RPCs return.
+var (
+	// ErrUnknownWorker rejects RPCs from a worker ID the coordinator does
+	// not know or has declared dead. Workers recover by rejoining under a
+	// fresh ID; their half-finished cell is either already reassigned or
+	// still completable under the new ID.
+	ErrUnknownWorker = errors.New("cluster: unknown or dead worker")
+	// ErrMatrixMismatch rejects reopening a coordinator directory against
+	// a different spec matrix than the journal was written for.
+	ErrMatrixMismatch = errors.New("cluster: journal belongs to a different matrix")
+	// ErrClosed rejects RPCs after Close.
+	ErrClosed = errors.New("cluster: coordinator closed")
+)
+
+// Config parameterizes a Coordinator.
+type Config struct {
+	// Dir is the coordinator state directory; the assignment journal
+	// (cluster.wal) lives under it.
+	Dir string
+	// Store is the shared artifact store — the content-addressed result
+	// cache every worker checks before simulating and writes after.
+	// Local subprocess workers open the same directory; the coordinator
+	// itself only reads it for Stats.
+	Store *harness.Cache
+	// HeartbeatTimeout is how long a worker may go silent before the
+	// monitor declares it dead and requeues its cells (default 5s).
+	HeartbeatTimeout time.Duration
+	// CellDeadline bounds one assignment's age: a cell still unfinished
+	// after it is revoked and requeued even if the worker is heartbeating
+	// (a stalled cell, not a dead worker). Default 5m; it should exceed
+	// the cell timeout in the specs so the harness watchdog fires first.
+	CellDeadline time.Duration
+	// MaxAttempts caps assignments per cell (default 3). A cell revoked
+	// that many times settles as failed instead of cycling forever.
+	MaxAttempts int
+	// Logf, when non-nil, receives operational log lines.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) defaults() {
+	if c.HeartbeatTimeout <= 0 {
+		c.HeartbeatTimeout = 5 * time.Second
+	}
+	if c.CellDeadline <= 0 {
+		c.CellDeadline = 5 * time.Minute
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+}
+
+// record is the assignment-journal payload envelope. Formats are
+// documented in DESIGN.md §9; the framing (length, CRC-32C, fsync per
+// append, torn-tail truncation on replay) is internal/service/journal's.
+type record struct {
+	T           string          `json:"t"` // matrix | join | assign | complete | dead
+	Fingerprint string          `json:"fp,omitempty"`
+	Cells       int             `json:"cells,omitempty"`
+	Worker      string          `json:"worker,omitempty"`
+	Name        string          `json:"name,omitempty"`
+	Cell        int             `json:"cell"`
+	Attempt     int             `json:"attempt,omitempty"`
+	Err         string          `json:"err,omitempty"`
+	Cached      bool            `json:"cached,omitempty"`
+	Result      *harness.Result `json:"result,omitempty"`
+}
+
+type cellStatus uint8
+
+const (
+	cellPending cellStatus = iota
+	cellAssigned
+	cellDone
+	cellFailed
+)
+
+// cell is the coordinator-side state of one matrix cell.
+type cell struct {
+	status     cellStatus
+	worker     string
+	assignedAt time.Time
+	attempts   int
+	result     *harness.Result
+	cached     bool
+	err        string
+}
+
+// workerState is the coordinator-side view of one worker.
+type workerState struct {
+	id        string
+	name      string
+	joined    time.Time
+	lastSeen  time.Time
+	dead      bool
+	assigned  map[int]bool
+	completed uint64
+}
+
+// Coordinator shards one matrix across joined workers. Create it with
+// New; it is safe for concurrent use (every RPC may arrive from a
+// different worker connection).
+type Coordinator struct {
+	cfg   Config
+	specs []harness.Spec
+	jr    *journal.Journal
+
+	mu         sync.Mutex
+	cells      []cell
+	workers    map[string]*workerState
+	pending    []int // requeueable cell indices, ascending
+	remaining  int   // cells not yet done or failed
+	seq        int   // worker ID counter
+	reassigned uint64
+	closed     bool
+	doneCh     chan struct{}
+
+	stopMonitor chan struct{}
+	monitorDone chan struct{}
+}
+
+// fingerprint identifies a matrix: the hash of its canonical JSON. Spec
+// factories (Make) are excluded from JSON and rejected by New, so the
+// fingerprint covers everything that determines the cells' results.
+func fingerprint(specs []harness.Spec) string {
+	b, err := json.Marshal(specs)
+	if err != nil {
+		panic(fmt.Sprintf("cluster: matrix fingerprint: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:8])
+}
+
+// New opens (creating if needed) a coordinator for specs under cfg.Dir.
+// Reopening a directory whose journal already holds completions for the
+// same matrix restores them — those cells are never recomputed; a
+// journal written for a different matrix is refused (ErrMatrixMismatch).
+func New(cfg Config, specs []harness.Spec) (*Coordinator, error) {
+	cfg.defaults()
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("cluster: Config.Dir is required")
+	}
+	for i, s := range specs {
+		if s.Make != nil {
+			return nil, fmt.Errorf("cluster: spec %d (%s) has a factory; only registry workloads are serializable to workers", i, s.Label())
+		}
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	jr, payloads, err := journal.Open(filepath.Join(cfg.Dir, "cluster.wal"))
+	if err != nil {
+		return nil, err
+	}
+	jr.SetFsyncHistogram(obs.Std.ClusterJournalFsync)
+
+	c := &Coordinator{
+		cfg:         cfg,
+		specs:       specs,
+		jr:          jr,
+		cells:       make([]cell, len(specs)),
+		workers:     map[string]*workerState{},
+		remaining:   len(specs),
+		doneCh:      make(chan struct{}),
+		stopMonitor: make(chan struct{}),
+		monitorDone: make(chan struct{}),
+	}
+	if err := c.replay(payloads); err != nil {
+		jr.Close()
+		return nil, err
+	}
+	for i := range c.cells {
+		if c.cells[i].status == cellPending {
+			c.pending = append(c.pending, i)
+		}
+	}
+	if c.remaining == 0 {
+		close(c.doneCh)
+	}
+	go c.monitor()
+	return c, nil
+}
+
+// replay folds journal records into cell state. Assignments and worker
+// membership are not restored — a previous incarnation's workers are
+// gone, and its open leases are moot — only the matrix identity and the
+// completed (or deterministically failed) cells.
+func (c *Coordinator) replay(payloads [][]byte) error {
+	fp := fingerprint(c.specs)
+	if len(payloads) == 0 {
+		b, err := json.Marshal(record{T: "matrix", Fingerprint: fp, Cells: len(c.specs)})
+		if err != nil {
+			return fmt.Errorf("cluster: journal encode: %w", err)
+		}
+		return c.jr.Append(b)
+	}
+	for i, p := range payloads {
+		var r record
+		if err := json.Unmarshal(p, &r); err != nil {
+			c.cfg.Logf("cluster: skipping unreadable journal record: %v", err)
+			continue
+		}
+		switch r.T {
+		case "matrix":
+			if i == 0 && (r.Fingerprint != fp || r.Cells != len(c.specs)) {
+				return fmt.Errorf("%w: journal %s/%d cells, specs %s/%d cells",
+					ErrMatrixMismatch, r.Fingerprint, r.Cells, fp, len(c.specs))
+			}
+		case "join":
+			c.seq++ // keep IDs unique across incarnations in the audit trail
+		case "complete":
+			if r.Cell < 0 || r.Cell >= len(c.cells) || c.cells[r.Cell].status == cellDone || c.cells[r.Cell].status == cellFailed {
+				continue
+			}
+			cl := &c.cells[r.Cell]
+			if r.Err != "" {
+				cl.status, cl.err = cellFailed, r.Err
+			} else if r.Result != nil {
+				cl.status, cl.result, cl.cached = cellDone, r.Result, r.Cached
+			} else {
+				continue
+			}
+			c.remaining--
+		case "assign", "dead":
+			// Audit-only across incarnations.
+		}
+	}
+	if restored := len(c.specs) - c.remaining; restored > 0 {
+		c.cfg.Logf("cluster: journal restored %d/%d cells", restored, len(c.specs))
+	}
+	return nil
+}
+
+// appendLocked journals one record. Loss of assign/dead records costs
+// only audit fidelity; loss of a complete record costs recomputation
+// after a crash — never correctness — so every append is best-effort
+// beyond logging. Callers hold c.mu.
+func (c *Coordinator) appendLocked(r record) {
+	b, err := json.Marshal(r)
+	if err == nil {
+		err = c.jr.Append(b)
+	}
+	if err != nil {
+		c.cfg.Logf("cluster: journal append failed (recomputable after a crash): %v", err)
+	}
+}
+
+// Join registers a worker and returns its ID. The name is operator-facing
+// (host, pid); the ID is the lease identity.
+func (c *Coordinator) Join(name string) (string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return "", ErrClosed
+	}
+	c.seq++
+	id := fmt.Sprintf("w%d", c.seq)
+	now := time.Now()
+	c.workers[id] = &workerState{id: id, name: name, joined: now, lastSeen: now, assigned: map[int]bool{}}
+	obs.Std.ClusterWorkersLive.Inc()
+	c.appendLocked(record{T: "join", Worker: id, Name: name})
+	c.cfg.Logf("cluster: worker %s (%s) joined", id, name)
+	return id, nil
+}
+
+// touchLocked refreshes a worker's liveness and returns it, or nil if the
+// ID is unknown or already declared dead. Callers hold c.mu.
+func (c *Coordinator) touchLocked(id string) *workerState {
+	w := c.workers[id]
+	if w == nil || w.dead {
+		return nil
+	}
+	w.lastSeen = time.Now()
+	return w
+}
+
+// Heartbeat refreshes a worker's liveness without requesting work — the
+// RPC a worker issues while a long cell computes.
+func (c *Coordinator) Heartbeat(id string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	if c.touchLocked(id) == nil {
+		return ErrUnknownWorker
+	}
+	return nil
+}
+
+// LeaseState tells a worker what to do next.
+type LeaseState string
+
+const (
+	// LeaseCell carries one cell to execute.
+	LeaseCell LeaseState = "cell"
+	// LeaseWait means no cell is available right now (all assigned) but
+	// the matrix is unfinished: poll again.
+	LeaseWait LeaseState = "wait"
+	// LeaseDone means every cell has settled: the worker should exit.
+	LeaseDone LeaseState = "done"
+)
+
+// Lease is one scheduling decision handed to a worker.
+type Lease struct {
+	State LeaseState   `json:"state"`
+	Cell  int          `json:"cell"`
+	Spec  harness.Spec `json:"spec"`
+}
+
+// Lease hands the lowest pending cell to the worker, journaling the
+// assignment. With nothing pending it reports wait or done.
+func (c *Coordinator) Lease(id string) (Lease, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return Lease{}, ErrClosed
+	}
+	w := c.touchLocked(id)
+	if w == nil {
+		return Lease{}, ErrUnknownWorker
+	}
+	if len(c.pending) == 0 {
+		if c.remaining == 0 {
+			return Lease{State: LeaseDone}, nil
+		}
+		return Lease{State: LeaseWait}, nil
+	}
+	i := c.pending[0]
+	c.pending = c.pending[1:]
+	cl := &c.cells[i]
+	cl.status = cellAssigned
+	cl.worker = id
+	cl.assignedAt = time.Now()
+	cl.attempts++
+	w.assigned[i] = true
+	obs.Std.ClusterCellsInflight.Inc()
+	c.appendLocked(record{T: "assign", Worker: id, Cell: i, Attempt: cl.attempts})
+	return Lease{State: LeaseCell, Cell: i, Spec: c.specs[i]}, nil
+}
+
+// Complete settles one cell with a worker's outcome. It is idempotent —
+// a duplicate completion (the cell was reassigned and both workers
+// finished, or a retry after a dropped response) is ignored, which is
+// sound because the simulations are deterministic: every completion of a
+// cell carries the same bytes. A non-empty errMsg settles the cell as
+// failed (deterministic failures fail everywhere; the transient ones
+// were already retried inside the harness).
+func (c *Coordinator) Complete(id string, i int, res *harness.Result, errMsg string, cached bool) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	w := c.touchLocked(id)
+	if w == nil {
+		return ErrUnknownWorker
+	}
+	if i < 0 || i >= len(c.cells) {
+		return fmt.Errorf("cluster: cell %d out of range", i)
+	}
+	if errMsg == "" && res == nil {
+		return fmt.Errorf("cluster: completion of cell %d carries neither result nor error", i)
+	}
+	cl := &c.cells[i]
+	if cl.status == cellDone || cl.status == cellFailed {
+		delete(w.assigned, i)
+		return nil // duplicate: already settled identically
+	}
+	switch cl.status {
+	case cellAssigned:
+		obs.Std.ClusterCellsInflight.Dec()
+		if cl.worker != id {
+			// The cell was revoked and reassigned; this is the original
+			// worker finishing anyway. Accept it (deterministic) and let
+			// the successor's completion hit the duplicate path.
+			if ow := c.workers[cl.worker]; ow != nil {
+				delete(ow.assigned, i)
+			}
+		}
+	case cellPending:
+		// Revoked but not yet re-leased; pull it from the queue so no
+		// successor re-runs a settled cell.
+		for k, p := range c.pending {
+			if p == i {
+				c.pending = append(c.pending[:k], c.pending[k+1:]...)
+				break
+			}
+		}
+	}
+	c.appendLocked(record{T: "complete", Worker: id, Cell: i, Err: errMsg, Cached: cached, Result: res})
+	if errMsg != "" {
+		cl.status, cl.err = cellFailed, errMsg
+		c.cfg.Logf("cluster: cell %d (%s) failed on %s: %s", i, c.specs[i].Label(), id, errMsg)
+	} else {
+		cl.status, cl.result, cl.cached = cellDone, res, cached
+	}
+	cl.worker = ""
+	delete(w.assigned, i)
+	w.completed++
+	obs.Std.ClusterCellsCompleted.Inc()
+	c.remaining--
+	if c.remaining == 0 {
+		close(c.doneCh)
+	}
+	return nil
+}
+
+// monitor is the liveness sweep: it refreshes per-worker heartbeat-age
+// gauges, declares silent workers dead, and revokes stalled assignments.
+func (c *Coordinator) monitor() {
+	defer close(c.monitorDone)
+	interval := c.cfg.HeartbeatTimeout / 4
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	if interval > time.Second {
+		interval = time.Second
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stopMonitor:
+			return
+		case <-t.C:
+			c.sweep()
+		}
+	}
+}
+
+// sweep performs one monitor pass.
+func (c *Coordinator) sweep() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	now := time.Now()
+	for _, w := range c.workers {
+		if w.dead {
+			continue
+		}
+		age := now.Sub(w.lastSeen)
+		obs.Std.WorkerHeartbeatAge(w.id).Set(age.Milliseconds())
+		if age > c.cfg.HeartbeatTimeout {
+			w.dead = true
+			obs.Std.ClusterWorkersLive.Dec()
+			obs.Std.ClusterWorkersDead.Inc()
+			obs.Flight.Recordf(obs.EvWorkerDead, "worker %s (%s) silent for %v, revoking %d cells",
+				w.id, w.name, age.Round(time.Millisecond), len(w.assigned))
+			c.appendLocked(record{T: "dead", Worker: w.id})
+			c.cfg.Logf("cluster: worker %s (%s) declared dead after %v; revoking %d cells",
+				w.id, w.name, age.Round(time.Millisecond), len(w.assigned))
+			for i := range w.assigned {
+				c.revokeLocked(i, "worker dead")
+			}
+			w.assigned = map[int]bool{}
+		}
+	}
+	for i := range c.cells {
+		cl := &c.cells[i]
+		if cl.status == cellAssigned && now.Sub(cl.assignedAt) > c.cfg.CellDeadline {
+			if w := c.workers[cl.worker]; w != nil {
+				delete(w.assigned, i)
+			}
+			c.revokeLocked(i, "assignment stalled")
+		}
+	}
+}
+
+// revokeLocked returns an assigned cell to the pending queue — or, past
+// the attempt cap, settles it as failed. Callers hold c.mu and have
+// removed the cell from its worker's assigned set.
+func (c *Coordinator) revokeLocked(i int, why string) {
+	cl := &c.cells[i]
+	if cl.status != cellAssigned {
+		return
+	}
+	obs.Std.ClusterCellsInflight.Dec()
+	obs.Std.ClusterCellsReassigned.Inc()
+	c.reassigned++
+	obs.Flight.Recordf(obs.EvCellReassign, "cell %d (%s) revoked from %s (%s), attempt %d/%d",
+		i, c.specs[i].Label(), cl.worker, why, cl.attempts, c.cfg.MaxAttempts)
+	if cl.attempts >= c.cfg.MaxAttempts {
+		msg := fmt.Sprintf("cluster: cell %s failed: %s after %d assignment attempts", c.specs[i].Label(), why, cl.attempts)
+		c.appendLocked(record{T: "complete", Cell: i, Err: msg})
+		cl.status, cl.err, cl.worker = cellFailed, msg, ""
+		c.remaining--
+		if c.remaining == 0 {
+			close(c.doneCh)
+		}
+		c.cfg.Logf("%s", msg)
+		return
+	}
+	cl.status, cl.worker = cellPending, ""
+	c.pending = append(c.pending, i)
+	sort.Ints(c.pending)
+	c.cfg.Logf("cluster: cell %d (%s) requeued (%s), attempt %d/%d",
+		i, c.specs[i].Label(), why, cl.attempts, c.cfg.MaxAttempts)
+}
+
+// Wait blocks until every cell has settled (done or failed) or ctx ends.
+func (c *Coordinator) Wait(ctx context.Context) error {
+	select {
+	case <-c.doneCh:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Results merges the settled cells in spec order — the same merge
+// RunMatrix performs, which is the whole determinism argument: each
+// cell's Result is a deterministic function of its Spec, and position in
+// the output is position in the input, so the merged set is
+// byte-identical to a single-process run regardless of scheduling
+// history. Unsettled cells (Wait not yet done) carry a nil Result and
+// nil Err.
+func (c *Coordinator) Results() []harness.MatrixResult {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]harness.MatrixResult, len(c.specs))
+	for i := range c.specs {
+		out[i] = harness.MatrixResult{Spec: c.specs[i], Index: i, Cached: c.cells[i].cached}
+		switch c.cells[i].status {
+		case cellDone:
+			out[i].Result = c.cells[i].result
+		case cellFailed:
+			out[i].Err = errors.New(c.cells[i].err)
+		}
+	}
+	return out
+}
+
+// WorkerStatus is the operator view of one worker.
+type WorkerStatus struct {
+	ID           string `json:"id"`
+	Name         string `json:"name"`
+	Dead         bool   `json:"dead"`
+	Assigned     int    `json:"assigned"`
+	Completed    uint64 `json:"completed"`
+	HeartbeatAge int64  `json:"heartbeatAgeMs"`
+}
+
+// Stats is the coordinator snapshot behind GET /cluster/stats.
+type Stats struct {
+	Cells       int            `json:"cells"`
+	Done        int            `json:"done"`
+	Failed      int            `json:"failed"`
+	Inflight    int            `json:"inflight"`
+	Pending     int            `json:"pending"`
+	Reassigned  uint64         `json:"reassigned"`
+	CacheServed int            `json:"cacheServed"`
+	Workers     []WorkerStatus `json:"workers,omitempty"`
+	Journal     journal.Stats  `json:"journal"`
+}
+
+// Stats returns a snapshot of cluster progress.
+func (c *Coordinator) Stats() Stats {
+	c.mu.Lock()
+	st := Stats{Cells: len(c.cells), Pending: len(c.pending), Reassigned: c.reassigned}
+	for i := range c.cells {
+		switch c.cells[i].status {
+		case cellDone:
+			st.Done++
+			if c.cells[i].cached {
+				st.CacheServed++
+			}
+		case cellFailed:
+			st.Failed++
+		case cellAssigned:
+			st.Inflight++
+		}
+	}
+	now := time.Now()
+	ids := make([]string, 0, len(c.workers))
+	for id := range c.workers {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		// w2 before w10: numeric worker IDs sort by length first.
+		if len(ids[a]) != len(ids[b]) {
+			return len(ids[a]) < len(ids[b])
+		}
+		return ids[a] < ids[b]
+	})
+	for _, id := range ids {
+		w := c.workers[id]
+		st.Workers = append(st.Workers, WorkerStatus{
+			ID: w.id, Name: w.name, Dead: w.dead,
+			Assigned: len(w.assigned), Completed: w.completed,
+			HeartbeatAge: now.Sub(w.lastSeen).Milliseconds(),
+		})
+	}
+	c.mu.Unlock()
+	st.Journal = c.jr.Stats()
+	return st
+}
+
+// Close stops the monitor and closes the assignment journal. In-flight
+// workers see ErrClosed (HTTP 503) and exit; a later New over the same
+// directory resumes from the journaled completions.
+func (c *Coordinator) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	live := 0
+	for _, w := range c.workers {
+		if !w.dead {
+			live++
+		}
+	}
+	obs.Std.ClusterWorkersLive.Add(int64(-live))
+	inflight := 0
+	for i := range c.cells {
+		if c.cells[i].status == cellAssigned {
+			inflight++
+		}
+	}
+	obs.Std.ClusterCellsInflight.Add(int64(-inflight))
+	c.mu.Unlock()
+	close(c.stopMonitor)
+	<-c.monitorDone
+	return c.jr.Close()
+}

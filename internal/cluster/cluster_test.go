@@ -1,0 +1,366 @@
+package cluster_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"kard/internal/cluster"
+	"kard/internal/harness"
+	"kard/internal/obs"
+	"kard/internal/service"
+)
+
+// testSpecs is a small but non-trivial matrix: two workloads, two modes,
+// two seeds — enough cells that two workers genuinely interleave.
+func testSpecs() []harness.Spec {
+	var specs []harness.Spec
+	for _, w := range []string{"aget", "pigz"} {
+		for _, m := range []harness.Mode{harness.ModeKard, harness.ModeBaseline} {
+			for _, seed := range []int64{1, 2} {
+				specs = append(specs, harness.Spec{Options: harness.Options{
+					Workload: w, Mode: m, Seed: seed, Scale: 0.05,
+				}})
+			}
+		}
+	}
+	return specs
+}
+
+// canonical renders a result set as the deterministic verdict bytes the
+// acceptance check compares: one CellVerdict per cell, in spec order.
+func canonical(t *testing.T, rs []harness.MatrixResult) string {
+	t.Helper()
+	var b strings.Builder
+	for _, r := range rs {
+		if r.Err != nil {
+			t.Fatalf("cell %d (%s): %v", r.Index, r.Spec.Label(), r.Err)
+		}
+		if r.Result == nil {
+			t.Fatalf("cell %d (%s): no result", r.Index, r.Spec.Label())
+		}
+		v, err := json.Marshal(service.NewCellVerdict(r.Spec, r.Result))
+		if err != nil {
+			t.Fatalf("marshal verdict: %v", err)
+		}
+		b.Write(v)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// startWorkers runs n in-process workers against the coordinator's HTTP
+// handler and returns a func that waits for them all to exit nil.
+func startWorkers(t *testing.T, ctx context.Context, url string, n int, o cluster.WorkerOptions) func() {
+	t.Helper()
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		cl, err := cluster.Dial(url, "test-worker")
+		if err != nil {
+			t.Fatalf("dial: %v", err)
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = cluster.RunWorker(ctx, cl, o)
+		}(i)
+	}
+	return func() {
+		wg.Wait()
+		for i, err := range errs {
+			if err != nil {
+				t.Errorf("worker %d: %v", i, err)
+			}
+		}
+	}
+}
+
+func newCoordinator(t *testing.T, cfg cluster.Config, specs []harness.Spec) (*cluster.Coordinator, *httptest.Server) {
+	t.Helper()
+	if cfg.Dir == "" {
+		cfg.Dir = t.TempDir()
+	}
+	c, err := cluster.New(cfg, specs)
+	if err != nil {
+		t.Fatalf("cluster.New: %v", err)
+	}
+	ts := httptest.NewServer(c.Handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(func() { c.Close() })
+	return c, ts
+}
+
+// TestClusterMatchesRunMatrix is the core determinism property: a
+// coordinator plus two workers produce verdicts byte-identical to a
+// single-process harness.RunMatrix run of the same matrix.
+func TestClusterMatchesRunMatrix(t *testing.T) {
+	specs := testSpecs()
+	ref := canonical(t, harness.RunMatrix(2, specs))
+
+	store, err := harness.OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, ts := newCoordinator(t, cluster.Config{}, specs)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	wait := startWorkers(t, ctx, ts.URL, 2, cluster.WorkerOptions{Store: store})
+	if err := coord.Wait(ctx); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	wait()
+
+	if got := canonical(t, coord.Results()); got != ref {
+		t.Fatalf("cluster verdicts differ from single-process RunMatrix:\ncluster:\n%s\nsingle:\n%s", got, ref)
+	}
+	st := coord.Stats()
+	if st.Done != len(specs) || st.Failed != 0 {
+		t.Fatalf("stats: done=%d failed=%d, want done=%d failed=0", st.Done, st.Failed, len(specs))
+	}
+	if len(st.Workers) != 2 {
+		t.Fatalf("stats: %d workers, want 2", len(st.Workers))
+	}
+}
+
+// TestClusterSharedStoreNoRecompute is the artifact-store property: a
+// cell any peer has finished is served from the store, not recomputed —
+// asserted via the obs cache-hit counters.
+func TestClusterSharedStoreNoRecompute(t *testing.T) {
+	specs := testSpecs()
+	storeDir := t.TempDir()
+	store, err := harness.OpenCache(storeDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A "peer" (here: a prior single-process run over the same store
+	// directory) finishes every cell first.
+	harness.RunMatrixContext(context.Background(), specs, harness.MatrixOptions{Jobs: 2, Cache: store})
+
+	hits0 := obs.Std.ClusterStoreHits.Value()
+	misses0 := obs.Std.ClusterStoreMisses.Value()
+
+	workerStore, err := harness.OpenCache(storeDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, ts := newCoordinator(t, cluster.Config{}, specs)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	wait := startWorkers(t, ctx, ts.URL, 2, cluster.WorkerOptions{Store: workerStore})
+	if err := coord.Wait(ctx); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	wait()
+
+	if got := coord.Stats().CacheServed; got != len(specs) {
+		t.Fatalf("CacheServed = %d, want %d (every cell store-served)", got, len(specs))
+	}
+	if hits := obs.Std.ClusterStoreHits.Value() - hits0; hits != uint64(len(specs)) {
+		t.Fatalf("store hits grew by %d, want %d", hits, len(specs))
+	}
+	if misses := obs.Std.ClusterStoreMisses.Value() - misses0; misses != 0 {
+		t.Fatalf("store misses grew by %d, want 0 — a finished cell was recomputed", misses)
+	}
+	for _, r := range coord.Results() {
+		if !r.Cached {
+			t.Fatalf("cell %d (%s) was recomputed despite a warm store", r.Index, r.Spec.Label())
+		}
+	}
+}
+
+// TestClusterReassignsDeadWorker kills a worker silently (it leases a
+// cell and never heartbeats again); the monitor must declare it dead,
+// requeue the cell, and the surviving worker must finish the matrix with
+// verdicts identical to a single-process run.
+func TestClusterReassignsDeadWorker(t *testing.T) {
+	specs := testSpecs()
+	ref := canonical(t, harness.RunMatrix(2, specs))
+
+	coord, ts := newCoordinator(t, cluster.Config{HeartbeatTimeout: 300 * time.Millisecond}, specs)
+
+	// The zombie joins, takes one lease, and goes silent forever.
+	zombie, err := coord.Join("zombie")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := coord.Lease(zombie)
+	if err != nil || l.State != cluster.LeaseCell {
+		t.Fatalf("zombie lease: %+v, %v", l, err)
+	}
+
+	store, err := harness.OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	wait := startWorkers(t, ctx, ts.URL, 1, cluster.WorkerOptions{Store: store})
+	if err := coord.Wait(ctx); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	wait()
+
+	st := coord.Stats()
+	if st.Reassigned == 0 {
+		t.Fatal("no cell was reassigned from the dead worker")
+	}
+	var zombieDead bool
+	for _, w := range st.Workers {
+		if w.ID == zombie {
+			zombieDead = w.Dead
+		}
+	}
+	if !zombieDead {
+		t.Fatal("zombie worker was not declared dead")
+	}
+	if got := canonical(t, coord.Results()); got != ref {
+		t.Fatalf("verdicts differ after reassignment:\ncluster:\n%s\nsingle:\n%s", got, ref)
+	}
+}
+
+// TestClusterJournalRecovery reopens a coordinator directory and checks
+// journaled completions are restored, not recomputed.
+func TestClusterJournalRecovery(t *testing.T) {
+	specs := testSpecs()
+	dir := t.TempDir()
+
+	c1, err := cluster.New(cluster.Config{Dir: dir}, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := c1.Join("one-shot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := c1.Lease(w)
+	if err != nil || l.State != cluster.LeaseCell {
+		t.Fatalf("lease: %+v, %v", l, err)
+	}
+	res, err := harness.Run(l.Spec.Options)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.Complete(w, l.Cell, res, "", false); err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	c2, err := cluster.New(cluster.Config{Dir: dir}, specs)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer c2.Close()
+	if got := c2.Stats().Done; got != 1 {
+		t.Fatalf("after reopen Done = %d, want 1 (journaled completion restored)", got)
+	}
+
+	// The restored cell must never be leased again.
+	w2, err := c2.Join("resumer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for {
+		l, err := c2.Lease(w2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l.State != cluster.LeaseCell {
+			break
+		}
+		if l.Cell == 0 {
+			t.Fatal("restored cell 0 was leased again")
+		}
+		seen[l.Cell] = true
+		r, err := harness.Run(l.Spec.Options)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c2.Complete(w2, l.Cell, r, "", false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(seen) != len(specs)-1 {
+		t.Fatalf("resumed %d cells, want %d", len(seen), len(specs)-1)
+	}
+	if got, ref := canonical(t, c2.Results()), canonical(t, harness.RunMatrix(2, specs)); got != ref {
+		t.Fatalf("recovered verdicts differ from single-process run")
+	}
+}
+
+// TestClusterMatrixMismatch refuses to reuse a journal for a different
+// matrix.
+func TestClusterMatrixMismatch(t *testing.T) {
+	dir := t.TempDir()
+	a := []harness.Spec{{Options: harness.Options{Workload: "aget", Mode: harness.ModeKard, Seed: 1, Scale: 0.05}}}
+	b := []harness.Spec{{Options: harness.Options{Workload: "pigz", Mode: harness.ModeKard, Seed: 1, Scale: 0.05}}}
+
+	c1, err := cluster.New(cluster.Config{Dir: dir}, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cluster.New(cluster.Config{Dir: dir}, b); !errors.Is(err, cluster.ErrMatrixMismatch) {
+		t.Fatalf("reopening with a different matrix: err = %v, want ErrMatrixMismatch", err)
+	}
+}
+
+// TestClusterStallRetryCap drives a worker that leases but never
+// completes: every CellDeadline the assignment is revoked, and after
+// MaxAttempts the cell settles as failed instead of cycling forever.
+func TestClusterStallRetryCap(t *testing.T) {
+	specs := []harness.Spec{{Options: harness.Options{Workload: "aget", Mode: harness.ModeKard, Seed: 1, Scale: 0.05}}}
+	coord, _ := newCoordinator(t, cluster.Config{
+		Dir:              t.TempDir(),
+		HeartbeatTimeout: time.Minute, // stays alive: this tests the stall path, not death
+		CellDeadline:     150 * time.Millisecond,
+		MaxAttempts:      2,
+	}, specs)
+
+	w, err := coord.Join("staller")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	leases := 0
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("timed out waiting for the retry cap to settle the cell")
+		}
+		if err := coord.Heartbeat(w); err != nil {
+			t.Fatal(err)
+		}
+		l, err := coord.Lease(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l.State == cluster.LeaseDone {
+			break
+		}
+		if l.State == cluster.LeaseCell {
+			leases++ // lease it, then stall: never complete
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if leases != 2 {
+		t.Fatalf("cell was leased %d times, want exactly MaxAttempts=2", leases)
+	}
+	r := coord.Results()[0]
+	if r.Err == nil || !strings.Contains(r.Err.Error(), "assignment attempts") {
+		t.Fatalf("cell error = %v, want an assignment-attempts failure", r.Err)
+	}
+	if got := coord.Stats(); got.Failed != 1 || got.Reassigned != 2 {
+		t.Fatalf("stats failed=%d reassigned=%d, want 1 and 2", got.Failed, got.Reassigned)
+	}
+}

@@ -1,0 +1,239 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"kard/internal/harness"
+)
+
+// The coordinator speaks the same HTTP conventions as the detection
+// service's job API (internal/service): JSON bodies, immediate answers,
+// and load-shaped status codes. Worker RPCs:
+//
+//	POST /cluster/join       {"name": ...}                → 200 {"worker": "w1"}
+//	POST /cluster/lease      {"worker": ...}              → 200 Lease
+//	POST /cluster/complete   {"worker", "cell", "result"|"err", "cached"} → 200
+//	POST /cluster/heartbeat  {"worker": ...}              → 200
+//	GET  /cluster/stats                                   → 200 Stats
+//
+// A worker the coordinator no longer knows (declared dead, or a
+// coordinator restart) gets 410 Gone — the client's cue to rejoin under
+// a fresh ID; a closed coordinator answers 503.
+
+// joinRequest / joinResponse frame POST /cluster/join.
+type joinRequest struct {
+	Name string `json:"name"`
+}
+type joinResponse struct {
+	Worker string `json:"worker"`
+}
+
+// leaseRequest frames POST /cluster/lease and /cluster/heartbeat.
+type leaseRequest struct {
+	Worker string `json:"worker"`
+}
+
+// completeRequest frames POST /cluster/complete.
+type completeRequest struct {
+	Worker string          `json:"worker"`
+	Cell   int             `json:"cell"`
+	Result *harness.Result `json:"result,omitempty"`
+	Err    string          `json:"err,omitempty"`
+	Cached bool            `json:"cached,omitempty"`
+}
+
+// Handler exposes the coordinator's worker protocol and stats endpoint.
+// Mount it on the same mux as /metrics so one listener serves both the
+// cluster control plane and its observability (OPERATIONS.md).
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/cluster/join", func(w http.ResponseWriter, r *http.Request) {
+		var req joinRequest
+		if !decodePost(w, r, &req) {
+			return
+		}
+		id, err := c.Join(req.Name)
+		if err != nil {
+			writeClusterErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, joinResponse{Worker: id})
+	})
+	mux.HandleFunc("/cluster/lease", func(w http.ResponseWriter, r *http.Request) {
+		var req leaseRequest
+		if !decodePost(w, r, &req) {
+			return
+		}
+		l, err := c.Lease(req.Worker)
+		if err != nil {
+			writeClusterErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, l)
+	})
+	mux.HandleFunc("/cluster/complete", func(w http.ResponseWriter, r *http.Request) {
+		var req completeRequest
+		if !decodePost(w, r, &req) {
+			return
+		}
+		if err := c.Complete(req.Worker, req.Cell, req.Result, req.Err, req.Cached); err != nil {
+			writeClusterErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	})
+	mux.HandleFunc("/cluster/heartbeat", func(w http.ResponseWriter, r *http.Request) {
+		var req leaseRequest
+		if !decodePost(w, r, &req) {
+			return
+		}
+		if err := c.Heartbeat(req.Worker); err != nil {
+			writeClusterErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	})
+	mux.HandleFunc("/cluster/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, c.Stats())
+	})
+	return mux
+}
+
+func decodePost(w http.ResponseWriter, r *http.Request, v any) bool {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return false
+	}
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+func writeClusterErr(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrUnknownWorker):
+		http.Error(w, err.Error(), http.StatusGone)
+	case errors.Is(err, ErrClosed):
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	default:
+		http.Error(w, err.Error(), http.StatusBadRequest)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// ErrGone is the client-side face of HTTP 410: the coordinator no longer
+// knows this worker ID. RunWorker recovers by rejoining.
+var ErrGone = errors.New("cluster: worker id no longer known to coordinator")
+
+// ErrCoordClosed is the client-side face of HTTP 503: the coordinator
+// has shut down. RunWorker treats it as a clean end of work — whatever
+// this worker finished is journaled and in the store.
+var ErrCoordClosed = errors.New("cluster: coordinator shut down")
+
+// Client is a worker's connection to a coordinator. It is safe for
+// concurrent use (RunWorker heartbeats from a second goroutine).
+type Client struct {
+	base string
+	name string
+	hc   *http.Client
+
+	mu     sync.Mutex
+	worker string
+}
+
+// Dial joins the coordinator at base (e.g. http://127.0.0.1:7707) under
+// the given operator-facing name and returns a connected client.
+func Dial(base, name string) (*Client, error) {
+	c := &Client{
+		base: strings.TrimRight(base, "/"),
+		name: name,
+		hc:   &http.Client{Timeout: 30 * time.Second},
+	}
+	if err := c.Rejoin(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// WorkerID returns the coordinator-assigned worker ID.
+func (c *Client) WorkerID() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.worker
+}
+
+// Rejoin (re)registers with the coordinator, replacing the worker ID —
+// the recovery path after ErrGone.
+func (c *Client) Rejoin() error {
+	var resp joinResponse
+	if err := c.post("/cluster/join", joinRequest{Name: c.name}, &resp); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.worker = resp.Worker
+	c.mu.Unlock()
+	return nil
+}
+
+// Lease asks for the next scheduling decision.
+func (c *Client) Lease() (Lease, error) {
+	var l Lease
+	err := c.post("/cluster/lease", leaseRequest{Worker: c.WorkerID()}, &l)
+	return l, err
+}
+
+// Complete reports one cell's outcome.
+func (c *Client) Complete(cellIdx int, res *harness.Result, errMsg string, cached bool) error {
+	var resp map[string]bool
+	return c.post("/cluster/complete", completeRequest{
+		Worker: c.WorkerID(), Cell: cellIdx, Result: res, Err: errMsg, Cached: cached,
+	}, &resp)
+}
+
+// Heartbeat refreshes liveness while a cell computes.
+func (c *Client) Heartbeat() error {
+	var resp map[string]bool
+	return c.post("/cluster/heartbeat", leaseRequest{Worker: c.WorkerID()}, &resp)
+}
+
+// post issues one JSON RPC, translating 410 into ErrGone.
+func (c *Client) post(path string, req, resp any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return fmt.Errorf("cluster: encode %s: %w", path, err)
+	}
+	hr, err := c.hc.Post(c.base+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("cluster: %s: %w", path, err)
+	}
+	defer hr.Body.Close()
+	if hr.StatusCode == http.StatusGone {
+		return ErrGone
+	}
+	if hr.StatusCode == http.StatusServiceUnavailable {
+		return ErrCoordClosed
+	}
+	if hr.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(hr.Body, 512))
+		return fmt.Errorf("cluster: %s: %s: %s", path, hr.Status, strings.TrimSpace(string(msg)))
+	}
+	if err := json.NewDecoder(hr.Body).Decode(resp); err != nil {
+		return fmt.Errorf("cluster: decode %s: %w", path, err)
+	}
+	return nil
+}

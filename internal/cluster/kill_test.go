@@ -1,0 +1,153 @@
+package cluster_test
+
+import (
+	"context"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"strconv"
+	"testing"
+	"time"
+
+	"kard/internal/cluster"
+	"kard/internal/harness"
+)
+
+// The SIGKILL test runs real subprocess workers via the helper-process
+// idiom: the test binary re-execs itself running only
+// TestClusterWorkerHelper, which (guarded by KARD_CLUSTER_WORKER_HELPER)
+// behaves as `kardd -worker` — join the coordinator, drain leases, exit.
+// KARD_CLUSTER_CELL_SLEEP_MS makes the victim dwell inside each cell so
+// the mid-cell kill window is wide and deterministic.
+
+func TestClusterWorkerHelper(t *testing.T) {
+	if os.Getenv("KARD_CLUSTER_WORKER_HELPER") != "1" {
+		t.Skip("helper process entry point; only meaningful when re-exec'd")
+	}
+	url := os.Getenv("KARD_CLUSTER_URL")
+	name := os.Getenv("KARD_CLUSTER_WORKER_NAME")
+	sleepMS, _ := strconv.Atoi(os.Getenv("KARD_CLUSTER_CELL_SLEEP_MS"))
+
+	var store *harness.Cache
+	if dir := os.Getenv("KARD_CLUSTER_STORE"); dir != "" {
+		var err error
+		if store, err = harness.OpenCache(dir); err != nil {
+			t.Fatalf("helper: open store: %v", err)
+		}
+	}
+	cl, err := cluster.Dial(url, name)
+	if err != nil {
+		t.Fatalf("helper: dial: %v", err)
+	}
+	err = cluster.RunWorker(context.Background(), cl, cluster.WorkerOptions{
+		Store: store,
+		OnCell: func(int, harness.Spec) {
+			time.Sleep(time.Duration(sleepMS) * time.Millisecond)
+		},
+	})
+	if err != nil {
+		t.Fatalf("helper: worker: %v", err)
+	}
+}
+
+// spawnHelperWorker re-execs the test binary as a subprocess worker.
+func spawnHelperWorker(t *testing.T, url, name, storeDir string, cellSleep time.Duration) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run=^TestClusterWorkerHelper$")
+	cmd.Env = append(os.Environ(),
+		"KARD_CLUSTER_WORKER_HELPER=1",
+		"KARD_CLUSTER_URL="+url,
+		"KARD_CLUSTER_WORKER_NAME="+name,
+		"KARD_CLUSTER_STORE="+storeDir,
+		"KARD_CLUSTER_CELL_SLEEP_MS="+strconv.Itoa(int(cellSleep.Milliseconds())),
+	)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("spawn helper %s: %v", name, err)
+	}
+	return cmd
+}
+
+// TestClusterSIGKILLWorker is the acceptance scenario from ISSUE.md: a
+// subprocess worker is SIGKILLed mid-cell; the coordinator must declare
+// it dead, reassign its cell, and the surviving subprocess worker must
+// finish the matrix with verdicts byte-identical to a single-process
+// harness.RunMatrix run.
+func TestClusterSIGKILLWorker(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess SIGKILL test skipped in -short mode")
+	}
+	specs := testSpecs()
+	ref := canonical(t, harness.RunMatrix(2, specs))
+
+	coord, err := cluster.New(cluster.Config{
+		Dir:              t.TempDir(),
+		HeartbeatTimeout: 500 * time.Millisecond,
+		Logf:             t.Logf,
+	}, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	ts := httptest.NewServer(coord.Handler())
+	defer ts.Close()
+	storeDir := t.TempDir()
+
+	// The victim dwells 30s inside every cell — far longer than the test
+	// allows — so the only way the matrix finishes is the kill, the death
+	// declaration, and the reassignment actually happening.
+	victim := spawnHelperWorker(t, ts.URL, "victim", storeDir, 30*time.Second)
+	defer victim.Process.Kill()
+
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("victim never leased a cell")
+		}
+		held := 0
+		for _, w := range coord.Stats().Workers {
+			if w.Name == "victim" && !w.Dead {
+				held = w.Assigned
+			}
+		}
+		if held > 0 {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err := victim.Process.Kill(); err != nil { // SIGKILL: no drain, no goodbye
+		t.Fatal(err)
+	}
+	_ = victim.Wait()
+	t.Log("victim SIGKILLed mid-cell")
+
+	healthy := spawnHelperWorker(t, ts.URL, "healthy", storeDir, 0)
+	defer healthy.Process.Kill()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+	if err := coord.Wait(ctx); err != nil {
+		t.Fatalf("matrix did not finish after the kill: %v (stats %+v)", err, coord.Stats())
+	}
+	if err := healthy.Wait(); err != nil {
+		t.Fatalf("healthy worker exited non-zero: %v", err)
+	}
+
+	st := coord.Stats()
+	if st.Reassigned == 0 {
+		t.Fatal("the killed worker's cell was never reassigned")
+	}
+	var victimDead bool
+	for _, w := range st.Workers {
+		if w.Name == "victim" {
+			victimDead = w.Dead
+		}
+	}
+	if !victimDead {
+		t.Fatal("victim was not declared dead")
+	}
+	if got := canonical(t, coord.Results()); got != ref {
+		t.Fatalf("verdicts differ after SIGKILL + reassignment:\ncluster:\n%s\nsingle:\n%s", got, ref)
+	}
+}

@@ -1,0 +1,152 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"kard/internal/harness"
+	"kard/internal/obs"
+)
+
+// WorkerOptions tune RunWorker.
+type WorkerOptions struct {
+	// Store is the shared artifact store (a harness result cache). Every
+	// leased cell is looked up there first — a hit means some peer (or a
+	// previous incarnation) already finished it and the worker reports
+	// the stored result without simulating; every fresh result is
+	// written there before the completion RPC, so a coordinator that
+	// reassigns the cell after this worker dies still finds the bytes.
+	// Nil disables sharing (every cell simulates).
+	Store *harness.Cache
+	// Poll is the idle re-lease interval while the coordinator answers
+	// wait (default 100ms).
+	Poll time.Duration
+	// HeartbeatEvery is the liveness cadence while the worker computes
+	// (default 1s; keep it well under the coordinator's
+	// HeartbeatTimeout).
+	HeartbeatEvery time.Duration
+	// Logf, when non-nil, receives operational log lines.
+	Logf func(format string, args ...any)
+	// OnCell, when non-nil, runs before each leased cell executes — a
+	// test and tooling hook (the SIGKILL tests use it to widen the
+	// mid-cell window deterministically).
+	OnCell func(cellIdx int, spec harness.Spec)
+}
+
+func (o *WorkerOptions) defaults() {
+	if o.Poll <= 0 {
+		o.Poll = 100 * time.Millisecond
+	}
+	if o.HeartbeatEvery <= 0 {
+		o.HeartbeatEvery = time.Second
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+}
+
+// RunWorker drains leases from the coordinator until the matrix is done
+// (returns nil), ctx ends (returns ctx's error), or the coordinator
+// becomes unreachable. A 410 from the coordinator (this worker was
+// declared dead — e.g. after a long GC pause or a partition) is absorbed
+// by rejoining under a fresh ID; the half-finished cell is completed
+// under the new identity or, if a peer got there first, deduplicated by
+// the coordinator's idempotent completion path.
+func RunWorker(ctx context.Context, cl *Client, o WorkerOptions) error {
+	o.defaults()
+
+	// Background heartbeat for the whole worker lifetime: leases already
+	// refresh liveness, so this matters exactly when a cell computes for
+	// longer than the coordinator's timeout.
+	hbCtx, hbStop := context.WithCancel(ctx)
+	defer hbStop()
+	go func() {
+		t := time.NewTicker(o.HeartbeatEvery)
+		defer t.Stop()
+		for {
+			select {
+			case <-hbCtx.Done():
+				return
+			case <-t.C:
+				if err := cl.Heartbeat(); err != nil && !errors.Is(err, ErrGone) {
+					o.Logf("cluster: worker %s: heartbeat: %v", cl.WorkerID(), err)
+				}
+			}
+		}
+	}()
+
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		l, err := cl.Lease()
+		if errors.Is(err, ErrGone) {
+			if err := cl.Rejoin(); err != nil {
+				return err
+			}
+			o.Logf("cluster: rejoined as %s after revocation", cl.WorkerID())
+			continue
+		}
+		if errors.Is(err, ErrCoordClosed) {
+			o.Logf("cluster: coordinator shut down, worker exiting")
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		switch l.State {
+		case LeaseDone:
+			return nil
+		case LeaseWait:
+			select {
+			case <-time.After(o.Poll):
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+			continue
+		}
+
+		if o.OnCell != nil {
+			o.OnCell(l.Cell, l.Spec)
+		}
+		// RunMatrixContext on a single cell reuses the whole execution
+		// stack a local run gets: the store lookup (Cached on a hit),
+		// panic isolation, the transient-fault retry, and the atomic
+		// store write on success.
+		r := harness.RunMatrixContext(ctx, []harness.Spec{l.Spec}, harness.MatrixOptions{
+			Jobs:           1,
+			Cache:          o.Store,
+			RetryTransient: true,
+		})[0]
+		if o.Store != nil {
+			if r.Cached {
+				obs.Std.ClusterStoreHits.Inc()
+			} else {
+				obs.Std.ClusterStoreMisses.Inc()
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return err // cancelled mid-cell: don't report a ctx error as the cell's verdict
+		}
+		errMsg := ""
+		if r.Err != nil {
+			errMsg = r.Err.Error()
+		}
+		if err := cl.Complete(l.Cell, r.Result, errMsg, r.Cached); err != nil {
+			if errors.Is(err, ErrGone) {
+				// Declared dead mid-cell; the result is already durable in
+				// the store, so rejoin and hand the bytes over anyway.
+				if err := cl.Rejoin(); err != nil {
+					return err
+				}
+				if err := cl.Complete(l.Cell, r.Result, errMsg, r.Cached); err != nil {
+					return err
+				}
+				o.Logf("cluster: rejoined as %s and completed cell %d", cl.WorkerID(), l.Cell)
+				continue
+			}
+			return err
+		}
+	}
+}

@@ -17,6 +17,14 @@
 // code version) that lets repeated evaluations skip already-computed
 // cells. Every simulation is deterministic, so parallel and cached runs
 // are byte-identical to sequential fresh ones.
+//
+// That determinism is what the layers above lean on: the detection
+// service (internal/service, DESIGN.md §6) journals and resumes cells,
+// and the sharded cluster (internal/cluster, DESIGN.md §9) fans the
+// same matrices out across worker processes with Cache as the shared
+// artifact store — all without being able to change a verdict byte.
+// DESIGN.md §2 inventories this package; §5 covers the failure model
+// its retry hooks implement.
 package harness
 
 import (

@@ -7,6 +7,11 @@
 // The package deliberately mirrors the POSIX surface the paper's runtime
 // library calls (mmap, munmap, ftruncate, pkey_mprotect) so that the
 // layers above read like the original system.
+//
+// DESIGN.md §1 records why this substrate is simulated rather than
+// native; §7 documents its hot-path data structures (the radix page
+// table and the map-free TLB models) and the benchmark gate that guards
+// their cost.
 package mem
 
 import "fmt"

@@ -9,6 +9,11 @@
 //   - PKRU updates do not flush the TLB;
 //   - key 0 is the always-accessible default key reserved for backward
 //     compatibility, so 15 keys are effectively available.
+//
+// DESIGN.md §1 explains the substitution of this model for the real
+// hardware (per-thread PKRU cannot be expressed under Go's scheduler);
+// DESIGN.md §2 inventories it, and the WRPKRU/RDPKRU cycle charges it
+// applies are the §7 performance model's inputs.
 package mpk
 
 import (

@@ -36,6 +36,12 @@ const (
 	EvWatchdog
 	// EvRunFail is a detector or workload aborting the run via FailRun.
 	EvRunFail
+	// EvWorkerDead is the cluster coordinator declaring a worker dead
+	// after missed heartbeats and revoking its assignments.
+	EvWorkerDead
+	// EvCellReassign is a matrix cell requeued after its assignment was
+	// revoked from a dead or stalled worker.
+	EvCellReassign
 )
 
 var kindNames = [...]string{
@@ -47,6 +53,8 @@ var kindNames = [...]string{
 	EvJournalTruncate: "journal-truncate",
 	EvWatchdog:        "watchdog",
 	EvRunFail:         "run-fail",
+	EvWorkerDead:      "worker-dead",
+	EvCellReassign:    "cell-reassign",
 }
 
 func (k EventKind) String() string {

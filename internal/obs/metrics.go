@@ -77,6 +77,16 @@ type Metrics struct {
 	SvcJournalFsync       *Histogram
 	SvcJournalTruncations *Counter
 
+	// cluster — coordinator/worker sharding (DESIGN.md §9).
+	ClusterCellsInflight   *Gauge
+	ClusterCellsCompleted  *Counter
+	ClusterCellsReassigned *Counter
+	ClusterWorkersLive     *Gauge
+	ClusterWorkersDead     *Counter
+	ClusterStoreHits       *Counter
+	ClusterStoreMisses     *Counter
+	ClusterJournalFsync    *Histogram
+
 	reg *Registry
 }
 
@@ -146,16 +156,45 @@ func RegisterMetrics(r *Registry) *Metrics {
 		SvcJournalTruncations: r.Counter("kard_service_journal_truncations_total",
 			"Torn journal tails discarded during replay."),
 
+		ClusterCellsInflight: r.Gauge("kard_cluster_cells_inflight",
+			"Matrix cells currently assigned to a live worker."),
+		ClusterCellsCompleted: r.Counter("kard_cluster_cells_completed_total",
+			"Matrix cells completed by cluster workers (cache-served cells included)."),
+		ClusterCellsReassigned: r.Counter("kard_cluster_cells_reassigned_total",
+			"Cell assignments revoked from dead or stalled workers and requeued."),
+		ClusterWorkersLive: r.Gauge("kard_cluster_workers_live",
+			"Workers joined and not declared dead."),
+		ClusterWorkersDead: r.Counter("kard_cluster_workers_dead_total",
+			"Workers declared dead after missing heartbeats."),
+		ClusterStoreHits: r.Counter("kard_cluster_store_hits_total",
+			"Cells served from the shared artifact store instead of recomputed."),
+		ClusterStoreMisses: r.Counter("kard_cluster_store_misses_total",
+			"Cells a worker had to simulate because no peer had finished them."),
+		ClusterJournalFsync: r.Histogram("kard_cluster_journal_fsync_seconds",
+			"Wall-clock fsync latency per assignment-journal append.", FsyncBuckets),
+
 		reg: r,
 	}
 }
 
 // BreakerState returns the per-workload breaker-state gauge
-// (0 closed, 1 half-open, 2 open), registering it on first use. This is
-// the one runtime-registered family: workloads are not known at init.
+// (0 closed, 1 half-open, 2 open), registering it on first use. Like
+// WorkerHeartbeatAge it is runtime-registered: workloads are not known
+// at init.
 func (m *Metrics) BreakerState(workload string) *Gauge {
 	return m.reg.Gauge("kard_service_breaker_state",
 		"Circuit-breaker state per workload: 0 closed, 1 half-open, 2 open.", "workload", workload)
+}
+
+// WorkerHeartbeatAge returns the per-worker heartbeat-age gauge in
+// milliseconds, registering it on first use (worker names are not known
+// at init). The coordinator's monitor refreshes it every sweep; an age
+// growing past the heartbeat timeout is the signal that precedes a
+// worker-dead declaration (DESIGN.md §9).
+func (m *Metrics) WorkerHeartbeatAge(worker string) *Gauge {
+	return m.reg.Gauge("kard_cluster_worker_heartbeat_age_ms",
+		"Milliseconds since each worker's last heartbeat, refreshed by the coordinator monitor.",
+		"worker", worker)
 }
 
 // Std is the process-wide metric set every instrumented package updates.

@@ -14,7 +14,10 @@
 // kard_<layer>_<name>[_<unit>][_total], where <layer> is the internal
 // package that owns the signal (mem, mpk, alloc, core, sim, service).
 // The canonical pre-registered set lives in metrics.go; DESIGN.md §8
-// documents the scheme and the overhead budget.
+// documents the scheme and the overhead budget, and OPERATIONS.md §3 is
+// the operator's guide to reading the exposition during an incident.
+// The kard_cluster_* families instrument the sharded coordinator/worker
+// layer (internal/cluster, DESIGN.md §9).
 package obs
 
 import (

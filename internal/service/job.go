@@ -59,9 +59,11 @@ type JobSpec struct {
 	Deadline time.Time `json:"deadline,omitempty"`
 }
 
-// normalize applies defaults and fills an empty ID with the content hash
-// of the defaulted spec.
-func (s *JobSpec) normalize(d ServerDefaults) error {
+// Normalize applies defaults and fills an empty ID with the content hash
+// of the defaulted spec. The server normalizes at admission; kardd's
+// cluster mode normalizes the same way before sharding, so a job's ID
+// and cells are identical whichever path runs it.
+func (s *JobSpec) Normalize(d ServerDefaults) error {
 	if s.Workload == "" {
 		return fmt.Errorf("service: job has no workload")
 	}
@@ -107,9 +109,10 @@ func (s *JobSpec) normalize(d ServerDefaults) error {
 	return nil
 }
 
-// cells expands the spec into its matrix cells, in deterministic
-// mode-major order.
-func (s *JobSpec) cells() []harness.Spec {
+// Cells expands the spec into its matrix cells, in deterministic
+// mode-major order — the order verdict cells are reported in, and the
+// order the cluster coordinator shards.
+func (s *JobSpec) Cells() []harness.Spec {
 	var specs []harness.Spec
 	var faults faultinject.Plan
 	if s.Faults != nil {
@@ -167,8 +170,11 @@ type CellVerdict struct {
 	Summary     sim.Summary `json:"summary"`
 }
 
-// newCellVerdict condenses a finished cell into its verdict.
-func newCellVerdict(s harness.Spec, r *harness.Result) *CellVerdict {
+// NewCellVerdict condenses a finished cell into its verdict — the
+// deterministic subset of a harness.Result that recovery equivalence
+// checks (and the cluster's verdict diff against a single-process run)
+// compare byte-for-byte.
+func NewCellVerdict(s harness.Spec, r *harness.Result) *CellVerdict {
 	sites := map[string]bool{}
 	for _, race := range r.Stats.Races {
 		if race.Object != nil {

@@ -50,9 +50,10 @@ var ErrNotJournal = errors.New("journal: not a kard journal (bad magic)")
 // Journal is an open write-ahead log positioned for appends. It is safe
 // for concurrent use.
 type Journal struct {
-	mu   sync.Mutex
-	f    *os.File
-	path string
+	mu    sync.Mutex
+	f     *os.File
+	path  string
+	fsync *obs.Histogram // per-append fsync latency sink (never nil)
 
 	appended  uint64
 	syncs     uint64
@@ -84,7 +85,7 @@ func Open(path string) (*Journal, [][]byte, error) {
 	if err != nil {
 		return nil, nil, fmt.Errorf("journal: open: %w", err)
 	}
-	j := &Journal{f: f, path: path}
+	j := &Journal{f: f, path: path, fsync: obs.Std.SvcJournalFsync}
 	records, err := j.replay()
 	if err != nil {
 		f.Close()
@@ -186,7 +187,7 @@ func (j *Journal) Append(payload []byte) error {
 	if err := j.f.Sync(); err != nil {
 		return fmt.Errorf("journal: sync: %w", err)
 	}
-	obs.Std.SvcJournalFsync.Observe(time.Since(start).Seconds())
+	j.fsync.Observe(time.Since(start).Seconds())
 	j.appended++
 	j.syncs++
 	j.bytes += int64(len(buf))
@@ -208,6 +209,19 @@ func (j *Journal) Stats() Stats {
 
 // Path returns the journal's file path.
 func (j *Journal) Path() string { return j.path }
+
+// SetFsyncHistogram redirects the per-append fsync-latency observations
+// to h. The default sink is the service journal's histogram; the cluster
+// coordinator points its assignment journal at the kard_cluster family
+// instead so the two WALs stay separable on a dashboard.
+func (j *Journal) SetFsyncHistogram(h *obs.Histogram) {
+	if h == nil {
+		return
+	}
+	j.mu.Lock()
+	j.fsync = h
+	j.mu.Unlock()
+}
 
 // Close syncs and closes the journal. Further Appends fail.
 func (j *Journal) Close() error {

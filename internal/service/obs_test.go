@@ -102,16 +102,16 @@ func TestJobSpecFaultPlanIdentity(t *testing.T) {
 			faultinject.SiteMalloc: {Every: 2, Transient: true},
 		}}}
 	d := ServerDefaults{}
-	if err := plain.normalize(d); err != nil {
+	if err := plain.Normalize(d); err != nil {
 		t.Fatal(err)
 	}
-	if err := chaos.normalize(d); err != nil {
+	if err := chaos.Normalize(d); err != nil {
 		t.Fatal(err)
 	}
 	if plain.ID == chaos.ID {
 		t.Fatalf("fault plan not part of the job identity: both hash to %s", plain.ID)
 	}
-	if got := chaos.cells()[0].Options.Faults; got.Empty() {
+	if got := chaos.Cells()[0].Options.Faults; got.Empty() {
 		t.Fatal("fault plan not threaded into the cell options")
 	}
 }

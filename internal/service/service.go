@@ -26,6 +26,13 @@
 // Shutdown is graceful: Drain stops admission, lets in-flight cells
 // finish (or checkpoints them mid-job when the drain context expires),
 // flushes the journal, and returns — kardd then exits 0.
+//
+// DESIGN.md §6 is the architecture and failure-model document for this
+// package; OPERATIONS.md is the operator runbook. The sharded
+// coordinator/worker layer in internal/cluster (DESIGN.md §9) reuses
+// this package's journal subpackage for its assignment WAL and its
+// JobSpec admission path (Normalize, Cells, NewCellVerdict) so cluster
+// verdicts are byte-identical to single-process ones.
 package service
 
 import (
@@ -147,7 +154,7 @@ type job struct {
 }
 
 func newJob(spec JobSpec) *job {
-	cells := spec.cells()
+	cells := spec.Cells()
 	return &job{spec: spec, state: StateQueued, cells: cells, done: make([]*CellVerdict, len(cells))}
 }
 
@@ -361,7 +368,7 @@ func (s *Server) breakerLocked(workload string) *breaker {
 // already journaled with ErrDuplicate. On success the admission record
 // is durable before Submit returns.
 func (s *Server) Submit(spec JobSpec) (string, error) {
-	if err := spec.normalize(s.cfg.Defaults); err != nil {
+	if err := spec.Normalize(s.cfg.Defaults); err != nil {
 		return "", err
 	}
 	s.mu.Lock()
@@ -492,7 +499,7 @@ func (s *Server) runJob(j *job) {
 			s.degraded += st.Degraded
 			s.allocFallbacks += st.AllocFallbacks
 			s.mu.Unlock()
-			v := newCellVerdict(r.Spec, r.Result)
+			v := NewCellVerdict(r.Spec, r.Result)
 			j.setDone(r.Index, v)
 			s.appendBestEffort(record{T: "cell", JobID: spec.ID, Cell: r.Index, Verdict: v})
 		},

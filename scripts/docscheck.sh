@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# docscheck.sh — docs-link check: every `DESIGN.md §N` reference in the
+# tree (Go sources and Markdown docs alike) must resolve to a `## N.`
+# heading that actually exists in DESIGN.md. Keeps godoc pointers and
+# runbook cross-references from rotting when sections are renumbered.
+# `make docs-check` and CI run this.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Sections that exist: "## 9. Cluster architecture" -> 9
+declare -A have
+while read -r n; do
+  have["$n"]=1
+done < <(sed -n 's/^## \([0-9][0-9]*\)\..*/\1/p' DESIGN.md)
+if [ "${#have[@]}" -eq 0 ]; then
+  echo "FAIL: no '## N.' headings found in DESIGN.md" >&2
+  exit 1
+fi
+
+fail=0
+refs=0
+# References: "DESIGN.md §7" / "DESIGN.md §7.2" (the sub-section digit
+# resolves to its parent heading).
+while IFS=: read -r file line ref; do
+  n="$(printf '%s' "$ref" | sed 's/.*§\([0-9][0-9]*\).*/\1/')"
+  refs=$((refs + 1))
+  if [ -z "${have[$n]:-}" ]; then
+    echo "FAIL: $file:$line references DESIGN.md §$n but DESIGN.md has no '## $n.' heading" >&2
+    fail=1
+  fi
+done < <(grep -rno --include='*.go' --include='*.md' 'DESIGN\.md §[0-9][0-9]*\(\.[0-9]\)*' . \
+         | grep -v '^\./DESIGN.md:')
+
+if [ "$refs" -eq 0 ]; then
+  echo "FAIL: found no DESIGN.md §N references at all (check the grep pattern)" >&2
+  exit 1
+fi
+if [ "$fail" -ne 0 ]; then
+  exit 1
+fi
+echo "OK: $refs DESIGN.md section references resolve (${#have[@]} sections)"
