@@ -11,7 +11,7 @@ JOBS     ?= $(shell nproc 2>/dev/null || echo 4)
 CACHEDIR ?= .cache/kard
 SEED     ?= 1
 
-.PHONY: all build test vet race bench bench-json bench-gate chaos fuzz daemon killrecover soak metrics-smoke cluster-smoke docs-check govulncheck repro repro-fast clean-cache clean
+.PHONY: all build test vet race bench bench-json bench-gate chaos fuzz daemon killrecover soak metrics-smoke cluster-smoke partition-smoke docs-check govulncheck repro repro-fast clean-cache clean
 
 all: build test
 
@@ -84,6 +84,14 @@ metrics-smoke:
 # the cluster verdicts to be byte-identical (DESIGN.md §9, OPERATIONS.md).
 cluster-smoke:
 	./scripts/clusterkill.sh
+
+# Partition-tolerance smoke: the same jobs through a supervised
+# `kardd -cluster 2 -chaos-net` run — every worker RPC passes a seeded
+# network fault transport and the coordinator is SIGKILLed and restarted
+# mid-run; verdicts must stay byte-identical to a fault-free
+# single-process run (DESIGN.md §9, OPERATIONS.md "Network incidents").
+partition-smoke:
+	./scripts/partition.sh
 
 # Docs-link check: every `DESIGN.md §N` reference in Go sources and
 # Markdown must resolve to a real `## N.` heading in DESIGN.md.

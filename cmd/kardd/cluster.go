@@ -26,10 +26,13 @@ import (
 	"os/signal"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"syscall"
 	"time"
 
 	"kard/internal/cluster"
+	"kard/internal/cluster/netfault"
+	"kard/internal/faultinject"
 	"kard/internal/harness"
 	"kard/internal/obs"
 	"kard/internal/service"
@@ -51,6 +54,9 @@ type clusterFlags struct {
 	cellTimeout  time.Duration
 	maxFrames    uint64
 	maxRWKeys    int
+	supervise    bool
+	chaosNet     bool
+	chaosSeed    int64
 }
 
 // runWorkerMode is `kardd -worker`: join the coordinator, drain leases
@@ -74,7 +80,18 @@ func runWorkerMode(f clusterFlags, logf func(string, ...any)) {
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()
-	cl, err := cluster.Dial(f.coordinator, name)
+	opts := cluster.ClientOptions{Logf: logf}
+	var chaos *netfault.Transport
+	if f.chaosNet {
+		chaos = netfault.New(nil, f.chaosSeed, faultinject.DefaultNetPlan())
+		opts.Transport = chaos
+		logf("worker %s: chaos-net enabled (seed %d): injecting the default net fault plan", name, f.chaosSeed)
+		defer func() {
+			st := chaos.Stats()
+			logf("worker %s: netfault stats: injected=%d by-site=%v", name, st.Injected, st.BySite)
+		}()
+	}
+	cl, err := cluster.DialWith(ctx, f.coordinator, name, opts)
 	if err != nil {
 		fatal(err)
 	}
@@ -87,6 +104,60 @@ func runWorkerMode(f clusterFlags, logf func(string, ...any)) {
 		fatal(err)
 	}
 	logf("worker %s done", cl.WorkerID())
+}
+
+// runSupervisor is `kardd -cluster N -supervise`: re-exec this binary as
+// the coordinator child (same flags, marked by KARDD_SUPERVISE_CHILD) and
+// restart it over the same journal after an abnormal exit — the process
+// half of coordinator crash-restart survival. Workers are spawned by the
+// first incarnation only; after a crash they are orphaned but alive,
+// retrying RPCs against the fixed -listen address until the restarted
+// coordinator re-admits them under the rejoin grace (DESIGN.md §9).
+func runSupervisor(f clusterFlags, logf func(string, ...any)) {
+	if f.listen == "" {
+		fatal(fmt.Errorf("kardd: -supervise requires a fixed -listen address so workers can find the restarted coordinator"))
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		fatal(fmt.Errorf("kardd: locating own binary for -supervise: %w", err))
+	}
+	sigC := make(chan os.Signal, 1)
+	signal.Notify(sigC, syscall.SIGTERM, syscall.SIGINT)
+
+	const maxRestarts = 10
+	for incarnation := 0; ; incarnation++ {
+		cmd := exec.Command(exe, os.Args[1:]...)
+		cmd.Env = append(os.Environ(),
+			"KARDD_SUPERVISE_CHILD=1",
+			fmt.Sprintf("KARDD_INCARNATION=%d", incarnation))
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			fatal(fmt.Errorf("kardd: supervise: %w", err))
+		}
+		logf("supervisor: coordinator child pid %d (incarnation %d)", cmd.Process.Pid, incarnation)
+		waitC := make(chan error, 1)
+		go func() { waitC <- cmd.Wait() }()
+		select {
+		case sig := <-sigC:
+			logf("supervisor: received %v, terminating coordinator child", sig)
+			_ = cmd.Process.Signal(syscall.SIGTERM)
+			if err := <-waitC; err != nil {
+				os.Exit(1)
+			}
+			return
+		case err := <-waitC:
+			if err == nil {
+				logf("supervisor: coordinator child exited cleanly")
+				return
+			}
+			if incarnation+1 >= maxRestarts {
+				fatal(fmt.Errorf("kardd: supervise: coordinator crashed %d times, giving up: %w", incarnation+1, err))
+			}
+			logf("supervisor: coordinator child exited abnormally (%v); restarting over the same journal", err)
+			time.Sleep(500 * time.Millisecond)
+		}
+	}
 }
 
 // jobRange maps one job's cells into the sharded matrix.
@@ -133,9 +204,17 @@ func runClusterMode(f clusterFlags, logf func(string, ...any)) {
 	if addr == "" {
 		addr = "127.0.0.1:0"
 	}
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		fatal(err)
+	// A supervised restart rebinds the address its SIGKILLed predecessor
+	// held; give the kernel a moment to release it.
+	var ln net.Listener
+	for attempt := 0; ; attempt++ {
+		if ln, err = net.Listen("tcp", addr); err == nil {
+			break
+		}
+		if attempt >= 50 {
+			fatal(err)
+		}
+		time.Sleep(100 * time.Millisecond)
 	}
 	mux := http.NewServeMux()
 	mux.Handle("/cluster/", coord.Handler())
@@ -156,7 +235,16 @@ func runClusterMode(f clusterFlags, logf func(string, ...any)) {
 	url := "http://" + ln.Addr().String()
 	logf("cluster: coordinator listening on %s", url)
 
-	procs := spawnWorkers(f.workers, url, storeDir, logf)
+	// A restarted incarnation under -supervise spawns no workers: the
+	// previous incarnation's workers are orphaned but alive, retrying
+	// against the same address until the rejoin grace re-admits them.
+	incarnation, _ := strconv.Atoi(os.Getenv("KARDD_INCARNATION"))
+	var procs []*exec.Cmd
+	if incarnation == 0 {
+		procs = spawnWorkers(f, url, storeDir, logf)
+	} else {
+		logf("cluster: restarted incarnation %d: reusing the previous incarnation's workers", incarnation)
+	}
 	defer func() {
 		for _, p := range procs {
 			if p.Process != nil {
@@ -185,6 +273,26 @@ func runClusterMode(f clusterFlags, logf func(string, ...any)) {
 		_ = p.Wait()
 	}
 	procs = nil
+	if incarnation > 0 {
+		// The previous incarnation's workers are orphans, not our
+		// children: wait for them to fetch LeaseDone and exit (they stop
+		// heartbeating and go dead) before this process — and with it the
+		// endpoint — disappears, else they burn their retry budgets
+		// against a dead address and exit nonzero.
+		reapDeadline := time.Now().Add(30 * time.Second)
+		for time.Now().Before(reapDeadline) {
+			live := 0
+			for _, w := range coord.Stats().Workers {
+				if !w.Dead {
+					live++
+				}
+			}
+			if live == 0 {
+				break
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+	}
 	if err := coord.Close(); err != nil {
 		logf("cluster: close: %v", err)
 	}
@@ -236,18 +344,26 @@ func expandJobs(f clusterFlags) (jobs int, all []harness.Spec, ranges []jobRange
 	return len(specs), all, ranges, nil
 }
 
-// spawnWorkers launches n local subprocess workers of this same binary.
-func spawnWorkers(n int, url, storeDir string, logf func(string, ...any)) []*exec.Cmd {
+// spawnWorkers launches f.workers local subprocess workers of this same
+// binary, passing the chaos flags through so `kardd -cluster -chaos-net`
+// gives every local worker a seeded fault transport (distinct per-worker
+// seeds so their schedules differ).
+func spawnWorkers(f clusterFlags, url, storeDir string, logf func(string, ...any)) []*exec.Cmd {
 	exe, err := os.Executable()
 	if err != nil {
 		fatal(fmt.Errorf("kardd: locating own binary for -worker spawn: %w", err))
 	}
+	n := f.workers
 	procs := make([]*exec.Cmd, 0, n)
 	for i := 0; i < n; i++ {
-		cmd := exec.Command(exe, "-worker",
+		args := []string{"-worker",
 			"-coordinator", url,
 			"-store", storeDir,
-			"-worker-name", fmt.Sprintf("local-%d", i+1))
+			"-worker-name", fmt.Sprintf("local-%d", i+1)}
+		if f.chaosNet {
+			args = append(args, "-chaos-net", "-chaos-seed", strconv.FormatInt(f.chaosSeed+int64(i), 10))
+		}
+		cmd := exec.Command(exe, args...)
 		cmd.Stdout = os.Stderr
 		cmd.Stderr = os.Stderr
 		if err := cmd.Start(); err != nil {

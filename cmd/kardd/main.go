@@ -8,9 +8,11 @@
 //	kardd -dir state -submit jobs.json -exit-when-idle -verdicts out.json
 //	kardd -dir state -listen 127.0.0.1:7707
 //	kardd -cluster 2 -dir state -submit jobs.json -verdicts out.json
+//	kardd -cluster 2 -supervise -listen 127.0.0.1:7707 -dir state -submit jobs.json
 //	kardd -worker -coordinator http://host:7707 -store state/store
+//	kardd -worker -coordinator http://host:7707 -chaos-net -chaos-seed 7
 //
-// The last two forms are the sharded cluster (DESIGN.md §9,
+// The cluster forms are the sharded cluster (DESIGN.md §9,
 // OPERATIONS.md): -cluster N coordinates the job file's matrix across N
 // local subprocess workers (plus any remote `kardd -worker` processes
 // that join the coordinator's HTTP endpoint), journaling every
@@ -77,6 +79,9 @@ func main() {
 		hbTimeout    = flag.Duration("hb-timeout", 5*time.Second, "declare a worker dead after this long without a heartbeat")
 		cellDeadline = flag.Duration("cell-deadline", 5*time.Minute, "revoke a cell assignment older than this (stall guard)")
 		maxAttempts  = flag.Int("max-attempts", 3, "assignment attempts per cell before it settles as failed")
+		supervise    = flag.Bool("supervise", false, "with -cluster: run the coordinator as a supervised child and restart it over the same journal after an abnormal exit (requires a fixed -listen address)")
+		chaosNet     = flag.Bool("chaos-net", false, "worker mode: inject the seeded default network fault plan (drops, delays, duplicates, lost responses, partition bursts) into every coordinator RPC")
+		chaosSeed    = flag.Int64("chaos-seed", 1, "seed for the -chaos-net fault schedule (same seed = same schedule)")
 	)
 	flag.Parse()
 
@@ -91,10 +96,14 @@ func main() {
 			coordinator: *coordinator, workerName: *workerName,
 			hbTimeout: *hbTimeout, cellDeadline: *cellDeadline, maxAttempts: *maxAttempts,
 			cellTimeout: *cellTimeout, maxFrames: *maxFrames, maxRWKeys: *maxRWKeys,
+			supervise: *supervise, chaosNet: *chaosNet, chaosSeed: *chaosSeed,
 		}
-		if *worker {
+		switch {
+		case *worker:
 			runWorkerMode(cf, logf)
-		} else {
+		case cf.supervise && os.Getenv("KARDD_SUPERVISE_CHILD") == "":
+			runSupervisor(cf, logf)
+		default:
 			runClusterMode(cf, logf)
 		}
 		return

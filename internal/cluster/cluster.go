@@ -84,6 +84,12 @@ type Config struct {
 	// MaxAttempts caps assignments per cell (default 3). A cell revoked
 	// that many times settles as failed instead of cycling forever.
 	MaxAttempts int
+	// RejoinGrace is how long after a coordinator restart the journaled
+	// live workers of the previous incarnation keep their identity: a
+	// worker that contacts the new coordinator within the grace window is
+	// re-admitted under its old ID (no 410, no rejoin churn); one that
+	// stays silent is declared dead as usual. Default 2×HeartbeatTimeout.
+	RejoinGrace time.Duration
 	// Logf, when non-nil, receives operational log lines.
 	Logf func(format string, args ...any)
 }
@@ -97,6 +103,9 @@ func (c *Config) defaults() {
 	}
 	if c.MaxAttempts <= 0 {
 		c.MaxAttempts = 3
+	}
+	if c.RejoinGrace <= 0 {
+		c.RejoinGrace = 2 * c.HeartbeatTimeout
 	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
@@ -114,6 +123,7 @@ type record struct {
 	Name        string          `json:"name,omitempty"`
 	Cell        int             `json:"cell"`
 	Attempt     int             `json:"attempt,omitempty"`
+	Rid         string          `json:"rid,omitempty"`
 	Err         string          `json:"err,omitempty"`
 	Cached      bool            `json:"cached,omitempty"`
 	Result      *harness.Result `json:"result,omitempty"`
@@ -148,7 +158,25 @@ type workerState struct {
 	dead      bool
 	assigned  map[int]bool
 	completed uint64
+	// restored marks a worker re-admitted from the journal after a
+	// coordinator restart; graceUntil is how long the monitor waits for
+	// its first contact before declaring it dead.
+	restored   bool
+	graceUntil time.Time
 }
+
+// dedupAnswer is one remembered RPC answer in the request-ID window.
+// Join answers carry the worker ID; cell leases carry the Lease; a
+// remembered complete carries neither (its answer is just "ok").
+type dedupAnswer struct {
+	worker string
+	lease  *Lease
+}
+
+// ridWindow bounds the dedup window; older request IDs are evicted in
+// insertion order. 4096 covers every in-flight RPC a realistic worker
+// fleet can have outstanding by orders of magnitude.
+const ridWindow = 4096
 
 // Coordinator shards one matrix across joined workers. Create it with
 // New; it is safe for concurrent use (every RPC may arrive from a
@@ -165,8 +193,21 @@ type Coordinator struct {
 	remaining  int   // cells not yet done or failed
 	seq        int   // worker ID counter
 	reassigned uint64
+	rejoined   uint64
+	dedupHits  uint64
 	closed     bool
 	doneCh     chan struct{}
+
+	// rids is the request-ID dedup window (DESIGN.md §9, "Retries and
+	// idempotency"): a retried join/lease/complete whose rid is here is
+	// answered from memory instead of re-executed. ridOrder evicts in
+	// insertion order at ridWindow entries. replayLease maps rids of
+	// journaled assignments from the previous incarnation to their cell:
+	// a lease retried across a coordinator restart re-leases exactly the
+	// cell it was originally answered with.
+	rids        map[string]dedupAnswer
+	ridOrder    []string
+	replayLease map[string]int
 
 	stopMonitor chan struct{}
 	monitorDone chan struct{}
@@ -217,6 +258,8 @@ func New(cfg Config, specs []harness.Spec) (*Coordinator, error) {
 		doneCh:      make(chan struct{}),
 		stopMonitor: make(chan struct{}),
 		monitorDone: make(chan struct{}),
+		rids:        map[string]dedupAnswer{},
+		replayLease: map[string]int{},
 	}
 	if err := c.replay(payloads); err != nil {
 		jr.Close()
@@ -234,10 +277,15 @@ func New(cfg Config, specs []harness.Spec) (*Coordinator, error) {
 	return c, nil
 }
 
-// replay folds journal records into cell state. Assignments and worker
-// membership are not restored — a previous incarnation's workers are
-// gone, and its open leases are moot — only the matrix identity and the
-// completed (or deterministically failed) cells.
+// replay folds journal records into cell state and the restart-survival
+// state: the matrix identity, the completed (or deterministically
+// failed) cells, the request-ID dedup window, and — new with the rejoin
+// grace — the previous incarnation's live workers, re-admitted under
+// their old IDs for Config.RejoinGrace so a coordinator restart doesn't
+// strand them behind 410s. Open leases are NOT restored as assignments
+// (their cells stay pending, i.e. each in-flight lease is requeued
+// exactly once); instead their rids land in replayLease so a lease
+// retried across the restart re-leases the same cell.
 func (c *Coordinator) replay(payloads [][]byte) error {
 	fp := fingerprint(c.specs)
 	if len(payloads) == 0 {
@@ -247,6 +295,7 @@ func (c *Coordinator) replay(payloads [][]byte) error {
 		}
 		return c.jr.Append(b)
 	}
+	joined := map[string]string{} // live-at-crash workers: id → name
 	for i, p := range payloads {
 		var r record
 		if err := json.Unmarshal(p, &r); err != nil {
@@ -261,7 +310,17 @@ func (c *Coordinator) replay(payloads [][]byte) error {
 			}
 		case "join":
 			c.seq++ // keep IDs unique across incarnations in the audit trail
+			if r.Worker != "" {
+				joined[r.Worker] = r.Name
+			}
+		case "assign":
+			if r.Rid != "" && r.Cell >= 0 && r.Cell < len(c.cells) {
+				c.replayLease[r.Rid] = r.Cell
+			}
 		case "complete":
+			if r.Rid != "" {
+				c.addRidLocked(r.Rid, dedupAnswer{})
+			}
 			if r.Cell < 0 || r.Cell >= len(c.cells) || c.cells[r.Cell].status == cellDone || c.cells[r.Cell].status == cellFailed {
 				continue
 			}
@@ -274,14 +333,49 @@ func (c *Coordinator) replay(payloads [][]byte) error {
 				continue
 			}
 			c.remaining--
-		case "assign", "dead":
-			// Audit-only across incarnations.
+		case "dead":
+			delete(joined, r.Worker)
 		}
 	}
 	if restored := len(c.specs) - c.remaining; restored > 0 {
 		c.cfg.Logf("cluster: journal restored %d/%d cells", restored, len(c.specs))
 	}
+	// Re-admit the previous incarnation's live workers under their old
+	// identity. They hold no assignments here (their in-flight cells are
+	// already back in pending); if they don't call within the grace
+	// window the monitor declares them dead exactly as if they went
+	// silent mid-run.
+	now := time.Now()
+	for id, name := range joined {
+		c.workers[id] = &workerState{
+			id: id, name: name, joined: now, lastSeen: now,
+			assigned: map[int]bool{}, restored: true,
+			graceUntil: now.Add(c.cfg.RejoinGrace),
+		}
+		obs.Std.ClusterWorkersLive.Inc()
+	}
+	if len(joined) > 0 {
+		c.cfg.Logf("cluster: re-admitted %d journaled workers for %v rejoin grace", len(joined), c.cfg.RejoinGrace)
+	}
 	return nil
+}
+
+// addRidLocked records one answered request ID, evicting the oldest
+// entry past ridWindow. Callers hold c.mu (or run before the coordinator
+// is shared).
+func (c *Coordinator) addRidLocked(rid string, a dedupAnswer) {
+	if rid == "" {
+		return
+	}
+	if _, ok := c.rids[rid]; ok {
+		return
+	}
+	if len(c.ridOrder) >= ridWindow {
+		delete(c.rids, c.ridOrder[0])
+		c.ridOrder = c.ridOrder[1:]
+	}
+	c.rids[rid] = a
+	c.ridOrder = append(c.ridOrder, rid)
 }
 
 // appendLocked journals one record. Loss of assign/dead records costs
@@ -299,31 +393,48 @@ func (c *Coordinator) appendLocked(r record) {
 }
 
 // Join registers a worker and returns its ID. The name is operator-facing
-// (host, pid); the ID is the lease identity.
-func (c *Coordinator) Join(name string) (string, error) {
+// (host, pid); the ID is the lease identity. A retried join (same rid)
+// returns the originally minted ID instead of registering a ghost.
+func (c *Coordinator) Join(name, rid string) (string, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
 		return "", ErrClosed
+	}
+	if a, ok := c.rids[rid]; ok && rid != "" && a.worker != "" {
+		c.dedupHits++
+		obs.Std.ClusterDedupHits.Inc()
+		return a.worker, nil
 	}
 	c.seq++
 	id := fmt.Sprintf("w%d", c.seq)
 	now := time.Now()
 	c.workers[id] = &workerState{id: id, name: name, joined: now, lastSeen: now, assigned: map[int]bool{}}
 	obs.Std.ClusterWorkersLive.Inc()
-	c.appendLocked(record{T: "join", Worker: id, Name: name})
+	c.addRidLocked(rid, dedupAnswer{worker: id})
+	c.appendLocked(record{T: "join", Worker: id, Name: name, Rid: rid})
 	c.cfg.Logf("cluster: worker %s (%s) joined", id, name)
 	return id, nil
 }
 
 // touchLocked refreshes a worker's liveness and returns it, or nil if the
-// ID is unknown or already declared dead. Callers hold c.mu.
+// ID is unknown or already declared dead. The first contact from a
+// worker re-admitted after a coordinator restart completes its rejoin.
+// Callers hold c.mu.
 func (c *Coordinator) touchLocked(id string) *workerState {
 	w := c.workers[id]
 	if w == nil || w.dead {
 		return nil
 	}
 	w.lastSeen = time.Now()
+	if w.restored {
+		w.restored = false
+		c.rejoined++
+		obs.Std.ClusterWorkersRejoined.Inc()
+		obs.Flight.Recordf(obs.EvWorkerRejoin,
+			"worker %s (%s) rejoined after coordinator restart", w.id, w.name)
+		c.cfg.Logf("cluster: worker %s (%s) rejoined after coordinator restart", w.id, w.name)
+	}
 	return w
 }
 
@@ -362,8 +473,12 @@ type Lease struct {
 }
 
 // Lease hands the lowest pending cell to the worker, journaling the
-// assignment. With nothing pending it reports wait or done.
-func (c *Coordinator) Lease(id string) (Lease, error) {
+// assignment. With nothing pending it reports wait or done. A retried
+// lease (same rid) returns the originally assigned cell — within an
+// incarnation from the dedup window, across a coordinator restart from
+// the journaled assignment's rid — so a lease whose response the network
+// lost never strands a second cell on the same worker.
+func (c *Coordinator) Lease(id, rid string) (Lease, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
@@ -373,14 +488,36 @@ func (c *Coordinator) Lease(id string) (Lease, error) {
 	if w == nil {
 		return Lease{}, ErrUnknownWorker
 	}
-	if len(c.pending) == 0 {
-		if c.remaining == 0 {
-			return Lease{State: LeaseDone}, nil
-		}
-		return Lease{State: LeaseWait}, nil
+	if a, ok := c.rids[rid]; ok && rid != "" && a.lease != nil {
+		c.dedupHits++
+		obs.Std.ClusterDedupHits.Inc()
+		return *a.lease, nil
 	}
-	i := c.pending[0]
-	c.pending = c.pending[1:]
+	i, reuse := -1, false
+	if j, ok := c.replayLease[rid]; ok && rid != "" {
+		delete(c.replayLease, rid)
+		if c.cells[j].status == cellPending {
+			// The previous incarnation answered this rid with cell j and
+			// the restart requeued it; keep the original answer.
+			i, reuse = j, true
+			for k, p := range c.pending {
+				if p == j {
+					c.pending = append(c.pending[:k], c.pending[k+1:]...)
+					break
+				}
+			}
+		}
+	}
+	if i < 0 {
+		if len(c.pending) == 0 {
+			if c.remaining == 0 {
+				return Lease{State: LeaseDone}, nil
+			}
+			return Lease{State: LeaseWait}, nil
+		}
+		i = c.pending[0]
+		c.pending = c.pending[1:]
+	}
 	cl := &c.cells[i]
 	cl.status = cellAssigned
 	cl.worker = id
@@ -388,8 +525,13 @@ func (c *Coordinator) Lease(id string) (Lease, error) {
 	cl.attempts++
 	w.assigned[i] = true
 	obs.Std.ClusterCellsInflight.Inc()
-	c.appendLocked(record{T: "assign", Worker: id, Cell: i, Attempt: cl.attempts})
-	return Lease{State: LeaseCell, Cell: i, Spec: c.specs[i]}, nil
+	if reuse {
+		c.cfg.Logf("cluster: lease rid %s re-answered with journaled cell %d after restart", rid, i)
+	}
+	l := Lease{State: LeaseCell, Cell: i, Spec: c.specs[i]}
+	c.addRidLocked(rid, dedupAnswer{lease: &l})
+	c.appendLocked(record{T: "assign", Worker: id, Cell: i, Attempt: cl.attempts, Rid: rid})
+	return l, nil
 }
 
 // Complete settles one cell with a worker's outcome. It is idempotent —
@@ -399,11 +541,18 @@ func (c *Coordinator) Lease(id string) (Lease, error) {
 // cell carries the same bytes. A non-empty errMsg settles the cell as
 // failed (deterministic failures fail everywhere; the transient ones
 // were already retried inside the harness).
-func (c *Coordinator) Complete(id string, i int, res *harness.Result, errMsg string, cached bool) error {
+func (c *Coordinator) Complete(id string, i int, rid string, res *harness.Result, errMsg string, cached bool) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
 		return ErrClosed
+	}
+	if _, ok := c.rids[rid]; ok && rid != "" {
+		// A retried completion (response lost, or duplicated by the
+		// network) — already executed and journaled, answer ok again.
+		c.dedupHits++
+		obs.Std.ClusterDedupHits.Inc()
+		return nil
 	}
 	w := c.touchLocked(id)
 	if w == nil {
@@ -418,6 +567,7 @@ func (c *Coordinator) Complete(id string, i int, res *harness.Result, errMsg str
 	cl := &c.cells[i]
 	if cl.status == cellDone || cl.status == cellFailed {
 		delete(w.assigned, i)
+		c.addRidLocked(rid, dedupAnswer{})
 		return nil // duplicate: already settled identically
 	}
 	switch cl.status {
@@ -441,7 +591,8 @@ func (c *Coordinator) Complete(id string, i int, res *harness.Result, errMsg str
 			}
 		}
 	}
-	c.appendLocked(record{T: "complete", Worker: id, Cell: i, Err: errMsg, Cached: cached, Result: res})
+	c.addRidLocked(rid, dedupAnswer{})
+	c.appendLocked(record{T: "complete", Worker: id, Cell: i, Rid: rid, Err: errMsg, Cached: cached, Result: res})
 	if errMsg != "" {
 		cl.status, cl.err = cellFailed, errMsg
 		c.cfg.Logf("cluster: cell %d (%s) failed on %s: %s", i, c.specs[i].Label(), id, errMsg)
@@ -496,6 +647,9 @@ func (c *Coordinator) sweep() {
 		}
 		age := now.Sub(w.lastSeen)
 		obs.Std.WorkerHeartbeatAge(w.id).Set(age.Milliseconds())
+		if w.restored && now.Before(w.graceUntil) {
+			continue // rejoin grace: give restart survivors time to call
+		}
 		if age > c.cfg.HeartbeatTimeout {
 			w.dead = true
 			obs.Std.ClusterWorkersLive.Dec()
@@ -604,6 +758,8 @@ type Stats struct {
 	Inflight    int            `json:"inflight"`
 	Pending     int            `json:"pending"`
 	Reassigned  uint64         `json:"reassigned"`
+	Rejoined    uint64         `json:"rejoined"`
+	DedupHits   uint64         `json:"dedupHits"`
 	CacheServed int            `json:"cacheServed"`
 	Workers     []WorkerStatus `json:"workers,omitempty"`
 	Journal     journal.Stats  `json:"journal"`
@@ -612,7 +768,8 @@ type Stats struct {
 // Stats returns a snapshot of cluster progress.
 func (c *Coordinator) Stats() Stats {
 	c.mu.Lock()
-	st := Stats{Cells: len(c.cells), Pending: len(c.pending), Reassigned: c.reassigned}
+	st := Stats{Cells: len(c.cells), Pending: len(c.pending), Reassigned: c.reassigned,
+		Rejoined: c.rejoined, DedupHits: c.dedupHits}
 	for i := range c.cells {
 		switch c.cells[i].status {
 		case cellDone:

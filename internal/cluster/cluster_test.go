@@ -186,11 +186,11 @@ func TestClusterReassignsDeadWorker(t *testing.T) {
 	coord, ts := newCoordinator(t, cluster.Config{HeartbeatTimeout: 300 * time.Millisecond}, specs)
 
 	// The zombie joins, takes one lease, and goes silent forever.
-	zombie, err := coord.Join("zombie")
+	zombie, err := coord.Join("zombie", "")
 	if err != nil {
 		t.Fatal(err)
 	}
-	l, err := coord.Lease(zombie)
+	l, err := coord.Lease(zombie, "")
 	if err != nil || l.State != cluster.LeaseCell {
 		t.Fatalf("zombie lease: %+v, %v", l, err)
 	}
@@ -235,11 +235,11 @@ func TestClusterJournalRecovery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	w, err := c1.Join("one-shot")
+	w, err := c1.Join("one-shot", "")
 	if err != nil {
 		t.Fatal(err)
 	}
-	l, err := c1.Lease(w)
+	l, err := c1.Lease(w, "")
 	if err != nil || l.State != cluster.LeaseCell {
 		t.Fatalf("lease: %+v, %v", l, err)
 	}
@@ -247,7 +247,7 @@ func TestClusterJournalRecovery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := c1.Complete(w, l.Cell, res, "", false); err != nil {
+	if err := c1.Complete(w, l.Cell, "", res, "", false); err != nil {
 		t.Fatal(err)
 	}
 	if err := c1.Close(); err != nil {
@@ -264,13 +264,13 @@ func TestClusterJournalRecovery(t *testing.T) {
 	}
 
 	// The restored cell must never be leased again.
-	w2, err := c2.Join("resumer")
+	w2, err := c2.Join("resumer", "")
 	if err != nil {
 		t.Fatal(err)
 	}
 	seen := map[int]bool{}
 	for {
-		l, err := c2.Lease(w2)
+		l, err := c2.Lease(w2, "")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -285,7 +285,7 @@ func TestClusterJournalRecovery(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := c2.Complete(w2, l.Cell, r, "", false); err != nil {
+		if err := c2.Complete(w2, l.Cell, "", r, "", false); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -328,7 +328,7 @@ func TestClusterStallRetryCap(t *testing.T) {
 		MaxAttempts:      2,
 	}, specs)
 
-	w, err := coord.Join("staller")
+	w, err := coord.Join("staller", "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -341,7 +341,7 @@ func TestClusterStallRetryCap(t *testing.T) {
 		if err := coord.Heartbeat(w); err != nil {
 			t.Fatal(err)
 		}
-		l, err := coord.Lease(w)
+		l, err := coord.Lease(w, "")
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -2,6 +2,9 @@ package cluster
 
 import (
 	"bytes"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -9,42 +12,55 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"kard/internal/harness"
+	"kard/internal/obs"
 )
 
 // The coordinator speaks the same HTTP conventions as the detection
 // service's job API (internal/service): JSON bodies, immediate answers,
 // and load-shaped status codes. Worker RPCs:
 //
-//	POST /cluster/join       {"name": ...}                → 200 {"worker": "w1"}
-//	POST /cluster/lease      {"worker": ...}              → 200 Lease
-//	POST /cluster/complete   {"worker", "cell", "result"|"err", "cached"} → 200
-//	POST /cluster/heartbeat  {"worker": ...}              → 200
-//	GET  /cluster/stats                                   → 200 Stats
+//	POST /cluster/join       {"name", "rid"}               → 200 {"worker": "w1"}
+//	POST /cluster/lease      {"worker", "rid"}             → 200 Lease
+//	POST /cluster/complete   {"worker", "cell", "rid", "result"|"err", "cached"} → 200
+//	POST /cluster/heartbeat  {"worker"}                    → 200
+//	GET  /cluster/stats                                    → 200 Stats
+//
+// Every mutating RPC carries a client-generated request ID (rid); the
+// coordinator's dedup window answers a retried rid with the original
+// answer instead of re-executing, which makes join/lease/complete
+// exactly-once across the retries the resilient client performs under
+// network faults (DESIGN.md §9, "Retries and idempotency").
 //
 // A worker the coordinator no longer knows (declared dead, or a
-// coordinator restart) gets 410 Gone — the client's cue to rejoin under
-// a fresh ID; a closed coordinator answers 503.
+// coordinator restart past the rejoin grace) gets 410 Gone — the
+// client's cue to rejoin under a fresh ID; a closed coordinator answers
+// 503.
 
 // joinRequest / joinResponse frame POST /cluster/join.
 type joinRequest struct {
 	Name string `json:"name"`
+	Rid  string `json:"rid,omitempty"`
 }
 type joinResponse struct {
 	Worker string `json:"worker"`
 }
 
-// leaseRequest frames POST /cluster/lease and /cluster/heartbeat.
+// leaseRequest frames POST /cluster/lease and /cluster/heartbeat
+// (heartbeats are idempotent by nature and carry no rid).
 type leaseRequest struct {
 	Worker string `json:"worker"`
+	Rid    string `json:"rid,omitempty"`
 }
 
 // completeRequest frames POST /cluster/complete.
 type completeRequest struct {
 	Worker string          `json:"worker"`
 	Cell   int             `json:"cell"`
+	Rid    string          `json:"rid,omitempty"`
 	Result *harness.Result `json:"result,omitempty"`
 	Err    string          `json:"err,omitempty"`
 	Cached bool            `json:"cached,omitempty"`
@@ -60,7 +76,7 @@ func (c *Coordinator) Handler() http.Handler {
 		if !decodePost(w, r, &req) {
 			return
 		}
-		id, err := c.Join(req.Name)
+		id, err := c.Join(req.Name, req.Rid)
 		if err != nil {
 			writeClusterErr(w, err)
 			return
@@ -72,7 +88,7 @@ func (c *Coordinator) Handler() http.Handler {
 		if !decodePost(w, r, &req) {
 			return
 		}
-		l, err := c.Lease(req.Worker)
+		l, err := c.Lease(req.Worker, req.Rid)
 		if err != nil {
 			writeClusterErr(w, err)
 			return
@@ -84,7 +100,7 @@ func (c *Coordinator) Handler() http.Handler {
 		if !decodePost(w, r, &req) {
 			return
 		}
-		if err := c.Complete(req.Worker, req.Cell, req.Result, req.Err, req.Cached); err != nil {
+		if err := c.Complete(req.Worker, req.Cell, req.Rid, req.Result, req.Err, req.Cached); err != nil {
 			writeClusterErr(w, err)
 			return
 		}
@@ -145,26 +161,121 @@ var ErrGone = errors.New("cluster: worker id no longer known to coordinator")
 // this worker finished is journaled and in the store.
 var ErrCoordClosed = errors.New("cluster: coordinator shut down")
 
+// ErrRetryBudget wraps the last transient error when a retried RPC ran
+// out of attempts or elapsed budget — the point where the client stops
+// absorbing the outage and the caller decides (RunWorker exits nonzero).
+var ErrRetryBudget = errors.New("cluster: retry budget exhausted")
+
+// ClientOptions tune the resilience layer of a worker's connection. The
+// zero value gives production defaults; tests tighten them.
+type ClientOptions struct {
+	// Transport overrides the HTTP transport — the hook the netfault
+	// chaos transport plugs into. Nil uses http.DefaultTransport.
+	Transport http.RoundTripper
+	// HeartbeatTimeout bounds one heartbeat RPC (default 2s). Heartbeats
+	// are liveness signals: they get a short deadline and no retries —
+	// the worker's fence logic, not the transport, escalates failures.
+	HeartbeatTimeout time.Duration
+	// LeaseTimeout bounds one join or lease RPC attempt (default 5s).
+	LeaseTimeout time.Duration
+	// CompleteTimeout bounds one complete RPC attempt, plus one extra
+	// second per 128 KiB of result payload (default 10s).
+	CompleteTimeout time.Duration
+	// MaxAttempts caps attempts per retried RPC (default 10).
+	MaxAttempts int
+	// MaxElapsed caps the total time a retried RPC may spend across
+	// attempts and backoff (default 45s — it should comfortably cover a
+	// coordinator crash-restart).
+	MaxElapsed time.Duration
+	// BackoffBase and BackoffCap bound the jittered exponential backoff
+	// between attempts (defaults 50ms and 2s).
+	BackoffBase time.Duration
+	BackoffCap  time.Duration
+	// RetrySeed seeds the deterministic backoff jitter (0 derives one
+	// from the client's random identity). Jitter affects pacing only,
+	// never verdict bytes.
+	RetrySeed int64
+	// Logf, when non-nil, receives one line per retry — the client-side
+	// trace of an outage.
+	Logf func(format string, args ...any)
+}
+
+func (o *ClientOptions) defaults() {
+	if o.HeartbeatTimeout <= 0 {
+		o.HeartbeatTimeout = 2 * time.Second
+	}
+	if o.LeaseTimeout <= 0 {
+		o.LeaseTimeout = 5 * time.Second
+	}
+	if o.CompleteTimeout <= 0 {
+		o.CompleteTimeout = 10 * time.Second
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 10
+	}
+	if o.MaxElapsed <= 0 {
+		o.MaxElapsed = 45 * time.Second
+	}
+	if o.BackoffBase <= 0 {
+		o.BackoffBase = 50 * time.Millisecond
+	}
+	if o.BackoffCap <= 0 {
+		o.BackoffCap = 2 * time.Second
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+}
+
 // Client is a worker's connection to a coordinator. It is safe for
 // concurrent use (RunWorker heartbeats from a second goroutine).
 type Client struct {
 	base string
 	name string
 	hc   *http.Client
+	opts ClientOptions
 
-	mu     sync.Mutex
-	worker string
+	// id is this client process's random identity; rids are id.<seq>,
+	// unique across every client that ever talks to a coordinator.
+	id   string
+	seq  atomic.Uint64
+	seed uint64
+
+	mu       sync.Mutex
+	worker   string
+	rejoinMu sync.Mutex
 }
 
 // Dial joins the coordinator at base (e.g. http://127.0.0.1:7707) under
-// the given operator-facing name and returns a connected client.
+// the given operator-facing name with default resilience options.
 func Dial(base, name string) (*Client, error) {
+	return DialWith(context.Background(), base, name, ClientOptions{})
+}
+
+// DialWith joins with explicit resilience options; the initial join
+// itself is retried under the same policy, so a worker started moments
+// before its coordinator (or during a partition) connects once the
+// network heals.
+func DialWith(ctx context.Context, base, name string, opts ClientOptions) (*Client, error) {
+	opts.defaults()
+	var idb [8]byte
+	if _, err := rand.Read(idb[:]); err != nil {
+		return nil, fmt.Errorf("cluster: client identity: %w", err)
+	}
 	c := &Client{
 		base: strings.TrimRight(base, "/"),
 		name: name,
-		hc:   &http.Client{Timeout: 30 * time.Second},
+		opts: opts,
+		id:   hex.EncodeToString(idb[:]),
+		hc:   &http.Client{Transport: opts.Transport},
 	}
-	if err := c.Rejoin(); err != nil {
+	c.seed = splitmixClient(uint64(opts.RetrySeed))
+	if opts.RetrySeed == 0 {
+		for _, b := range idb {
+			c.seed = splitmixClient(c.seed ^ uint64(b))
+		}
+	}
+	if err := c.Rejoin(ctx); err != nil {
 		return nil, err
 	}
 	return c, nil
@@ -177,11 +288,35 @@ func (c *Client) WorkerID() string {
 	return c.worker
 }
 
+// nextRid mints a request ID for one logical RPC; every retry of that
+// RPC reuses it, which is what lets the coordinator deduplicate.
+func (c *Client) nextRid() string {
+	return fmt.Sprintf("%s.%d", c.id, c.seq.Add(1))
+}
+
 // Rejoin (re)registers with the coordinator, replacing the worker ID —
-// the recovery path after ErrGone.
-func (c *Client) Rejoin() error {
+// the recovery path after ErrGone and the Dial entry point.
+func (c *Client) Rejoin(ctx context.Context) error {
+	c.rejoinMu.Lock()
+	defer c.rejoinMu.Unlock()
+	return c.rejoinLocked(ctx)
+}
+
+// RejoinFrom rejoins only if the current worker ID is still staleID —
+// so the heartbeat goroutine and the lease loop, both reacting to the
+// same death declaration, produce one fresh identity instead of two.
+func (c *Client) RejoinFrom(ctx context.Context, staleID string) error {
+	c.rejoinMu.Lock()
+	defer c.rejoinMu.Unlock()
+	if c.WorkerID() != staleID {
+		return nil // a concurrent rejoin already replaced it
+	}
+	return c.rejoinLocked(ctx)
+}
+
+func (c *Client) rejoinLocked(ctx context.Context) error {
 	var resp joinResponse
-	if err := c.post("/cluster/join", joinRequest{Name: c.name}, &resp); err != nil {
+	if err := c.call(ctx, "join", joinRequest{Name: c.name, Rid: c.nextRid()}, &resp); err != nil {
 		return err
 	}
 	c.mu.Lock()
@@ -191,34 +326,144 @@ func (c *Client) Rejoin() error {
 }
 
 // Lease asks for the next scheduling decision.
-func (c *Client) Lease() (Lease, error) {
+func (c *Client) Lease(ctx context.Context) (Lease, error) {
 	var l Lease
-	err := c.post("/cluster/lease", leaseRequest{Worker: c.WorkerID()}, &l)
+	err := c.call(ctx, "lease", leaseRequest{Worker: c.WorkerID(), Rid: c.nextRid()}, &l)
 	return l, err
 }
 
 // Complete reports one cell's outcome.
-func (c *Client) Complete(cellIdx int, res *harness.Result, errMsg string, cached bool) error {
+func (c *Client) Complete(ctx context.Context, cellIdx int, res *harness.Result, errMsg string, cached bool) error {
 	var resp map[string]bool
-	return c.post("/cluster/complete", completeRequest{
-		Worker: c.WorkerID(), Cell: cellIdx, Result: res, Err: errMsg, Cached: cached,
+	return c.call(ctx, "complete", completeRequest{
+		Worker: c.WorkerID(), Cell: cellIdx, Rid: c.nextRid(),
+		Result: res, Err: errMsg, Cached: cached,
 	}, &resp)
 }
 
-// Heartbeat refreshes liveness while a cell computes.
-func (c *Client) Heartbeat() error {
+// Heartbeat refreshes liveness while a cell computes. One attempt, short
+// deadline, no retries: a failed heartbeat is information the worker's
+// fence logic consumes, not an outage for the transport to absorb.
+func (c *Client) Heartbeat(ctx context.Context) error {
 	var resp map[string]bool
-	return c.post("/cluster/heartbeat", leaseRequest{Worker: c.WorkerID()}, &resp)
+	return c.post(ctx, "/cluster/heartbeat", c.opts.HeartbeatTimeout,
+		leaseRequest{Worker: c.WorkerID()}, &resp)
 }
 
-// post issues one JSON RPC, translating 410 into ErrGone.
-func (c *Client) post(path string, req, resp any) error {
+// retryCounter maps an RPC to its kard_cluster_rpc_retries_total series.
+func retryCounter(rpc string) *obs.Counter {
+	switch rpc {
+	case "join":
+		return obs.Std.ClusterRetryJoin
+	case "lease":
+		return obs.Std.ClusterRetryLease
+	case "complete":
+		return obs.Std.ClusterRetryComplete
+	default:
+		return obs.Std.ClusterRetryHeartbeat
+	}
+}
+
+// call issues one logical RPC with per-attempt deadlines and capped,
+// jittered exponential backoff across transient failures (connection
+// refused/reset, timeouts, 5xx). Protocol answers — 410 (ErrGone), 503
+// (ErrCoordClosed), 4xx — are terminal: retrying cannot change them.
+// The request (rid included) is identical on every attempt.
+func (c *Client) call(ctx context.Context, rpc string, req, resp any) error {
+	timeout := c.opts.LeaseTimeout
+	if cr, ok := req.(completeRequest); ok {
+		timeout = c.opts.CompleteTimeout
+		if cr.Result != nil {
+			if b, err := json.Marshal(cr.Result); err == nil {
+				timeout += time.Duration(len(b)/(128<<10)) * time.Second
+			}
+		}
+	}
+	path := "/cluster/" + rpc
+	start := time.Now()
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		err := c.post(ctx, path, timeout, req, resp)
+		if err == nil || !transientRPC(err) {
+			return err
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if attempt >= c.opts.MaxAttempts || time.Since(start) > c.opts.MaxElapsed {
+			return fmt.Errorf("%w: %s after %d attempts over %v: %w",
+				ErrRetryBudget, rpc, attempt, time.Since(start).Round(time.Millisecond), lastErr)
+		}
+		d := c.backoff(attempt)
+		retryCounter(rpc).Inc()
+		c.opts.Logf("cluster: %s attempt %d failed (%v), retrying in %v", rpc, attempt, err, d)
+		select {
+		case <-time.After(d):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// backoff returns the sleep before retry #attempt: base doubled per
+// attempt, capped, with deterministic seeded jitter in [½d, d) so a
+// fleet of workers hammered by the same partition doesn't thunder back
+// in lockstep.
+func (c *Client) backoff(attempt int) time.Duration {
+	d := c.opts.BackoffBase << (attempt - 1)
+	if d > c.opts.BackoffCap || d <= 0 {
+		d = c.opts.BackoffCap
+	}
+	roll := splitmixClient(c.seed ^ uint64(attempt)*0x9e3779b97f4a7c15 ^ c.seq.Load())
+	frac := float64(roll>>11) / (1 << 53) // [0,1)
+	return d/2 + time.Duration(frac*float64(d/2))
+}
+
+// transientRPC classifies an RPC failure as retryable: transport errors
+// (the *url.Error family — refused, reset, injected net faults, timeouts)
+// and 5xx answers other than the protocol's 503.
+func transientRPC(err error) bool {
+	if err == nil || errors.Is(err, ErrGone) || errors.Is(err, ErrCoordClosed) ||
+		errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var se *statusError
+	if errors.As(err, &se) {
+		return se.code >= 500
+	}
+	return true // transport-level failure
+}
+
+// statusError is a non-200, non-protocol HTTP answer.
+type statusError struct {
+	code int
+	msg  string
+}
+
+func (e *statusError) Error() string { return e.msg }
+
+// post issues one JSON RPC attempt under its own deadline, translating
+// 410 into ErrGone and 503 into ErrCoordClosed.
+func (c *Client) post(ctx context.Context, path string, timeout time.Duration, req, resp any) error {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return fmt.Errorf("cluster: encode %s: %w", path, err)
 	}
-	hr, err := c.hc.Post(c.base+path, "application/json", bytes.NewReader(body))
+	actx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	hreq, err := http.NewRequestWithContext(actx, http.MethodPost, c.base+path, bytes.NewReader(body))
 	if err != nil {
+		return fmt.Errorf("cluster: %s: %w", path, err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hr, err := c.hc.Do(hreq)
+	if err != nil {
+		if actx.Err() == context.DeadlineExceeded && ctx.Err() == nil {
+			// The per-attempt deadline fired, not the caller's context:
+			// report it as a transport timeout the retry loop absorbs.
+			return fmt.Errorf("cluster: %s: attempt timed out after %v", path, timeout)
+		}
 		return fmt.Errorf("cluster: %s: %w", path, err)
 	}
 	defer hr.Body.Close()
@@ -230,10 +475,21 @@ func (c *Client) post(path string, req, resp any) error {
 	}
 	if hr.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(hr.Body, 512))
-		return fmt.Errorf("cluster: %s: %s: %s", path, hr.Status, strings.TrimSpace(string(msg)))
+		return &statusError{code: hr.StatusCode,
+			msg: fmt.Sprintf("cluster: %s: %s: %s", path, hr.Status, strings.TrimSpace(string(msg)))}
 	}
 	if err := json.NewDecoder(hr.Body).Decode(resp); err != nil {
 		return fmt.Errorf("cluster: decode %s: %w", path, err)
 	}
 	return nil
+}
+
+// splitmixClient is the client-side jitter PRNG step (the same splitmix64
+// the fault injector uses; duplicated to keep the dependency edge from
+// cluster to faultinject one-way via netfault only).
+func splitmixClient(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
 }

@@ -1,0 +1,202 @@
+package netfault_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"kard/internal/cluster/netfault"
+	"kard/internal/faultinject"
+)
+
+// fakeRT is a base transport recording every delivery that reached "the
+// server side" of the fault boundary.
+type fakeRT struct {
+	calls  int
+	bodies []string
+}
+
+func (f *fakeRT) RoundTrip(r *http.Request) (*http.Response, error) {
+	f.calls++
+	var b []byte
+	if r.Body != nil {
+		b, _ = io.ReadAll(r.Body)
+		_ = r.Body.Close()
+	}
+	f.bodies = append(f.bodies, string(b))
+	return &http.Response{
+		StatusCode: http.StatusOK,
+		Status:     "200 OK",
+		Header:     http.Header{},
+		Body:       io.NopCloser(strings.NewReader("ok")),
+	}, nil
+}
+
+func newReq(t *testing.T) *http.Request {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, "http://coordinator.invalid/cluster/lease",
+		bytes.NewReader([]byte(`{"worker":"w1"}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return req
+}
+
+func plan(site faultinject.Site, rule faultinject.Rule) faultinject.Plan {
+	return faultinject.Plan{Sites: map[faultinject.Site]faultinject.Rule{site: rule}}
+}
+
+// TestNetfaultScheduleDeterministic is the reproducibility contract: the
+// fault schedule is a pure function of (seed, plan, attempt sequence), so
+// two transports with the same seed produce the identical drop pattern
+// over the same request sequence, and a different seed re-rolls it.
+func TestNetfaultScheduleDeterministic(t *testing.T) {
+	schedule := func(seed int64) string {
+		tr := netfault.New(&fakeRT{}, seed,
+			plan(faultinject.SiteNetReqDrop, faultinject.Rule{Rate: 0.3, Transient: true}))
+		var b strings.Builder
+		for i := 0; i < 256; i++ {
+			if _, err := tr.RoundTrip(newReq(t)); err != nil {
+				b.WriteByte('x')
+			} else {
+				b.WriteByte('.')
+			}
+		}
+		return b.String()
+	}
+	a, b := schedule(7), schedule(7)
+	if a != b {
+		t.Fatalf("same seed produced different fault schedules:\n%s\n%s", a, b)
+	}
+	if !strings.Contains(a, "x") || !strings.Contains(a, ".") {
+		t.Fatalf("rate rule produced a degenerate schedule: %s", a)
+	}
+	if c := schedule(8); c == a {
+		t.Fatalf("different seeds produced the identical 256-request schedule")
+	}
+}
+
+// TestNetfaultDropEveryN pins the Every-based schedule exactly and checks
+// the injected error's identity: it matches ErrInjected and the
+// faultinject classifiers see through the wrapper.
+func TestNetfaultDropEveryN(t *testing.T) {
+	base := &fakeRT{}
+	tr := netfault.New(base, 1,
+		plan(faultinject.SiteNetReqDrop, faultinject.Rule{Every: 3, Transient: true}))
+	for i := 1; i <= 9; i++ {
+		_, err := tr.RoundTrip(newReq(t))
+		if i%3 == 0 {
+			if err == nil {
+				t.Fatalf("attempt %d: expected injected drop", i)
+			}
+			if !errors.Is(err, netfault.ErrInjected) {
+				t.Fatalf("attempt %d: error %v does not match ErrInjected", i, err)
+			}
+			if !faultinject.IsInjected(err) || !faultinject.IsTransient(err) {
+				t.Fatalf("attempt %d: faultinject classifiers can't see through %v", i, err)
+			}
+		} else if err != nil {
+			t.Fatalf("attempt %d: unexpected error %v", i, err)
+		}
+	}
+	if base.calls != 6 {
+		t.Fatalf("base transport saw %d deliveries, want 6 (3 of 9 dropped)", base.calls)
+	}
+	st := tr.Stats()
+	if st.Injected != 3 || st.BySite[faultinject.SiteNetReqDrop] != 3 {
+		t.Fatalf("stats = %+v, want 3 injected at %s", st, faultinject.SiteNetReqDrop)
+	}
+}
+
+// TestNetfaultSeverBurst checks the partition-window shape: Every=5
+// Burst=3 fails attempts 5-7, 10-12, and 15.
+func TestNetfaultSeverBurst(t *testing.T) {
+	tr := netfault.New(&fakeRT{}, 1,
+		plan(faultinject.SiteNetSever, faultinject.Rule{Every: 5, Burst: 3, Transient: true}))
+	want := map[int]bool{5: true, 6: true, 7: true, 10: true, 11: true, 12: true, 15: true}
+	for i := 1; i <= 15; i++ {
+		_, err := tr.RoundTrip(newReq(t))
+		if (err != nil) != want[i] {
+			t.Fatalf("attempt %d: err=%v, want failure=%v", i, err, want[i])
+		}
+	}
+}
+
+// TestNetfaultDupReexecutesServer drives a real HTTP stack: a duplicated
+// request must execute the server handler twice with the same body, while
+// the caller still sees one successful response.
+func TestNetfaultDupReexecutesServer(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		b, _ := io.ReadAll(r.Body)
+		if string(b) != "payload" {
+			t.Errorf("server saw body %q, want %q (duplicate body not rewound?)", b, "payload")
+		}
+		hits.Add(1)
+		_, _ = w.Write([]byte("ok"))
+	}))
+	defer ts.Close()
+
+	hc := &http.Client{Transport: netfault.New(nil, 1,
+		plan(faultinject.SiteNetReqDup, faultinject.Rule{Every: 1, Transient: true}))}
+	resp, err := hc.Post(ts.URL, "text/plain", bytes.NewReader([]byte("payload")))
+	if err != nil {
+		t.Fatalf("duplicated request failed outright: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "ok" {
+		t.Fatalf("caller saw %q, want %q", body, "ok")
+	}
+	if n := hits.Load(); n != 2 {
+		t.Fatalf("server executed %d times, want 2 (original + duplicate)", n)
+	}
+}
+
+// TestNetfaultRespDropAfterExecution is the "RPC happened, reply lost"
+// case: the server executes, the caller sees an injected error.
+func TestNetfaultRespDropAfterExecution(t *testing.T) {
+	base := &fakeRT{}
+	tr := netfault.New(base, 1,
+		plan(faultinject.SiteNetRespDrop, faultinject.Rule{Every: 1, Transient: true}))
+	_, err := tr.RoundTrip(newReq(t))
+	if !errors.Is(err, netfault.ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if base.calls != 1 {
+		t.Fatalf("base transport saw %d deliveries, want 1 — the request must reach the server before its response drops", base.calls)
+	}
+}
+
+// TestNetfaultDelayHonorsContext: an injected delay applies wall-clock
+// latency but a caller deadline cuts it short.
+func TestNetfaultDelayHonorsContext(t *testing.T) {
+	tr := netfault.New(&fakeRT{}, 1,
+		plan(faultinject.SiteNetReqDelay, faultinject.Rule{Every: 1, Delay: 50}))
+
+	start := time.Now()
+	if _, err := tr.RoundTrip(newReq(t)); err != nil {
+		t.Fatalf("delayed request failed: %v", err)
+	}
+	if d := time.Since(start); d < 50*time.Millisecond {
+		t.Fatalf("request took %v, want >= 50ms injected delay", d)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	start = time.Now()
+	_, err := tr.RoundTrip(newReq(t).WithContext(ctx))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if d := time.Since(start); d > 40*time.Millisecond {
+		t.Fatalf("cancelled delay still slept %v", d)
+	}
+}

@@ -1,0 +1,278 @@
+package cluster_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"kard/internal/cluster"
+	"kard/internal/harness"
+)
+
+// The coordinator crash-restart test inverts kill_test.go's helper
+// idiom: here the *coordinator* is the subprocess (a test cannot SIGKILL
+// itself), re-exec'd via TestClusterCoordHelper, while the workers run
+// in-process and must ride out the crash on their retry budgets. The
+// helper writes the canonical verdict bytes and its final stats to files
+// when the matrix settles, so the parent can byte-diff them against a
+// single-process reference.
+
+func TestClusterCoordHelper(t *testing.T) {
+	if os.Getenv("KARD_CLUSTER_COORD_HELPER") != "1" {
+		t.Skip("helper process entry point; only meaningful when re-exec'd")
+	}
+	dir := os.Getenv("KARD_COORD_DIR")
+	addr := os.Getenv("KARD_COORD_ADDR")
+	doneFile := os.Getenv("KARD_COORD_DONEFILE")
+	statsFile := os.Getenv("KARD_COORD_STATSFILE")
+	hbMS, _ := strconv.Atoi(os.Getenv("KARD_COORD_HB_MS"))
+
+	specs := testSpecs()
+	coord, err := cluster.New(cluster.Config{
+		Dir:              dir,
+		HeartbeatTimeout: time.Duration(hbMS) * time.Millisecond,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "[coord %d] "+format+"\n", append([]any{os.Getpid()}, args...)...)
+		},
+	}, specs)
+	if err != nil {
+		t.Fatalf("helper: cluster.New: %v", err)
+	}
+	defer coord.Close()
+
+	// The restarted incarnation binds the same address its predecessor
+	// held; retry briefly in case the kernel is still releasing it.
+	var ln net.Listener
+	bindDeadline := time.Now().Add(5 * time.Second)
+	for {
+		if ln, err = net.Listen("tcp", addr); err == nil {
+			break
+		}
+		if time.Now().After(bindDeadline) {
+			t.Fatalf("helper: bind %s: %v", addr, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	defer ln.Close()
+	go func() { _ = http.Serve(ln, coord.Handler()) }()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	if err := coord.Wait(ctx); err != nil {
+		t.Fatalf("helper: Wait: %v (stats %+v)", err, coord.Stats())
+	}
+
+	// Keep serving until every worker has observed "done" and exited
+	// (clean-exited workers stop heartbeating and are declared dead
+	// within the heartbeat timeout). Exiting the moment the matrix
+	// settles would strand a worker mid-lease-poll against a dead
+	// address, burning its whole retry budget.
+	drainDeadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(drainDeadline) {
+		live := 0
+		for _, w := range coord.Stats().Workers {
+			if !w.Dead {
+				live++
+			}
+		}
+		if live == 0 {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	verdicts := canonical(t, coord.Results())
+	stats, err := json.Marshal(coord.Stats())
+	if err != nil {
+		t.Fatalf("helper: marshal stats: %v", err)
+	}
+	// Write-then-rename so the parent never reads a partial file.
+	for path, body := range map[string]string{doneFile: verdicts, statsFile: string(stats)} {
+		tmp := path + ".tmp"
+		if err := os.WriteFile(tmp, []byte(body), 0o644); err != nil {
+			t.Fatalf("helper: write %s: %v", path, err)
+		}
+		if err := os.Rename(tmp, path); err != nil {
+			t.Fatalf("helper: rename %s: %v", path, err)
+		}
+	}
+}
+
+// spawnCoordHelper re-execs the test binary as a coordinator subprocess.
+func spawnCoordHelper(t *testing.T, dir, addr, doneFile, statsFile string, hb time.Duration) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run=^TestClusterCoordHelper$", "-test.v")
+	cmd.Env = append(os.Environ(),
+		"KARD_CLUSTER_COORD_HELPER=1",
+		"KARD_COORD_DIR="+dir,
+		"KARD_COORD_ADDR="+addr,
+		"KARD_COORD_DONEFILE="+doneFile,
+		"KARD_COORD_STATSFILE="+statsFile,
+		"KARD_COORD_HB_MS="+strconv.Itoa(int(hb.Milliseconds())),
+	)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("spawn coordinator helper: %v", err)
+	}
+	return cmd
+}
+
+// coordStats polls GET /cluster/stats; ok=false while the coordinator is
+// unreachable (down, restarting, or not yet listening).
+func coordStats(url string) (cluster.Stats, bool) {
+	hc := &http.Client{Timeout: time.Second}
+	resp, err := hc.Get(url + "/cluster/stats")
+	if err != nil {
+		return cluster.Stats{}, false
+	}
+	defer resp.Body.Close()
+	var st cluster.Stats
+	if resp.StatusCode != http.StatusOK || json.NewDecoder(resp.Body).Decode(&st) != nil {
+		return cluster.Stats{}, false
+	}
+	return st, true
+}
+
+// TestClusterCoordinatorCrashRestart is the acceptance scenario: the
+// coordinator process is SIGKILLed mid-run with two live workers, a
+// fresh process resumes from the journal on the same address, the
+// workers ride out the outage on their retry budgets and are re-admitted
+// under their old identities (rejoin grace), and the final verdicts are
+// byte-identical to a single-process run.
+func TestClusterCoordinatorCrashRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess coordinator crash test skipped in -short mode")
+	}
+	specs := testSpecs()
+	ref := canonical(t, harness.RunMatrix(2, specs))
+
+	dir := t.TempDir()
+	outDir := t.TempDir()
+	store, err := harness.OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reserve an address: the coordinator must come back on the same one
+	// so the workers' retries find it.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	url := "http://" + addr
+
+	victim := spawnCoordHelper(t, dir, addr,
+		outDir+"/done1", outDir+"/stats1", 2*time.Second)
+	defer victim.Process.Kill()
+	bootDeadline := time.Now().Add(15 * time.Second)
+	for {
+		if _, ok := coordStats(url); ok {
+			break
+		}
+		if time.Now().After(bootDeadline) {
+			t.Fatal("coordinator helper never came up")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Two live in-process workers with retry budgets sized to outlast the
+	// restart gap even on a heavily loaded machine (the full test suite
+	// runs packages in parallel, so re-execing the helper binary can take
+	// many seconds), and FenceAfter high enough that they keep their
+	// identities for the rejoin-grace path instead of fencing.
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i := range errs {
+		cl, err := cluster.DialWith(ctx, url, fmt.Sprintf("survivor-%d", i), cluster.ClientOptions{
+			BackoffBase: 20 * time.Millisecond,
+			BackoffCap:  500 * time.Millisecond,
+			MaxAttempts: 300,
+			MaxElapsed:  2 * time.Minute,
+		})
+		if err != nil {
+			t.Fatalf("dial worker %d: %v", i, err)
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = cluster.RunWorker(ctx, cl, cluster.WorkerOptions{
+				Store:          store,
+				HeartbeatEvery: 200 * time.Millisecond,
+				FenceAfter:     50,
+				OnCell:         func(int, harness.Spec) { time.Sleep(300 * time.Millisecond) },
+			})
+		}(i)
+	}
+
+	// Kill mid-run: some cells settled, some still outstanding.
+	killDeadline := time.Now().Add(60 * time.Second)
+	for {
+		st, ok := coordStats(url)
+		if ok && st.Done >= 1 && st.Done < len(specs) {
+			t.Logf("SIGKILLing coordinator at %d/%d cells done", st.Done, len(specs))
+			break
+		}
+		if ok && st.Done == len(specs) {
+			t.Fatal("matrix finished before the kill window; slow the cells down")
+		}
+		if time.Now().After(killDeadline) {
+			t.Fatal("matrix never reached the mid-run kill window")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := victim.Process.Kill(); err != nil { // SIGKILL: no drain, no goodbye
+		t.Fatal(err)
+	}
+	_ = victim.Wait()
+
+	successor := spawnCoordHelper(t, dir, addr,
+		outDir+"/done2", outDir+"/stats2", 2*time.Second)
+	defer successor.Process.Kill()
+
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("worker %d did not survive the coordinator crash: %v", i, err)
+		}
+	}
+	if err := successor.Wait(); err != nil {
+		t.Fatalf("restarted coordinator exited non-zero: %v", err)
+	}
+
+	got, err := os.ReadFile(outDir + "/done2")
+	if err != nil {
+		t.Fatalf("restarted coordinator never wrote its verdicts: %v", err)
+	}
+	if string(got) != ref {
+		t.Fatalf("verdicts differ after coordinator SIGKILL + restart:\ncluster:\n%s\nsingle:\n%s", got, ref)
+	}
+
+	var st cluster.Stats
+	sb, err := os.ReadFile(outDir + "/stats2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(sb, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Rejoined < 1 {
+		t.Fatalf("restarted coordinator re-admitted %d workers, want >= 1 (rejoin grace): %+v", st.Rejoined, st)
+	}
+	if st.Done != len(specs) || st.Failed != 0 {
+		t.Fatalf("restarted coordinator settled done=%d failed=%d, want %d/0", st.Done, st.Failed, len(specs))
+	}
+	t.Logf("restart survived: %+v", st)
+}

@@ -1,0 +1,465 @@
+package cluster_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"kard/internal/cluster"
+	"kard/internal/cluster/netfault"
+	"kard/internal/faultinject"
+	"kard/internal/harness"
+	"kard/internal/obs"
+)
+
+// checkGoroutines waits for the goroutine count to come back down to the
+// pre-test level; retry loops, heartbeat goroutines, and the self-fence
+// path must not leak (same idiom as internal/service's drain checks).
+func checkGoroutines(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	var n int
+	for {
+		n = runtime.NumGoroutine()
+		if n <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	t.Errorf("goroutine leak: %d before, %d after\n%s", before, n, buf[:runtime.Stack(buf, true)])
+}
+
+// flaky wraps a coordinator handler and serves `remaining` injected 500s
+// on one path before letting requests through.
+type flaky struct {
+	inner     http.Handler
+	path      string
+	remaining atomic.Int64
+	seen      atomic.Int64
+}
+
+func (f *flaky) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == f.path {
+		f.seen.Add(1)
+		if f.remaining.Add(-1) >= 0 {
+			http.Error(w, "injected transient failure", http.StatusInternalServerError)
+			return
+		}
+	}
+	f.inner.ServeHTTP(w, r)
+}
+
+func fastRetryOpts() cluster.ClientOptions {
+	return cluster.ClientOptions{
+		BackoffBase: time.Millisecond,
+		BackoffCap:  5 * time.Millisecond,
+		MaxAttempts: 3,
+		MaxElapsed:  10 * time.Second,
+	}
+}
+
+// TestClientRetriesTransient500: a lease that hits transient 500s is
+// retried under the same rid until it succeeds, and the retry counter
+// advances.
+func TestClientRetriesTransient500(t *testing.T) {
+	coord, err := cluster.New(cluster.Config{Dir: t.TempDir()}, testSpecs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	f := &flaky{inner: coord.Handler(), path: "/cluster/lease"}
+	f.remaining.Store(2)
+	ts := httptest.NewServer(f)
+	defer ts.Close()
+
+	ctx := context.Background()
+	cl, err := cluster.DialWith(ctx, ts.URL, "retrier", fastRetryOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	retries0 := obs.Std.ClusterRetryLease.Value()
+	l, err := cl.Lease(ctx)
+	if err != nil || l.State != cluster.LeaseCell {
+		t.Fatalf("lease after transient 500s: %+v, %v", l, err)
+	}
+	if got := f.seen.Load(); got != 3 {
+		t.Fatalf("coordinator saw %d lease attempts, want 3 (2 failed + 1 ok)", got)
+	}
+	if d := obs.Std.ClusterRetryLease.Value() - retries0; d != 2 {
+		t.Fatalf("retry counter grew by %d, want 2", d)
+	}
+	// Exactly one cell must be assigned: the retried rid leased once.
+	if st := coord.Stats(); st.Inflight != 1 {
+		t.Fatalf("inflight = %d after retried lease, want 1", st.Inflight)
+	}
+}
+
+// TestClientRetryBudget: when the outage outlasts MaxAttempts the client
+// stops absorbing it and surfaces ErrRetryBudget.
+func TestClientRetryBudget(t *testing.T) {
+	coord, err := cluster.New(cluster.Config{Dir: t.TempDir()}, testSpecs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	f := &flaky{inner: coord.Handler(), path: "/cluster/lease"}
+	f.remaining.Store(1 << 30)
+	ts := httptest.NewServer(f)
+	defer ts.Close()
+
+	ctx := context.Background()
+	cl, err := cluster.DialWith(ctx, ts.URL, "doomed", fastRetryOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = cl.Lease(ctx)
+	if !errors.Is(err, cluster.ErrRetryBudget) {
+		t.Fatalf("err = %v, want ErrRetryBudget", err)
+	}
+	if got := f.seen.Load(); got != 3 {
+		t.Fatalf("coordinator saw %d lease attempts, want MaxAttempts=3", got)
+	}
+}
+
+// TestClientTerminalNotRetried: protocol answers are not outages — a 410
+// surfaces as ErrGone on the first attempt, no retries.
+func TestClientTerminalNotRetried(t *testing.T) {
+	var leaseCalls atomic.Int64
+	coord, err := cluster.New(cluster.Config{Dir: t.TempDir()}, testSpecs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	h := coord.Handler()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/cluster/lease" {
+			leaseCalls.Add(1)
+			http.Error(w, "unknown worker", http.StatusGone)
+			return
+		}
+		h.ServeHTTP(w, r)
+	}))
+	defer ts.Close()
+
+	ctx := context.Background()
+	cl, err := cluster.DialWith(ctx, ts.URL, "gone", fastRetryOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Lease(ctx); !errors.Is(err, cluster.ErrGone) {
+		t.Fatalf("err = %v, want ErrGone", err)
+	}
+	if got := leaseCalls.Load(); got != 1 {
+		t.Fatalf("410 was retried: %d attempts, want 1", got)
+	}
+}
+
+// TestCoordinatorRidDedup: a duplicated join/lease/complete (same rid) is
+// answered from the dedup window with the original answer instead of
+// re-executing.
+func TestCoordinatorRidDedup(t *testing.T) {
+	coord, _ := newCoordinator(t, cluster.Config{HeartbeatTimeout: time.Minute}, testSpecs())
+	d0 := coord.Stats().DedupHits
+
+	id1, err := coord.Join("dup", "rid-j")
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, err := coord.Join("dup", "rid-j")
+	if err != nil || id2 != id1 {
+		t.Fatalf("retried join minted a ghost: %q vs %q (err %v)", id2, id1, err)
+	}
+
+	l1, err := coord.Lease(id1, "rid-l")
+	if err != nil || l1.State != cluster.LeaseCell {
+		t.Fatalf("lease: %+v, %v", l1, err)
+	}
+	l2, err := coord.Lease(id1, "rid-l")
+	if err != nil || l2.Cell != l1.Cell {
+		t.Fatalf("retried lease strayed: cell %d vs %d (err %v)", l2.Cell, l1.Cell, err)
+	}
+
+	res, err := harness.Run(l1.Spec.Options)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Complete(id1, l1.Cell, "rid-c", res, "", false); err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Complete(id1, l1.Cell, "rid-c", res, "", false); err != nil {
+		t.Fatalf("retried complete: %v", err)
+	}
+
+	st := coord.Stats()
+	if st.Done != 1 || st.Inflight != 0 {
+		t.Fatalf("done=%d inflight=%d after dedup'd retries, want 1 and 0", st.Done, st.Inflight)
+	}
+	if got := st.DedupHits - d0; got != 3 {
+		t.Fatalf("dedup hits grew by %d, want 3 (join+lease+complete)", got)
+	}
+	// A fresh rid leases fresh work.
+	l3, err := coord.Lease(id1, "rid-l2")
+	if err != nil || l3.State != cluster.LeaseCell || l3.Cell == l1.Cell {
+		t.Fatalf("fresh lease after dedup: %+v, %v", l3, err)
+	}
+}
+
+// TestRidDedupSurvivesRestart: the journal carries completion rids and
+// assignment rids across a coordinator restart — a complete retried
+// across the crash is absorbed by the replayed window, a lease retried
+// across it re-leases exactly the journaled cell, and the worker keeps
+// its identity through the rejoin grace.
+func TestRidDedupSurvivesRestart(t *testing.T) {
+	specs := testSpecs()
+	dir := t.TempDir()
+
+	c1, err := cluster.New(cluster.Config{Dir: dir}, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := c1.Join("survivor", "rid-join")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lA, err := c1.Lease(w, "rid-a")
+	if err != nil || lA.State != cluster.LeaseCell {
+		t.Fatalf("lease A: %+v, %v", lA, err)
+	}
+	res, err := harness.Run(lA.Spec.Options)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.Complete(w, lA.Cell, "rid-c", res, "", false); err != nil {
+		t.Fatal(err)
+	}
+	// Lease B's response is "lost": the worker will retry rid-b after the
+	// restart.
+	lB, err := c1.Lease(w, "rid-b")
+	if err != nil || lB.State != cluster.LeaseCell {
+		t.Fatalf("lease B: %+v, %v", lB, err)
+	}
+	if err := c1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	c2, err := cluster.New(cluster.Config{Dir: dir, HeartbeatTimeout: time.Minute}, specs)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer c2.Close()
+
+	// The retried complete lands in the replayed dedup window.
+	if err := c2.Complete(w, lA.Cell, "rid-c", res, "", false); err != nil {
+		t.Fatalf("complete retried across restart: %v", err)
+	}
+	if got := c2.Stats().DedupHits; got != 1 {
+		t.Fatalf("dedup hits = %d after replayed-window hit, want 1", got)
+	}
+
+	// The retried lease re-leases exactly the cell the dead incarnation
+	// answered rid-b with (requeued by the restart), under the old ID.
+	lB2, err := c2.Lease(w, "rid-b")
+	if err != nil {
+		t.Fatalf("lease retried across restart: %v", err)
+	}
+	if lB2.State != cluster.LeaseCell || lB2.Cell != lB.Cell {
+		t.Fatalf("retried lease got %+v, want cell %d again", lB2, lB.Cell)
+	}
+	if got := c2.Stats().Rejoined; got != 1 {
+		t.Fatalf("rejoined = %d, want 1 (first contact completes the grace rejoin)", got)
+	}
+}
+
+// TestWorkerSelfFence is the heartbeat-escalation unit test: when
+// heartbeats fail persistently the worker must not log-and-ignore forever
+// — after FenceAfter consecutive failures it self-fences, rejoins, and
+// the matrix still finishes with byte-identical verdicts. Also a leak
+// check: the retry loops and the heartbeat goroutine must wind down.
+func TestWorkerSelfFence(t *testing.T) {
+	specs := testSpecs()
+	ref := canonical(t, harness.RunMatrix(2, specs))
+
+	coord, err := cluster.New(cluster.Config{
+		Dir:              t.TempDir(),
+		HeartbeatTimeout: 2 * time.Second,
+		Logf:             t.Logf,
+	}, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	var failHB atomic.Bool
+	h := coord.Handler()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if failHB.Load() && r.URL.Path == "/cluster/heartbeat" {
+			http.Error(w, "injected heartbeat blackhole", http.StatusInternalServerError)
+			return
+		}
+		h.ServeHTTP(w, r)
+	}))
+	defer ts.Close()
+
+	store, err := harness.OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &http.Transport{}
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	cl, err := cluster.DialWith(ctx, ts.URL, "fencer", cluster.ClientOptions{
+		Transport:   tr,
+		BackoffBase: 2 * time.Millisecond,
+		MaxElapsed:  time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fences0 := obs.Std.ClusterSelfFences.Value()
+	done := make(chan error, 1)
+	go func() {
+		done <- cluster.RunWorker(ctx, cl, cluster.WorkerOptions{
+			Store:          store,
+			HeartbeatEvery: 20 * time.Millisecond,
+			FenceAfter:     2,
+			OnCell:         func(int, harness.Spec) { time.Sleep(60 * time.Millisecond) },
+		})
+	}()
+
+	failHB.Store(true)
+	fenceDeadline := time.Now().Add(15 * time.Second)
+	for obs.Std.ClusterSelfFences.Value() == fences0 {
+		if time.Now().After(fenceDeadline) {
+			t.Fatal("worker never self-fenced under persistent heartbeat failures")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	failHB.Store(false)
+
+	if err := coord.Wait(ctx); err != nil {
+		t.Fatalf("matrix did not finish after self-fence: %v (stats %+v)", err, coord.Stats())
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("worker exited non-nil after self-fence: %v", err)
+	}
+	if got := canonical(t, coord.Results()); got != ref {
+		t.Fatalf("verdicts differ after self-fence churn:\ncluster:\n%s\nsingle:\n%s", got, ref)
+	}
+	if n := len(coord.Stats().Workers); n < 2 {
+		t.Fatalf("stats show %d worker identities, want >= 2 (fence must rejoin)", n)
+	}
+	tr.CloseIdleConnections()
+	checkGoroutines(t, before)
+}
+
+// TestRunWorkerBudgetExitNoLeak: a worker whose coordinator vanishes for
+// good exhausts its retry budget, returns ErrRetryBudget, and leaves no
+// goroutine behind (the heartbeat loop is joined on exit).
+func TestRunWorkerBudgetExitNoLeak(t *testing.T) {
+	coord, err := cluster.New(cluster.Config{Dir: t.TempDir()}, testSpecs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	ts := httptest.NewServer(coord.Handler())
+
+	tr := &http.Transport{}
+	opts := fastRetryOpts()
+	opts.Transport = tr
+	ctx := context.Background()
+	cl, err := cluster.DialWith(ctx, ts.URL, "stranded", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+	ts.Close() // the coordinator is gone and never comes back
+
+	err = cluster.RunWorker(ctx, cl, cluster.WorkerOptions{
+		HeartbeatEvery: 10 * time.Millisecond,
+	})
+	if !errors.Is(err, cluster.ErrRetryBudget) {
+		t.Fatalf("RunWorker = %v, want ErrRetryBudget", err)
+	}
+	tr.CloseIdleConnections()
+	checkGoroutines(t, before)
+}
+
+// TestClusterChaosTransport is the in-process seeded chaos soak: two
+// workers run the whole matrix behind netfault transports injecting the
+// default net plan (drops, delays, duplicates, lost responses, partition
+// bursts), and the verdicts must still be byte-identical to a fault-free
+// single-process run.
+func TestClusterChaosTransport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak skipped in -short mode")
+	}
+	specs := testSpecs()
+	ref := canonical(t, harness.RunMatrix(2, specs))
+
+	coord, ts := newCoordinator(t, cluster.Config{HeartbeatTimeout: 2 * time.Second}, specs)
+	store, err := harness.OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	var wg sync.WaitGroup
+	trs := make([]*netfault.Transport, 2)
+	errs := make([]error, 2)
+	for i := range trs {
+		trs[i] = netfault.New(nil, int64(1000+i), faultinject.DefaultNetPlan())
+		cl, err := cluster.DialWith(ctx, ts.URL, fmt.Sprintf("chaos-%d", i), cluster.ClientOptions{
+			Transport:   trs[i],
+			BackoffBase: 5 * time.Millisecond,
+			BackoffCap:  100 * time.Millisecond,
+			MaxAttempts: 20,
+			MaxElapsed:  time.Minute,
+		})
+		if err != nil {
+			t.Fatalf("dial through chaos transport: %v", err)
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = cluster.RunWorker(ctx, cl, cluster.WorkerOptions{
+				Store:          store,
+				HeartbeatEvery: 100 * time.Millisecond,
+				FenceAfter:     20,
+			})
+		}(i)
+	}
+	if err := coord.Wait(ctx); err != nil {
+		t.Fatalf("matrix did not survive the chaos plan: %v (stats %+v)", err, coord.Stats())
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("chaos worker %d: %v", i, err)
+		}
+	}
+
+	if got := canonical(t, coord.Results()); got != ref {
+		t.Fatalf("chaos verdicts differ from fault-free run:\nchaos:\n%s\nclean:\n%s", got, ref)
+	}
+	var injected uint64
+	for _, tr := range trs {
+		injected += tr.Stats().Injected
+	}
+	if injected == 0 {
+		t.Fatal("chaos run injected zero faults — the soak proved nothing")
+	}
+	t.Logf("chaos soak: %d faults injected, stats %+v", injected, coord.Stats())
+}

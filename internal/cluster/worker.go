@@ -26,6 +26,15 @@ type WorkerOptions struct {
 	// (default 1s; keep it well under the coordinator's
 	// HeartbeatTimeout).
 	HeartbeatEvery time.Duration
+	// FenceAfter is how many consecutive heartbeat failures the worker
+	// absorbs before it self-fences: it assumes the coordinator has (or
+	// soon will have) declared it dead, rejoins for a fresh-or-restored
+	// identity, and carries on. Default 5; the worst-case silent window
+	// is FenceAfter × HeartbeatEvery, which with the defaults equals the
+	// coordinator's 5s heartbeat timeout. (Before the fence existed the
+	// loop logged failures forever and a partitioned worker computed
+	// into the void under a dead identity.)
+	FenceAfter int
 	// Logf, when non-nil, receives operational log lines.
 	Logf func(format string, args ...any)
 	// OnCell, when non-nil, runs before each leased cell executes — a
@@ -41,48 +50,101 @@ func (o *WorkerOptions) defaults() {
 	if o.HeartbeatEvery <= 0 {
 		o.HeartbeatEvery = time.Second
 	}
+	if o.FenceAfter <= 0 {
+		o.FenceAfter = 5
+	}
 	if o.Logf == nil {
 		o.Logf = func(string, ...any) {}
 	}
 }
 
+// heartbeatLoop is RunWorker's liveness goroutine. Leases already
+// refresh liveness, so it matters exactly when a cell computes for
+// longer than the coordinator's timeout — which is also when failing
+// silently is most expensive, so persistent failures escalate instead
+// of being logged and ignored: ErrGone fences immediately (the
+// coordinator said so), and FenceAfter consecutive transport failures
+// fence on the assumption that a partition this long has already cost
+// the worker its leases.
+func heartbeatLoop(ctx context.Context, cl *Client, o *WorkerOptions) {
+	t := time.NewTicker(o.HeartbeatEvery)
+	defer t.Stop()
+	fails := 0
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		id := cl.WorkerID()
+		err := cl.Heartbeat(ctx)
+		switch {
+		case err == nil:
+			fails = 0
+			continue
+		case errors.Is(err, ErrCoordClosed):
+			return // matrix settled; the lease loop exits on its own
+		case errors.Is(err, ErrGone):
+			fails = 0
+			selfFence(ctx, cl, o, id, "heartbeat answered 410")
+		default:
+			fails++
+			o.Logf("cluster: worker %s: heartbeat failure %d/%d: %v", id, fails, o.FenceAfter, err)
+			if fails >= o.FenceAfter {
+				fails = 0
+				selfFence(ctx, cl, o, id, "consecutive heartbeat failures")
+			}
+		}
+	}
+}
+
+// selfFence is the escalation: the worker stops trusting the identity
+// it held, records the fence, and rejoins. RejoinFrom makes the fence
+// and the lease loop's own 410 handling converge on one fresh identity
+// instead of racing two. A failed rejoin (still partitioned) is fine —
+// the next fence or the lease loop will try again.
+func selfFence(ctx context.Context, cl *Client, o *WorkerOptions, staleID, why string) {
+	obs.Std.ClusterSelfFences.Inc()
+	obs.Flight.Recordf(obs.EvSelfFence, "worker %s self-fenced (%s)", staleID, why)
+	o.Logf("cluster: worker %s self-fencing (%s), rejoining", staleID, why)
+	if err := cl.RejoinFrom(ctx, staleID); err != nil {
+		o.Logf("cluster: self-fence rejoin failed (will retry): %v", err)
+		return
+	}
+	if id := cl.WorkerID(); id != staleID {
+		o.Logf("cluster: rejoined as %s after self-fence", id)
+	}
+}
+
 // RunWorker drains leases from the coordinator until the matrix is done
 // (returns nil), ctx ends (returns ctx's error), or the coordinator
-// becomes unreachable. A 410 from the coordinator (this worker was
-// declared dead — e.g. after a long GC pause or a partition) is absorbed
-// by rejoining under a fresh ID; the half-finished cell is completed
-// under the new identity or, if a peer got there first, deduplicated by
-// the coordinator's idempotent completion path.
+// stays unreachable past the client's retry budget. A 410 from the
+// coordinator (this worker was declared dead — e.g. after a long GC
+// pause or a partition) is absorbed by rejoining; transient network
+// failures are absorbed by the client's per-RPC retry/backoff; and the
+// heartbeat loop self-fences after persistent failures, so the worker
+// rides out coordinator restarts and partition windows instead of
+// computing into the void or dying.
 func RunWorker(ctx context.Context, cl *Client, o WorkerOptions) error {
 	o.defaults()
 
-	// Background heartbeat for the whole worker lifetime: leases already
-	// refresh liveness, so this matters exactly when a cell computes for
-	// longer than the coordinator's timeout.
 	hbCtx, hbStop := context.WithCancel(ctx)
 	defer hbStop()
+	hbDone := make(chan struct{})
 	go func() {
-		t := time.NewTicker(o.HeartbeatEvery)
-		defer t.Stop()
-		for {
-			select {
-			case <-hbCtx.Done():
-				return
-			case <-t.C:
-				if err := cl.Heartbeat(); err != nil && !errors.Is(err, ErrGone) {
-					o.Logf("cluster: worker %s: heartbeat: %v", cl.WorkerID(), err)
-				}
-			}
-		}
+		defer close(hbDone)
+		heartbeatLoop(hbCtx, cl, &o)
 	}()
+	defer func() { hbStop(); <-hbDone }()
 
 	for {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		l, err := cl.Lease()
+		id := cl.WorkerID()
+		l, err := cl.Lease(ctx)
 		if errors.Is(err, ErrGone) {
-			if err := cl.Rejoin(); err != nil {
+			if err := cl.RejoinFrom(ctx, id); err != nil {
 				return err
 			}
 			o.Logf("cluster: rejoined as %s after revocation", cl.WorkerID())
@@ -133,14 +195,16 @@ func RunWorker(ctx context.Context, cl *Client, o WorkerOptions) error {
 		if r.Err != nil {
 			errMsg = r.Err.Error()
 		}
-		if err := cl.Complete(l.Cell, r.Result, errMsg, r.Cached); err != nil {
+		id = cl.WorkerID()
+		if err := cl.Complete(ctx, l.Cell, r.Result, errMsg, r.Cached); err != nil {
 			if errors.Is(err, ErrGone) {
 				// Declared dead mid-cell; the result is already durable in
-				// the store, so rejoin and hand the bytes over anyway.
-				if err := cl.Rejoin(); err != nil {
+				// the store, so rejoin (unless the heartbeat fence already
+				// did) and hand the bytes over anyway.
+				if err := cl.RejoinFrom(ctx, id); err != nil {
 					return err
 				}
-				if err := cl.Complete(l.Cell, r.Result, errMsg, r.Cached); err != nil {
+				if err := cl.Complete(ctx, l.Cell, r.Result, errMsg, r.Cached); err != nil {
 					return err
 				}
 				o.Logf("cluster: rejoined as %s and completed cell %d", cl.WorkerID(), l.Cell)

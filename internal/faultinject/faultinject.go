@@ -56,6 +56,32 @@ const (
 	// delivery to the handler is delayed by the rule's Delay cycles,
 	// exercising the §5.5 fault window.
 	SiteFaultDelivery Site = "sim.fault"
+
+	// The net.* sites extend the same seeded plan machinery to the
+	// cluster's HTTP boundary (internal/cluster/netfault). They model a
+	// lossy, reordering network between workers and the coordinator; the
+	// consuming layer is the cluster RPC client's retry/backoff and the
+	// coordinator's idempotent, request-ID-deduplicated handlers, so an
+	// injected net fault must never change verdict bytes — only who
+	// retried what.
+
+	// SiteNetReqDrop severs a request before it reaches the server
+	// (connection refused/reset: the RPC never executed).
+	SiteNetReqDrop Site = "net.request.drop"
+	// SiteNetReqDelay delays a request by the rule's Delay, interpreted
+	// by netfault as milliseconds of wall-clock (not simulated cycles —
+	// the network is outside the simulator's virtual time).
+	SiteNetReqDelay Site = "net.request.delay"
+	// SiteNetReqDup duplicates a request: the server executes it twice,
+	// exercising the coordinator's dedup window.
+	SiteNetReqDup Site = "net.request.dup"
+	// SiteNetRespDrop drops the response after the server executed the
+	// request — the classic "RPC happened but the reply was lost" case
+	// that makes retries unsafe without idempotency.
+	SiteNetRespDrop Site = "net.response.drop"
+	// SiteNetSever models a partition window: while it fires (use Burst),
+	// every request fails without reaching the server.
+	SiteNetSever Site = "net.sever"
 )
 
 // Rule decides when a site fires. A zero rule never fires. Every and
@@ -122,6 +148,24 @@ func DefaultPlan() Plan {
 		SiteMalloc:        {Every: 97, Transient: true},
 		SiteUniquePage:    {Every: 43, Max: 2},
 		SiteFaultDelivery: {Every: 7, Delay: 8000},
+	}}
+}
+
+// DefaultNetPlan is the chaos plan scripts/partition.sh injects at the
+// cluster's HTTP boundary: requests are dropped, delayed, and duplicated
+// on co-prime periods, responses are occasionally lost after the server
+// executed the RPC, and every so often a Burst of consecutive failures
+// models a real partition window. Every fault is transient by
+// construction — the cluster client retries with backoff and the
+// coordinator deduplicates — so chaos verdicts must be byte-identical to
+// a fault-free run.
+func DefaultNetPlan() Plan {
+	return Plan{Sites: map[Site]Rule{
+		SiteNetReqDrop:  {Every: 7, Transient: true},
+		SiteNetReqDelay: {Every: 5, Delay: 15}, // milliseconds at the net boundary
+		SiteNetReqDup:   {Every: 11, Transient: true},
+		SiteNetRespDrop: {Every: 13, Transient: true},
+		SiteNetSever:    {Every: 41, Burst: 6, Transient: true},
 	}}
 }
 

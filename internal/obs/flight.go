@@ -42,6 +42,13 @@ const (
 	// EvCellReassign is a matrix cell requeued after its assignment was
 	// revoked from a dead or stalled worker.
 	EvCellReassign
+	// EvSelfFence is a worker fencing itself after consecutive heartbeat
+	// failures: it assumes the coordinator has (or soon will) declared it
+	// dead, stops trusting its leases, and rejoins.
+	EvSelfFence
+	// EvWorkerRejoin is a journaled worker re-admitted under its old
+	// identity after a coordinator restart (the rejoin grace window).
+	EvWorkerRejoin
 )
 
 var kindNames = [...]string{
@@ -55,6 +62,8 @@ var kindNames = [...]string{
 	EvRunFail:         "run-fail",
 	EvWorkerDead:      "worker-dead",
 	EvCellReassign:    "cell-reassign",
+	EvSelfFence:       "self-fence",
+	EvWorkerRejoin:    "worker-rejoin",
 }
 
 func (k EventKind) String() string {

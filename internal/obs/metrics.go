@@ -87,6 +87,18 @@ type Metrics struct {
 	ClusterStoreMisses     *Counter
 	ClusterJournalFsync    *Histogram
 
+	// cluster resilience — RPC retry/backoff, idempotency dedup, worker
+	// self-fencing, coordinator-restart re-admission, and the seeded
+	// network fault transport (DESIGN.md §9, "Retries and idempotency").
+	ClusterRetryJoin       *Counter
+	ClusterRetryLease      *Counter
+	ClusterRetryComplete   *Counter
+	ClusterRetryHeartbeat  *Counter
+	ClusterDedupHits       *Counter
+	ClusterSelfFences      *Counter
+	ClusterWorkersRejoined *Counter
+	ClusterNetFaults       *Counter
+
 	reg *Registry
 }
 
@@ -172,6 +184,23 @@ func RegisterMetrics(r *Registry) *Metrics {
 			"Cells a worker had to simulate because no peer had finished them."),
 		ClusterJournalFsync: r.Histogram("kard_cluster_journal_fsync_seconds",
 			"Wall-clock fsync latency per assignment-journal append.", FsyncBuckets),
+
+		ClusterRetryJoin: r.Counter("kard_cluster_rpc_retries_total",
+			"Worker RPC attempts retried after a transient failure, by RPC.", "rpc", "join"),
+		ClusterRetryLease: r.Counter("kard_cluster_rpc_retries_total",
+			"Worker RPC attempts retried after a transient failure, by RPC.", "rpc", "lease"),
+		ClusterRetryComplete: r.Counter("kard_cluster_rpc_retries_total",
+			"Worker RPC attempts retried after a transient failure, by RPC.", "rpc", "complete"),
+		ClusterRetryHeartbeat: r.Counter("kard_cluster_rpc_retries_total",
+			"Worker RPC attempts retried after a transient failure, by RPC.", "rpc", "heartbeat"),
+		ClusterDedupHits: r.Counter("kard_cluster_dedup_hits_total",
+			"RPCs answered from the coordinator's request-ID dedup window instead of re-executed."),
+		ClusterSelfFences: r.Counter("kard_cluster_self_fences_total",
+			"Workers that fenced themselves after consecutive heartbeat failures and rejoined."),
+		ClusterWorkersRejoined: r.Counter("kard_cluster_workers_rejoined_total",
+			"Journaled workers re-admitted under their old identity after a coordinator restart."),
+		ClusterNetFaults: r.Counter("kard_cluster_netfaults_injected_total",
+			"Network faults fired by the seeded fault transport (drops, delays, duplicates, severs)."),
 
 		reg: r,
 	}

@@ -1,0 +1,112 @@
+#!/usr/bin/env bash
+# partition.sh — network-chaos + coordinator crash-restart smoke for the
+# sharded cluster.
+#
+# Runs the same job set twice: once through single-process kardd (the
+# reference), once through `kardd -cluster 2 -supervise -chaos-net` —
+# every worker RPC passes through the seeded netfault transport
+# (drops, delays, duplicates, lost responses, partition bursts), and the
+# coordinator process is SIGKILLed mid-run and restarted by the
+# supervisor over the same journal. The workers must ride out both the
+# chaos and the restart on their retry budgets, be re-admitted under
+# their old identities (rejoin grace), and the final verdicts must be
+# byte-identical to the fault-free single-process run. See OPERATIONS.md
+# ("Network incidents") and DESIGN.md §9.
+#
+# Environment: SCALE (default 0.05) trades fidelity for speed; SEED
+# (default 1) picks the fault schedule — same seed, same schedule.
+# `make partition-smoke` runs this in CI.
+set -euo pipefail
+
+SCALE="${SCALE:-0.05}"
+SEED="${SEED:-1}"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+cd "$(dirname "$0")/.."
+go build -o "$WORK/kardd" ./cmd/kardd
+
+# 20 cells: comfortably longer than the kill-window poll below, so the
+# SIGKILL lands while work is genuinely in flight.
+TOTAL=20
+cat >"$WORK/jobs.json" <<EOF
+[
+  {"id": "pt-aget",  "workload": "aget",  "modes": ["kard", "baseline"], "seeds": [1, 2, 3, 4], "scale": $SCALE},
+  {"id": "pt-pigz",  "workload": "pigz",  "modes": ["kard", "baseline"], "seeds": [1, 2, 3, 4], "scale": $SCALE},
+  {"id": "pt-nginx", "workload": "nginx", "modes": ["kard"],             "seeds": [1, 2],       "scale": $SCALE}
+]
+EOF
+
+echo "== reference run (single-process kardd, no faults)"
+"$WORK/kardd" -dir "$WORK/ref" -submit "$WORK/jobs.json" \
+  -exit-when-idle -verdicts "$WORK/ref.json"
+[ -s "$WORK/ref.json" ] || { echo "FAIL: reference run produced no verdicts" >&2; exit 1; }
+
+echo "== chaos run: supervised coordinator + 2 chaos-net workers, coordinator SIGKILLed mid-run"
+"$WORK/kardd" -cluster 2 -supervise -dir "$WORK/cl" -submit "$WORK/jobs.json" \
+  -listen 127.0.0.1:17717 -hb-timeout 2s -chaos-net -chaos-seed "$SEED" \
+  -verdicts "$WORK/cluster.json" 2>"$WORK/cluster.log" &
+super=$!
+
+# Wait until the matrix is genuinely mid-run (some cells done, some not),
+# then SIGKILL the coordinator *child* — the supervisor must restart it.
+coord=""
+for _ in $(seq 1 2000); do
+  stats="$(curl -fsS http://127.0.0.1:17717/cluster/stats 2>/dev/null || true)"
+  done_n="$(printf '%s' "$stats" | sed -n 's/.*"done":\([0-9]*\).*/\1/p')"
+  if [ -n "$done_n" ] && [ "$done_n" -ge 1 ] && [ "$done_n" -lt "$TOTAL" ]; then
+    coord="$(pgrep -P "$super" -f -- '-cluster' | head -n 1 || true)"
+    [ -n "$coord" ] && break
+  fi
+  kill -0 "$super" 2>/dev/null || { echo "FAIL: supervisor exited early" >&2; cat "$WORK/cluster.log" >&2; exit 1; }
+  sleep 0.02
+done
+if [ -z "$coord" ]; then
+  echo "FAIL: never caught the coordinator mid-run to kill it" >&2
+  cat "$WORK/cluster.log" >&2
+  kill "$super" 2>/dev/null || true
+  exit 1
+fi
+kill -9 "$coord"
+echo "   SIGKILLed coordinator pid $coord at $done_n/$TOTAL cells done"
+
+rc=0
+wait "$super" || rc=$?
+if [ "$rc" -ne 0 ]; then
+  echo "FAIL: supervised cluster run exited $rc, want 0" >&2
+  cat "$WORK/cluster.log" >&2
+  exit 1
+fi
+
+echo "== verdict diff (chaos + crash-restart vs fault-free single-process)"
+if ! diff -u "$WORK/ref.json" "$WORK/cluster.json"; then
+  echo "FAIL: chaos verdicts differ from the fault-free run" >&2
+  cat "$WORK/cluster.log" >&2
+  exit 1
+fi
+echo "   verdicts byte-identical under network chaos + coordinator SIGKILL/restart"
+
+# Evidence the scenario actually happened: the supervisor restarted the
+# coordinator, the restarted incarnation re-admitted journaled workers,
+# and the chaos transports injected real faults.
+grep -q 'restarting over the same journal' "$WORK/cluster.log" \
+  || { echo "FAIL: supervisor never restarted the coordinator" >&2; cat "$WORK/cluster.log" >&2; exit 1; }
+echo "   supervisor restarted the crashed coordinator"
+grep -q 'rejoined after coordinator restart' "$WORK/cluster.log" \
+  || { echo "FAIL: no worker was re-admitted under the rejoin grace" >&2; cat "$WORK/cluster.log" >&2; exit 1; }
+echo "   workers re-admitted under their old identities"
+if ! grep 'netfault stats' "$WORK/cluster.log" | grep -q 'injected=[1-9]'; then
+  echo "FAIL: chaos transports injected zero faults — the smoke proved nothing" >&2
+  cat "$WORK/cluster.log" >&2
+  exit 1
+fi
+echo "   seeded fault schedule injected real faults:"
+grep 'netfault stats' "$WORK/cluster.log" | sed 's/^/     /'
+
+# Reap the orphaned workers before the trap removes their store.
+for _ in $(seq 1 200); do
+  pgrep -f "$WORK/kardd" >/dev/null 2>&1 || break
+  sleep 0.05
+done
+
+echo "OK"
