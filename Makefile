@@ -11,7 +11,7 @@ JOBS     ?= $(shell nproc 2>/dev/null || echo 4)
 CACHEDIR ?= .cache/kard
 SEED     ?= 1
 
-.PHONY: all build test vet race bench bench-json bench-gate chaos fuzz daemon killrecover soak metrics-smoke cluster-smoke partition-smoke docs-check govulncheck repro repro-fast clean-cache clean
+.PHONY: all build test vet race bench bench-json bench-gate chaos fuzz daemon killrecover soak metrics-smoke cluster-smoke partition-smoke diskfault-smoke docs-check govulncheck repro repro-fast clean-cache clean
 
 all: build test
 
@@ -92,6 +92,15 @@ cluster-smoke:
 # single-process run (DESIGN.md §9, OPERATIONS.md "Network incidents").
 partition-smoke:
 	./scripts/partition.sh
+
+# Storage-fault smoke: the same jobs through `kardd -chaos-disk` — every
+# journal and cache I/O passes a seeded disk-fault shim (short writes,
+# ENOSPC, fsync EIO, read bit flips, lost renames) with aggressive WAL
+# compaction, plus a SIGKILL mid-run; verdicts must stay byte-identical
+# to a fault-free run and kardfsck must report the surviving state clean
+# (DESIGN.md §11, OPERATIONS.md "Disk incidents").
+diskfault-smoke:
+	./scripts/diskfault.sh
 
 # Docs-link check: every `DESIGN.md §N` reference in Go sources and
 # Markdown must resolve to a real `## N.` heading in DESIGN.md.

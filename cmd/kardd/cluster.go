@@ -56,7 +56,9 @@ type clusterFlags struct {
 	maxRWKeys    int
 	supervise    bool
 	chaosNet     bool
+	chaosDisk    bool
 	chaosSeed    int64
+	compactEvery int
 }
 
 // runWorkerMode is `kardd -worker`: join the coordinator, drain leases
@@ -194,6 +196,7 @@ func runClusterMode(f clusterFlags, logf func(string, ...any)) {
 		HeartbeatTimeout: f.hbTimeout,
 		CellDeadline:     f.cellDeadline,
 		MaxAttempts:      f.maxAttempts,
+		CompactEvery:     f.compactEvery,
 		Logf:             logf,
 	}, all)
 	if err != nil {
@@ -361,7 +364,13 @@ func spawnWorkers(f clusterFlags, url, storeDir string, logf func(string, ...any
 			"-store", storeDir,
 			"-worker-name", fmt.Sprintf("local-%d", i+1)}
 		if f.chaosNet {
-			args = append(args, "-chaos-net", "-chaos-seed", strconv.FormatInt(f.chaosSeed+int64(i), 10))
+			args = append(args, "-chaos-net")
+		}
+		if f.chaosDisk {
+			args = append(args, "-chaos-disk")
+		}
+		if f.chaosNet || f.chaosDisk {
+			args = append(args, "-chaos-seed", strconv.FormatInt(f.chaosSeed+int64(i), 10))
 		}
 		cmd := exec.Command(exe, args...)
 		cmd.Stdout = os.Stderr

@@ -50,6 +50,8 @@ import (
 	"syscall"
 	"time"
 
+	"kard/internal/diskfault"
+	"kard/internal/faultinject"
 	"kard/internal/report"
 	"kard/internal/service"
 )
@@ -81,12 +83,23 @@ func main() {
 		maxAttempts  = flag.Int("max-attempts", 3, "assignment attempts per cell before it settles as failed")
 		supervise    = flag.Bool("supervise", false, "with -cluster: run the coordinator as a supervised child and restart it over the same journal after an abnormal exit (requires a fixed -listen address)")
 		chaosNet     = flag.Bool("chaos-net", false, "worker mode: inject the seeded default network fault plan (drops, delays, duplicates, lost responses, partition bursts) into every coordinator RPC")
-		chaosSeed    = flag.Int64("chaos-seed", 1, "seed for the -chaos-net fault schedule (same seed = same schedule)")
+		chaosDisk    = flag.Bool("chaos-disk", false, "inject the seeded default disk fault plan (short writes, ENOSPC, fsync EIO, read bit flips, lost renames) into journal and cache I/O (DESIGN.md §11)")
+		chaosSeed    = flag.Int64("chaos-seed", 1, "seed for the -chaos-net / -chaos-disk fault schedules (same seed = same schedule)")
+		compactEvery = flag.Int("compact-every", 0, "snapshot and truncate the WAL after this many appends (0 = default cadence, negative = never compact)")
 	)
 	flag.Parse()
 
 	logf := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "kardd: "+format+"\n", args...)
+	}
+
+	if *chaosDisk {
+		diskfault.Arm(*chaosSeed, faultinject.DefaultDiskPlan())
+		logf("chaos-disk enabled (seed %d): injecting the default disk fault plan into journal and cache I/O", *chaosSeed)
+		defer func() {
+			st := diskfault.Active().Stats()
+			logf("diskfault stats: injected=%d by-site=%v", st.Injected, st.BySite)
+		}()
 	}
 
 	if *worker || *clusterN > 0 {
@@ -96,7 +109,8 @@ func main() {
 			coordinator: *coordinator, workerName: *workerName,
 			hbTimeout: *hbTimeout, cellDeadline: *cellDeadline, maxAttempts: *maxAttempts,
 			cellTimeout: *cellTimeout, maxFrames: *maxFrames, maxRWKeys: *maxRWKeys,
-			supervise: *supervise, chaosNet: *chaosNet, chaosSeed: *chaosSeed,
+			supervise: *supervise, chaosNet: *chaosNet, chaosDisk: *chaosDisk,
+			chaosSeed: *chaosSeed, compactEvery: *compactEvery,
 		}
 		switch {
 		case *worker:
@@ -109,16 +123,24 @@ func main() {
 		return
 	}
 	srv, err := service.Open(service.Config{
-		Dir:         *dir,
-		QueueDepth:  *queue,
-		Workers:     *workers,
-		CellWorkers: *cellWorkers,
+		Dir:          *dir,
+		QueueDepth:   *queue,
+		Workers:      *workers,
+		CellWorkers:  *cellWorkers,
+		CompactEvery: *compactEvery,
 		Defaults: service.ServerDefaults{
 			CellTimeout: *cellTimeout,
 			MaxFrames:   *maxFrames,
 			MaxRWKeys:   *maxRWKeys,
 		},
 		Logf: logf,
+		// A poisoned journal (first fsync failure) is fail-stop: exit
+		// abnormally so a supervisor restarts us over the intact prefix
+		// instead of acknowledging work that was never durable.
+		OnStorageFatal: func(err error) {
+			logf("FATAL storage error: %v; exiting so a supervisor can restart over the intact journal", err)
+			os.Exit(3)
+		},
 	})
 	if err != nil {
 		fatal(err)

@@ -1,0 +1,169 @@
+// Command kardfsck is the offline storage verifier: it walks a kardd
+// state directory — service journal, cluster assignment journal, result
+// cache, shared artifact store — and validates every frame CRC, every
+// snapshot linkage, and every cache entry checksum without modifying a
+// byte. It answers the question an operator has after a disk incident,
+// before restarting anything: "what will recovery salvage, and what is
+// already lost?" (OPERATIONS.md §9, DESIGN.md §11.)
+//
+// Usage:
+//
+//	kardfsck -dir state            # verify everything under a state dir
+//	kardfsck -dir state -json      # machine-readable report
+//	kardfsck state/journal.wal     # verify specific journals only
+//
+// Exit status: 0 when every examined artifact is clean (a torn WAL tail
+// is clean — it is the expected shape after any crash), 1 when recovery
+// would quarantine corruption or a snapshot is damaged, 2 on usage or
+// I/O errors. Read-only: safe against a live daemon's directory.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"kard/internal/harness"
+	"kard/internal/service/journal"
+)
+
+// fsckReport is the -json output shape.
+type fsckReport struct {
+	Journals []journal.Report      `json:"journals,omitempty"`
+	Caches   []harness.CacheReport `json:"caches,omitempty"`
+	Clean    bool                  `json:"clean"`
+}
+
+func main() {
+	var (
+		dir      = flag.String("dir", "", "kardd state directory to verify (journal.wal, cluster.wal, cache/, store/)")
+		jsonOut  = flag.Bool("json", false, "emit the report as JSON instead of prose")
+		quietOut = flag.Bool("q", false, "print only problems (and the final verdict)")
+	)
+	flag.Parse()
+
+	var wals, cacheDirs []string
+	if *dir != "" {
+		for _, name := range []string{"journal.wal", "cluster.wal"} {
+			if p := filepath.Join(*dir, name); exists(p) {
+				wals = append(wals, p)
+			}
+		}
+		for _, name := range []string{"cache", "store"} {
+			if p := filepath.Join(*dir, name); exists(p) {
+				cacheDirs = append(cacheDirs, p)
+			}
+		}
+	}
+	wals = append(wals, flag.Args()...)
+	if len(wals) == 0 && len(cacheDirs) == 0 {
+		fmt.Fprintln(os.Stderr, "kardfsck: nothing to verify (pass -dir or journal paths)")
+		os.Exit(2)
+	}
+
+	rep := fsckReport{Clean: true}
+	failed := false
+	for _, w := range wals {
+		r, err := journal.Verify(w)
+		if err != nil {
+			if errors.Is(err, journal.ErrNotJournal) {
+				fmt.Fprintf(os.Stderr, "kardfsck: %s: not a kard journal\n", w)
+			} else {
+				fmt.Fprintf(os.Stderr, "kardfsck: %s: %v\n", w, err)
+			}
+			failed = true
+			continue
+		}
+		rep.Journals = append(rep.Journals, r)
+		if !r.Clean() {
+			rep.Clean = false
+		}
+		if !*jsonOut && (!*quietOut || !r.Clean()) {
+			printJournal(r)
+		}
+	}
+	for _, d := range cacheDirs {
+		r, err := harness.VerifyCache(d)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kardfsck: %s: %v\n", d, err)
+			failed = true
+			continue
+		}
+		rep.Caches = append(rep.Caches, r)
+		if !r.Clean() {
+			rep.Clean = false
+		}
+		if !*jsonOut && (!*quietOut || !r.Clean()) {
+			printCache(r)
+		}
+	}
+
+	switch {
+	case *jsonOut:
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintf(os.Stderr, "kardfsck: %v\n", err)
+			failed = true
+		}
+	case rep.Clean && !failed:
+		fmt.Println("kardfsck: clean")
+	default:
+		fmt.Println("kardfsck: UNCLEAN (recovery will quarantine state; see above)")
+	}
+	if failed {
+		os.Exit(2)
+	}
+	if !rep.Clean {
+		os.Exit(1)
+	}
+}
+
+// printJournal renders one journal's verdict in a line or two of prose.
+func printJournal(r journal.Report) {
+	state := "clean"
+	if !r.Clean() {
+		state = "UNCLEAN"
+	}
+	fmt.Printf("%s: %s: generation %d, %d wal records", r.Path, state, r.Generation, r.IntactRecords)
+	if r.SnapshotLinked {
+		switch {
+		case r.SnapshotOK:
+			fmt.Printf(", snapshot ok (%d records, %d B)", r.SnapshotRecords, r.SnapshotBytes)
+		case r.SnapshotPresent:
+			fmt.Printf(", snapshot CORRUPT (replay recomputes settled state from the WAL)")
+		default:
+			fmt.Printf(", snapshot MISSING (replay recomputes settled state from the WAL)")
+		}
+	}
+	if r.TornBytes > 0 {
+		fmt.Printf(", torn tail %d B (normal after a crash; replay truncates it)", r.TornBytes)
+	}
+	fmt.Println()
+	if r.CorruptRegions > 0 {
+		fmt.Printf("%s:   %d corrupt mid-file region(s), %d B, will be quarantined; %d record(s) salvageable beyond them\n",
+			r.Path, r.CorruptRegions, r.CorruptBytes, r.SalvagedRecords)
+	}
+}
+
+// printCache renders one artifact-store verdict.
+func printCache(r harness.CacheReport) {
+	state := "clean"
+	if !r.Clean() {
+		state = "UNCLEAN"
+	}
+	fmt.Printf("%s: %s: %d entries, %d valid, %d corrupt, %d already quarantined, %d temp leftovers\n",
+		r.Dir, state, r.Entries, r.Valid, len(r.Corrupt), r.Quarantined, r.TempLeftovers)
+	for _, name := range r.Corrupt {
+		fmt.Printf("%s:   corrupt entry %s (a live read would quarantine and recompute it)\n", r.Dir, name)
+	}
+}
+
+// exists reports whether a path is present (file or directory).
+func exists(p string) bool {
+	_, err := os.Stat(p)
+	return err == nil
+}

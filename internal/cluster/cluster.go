@@ -90,6 +90,12 @@ type Config struct {
 	// re-admitted under its old ID (no 410, no rejoin churn); one that
 	// stays silent is declared dead as usual. Default 2×HeartbeatTimeout.
 	RejoinGrace time.Duration
+	// CompactEvery is how many assignment-journal appends may accumulate
+	// before the WAL is compacted: the matrix identity, settled cells,
+	// and live workers move into the checksummed snapshot and the WAL
+	// restarts empty (DESIGN.md §11). 0 means the default (1024);
+	// negative disables compaction.
+	CompactEvery int
 	// Logf, when non-nil, receives operational log lines.
 	Logf func(format string, args ...any)
 }
@@ -107,6 +113,9 @@ func (c *Config) defaults() {
 	if c.RejoinGrace <= 0 {
 		c.RejoinGrace = 2 * c.HeartbeatTimeout
 	}
+	if c.CompactEvery == 0 {
+		c.CompactEvery = 1024
+	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
 	}
@@ -119,6 +128,7 @@ type record struct {
 	T           string          `json:"t"` // matrix | join | assign | complete | dead
 	Fingerprint string          `json:"fp,omitempty"`
 	Cells       int             `json:"cells,omitempty"`
+	Seq         int             `json:"seq,omitempty"` // worker-ID counter floor (snapshot matrix records)
 	Worker      string          `json:"worker,omitempty"`
 	Name        string          `json:"name,omitempty"`
 	Cell        int             `json:"cell"`
@@ -186,17 +196,18 @@ type Coordinator struct {
 	specs []harness.Spec
 	jr    *journal.Journal
 
-	mu         sync.Mutex
-	cells      []cell
-	workers    map[string]*workerState
-	pending    []int // requeueable cell indices, ascending
-	remaining  int   // cells not yet done or failed
-	seq        int   // worker ID counter
-	reassigned uint64
-	rejoined   uint64
-	dedupHits  uint64
-	closed     bool
-	doneCh     chan struct{}
+	mu           sync.Mutex
+	cells        []cell
+	workers      map[string]*workerState
+	pending      []int // requeueable cell indices, ascending
+	remaining    int   // cells not yet done or failed
+	seq          int   // worker ID counter
+	reassigned   uint64
+	rejoined     uint64
+	dedupHits    uint64
+	sinceCompact int // journal appends since the last WAL compaction
+	closed       bool
+	doneCh       chan struct{}
 
 	// rids is the request-ID dedup window (DESIGN.md §9, "Retries and
 	// idempotency"): a retried join/lease/complete whose rid is here is
@@ -308,6 +319,11 @@ func (c *Coordinator) replay(payloads [][]byte) error {
 				return fmt.Errorf("%w: journal %s/%d cells, specs %s/%d cells",
 					ErrMatrixMismatch, r.Fingerprint, r.Cells, fp, len(c.specs))
 			}
+			// Snapshot matrix records carry the worker-ID counter floor,
+			// so IDs stay unique even after join records are compacted.
+			if r.Seq > c.seq {
+				c.seq = r.Seq
+			}
 		case "join":
 			c.seq++ // keep IDs unique across incarnations in the audit trail
 			if r.Worker != "" {
@@ -389,7 +405,81 @@ func (c *Coordinator) appendLocked(r record) {
 	}
 	if err != nil {
 		c.cfg.Logf("cluster: journal append failed (recomputable after a crash): %v", err)
+		return
 	}
+	// Count the append but do NOT compact here: Complete journals before
+	// it settles the cell in memory, and a snapshot taken in that window
+	// would drop the record being appended. Compaction happens at the
+	// consistency points that call maybeCompactLocked explicitly.
+	c.sinceCompact++
+}
+
+// maybeCompactLocked compacts the assignment WAL on cadence: matrix
+// identity, settled cells, live workers, and the worker-ID floor move
+// into the checksummed snapshot and the WAL restarts empty. Failure is
+// non-fatal — the uncompacted WAL stays authoritative. Callers hold c.mu.
+func (c *Coordinator) maybeCompactLocked() {
+	if c.cfg.CompactEvery <= 0 || c.sinceCompact < c.cfg.CompactEvery || c.closed {
+		return
+	}
+	payloads, err := c.snapshotLocked()
+	if err != nil {
+		c.cfg.Logf("cluster: compaction snapshot encode failed: %v", err)
+		return
+	}
+	if err := c.jr.Compact(payloads); err != nil {
+		c.cfg.Logf("cluster: journal compaction failed (WAL keeps growing): %v", err)
+		return
+	}
+	c.sinceCompact = 0
+	c.cfg.Logf("cluster: journal compacted to %d snapshot records", len(payloads))
+}
+
+// snapshotLocked serializes the coordinator's recoverable state as a
+// record sequence whose replay reconstructs it: the matrix record first
+// (replay validates index 0), one complete per settled cell in cell
+// order, and one join per live worker. Open leases are deliberately
+// absent — replay requeues their cells exactly as it does after a crash.
+// Callers hold c.mu.
+func (c *Coordinator) snapshotLocked() ([][]byte, error) {
+	var payloads [][]byte
+	add := func(r record) error {
+		b, err := json.Marshal(r)
+		if err != nil {
+			return err
+		}
+		payloads = append(payloads, b)
+		return nil
+	}
+	if err := add(record{T: "matrix", Fingerprint: fingerprint(c.specs), Cells: len(c.specs), Seq: c.seq}); err != nil {
+		return nil, err
+	}
+	for i := range c.cells {
+		cl := &c.cells[i]
+		switch cl.status {
+		case cellDone:
+			if err := add(record{T: "complete", Worker: cl.worker, Cell: i, Cached: cl.cached, Result: cl.result}); err != nil {
+				return nil, err
+			}
+		case cellFailed:
+			if err := add(record{T: "complete", Worker: cl.worker, Cell: i, Err: cl.err}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	ids := make([]string, 0, len(c.workers))
+	for id, w := range c.workers {
+		if !w.dead {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		if err := add(record{T: "join", Worker: id, Name: c.workers[id].name}); err != nil {
+			return nil, err
+		}
+	}
+	return payloads, nil
 }
 
 // Join registers a worker and returns its ID. The name is operator-facing
@@ -413,6 +503,7 @@ func (c *Coordinator) Join(name, rid string) (string, error) {
 	obs.Std.ClusterWorkersLive.Inc()
 	c.addRidLocked(rid, dedupAnswer{worker: id})
 	c.appendLocked(record{T: "join", Worker: id, Name: name, Rid: rid})
+	c.maybeCompactLocked()
 	c.cfg.Logf("cluster: worker %s (%s) joined", id, name)
 	return id, nil
 }
@@ -531,6 +622,7 @@ func (c *Coordinator) Lease(id, rid string) (Lease, error) {
 	l := Lease{State: LeaseCell, Cell: i, Spec: c.specs[i]}
 	c.addRidLocked(rid, dedupAnswer{lease: &l})
 	c.appendLocked(record{T: "assign", Worker: id, Cell: i, Attempt: cl.attempts, Rid: rid})
+	c.maybeCompactLocked()
 	return l, nil
 }
 
@@ -607,6 +699,7 @@ func (c *Coordinator) Complete(id string, i int, rid string, res *harness.Result
 	if c.remaining == 0 {
 		close(c.doneCh)
 	}
+	c.maybeCompactLocked()
 	return nil
 }
 
@@ -674,6 +767,7 @@ func (c *Coordinator) sweep() {
 			c.revokeLocked(i, "assignment stalled")
 		}
 	}
+	c.maybeCompactLocked()
 }
 
 // revokeLocked returns an assigned cell to the pending queue — or, past
@@ -698,6 +792,7 @@ func (c *Coordinator) revokeLocked(i int, why string) {
 			close(c.doneCh)
 		}
 		c.cfg.Logf("%s", msg)
+		c.maybeCompactLocked()
 		return
 	}
 	cl.status, cl.worker = cellPending, ""

@@ -1,0 +1,92 @@
+package cluster_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"kard/internal/cluster"
+	"kard/internal/harness"
+	"kard/internal/service/journal"
+)
+
+// TestClusterCompactionEquivalence drives a coordinator whose assignment
+// WAL compacts every few appends through a full matrix (with a restart
+// in the middle), and checks three things: the verdicts are identical to
+// a single-process run, the journal on disk carries a snapshot
+// generation, and a fresh replay of snapshot + WAL restores every
+// settled cell without recomputation.
+func TestClusterCompactionEquivalence(t *testing.T) {
+	specs := testSpecs()
+	ref := canonical(t, harness.RunMatrix(2, specs))
+	dir := t.TempDir()
+	cfg := cluster.Config{Dir: dir, CompactEvery: 3}
+
+	c1, err := cluster.New(cfg, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := c1.Join("first-half", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Settle half the matrix, compacting all the while.
+	for i := 0; i < len(specs)/2; i++ {
+		l, err := c1.Lease(w, "")
+		if err != nil || l.State != cluster.LeaseCell {
+			t.Fatalf("lease %d: %+v, %v", i, l, err)
+		}
+		res, err := harness.Run(l.Spec.Options)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c1.Complete(w, l.Cell, "", res, "", false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := journal.Verify(filepath.Join(dir, "cluster.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() || rep.Generation == 0 || !rep.SnapshotOK {
+		t.Fatalf("mid-run compacted journal report: %+v", rep)
+	}
+
+	// Restart: the compacted journal must restore every settled cell.
+	c2, err := cluster.New(cfg, specs)
+	if err != nil {
+		t.Fatalf("reopen over compacted journal: %v", err)
+	}
+	defer c2.Close()
+	if got := c2.Stats().Done; got != len(specs)/2 {
+		t.Fatalf("after reopen Done = %d, want %d", got, len(specs)/2)
+	}
+
+	// Finish the rest and compare end-to-end verdicts.
+	w2, err := c2.Join("second-half", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		l, err := c2.Lease(w2, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l.State != cluster.LeaseCell {
+			break
+		}
+		res, err := harness.Run(l.Spec.Options)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c2.Complete(w2, l.Cell, "", res, "", false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := canonical(t, c2.Results()); got != ref {
+		t.Fatalf("compacted-cluster verdicts differ from single-process run:\ncluster:\n%s\nsingle:\n%s", got, ref)
+	}
+}

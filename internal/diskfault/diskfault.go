@@ -1,0 +1,195 @@
+// Package diskfault is the storage arm of the seeded deterministic
+// fault-injection layer: a process-wide shim the byte-persisting layers
+// (the WAL in internal/service/journal, the artifact store in
+// internal/harness) consult at every write, fsync, rename, and read.
+// It reuses internal/faultinject's plan machinery — the same Rule
+// semantics, the same seeded decisions — so storage chaos reproduces
+// exactly like network chaos does: two runs with the same seed and plan
+// inject the same fault schedule.
+//
+// Unlike the simulation's Injector (serialized by the engine), storage
+// operations arrive from concurrent goroutines: journal appenders, cache
+// writers on every matrix worker, replay at startup. The Shim therefore
+// wraps its Injector in a mutex; decisions stay deterministic per
+// (site, attempt) pair, with attempt numbers assigned in arrival order.
+//
+// The consuming layers absorb every injected fault without changing
+// verdict bytes: short writes and ENOSPC are rolled back and retried
+// (or dropped, for best-effort cache writes), read bit-flips are caught
+// by checksums and quarantined-then-recomputed, rename drops cost a
+// cache entry, and fsync EIO poisons the journal so the daemon
+// fail-stops and recovers by deterministic replay (DESIGN.md §11).
+package diskfault
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"kard/internal/faultinject"
+	"kard/internal/obs"
+)
+
+// Sentinel error shapes the shim dresses injected faults in, so consuming
+// layers and logs read like the real failures they model.
+var (
+	// ErrNoSpace models ENOSPC.
+	ErrNoSpace = errors.New("no space left on device (injected)")
+	// ErrIO models EIO from fsync.
+	ErrIO = errors.New("input/output error (injected)")
+)
+
+// Shim makes the per-operation decisions for one fault schedule. All
+// methods are nil-safe: a nil *Shim never fires, so storage layers hold
+// an optional shim without guarding call sites.
+type Shim struct {
+	mu sync.Mutex
+	in *faultinject.Injector
+}
+
+// New creates a shim for the given seed and plan. An empty plan returns
+// nil (never fires).
+func New(seed int64, plan faultinject.Plan) *Shim {
+	if plan.Empty() {
+		return nil
+	}
+	return &Shim{in: faultinject.New(seed, plan)}
+}
+
+// active is the process-global shim consulted by layers that open their
+// files deep inside Open paths (the journal, the cache). nil = no faults.
+var active atomic.Pointer[Shim]
+
+// Arm installs the process-global shim (kardd -chaos-disk). Journals and
+// caches opened after Arm consult it on every operation.
+func Arm(seed int64, plan faultinject.Plan) { active.Store(New(seed, plan)) }
+
+// Disarm removes the process-global shim. Already-open journals and
+// caches keep the shim they captured.
+func Disarm() { active.Store(nil) }
+
+// Active returns the process-global shim, nil when disarmed.
+func Active() *Shim { return active.Load() }
+
+// count mirrors one firing onto the per-site storage metrics.
+func count(site faultinject.Site) {
+	switch site {
+	case faultinject.SiteDiskWriteShort:
+		obs.Std.StorageFaultWriteShort.Inc()
+	case faultinject.SiteDiskENOSPC:
+		obs.Std.StorageFaultENOSPC.Inc()
+	case faultinject.SiteDiskFsyncEIO:
+		obs.Std.StorageFaultFsyncEIO.Inc()
+	case faultinject.SiteDiskReadBitflip:
+		obs.Std.StorageFaultReadBitflip.Inc()
+	case faultinject.SiteDiskRenameDrop:
+		obs.Std.StorageFaultRenameDrop.Inc()
+	}
+}
+
+// WriteFault consults the write sites for a write of n bytes. It returns
+// (0, nil) to proceed normally; otherwise err is the injected fault and
+// short is how many leading bytes the caller must still write before
+// failing (0 for ENOSPC, 0 < short < n for a torn write), physically
+// leaving the tear the fault models.
+func (s *Shim) WriteFault(n int) (short int, err error) {
+	if s == nil || n <= 0 {
+		return 0, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ferr := s.in.Fail(faultinject.SiteDiskENOSPC); ferr != nil {
+		count(faultinject.SiteDiskENOSPC)
+		return 0, fmt.Errorf("diskfault: write: %w: %w", ErrNoSpace, ferr)
+	}
+	if ferr := s.in.Fail(faultinject.SiteDiskWriteShort); ferr != nil {
+		count(faultinject.SiteDiskWriteShort)
+		var fe *faultinject.Error
+		errors.As(ferr, &fe)
+		// Deterministic tear point in [1, n): keyed by the site attempt.
+		short = 1 + int(fe.Seq%uint64(n))
+		if short >= n {
+			short = n - 1
+		}
+		return short, fmt.Errorf("diskfault: short write (%d of %d bytes): %w", short, n, ferr)
+	}
+	return 0, nil
+}
+
+// FsyncFault consults the fsync site. A non-nil return models EIO: the
+// kernel dropped dirty pages, and the caller must treat the file's
+// durability as unknown (the journal poisons itself).
+func (s *Shim) FsyncFault() error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ferr := s.in.Fail(faultinject.SiteDiskFsyncEIO); ferr != nil {
+		count(faultinject.SiteDiskFsyncEIO)
+		return fmt.Errorf("diskfault: fsync: %w: %w", ErrIO, ferr)
+	}
+	return nil
+}
+
+// RenameFault consults the rename site. A non-nil return means the
+// caller must not perform the rename (the publish step is lost).
+func (s *Shim) RenameFault() error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ferr := s.in.Fail(faultinject.SiteDiskRenameDrop); ferr != nil {
+		count(faultinject.SiteDiskRenameDrop)
+		return fmt.Errorf("diskfault: rename dropped: %w", ferr)
+	}
+	return nil
+}
+
+// CorruptRead consults the bit-flip site for a read that returned buf and
+// flips one deterministic bit in place when it fires, reporting whether
+// it did. Callers pass the buffer they are about to trust; the flip is
+// what their checksums exist to catch.
+func (s *Shim) CorruptRead(buf []byte) bool {
+	if s == nil || len(buf) == 0 {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ferr := s.in.Fail(faultinject.SiteDiskReadBitflip)
+	if ferr == nil {
+		return false
+	}
+	count(faultinject.SiteDiskReadBitflip)
+	var fe *faultinject.Error
+	errors.As(ferr, &fe)
+	// Deterministic victim bit: mix the attempt number so consecutive
+	// firings scatter across the buffer.
+	x := fe.Seq * 0x9e3779b97f4a7c15
+	buf[x%uint64(len(buf))] ^= 1 << ((x >> 32) % 8)
+	return true
+}
+
+// NoteRetry records one retry a consuming layer performed in response to
+// a transient injected disk fault.
+func (s *Shim) NoteRetry() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.in.NoteRetry()
+	s.mu.Unlock()
+}
+
+// Stats returns a snapshot of the shim's injector counters. A nil shim
+// returns zero stats.
+func (s *Shim) Stats() faultinject.Stats {
+	if s == nil {
+		return faultinject.Stats{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.in.Stats()
+}

@@ -1,0 +1,168 @@
+package diskfault
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+
+	"kard/internal/faultinject"
+)
+
+// plan with every disk site firing on a short, distinct cadence.
+func testPlan() faultinject.Plan {
+	return faultinject.Plan{Sites: map[faultinject.Site]faultinject.Rule{
+		faultinject.SiteDiskWriteShort:  {Every: 3, Transient: true},
+		faultinject.SiteDiskENOSPC:      {Every: 4, Transient: true},
+		faultinject.SiteDiskFsyncEIO:    {Every: 5, Max: 2},
+		faultinject.SiteDiskReadBitflip: {Every: 2, Max: 4},
+		faultinject.SiteDiskRenameDrop:  {Every: 3, Transient: true},
+	}}
+}
+
+func TestNilShimNeverFires(t *testing.T) {
+	var s *Shim
+	if short, err := s.WriteFault(100); short != 0 || err != nil {
+		t.Fatalf("nil WriteFault = %d, %v", short, err)
+	}
+	if err := s.FsyncFault(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RenameFault(); err != nil {
+		t.Fatal(err)
+	}
+	buf := []byte("untouched")
+	if s.CorruptRead(buf) || string(buf) != "untouched" {
+		t.Fatal("nil CorruptRead modified the buffer")
+	}
+	s.NoteRetry()
+	if st := s.Stats(); st.Injected != 0 {
+		t.Fatalf("nil Stats = %+v", st)
+	}
+	if New(1, faultinject.Plan{}) != nil {
+		t.Fatal("empty plan must produce a nil shim")
+	}
+}
+
+// TestDeterministicSchedule: two shims with the same seed and plan make
+// identical decisions at every site — the property that lets a chaos
+// failure reproduce from its seed.
+func TestDeterministicSchedule(t *testing.T) {
+	run := func() (faults []string, tears []int, flips [][]byte) {
+		s := New(99, testPlan())
+		for i := 0; i < 40; i++ {
+			short, err := s.WriteFault(64)
+			faults = append(faults, errStr(err))
+			tears = append(tears, short)
+			faults = append(faults, errStr(s.FsyncFault()), errStr(s.RenameFault()))
+			buf := bytes.Repeat([]byte{0xAA}, 16)
+			s.CorruptRead(buf)
+			flips = append(flips, buf)
+		}
+		return
+	}
+	f1, t1, b1 := run()
+	f2, t2, b2 := run()
+	for i := range f1 {
+		if f1[i] != f2[i] {
+			t.Fatalf("decision %d diverged: %q vs %q", i, f1[i], f2[i])
+		}
+	}
+	for i := range t1 {
+		if t1[i] != t2[i] {
+			t.Fatalf("tear point %d diverged: %d vs %d", i, t1[i], t2[i])
+		}
+		if t1[i] < 0 || t1[i] >= 64 {
+			t.Fatalf("tear point %d out of [0, 64): %d", i, t1[i])
+		}
+	}
+	for i := range b1 {
+		if !bytes.Equal(b1[i], b2[i]) {
+			t.Fatalf("bit flip %d diverged", i)
+		}
+	}
+}
+
+// TestErrorShapes: injected faults unwrap to their sentinel models so
+// consuming layers can classify them like real syscall failures.
+func TestErrorShapes(t *testing.T) {
+	s := New(1, faultinject.Plan{Sites: map[faultinject.Site]faultinject.Rule{
+		faultinject.SiteDiskENOSPC:   {Every: 1, Max: 1},
+		faultinject.SiteDiskFsyncEIO: {Every: 1, Max: 1},
+	}})
+	if _, err := s.WriteFault(10); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("WriteFault = %v, want ErrNoSpace", err)
+	}
+	if err := s.FsyncFault(); !errors.Is(err, ErrIO) {
+		t.Fatalf("FsyncFault = %v, want ErrIO", err)
+	}
+	st := s.Stats()
+	if st.Injected != 2 {
+		t.Fatalf("stats = %+v, want 2 injected", st)
+	}
+}
+
+// TestCorruptReadFlipsExactlyOneBit: the flip models bit rot, not
+// garbage — checksums must face a minimal, deterministic mutation.
+func TestCorruptReadFlipsExactlyOneBit(t *testing.T) {
+	s := New(7, faultinject.Plan{Sites: map[faultinject.Site]faultinject.Rule{
+		faultinject.SiteDiskReadBitflip: {Every: 1, Max: 8},
+	}})
+	for i := 0; i < 8; i++ {
+		orig := bytes.Repeat([]byte{0x55}, 32)
+		buf := append([]byte(nil), orig...)
+		if !s.CorruptRead(buf) {
+			t.Fatalf("flip %d did not fire", i)
+		}
+		diff := 0
+		for k := range buf {
+			for b := 0; b < 8; b++ {
+				if (buf[k]^orig[k])&(1<<b) != 0 {
+					diff++
+				}
+			}
+		}
+		if diff != 1 {
+			t.Fatalf("flip %d changed %d bits, want exactly 1", i, diff)
+		}
+	}
+}
+
+// TestArmDisarm: the process-global slot installs and clears, and
+// concurrent use of one shim is race-clean (run with -race).
+func TestArmDisarm(t *testing.T) {
+	Arm(3, testPlan())
+	defer Disarm()
+	s := Active()
+	if s == nil {
+		t.Fatal("Arm did not install a shim")
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				s.WriteFault(32)
+				s.FsyncFault()
+				s.RenameFault()
+				s.CorruptRead(make([]byte, 8))
+			}
+		}()
+	}
+	wg.Wait()
+	if st := s.Stats(); st.Injected == 0 {
+		t.Fatalf("no faults injected across 6400 concurrent ops: %+v", st)
+	}
+	Disarm()
+	if Active() != nil {
+		t.Fatal("Disarm left a shim armed")
+	}
+}
+
+func errStr(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}

@@ -82,6 +82,32 @@ const (
 	// SiteNetSever models a partition window: while it fires (use Burst),
 	// every request fails without reaching the server.
 	SiteNetSever Site = "net.sever"
+
+	// The disk.* sites extend the plan machinery to the storage layer
+	// (internal/diskfault): journal appends, snapshot/compaction writes,
+	// and artifact-store reads and writes all pass one process-wide shim.
+	// The consuming layers are the WAL's rollback/poison logic, the
+	// cache's quarantine-and-recompute path, and replay's corruption
+	// salvage — an injected disk fault must never change verdict bytes,
+	// only what gets recomputed or which incarnation computed it.
+
+	// SiteDiskWriteShort tears a write: only a deterministic prefix of
+	// the buffer reaches the file before the error returns (the classic
+	// torn-write crash shape, delivered while the process lives).
+	SiteDiskWriteShort Site = "disk.write.short"
+	// SiteDiskENOSPC fails a write outright with no bytes written
+	// (ENOSPC: the filesystem is full).
+	SiteDiskENOSPC Site = "disk.write.enospc"
+	// SiteDiskFsyncEIO fails an fsync (EIO: the device lost dirty pages).
+	// Per the fsyncgate contract the journal poisons itself — fail-stop —
+	// rather than retrying a sync whose pages the kernel already dropped.
+	SiteDiskFsyncEIO Site = "disk.fsync.eio"
+	// SiteDiskReadBitflip corrupts a read: one deterministic bit of the
+	// returned buffer flips (media bit rot surfacing at read time).
+	SiteDiskReadBitflip Site = "disk.read.bitflip"
+	// SiteDiskRenameDrop fails the atomic-rename publish step of a
+	// tempfile write (the file never appears under its final name).
+	SiteDiskRenameDrop Site = "disk.rename.drop"
 )
 
 // Rule decides when a site fires. A zero rule never fires. Every and
@@ -166,6 +192,24 @@ func DefaultNetPlan() Plan {
 		SiteNetReqDup:   {Every: 11, Transient: true},
 		SiteNetRespDrop: {Every: 13, Transient: true},
 		SiteNetSever:    {Every: 41, Burst: 6, Transient: true},
+	}}
+}
+
+// DefaultDiskPlan is the storage chaos plan scripts/diskfault.sh arms via
+// `kardd -chaos-disk`: short writes, ENOSPC, and rename drops are
+// transient (the journal rolls back and retries, the cache write is
+// best-effort), read bit-flips exercise the quarantine-and-recompute
+// paths, and the rare fsync EIO poisons the journal so the daemon
+// fail-stops and recovers by replay. The Every periods are co-prime so
+// sites fire independently; fsync EIO is capped per incarnation so each
+// restart makes durable progress before the next poison.
+func DefaultDiskPlan() Plan {
+	return Plan{Sites: map[Site]Rule{
+		SiteDiskWriteShort:  {Every: 11, Transient: true},
+		SiteDiskENOSPC:      {Every: 7, Transient: true},
+		SiteDiskFsyncEIO:    {Every: 23, Max: 1},
+		SiteDiskReadBitflip: {Every: 5, Max: 3},
+		SiteDiskRenameDrop:  {Every: 3, Transient: true},
 	}}
 }
 

@@ -6,10 +6,13 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 	"time"
 
+	"kard/internal/diskfault"
+	"kard/internal/faultinject"
 	"kard/internal/sim"
 )
 
@@ -97,14 +100,18 @@ func TestCacheCorruptEntryIsMiss(t *testing.T) {
 	if _, ok := c.Get(spec); ok {
 		t.Error("corrupt entry served as a hit")
 	}
-	// The poison file is deleted eagerly, not merely ignored: even if no
-	// fresh run ever stores a replacement, the next invocation must not
-	// trip over it again.
+	// The poison file is quarantined eagerly, not merely ignored: even if
+	// no fresh run ever stores a replacement, the next invocation must
+	// not trip over it again — but the bytes survive for triage.
 	if _, err := os.Stat(c.Path(spec)); !os.IsNotExist(err) {
 		t.Errorf("corrupt entry still on disk after Get: %v", err)
 	}
-	if st := c.Stats(); st.Corrupt != 1 {
-		t.Errorf("corrupt count = %d, want 1", st.Corrupt)
+	q := filepath.Join(dir, quarantineDir, filepath.Base(c.Path(spec)))
+	if data, err := os.ReadFile(q); err != nil || string(data) != "{truncated" {
+		t.Errorf("quarantined bytes = %q, %v; want the original corrupt file", data, err)
+	}
+	if st := c.Stats(); st.Corrupt != 1 || st.Quarantined != 1 {
+		t.Errorf("stats = %+v, want 1 corrupt / 1 quarantined", st)
 	}
 	// And a fresh run must recompute and store a good entry.
 	rs := RunMatrixContext(context.Background(), []Spec{spec}, MatrixOptions{Jobs: 1, Cache: c})
@@ -221,5 +228,80 @@ func TestCachePutWriteError(t *testing.T) {
 	}
 	if st := c.Stats(); st.WriteErrors != 1 {
 		t.Errorf("write errors = %d, want 1", st.WriteErrors)
+	}
+}
+
+// TestCacheChecksumCatchesBitFlip flips one byte inside a stored entry's
+// Result payload. The mutated file is still perfectly valid JSON — only
+// the CRC-32C can tell the result is no longer the one that was computed
+// — so serving it would silently corrupt a report. Get must quarantine
+// and miss.
+func TestCacheChecksumCatchesBitFlip(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := testSpec()
+	res := &Result{Stats: &sim.Stats{Seed: spec.Seed, ExecTime: 12345}}
+	if err := c.Put(spec, res); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(c.Path(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mutate one digit of the stored ExecTime — a JSON-preserving flip.
+	mut := []byte(strings.Replace(string(data), `"ExecTime":12345`, `"ExecTime":92345`, 1))
+	if string(mut) == string(data) {
+		t.Fatal("test setup: ExecTime field not found in entry")
+	}
+	if err := os.WriteFile(c.Path(spec), mut, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if json.Valid(mut) != true {
+		t.Fatal("test setup: mutation broke JSON validity, CRC not exercised")
+	}
+	if _, ok := c.Get(spec); ok {
+		t.Fatal("checksum-failing entry served as a hit")
+	}
+	if st := c.Stats(); st.Corrupt != 1 || st.Quarantined != 1 {
+		t.Fatalf("stats = %+v, want 1 corrupt / 1 quarantined", st)
+	}
+	if _, err := os.Stat(filepath.Join(dir, quarantineDir, filepath.Base(c.Path(spec)))); err != nil {
+		t.Fatalf("bit-flipped entry not quarantined: %v", err)
+	}
+}
+
+// TestCacheDiskFaultsBestEffort: with the disk-fault shim armed, cache
+// writes may be dropped (ENOSPC, torn writes, lost renames) and reads
+// may be bit-flipped — but Get/Put never propagate wrong data: every
+// fault degrades to a miss-and-recompute, and surviving entries are
+// intact.
+func TestCacheDiskFaultsBestEffort(t *testing.T) {
+	diskfault.Arm(42, faultinject.DefaultDiskPlan())
+	defer diskfault.Disarm()
+	dir := t.TempDir()
+	c, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := make([]Spec, 0, 12)
+	for seed := int64(1); seed <= 12; seed++ {
+		specs = append(specs, Spec{Options: Options{Workload: "memcached", Mode: ModeKard, Scale: 0.02, Seed: seed}})
+	}
+	var stored int
+	for _, s := range specs {
+		if err := c.Put(s, &Result{Stats: &sim.Stats{Seed: s.Seed}}); err == nil {
+			stored++
+		}
+	}
+	if stored == 0 || stored == len(specs) {
+		t.Fatalf("shim inactive or total: %d/%d puts landed", stored, len(specs))
+	}
+	for _, s := range specs {
+		if r, ok := c.Get(s); ok && r.Stats.Seed != s.Seed {
+			t.Fatalf("cache served a wrong result for seed %d: %+v", s.Seed, r)
+		}
 	}
 }

@@ -1,0 +1,81 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// CacheReport is the result of an offline VerifyCache walk — the
+// artifact-store half of kardfsck. It never mutates the store: corrupt
+// entries are listed, not quarantined, so the verifier is safe to run
+// against a live daemon's directory.
+type CacheReport struct {
+	// Dir is the cache root that was walked.
+	Dir string
+	// Entries is the number of *.json entry files examined.
+	Entries int
+	// Valid entries decoded and passed their CRC-32C.
+	Valid int
+	// Corrupt lists entry filenames (base names) that failed to decode
+	// or failed their checksum. A live Get would quarantine these.
+	Corrupt []string
+	// Quarantined is the number of files already sitting in the
+	// quarantine subdirectory from past failures — evidence, not damage.
+	Quarantined int
+	// TempLeftovers counts orphaned .put-* temp files (a crash mid-Put
+	// leaves at most the one being written; they are harmless but noted).
+	TempLeftovers int
+}
+
+// Clean reports whether every examined entry validated. Pre-existing
+// quarantine files and temp leftovers do not make a store unclean: they
+// are the debris of already-handled incidents.
+func (r CacheReport) Clean() bool { return len(r.Corrupt) == 0 }
+
+// VerifyCache walks a result-cache / artifact-store directory and
+// validates every entry: JSON decodes, the Result payload is present,
+// and its CRC-32C matches. Read-only.
+func VerifyCache(dir string) (CacheReport, error) {
+	rep := CacheReport{Dir: dir}
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return rep, fmt.Errorf("harness: verify cache: %w", err)
+	}
+	for _, de := range des {
+		name := de.Name()
+		switch {
+		case de.IsDir():
+			if name == quarantineDir {
+				if qs, err := os.ReadDir(filepath.Join(dir, name)); err == nil {
+					rep.Quarantined = len(qs)
+				}
+			}
+			continue
+		case filepath.Ext(name) != ".json":
+			if len(name) > 5 && name[:5] == ".put-" {
+				rep.TempLeftovers++
+			}
+			continue
+		}
+		rep.Entries++
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			rep.Corrupt = append(rep.Corrupt, name)
+			continue
+		}
+		var e cacheEntry
+		if json.Unmarshal(data, &e) != nil || e.Result == nil ||
+			crc32.Checksum(e.Result, crcCastagnoli) != e.CRC ||
+			!json.Valid(e.Result) {
+			rep.Corrupt = append(rep.Corrupt, name)
+			continue
+		}
+		rep.Valid++
+	}
+	sort.Strings(rep.Corrupt)
+	return rep, nil
+}

@@ -49,21 +49,31 @@ const (
 	// EvWorkerRejoin is a journaled worker re-admitted under its old
 	// identity after a coordinator restart (the rejoin grace window).
 	EvWorkerRejoin
+	// EvStorageQuarantine is a corrupt journal region, snapshot, or
+	// artifact-store entry quarantined instead of trusted (replay
+	// salvages the suffix; the lost state is recomputed).
+	EvStorageQuarantine
+	// EvStorageCompact is a WAL snapshot-and-truncate compaction: settled
+	// state moved to the checksummed snapshot, the WAL swapped for a
+	// truncated one.
+	EvStorageCompact
 )
 
 var kindNames = [...]string{
-	EvFault:           "fault",
-	EvPkeyDegrade:     "pkey-degrade",
-	EvPkeyRecycle:     "pkey-recycle",
-	EvAllocFallback:   "alloc-fallback",
-	EvBreakerTrip:     "breaker-trip",
-	EvJournalTruncate: "journal-truncate",
-	EvWatchdog:        "watchdog",
-	EvRunFail:         "run-fail",
-	EvWorkerDead:      "worker-dead",
-	EvCellReassign:    "cell-reassign",
-	EvSelfFence:       "self-fence",
-	EvWorkerRejoin:    "worker-rejoin",
+	EvFault:             "fault",
+	EvPkeyDegrade:       "pkey-degrade",
+	EvPkeyRecycle:       "pkey-recycle",
+	EvAllocFallback:     "alloc-fallback",
+	EvBreakerTrip:       "breaker-trip",
+	EvJournalTruncate:   "journal-truncate",
+	EvWatchdog:          "watchdog",
+	EvRunFail:           "run-fail",
+	EvWorkerDead:        "worker-dead",
+	EvCellReassign:      "cell-reassign",
+	EvSelfFence:         "self-fence",
+	EvWorkerRejoin:      "worker-rejoin",
+	EvStorageQuarantine: "storage-quarantine",
+	EvStorageCompact:    "storage-compact",
 }
 
 func (k EventKind) String() string {

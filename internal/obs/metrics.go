@@ -99,6 +99,19 @@ type Metrics struct {
 	ClusterWorkersRejoined *Counter
 	ClusterNetFaults       *Counter
 
+	// storage — WAL snapshot/compaction, corruption scrubbing, and the
+	// seeded disk-fault shim (DESIGN.md §11).
+	StorageCompactions        *Counter
+	StorageSnapshotBytes      *Gauge
+	StorageQuarantined        *Counter
+	StorageSalvagedRecords    *Counter
+	StorageCacheChecksumFails *Counter
+	StorageFaultWriteShort    *Counter
+	StorageFaultENOSPC        *Counter
+	StorageFaultFsyncEIO      *Counter
+	StorageFaultReadBitflip   *Counter
+	StorageFaultRenameDrop    *Counter
+
 	reg *Registry
 }
 
@@ -108,6 +121,10 @@ func RegisterMetrics(r *Registry) *Metrics {
 	stage := func(s string) *Histogram {
 		return r.Histogram("kard_core_fault_stage_cycles",
 			"Simulated-cycle cost of detector fault handling, by stage.", CycleBuckets, "stage", s)
+	}
+	diskFault := func(r *Registry, site string) *Counter {
+		return r.Counter("kard_storage_disk_faults_injected_total",
+			"Disk faults fired by the seeded storage fault shim, by site.", "site", site)
 	}
 	return &Metrics{
 		MemTLBHits:       r.Counter("kard_mem_tlb_hits_total", "TLB lookups served without a page-table walk."),
@@ -201,6 +218,22 @@ func RegisterMetrics(r *Registry) *Metrics {
 			"Journaled workers re-admitted under their old identity after a coordinator restart."),
 		ClusterNetFaults: r.Counter("kard_cluster_netfaults_injected_total",
 			"Network faults fired by the seeded fault transport (drops, delays, duplicates, severs)."),
+
+		StorageCompactions: r.Counter("kard_storage_compactions_total",
+			"WAL snapshot-and-truncate compactions completed."),
+		StorageSnapshotBytes: r.Gauge("kard_storage_snapshot_bytes",
+			"Size of the most recently written journal snapshot file."),
+		StorageQuarantined: r.Counter("kard_storage_quarantined_records_total",
+			"Corrupt mid-journal regions (and snapshots) quarantined during replay."),
+		StorageSalvagedRecords: r.Counter("kard_storage_salvaged_records_total",
+			"Intact records recovered from beyond a quarantined corrupt region."),
+		StorageCacheChecksumFails: r.Counter("kard_storage_cache_checksum_failures_total",
+			"Artifact-store entries whose checksum failed on read and were quarantined for recompute."),
+		StorageFaultWriteShort:  diskFault(r, "disk.write.short"),
+		StorageFaultENOSPC:      diskFault(r, "disk.write.enospc"),
+		StorageFaultFsyncEIO:    diskFault(r, "disk.fsync.eio"),
+		StorageFaultReadBitflip: diskFault(r, "disk.read.bitflip"),
+		StorageFaultRenameDrop:  diskFault(r, "disk.rename.drop"),
 
 		reg: r,
 	}

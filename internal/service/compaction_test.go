@@ -1,0 +1,187 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"kard/internal/diskfault"
+	"kard/internal/faultinject"
+	"kard/internal/harness"
+	"kard/internal/service/journal"
+)
+
+// TestCompactionEquivalence is the compaction acceptance check: a server
+// whose WAL compacts aggressively (every few appends) must, across a
+// drain and reopen, replay to verdicts byte-identical to a server that
+// never compacts — and the compacted WAL on disk must actually be
+// smaller state, not just the same records shuffled.
+func TestCompactionEquivalence(t *testing.T) {
+	specs := []JobSpec{
+		{ID: "j-aget", Workload: "aget", Modes: []harness.Mode{harness.ModeKard, harness.ModeBaseline},
+			Seeds: []int64{1, 2}, Scale: 0.05},
+		{ID: "j-pigz", Workload: "pigz", Modes: []harness.Mode{harness.ModeKard},
+			Seeds: []int64{1, 2}, Scale: 0.05},
+	}
+	run := func(dir string, compactEvery int) []byte {
+		s, err := Open(Config{Dir: dir, QueueDepth: 8, Workers: 1, CompactEvery: compactEvery, Logf: quiet(t)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, sp := range specs {
+			if _, err := s.Submit(sp); err != nil {
+				t.Fatalf("Submit(%s): %v", sp.ID, err)
+			}
+		}
+		drainT(t, s)
+		return canonVerdicts(s.Verdicts())
+	}
+
+	refDir, compDir := t.TempDir(), t.TempDir()
+	want := run(refDir, -1) // compaction disabled
+	got := run(compDir, 3)  // compact every 3 appends
+	if !bytes.Equal(want, got) {
+		t.Fatalf("compacted run verdicts differ:\n--- want\n%s--- got\n%s", want, got)
+	}
+
+	// The compacted directory holds a snapshot and a short WAL.
+	rep, err := journal.Verify(filepath.Join(compDir, "journal.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() || rep.Generation == 0 || !rep.SnapshotOK {
+		t.Fatalf("compacted journal report: %+v", rep)
+	}
+
+	// Reopen with no execution at all: replay of snapshot + WAL alone
+	// must carry identical verdicts.
+	jobs, st, err := Inspect(compDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Generation == 0 || st.SnapshotRecords == 0 {
+		t.Fatalf("inspect stats show no snapshot: %+v", st)
+	}
+	var replayOnly []*JobVerdict
+	for _, j := range jobs {
+		if j.State != StateDone || j.Verdict == nil {
+			t.Fatalf("job %s not done after compacted replay: %s %q", j.Spec.ID, j.State, j.Error)
+		}
+		replayOnly = append(replayOnly, j.Verdict)
+	}
+	if !bytes.Equal(want, canonVerdicts(replayOnly)) {
+		t.Fatal("compacted journal replay does not reproduce the verdicts")
+	}
+}
+
+// TestCompactionMidRunCrash compacts during execution, aborts before the
+// run settles, and recovers: resumed state (snapshot + live WAL) must
+// converge on the same verdicts as an uninterrupted run.
+func TestCompactionMidRunCrash(t *testing.T) {
+	specs := []JobSpec{
+		{ID: "j-aget", Workload: "aget", Modes: []harness.Mode{harness.ModeKard, harness.ModeBaseline},
+			Seeds: []int64{1, 2}, Scale: 0.05},
+		{ID: "j-pigz", Workload: "pigz", Modes: []harness.Mode{harness.ModeKard},
+			Seeds: []int64{1, 2}, Scale: 0.05},
+	}
+	cfg := func(dir string, compactEvery int) Config {
+		return Config{Dir: dir, QueueDepth: 8, Workers: 1, CompactEvery: compactEvery, Logf: quiet(t)}
+	}
+	refDir := t.TempDir()
+	ref, err := Open(cfg(refDir, -1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sp := range specs {
+		if _, err := ref.Submit(sp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	drainT(t, ref)
+	want := canonVerdicts(ref.Verdicts())
+
+	crashDir := t.TempDir()
+	first, err := Open(cfg(crashDir, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sp := range specs {
+		if _, err := first.Submit(sp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitUntil := time.Now().Add(time.Minute)
+	for {
+		st, ok := first.Status("j-aget")
+		if ok && st.Done > 0 {
+			break
+		}
+		if time.Now().After(waitUntil) {
+			t.Fatal("no cell completed within a minute")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	first.Abort()
+	if st := first.Stats(); st.Journal.Compactions == 0 {
+		t.Fatal("crash run never compacted; test exercises nothing")
+	}
+
+	second, err := Open(cfg(crashDir, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	drainT(t, second)
+	if got := canonVerdicts(second.Verdicts()); !bytes.Equal(want, got) {
+		t.Fatalf("recovered-after-compaction verdicts differ:\n--- want\n%s--- got\n%s", want, got)
+	}
+}
+
+// TestStorageFatalFailStop: when an (injected) fsync failure poisons the
+// journal, the server must report it through OnStorageFatal exactly once
+// — the hook kardd uses to exit so its supervisor restarts it.
+func TestStorageFatalFailStop(t *testing.T) {
+	diskfault.Arm(11, faultinject.Plan{Sites: map[faultinject.Site]faultinject.Rule{
+		faultinject.SiteDiskFsyncEIO: {Every: 1, Max: 1},
+	}})
+	defer diskfault.Disarm()
+
+	fatal := make(chan error, 2)
+	s, err := Open(Config{
+		Dir: t.TempDir(), QueueDepth: 8, Workers: 1, Logf: quiet(t),
+		OnStorageFatal: func(err error) { fatal <- err },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The first journaled append hits the injected fsync EIO: Submit must
+	// fail (the admission is not durable) and the hook must fire.
+	_, err = s.Submit(JobSpec{ID: "doomed", Workload: "aget", Modes: []harness.Mode{harness.ModeKard},
+		Seeds: []int64{1}, Scale: 0.05})
+	if !errors.Is(err, journal.ErrPoisoned) {
+		t.Fatalf("Submit on poisoned journal: %v, want ErrPoisoned", err)
+	}
+	select {
+	case ferr := <-fatal:
+		if !errors.Is(ferr, journal.ErrPoisoned) {
+			t.Fatalf("OnStorageFatal got %v, want ErrPoisoned", ferr)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("OnStorageFatal never fired")
+	}
+	// Further failures must not re-dispatch the hook.
+	if _, err := s.Submit(JobSpec{ID: "doomed-2", Workload: "aget", Modes: []harness.Mode{harness.ModeKard},
+		Seeds: []int64{1}, Scale: 0.05}); !errors.Is(err, journal.ErrPoisoned) {
+		t.Fatalf("second Submit: %v, want ErrPoisoned", err)
+	}
+	select {
+	case <-fatal:
+		t.Fatal("OnStorageFatal dispatched twice")
+	case <-time.After(100 * time.Millisecond):
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	_ = s.Drain(ctx)
+}

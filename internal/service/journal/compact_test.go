@@ -1,0 +1,309 @@
+package journal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"kard/internal/diskfault"
+	"kard/internal/faultinject"
+)
+
+// armT installs a process-global disk-fault shim for one test.
+func armT(t *testing.T, seed int64, plan faultinject.Plan) {
+	t.Helper()
+	diskfault.Arm(seed, plan)
+	t.Cleanup(diskfault.Disarm)
+}
+
+func TestJournalCompactRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	j, _ := openT(t, path)
+	appendT(t, j, "r1", "r2", "r3")
+	if err := j.Compact([][]byte{[]byte("r1"), []byte("r2"), []byte("r3")}); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	st := j.Stats()
+	if st.Generation != 1 || st.Compactions != 1 || st.SnapshotRecords != 3 {
+		t.Fatalf("post-compact stats: %+v", st)
+	}
+	appendT(t, j, "r4")
+	j.Close()
+
+	// The WAL on disk is now a v2 header plus only the post-compaction
+	// record; the settled prefix lives in the snapshot.
+	data, _ := os.ReadFile(path)
+	if string(data[:len(magicV2)]) != magicV2 {
+		t.Fatalf("compacted WAL header = %q, want %q", data[:8], magicV2)
+	}
+	if want := int64(len(magicV2) + 8 + 8 + len("r4")); int64(len(data)) != want {
+		t.Fatalf("compacted WAL size = %d, want %d", len(data), want)
+	}
+
+	// Replay must reconstruct the identical record stream: snapshot
+	// records first, then WAL records.
+	j2, recs := openT(t, path)
+	defer j2.Close()
+	want := []string{"r1", "r2", "r3", "r4"}
+	if len(recs) != len(want) {
+		t.Fatalf("replayed %d records, want %d (%q)", len(recs), len(want), recs)
+	}
+	for i, r := range recs {
+		if string(r) != want[i] {
+			t.Fatalf("record %d = %q, want %q", i, r, want[i])
+		}
+	}
+	if st := j2.Stats(); st.Generation != 1 || st.SnapshotRecords != 3 {
+		t.Fatalf("replay stats: %+v", st)
+	}
+}
+
+// TestJournalCompactCrashWindow reproduces the one crash window the
+// two-rename compaction leaves open: the new snapshot is published but
+// the process dies before the WAL swap, so the old WAL (a superset of
+// the snapshot) is still in place. Replay must deliver snapshot records
+// plus the stale WAL's — duplicates included — because every consumer
+// fold is idempotent; losing a record here would not be.
+func TestJournalCompactCrashWindow(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	j, _ := openT(t, path)
+	appendT(t, j, "r1", "r2", "r3")
+	if err := j.Compact([][]byte{[]byte("r1"), []byte("r2"), []byte("r3")}); err != nil {
+		t.Fatal(err)
+	}
+	appendT(t, j, "r4")
+	j.Close()
+	staleWAL, _ := os.ReadFile(path) // gen-1 WAL holding r4
+
+	j, recs := openT(t, path)
+	if len(recs) != 4 {
+		t.Fatalf("precondition replay: %q", recs)
+	}
+	if err := j.Compact([][]byte{[]byte("r1"), []byte("r2"), []byte("r3"), []byte("r4")}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	// Simulate the crash: gen-2 snapshot on disk, gen-1 WAL restored.
+	if err := os.WriteFile(path, staleWAL, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, recs := openT(t, path)
+	defer j2.Close()
+	want := []string{"r1", "r2", "r3", "r4", "r4"}
+	if len(recs) != len(want) {
+		t.Fatalf("crash-window replay: %q, want %q", recs, want)
+	}
+	for i, r := range recs {
+		if string(r) != want[i] {
+			t.Fatalf("record %d = %q, want %q", i, r, want[i])
+		}
+	}
+}
+
+// TestJournalSnapshotQuarantine: a corrupt snapshot must not block
+// startup — it is renamed aside, counted, and replay proceeds WAL-only.
+func TestJournalSnapshotQuarantine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	j, _ := openT(t, path)
+	appendT(t, j, "s1", "s2")
+	if err := j.Compact([][]byte{[]byte("s1"), []byte("s2")}); err != nil {
+		t.Fatal(err)
+	}
+	appendT(t, j, "w1")
+	j.Close()
+
+	snap, _ := os.ReadFile(path + ".snap")
+	snap[len(snap)-1] ^= 0x08
+	os.WriteFile(path+".snap", snap, 0o644)
+
+	j2, recs := openT(t, path)
+	defer j2.Close()
+	if len(recs) != 1 || string(recs[0]) != "w1" {
+		t.Fatalf("replay with corrupt snapshot: %q, want [w1]", recs)
+	}
+	if st := j2.Stats(); st.Quarantined != 1 {
+		t.Fatalf("quarantine not counted: %+v", st)
+	}
+	if _, err := os.Stat(path + ".snap.quarantined"); err != nil {
+		t.Fatalf("corrupt snapshot not renamed aside: %v", err)
+	}
+	if _, err := os.Stat(path + ".snap"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("corrupt snapshot still in place: %v", err)
+	}
+}
+
+// TestJournalSnapshotMissing: a WAL that links a generation whose
+// snapshot file is gone degrades to WAL-only replay, loudly, rather than
+// refusing to start.
+func TestJournalSnapshotMissing(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	j, _ := openT(t, path)
+	appendT(t, j, "s1")
+	if err := j.Compact([][]byte{[]byte("s1")}); err != nil {
+		t.Fatal(err)
+	}
+	appendT(t, j, "w1")
+	j.Close()
+	os.Remove(path + ".snap")
+
+	j2, recs := openT(t, path)
+	defer j2.Close()
+	if len(recs) != 1 || string(recs[0]) != "w1" {
+		t.Fatalf("replay with missing snapshot: %q, want [w1]", recs)
+	}
+	if st := j2.Stats(); st.Quarantined != 1 {
+		t.Fatalf("snapshot loss not counted: %+v", st)
+	}
+}
+
+// TestJournalPoisonOnFsync: the fsyncgate rule. The first fsync failure
+// must poison the journal — every later Append fails with ErrPoisoned
+// instead of pretending the page cache is trustworthy.
+func TestJournalPoisonOnFsync(t *testing.T) {
+	armT(t, 1, faultinject.Plan{Sites: map[faultinject.Site]faultinject.Rule{
+		faultinject.SiteDiskFsyncEIO: {Every: 2, Max: 1}, // fires on the 2nd append's fsync
+	}})
+	j, _ := openT(t, filepath.Join(t.TempDir(), "j.wal"))
+	defer j.Close()
+	if err := j.Append([]byte("fine")); err != nil {
+		t.Fatalf("append before fault: %v", err)
+	}
+	err := j.Append([]byte("doomed"))
+	if !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("append at fault: %v, want ErrPoisoned", err)
+	}
+	if !strings.Contains(err.Error(), "input/output error") {
+		t.Fatalf("poison cause not surfaced: %v", err)
+	}
+	// Poison is permanent: later appends and compactions fail fast.
+	if err := j.Append([]byte("after")); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("append after poison: %v, want ErrPoisoned", err)
+	}
+	if err := j.Compact(nil); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("compact after poison: %v, want ErrPoisoned", err)
+	}
+	if st := j.Stats(); !st.Poisoned || st.Appended != 1 {
+		t.Fatalf("stats after poison: %+v", st)
+	}
+}
+
+// TestJournalWriteFaultRollback: transient injected write faults (ENOSPC,
+// short writes) are rolled back and retried; the record lands exactly
+// once and the file carries no trace of the torn attempts.
+func TestJournalWriteFaultRollback(t *testing.T) {
+	armT(t, 7, faultinject.Plan{Sites: map[faultinject.Site]faultinject.Rule{
+		faultinject.SiteDiskENOSPC:     {Every: 2, Max: 1, Transient: true},
+		faultinject.SiteDiskWriteShort: {Every: 3, Max: 1, Transient: true},
+	}})
+	path := filepath.Join(t.TempDir(), "j.wal")
+	j, _ := openT(t, path)
+	appendT(t, j, "one", "two", "three", "four")
+	j.Close()
+
+	shimStats := diskfault.Active().Stats()
+	if shimStats.Injected != 2 || shimStats.Retried != 2 {
+		t.Fatalf("shim stats: %+v, want 2 injected / 2 retried", shimStats)
+	}
+	j2, recs := openT(t, path)
+	defer j2.Close()
+	if len(recs) != 4 {
+		t.Fatalf("replay after faulty appends: %q", recs)
+	}
+	if st := j2.Stats(); st.TornBytes != 0 || st.Quarantined != 0 {
+		t.Fatalf("fault debris survived rollback: %+v", st)
+	}
+}
+
+// TestJournalReadBitflipQuarantined: an injected read bit-flip behaves
+// exactly like media corruption — caught by CRC, quarantined, suffix
+// salvaged — and, because the flip models a bad read (not bad media),
+// the healed journal replays cleanly once the shim is disarmed.
+func TestJournalReadBitflipQuarantined(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	j, _ := openT(t, path)
+	appendT(t, j, "aaaa", "bbbb", "cccc", "dddd")
+	j.Close()
+
+	armT(t, 3, faultinject.Plan{Sites: map[faultinject.Site]faultinject.Rule{
+		faultinject.SiteDiskReadBitflip: {Every: 2, Max: 1},
+	}})
+	j2, recs := openT(t, path)
+	j2.Close()
+	if len(recs) != 3 {
+		t.Fatalf("replay under bit-flip: %d records, want 3 (one quarantined)", len(recs))
+	}
+	if st := j2.Stats(); st.Quarantined != 1 || st.Salvaged == 0 {
+		t.Fatalf("bit-flip stats: %+v", st)
+	}
+
+	diskfault.Disarm()
+	j3, recs := openT(t, path)
+	defer j3.Close()
+	if len(recs) != 3 {
+		t.Fatalf("healed replay: %d records, want 3", len(recs))
+	}
+	if st := j3.Stats(); st.Quarantined != 0 || st.TornBytes != 0 {
+		t.Fatalf("healed journal still dirty: %+v", st)
+	}
+}
+
+func TestVerifyCleanAndCorrupt(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	j, _ := openT(t, path)
+	appendT(t, j, "v1", "v2")
+	if err := j.Compact([][]byte{[]byte("v1"), []byte("v2")}); err != nil {
+		t.Fatal(err)
+	}
+	appendT(t, j, "v3", "v4", "v5")
+	j.Close()
+
+	rep, err := Verify(path)
+	if err != nil {
+		t.Fatalf("Verify clean: %v", err)
+	}
+	if !rep.Clean() || rep.IntactRecords != 3 || !rep.SnapshotOK || rep.SnapshotRecords != 2 || rep.Generation != 1 {
+		t.Fatalf("clean report: %+v", rep)
+	}
+
+	// Corrupt the middle WAL record; Verify must report it without
+	// repairing anything.
+	before, _ := os.ReadFile(path)
+	mut := append([]byte(nil), before...)
+	mut[len(magicV2)+8+(8+2)+8+1] ^= 0x10
+	os.WriteFile(path, mut, 0o644)
+	rep, err = Verify(path)
+	if err != nil {
+		t.Fatalf("Verify corrupt: %v", err)
+	}
+	if rep.Clean() || rep.CorruptRegions != 1 || rep.IntactRecords != 2 || rep.SalvagedRecords != 1 {
+		t.Fatalf("corrupt report: %+v", rep)
+	}
+	after, _ := os.ReadFile(path)
+	if string(after) != string(mut) {
+		t.Fatal("Verify modified the journal")
+	}
+
+	// A torn tail is clean: expected crash shape.
+	os.WriteFile(path, before[:len(before)-3], 0o644)
+	rep, err = Verify(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() || rep.TornBytes == 0 || rep.IntactRecords != 2 {
+		t.Fatalf("torn report: %+v", rep)
+	}
+
+	// A quarantined (missing) snapshot flags the report.
+	os.WriteFile(path, before, 0o644)
+	os.Remove(path + ".snap")
+	rep, _ = Verify(path)
+	if rep.SnapshotOK || !rep.SnapshotLinked || rep.SnapshotPresent {
+		t.Fatalf("missing-snapshot report: %+v", rep)
+	}
+	if rep.Clean() {
+		t.Fatal("missing linked snapshot reported clean")
+	}
+}

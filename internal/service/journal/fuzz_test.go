@@ -1,0 +1,95 @@
+package journal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// fuzzSeedWAL builds a small valid journal image for the fuzz corpus.
+func fuzzSeedWAL(records ...string) []byte {
+	buf := []byte(magic)
+	for _, r := range records {
+		var hdr [8]byte
+		binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(r)))
+		binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum([]byte(r), castagnoli))
+		buf = append(buf, hdr[:]...)
+		buf = append(buf, r...)
+	}
+	return buf
+}
+
+// FuzzReplay throws mutated WAL images — bit flips, truncations, length
+// and CRC field damage, the works — at Open and checks the replay
+// invariants the durability contract promises:
+//
+//  1. Replay never panics, whatever the bytes.
+//  2. Every returned payload matches a CRC that was actually on disk
+//     (enforced structurally: parseFrame checksums before returning).
+//  3. Mid-file corruption is quarantined, never misreported as a torn
+//     tail: whenever replay truncates or heals, a second Open of the
+//     healed file must be clean and reproduce the identical records —
+//     replay converges in one pass.
+func FuzzReplay(f *testing.F) {
+	valid := fuzzSeedWAL("alpha", "beta", `{"t":"cell","job":"x","cell":3}`)
+	f.Add(valid)
+	f.Add(valid[:len(valid)-4]) // torn tail
+	flipped := append([]byte(nil), valid...)
+	flipped[len(magic)+8+2] ^= 0x20 // corrupt first payload
+	f.Add(flipped)
+	lenMut := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint32(lenMut[len(magic):], 0xffffffff) // absurd length field
+	f.Add(lenMut)
+	crcMut := append([]byte(nil), valid...)
+	crcMut[len(magic)+5] ^= 0xff // CRC field damage
+	f.Add(crcMut)
+	f.Add([]byte(magic))
+	f.Add([]byte(magicV2 + "\x01\x00\x00\x00\x00\x00\x00\x00")) // links a missing snapshot
+	f.Add([]byte("definitely not a WAL"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "j.wal")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Skip()
+		}
+		j, recs, err := Open(path)
+		if err != nil {
+			return // rejected inputs (bad magic, IO trouble) are fine; panics are not
+		}
+		st := j.Stats()
+		if st.Quarantined > 0 && st.TornBytes > 0 && st.Salvaged == 0 {
+			t.Fatalf("quarantine without salvage alongside torn tail: %+v", st)
+		}
+		if err := j.Close(); err != nil {
+			t.Fatalf("Close after replay: %v", err)
+		}
+
+		// Replay converges: the file was healed or truncated in place,
+		// so a second Open sees zero damage and identical records.
+		j2, recs2, err := Open(path)
+		if err != nil {
+			t.Fatalf("reopen of repaired journal: %v", err)
+		}
+		defer j2.Close()
+		st2 := j2.Stats()
+		if st2.TornBytes != 0 || st2.Quarantined > st.Quarantined {
+			// Quarantined may stay non-zero only for the persistent
+			// lost-snapshot case (counted once per open, no new damage).
+			if !(st2.Quarantined == st.Quarantined && st2.TornBytes == 0) {
+				t.Fatalf("replay did not converge: first %+v, second %+v", st, st2)
+			}
+		}
+		if len(recs2) != len(recs) {
+			t.Fatalf("reopen record count %d != %d", len(recs2), len(recs))
+		}
+		for i := range recs {
+			if !bytes.Equal(recs[i], recs2[i]) {
+				t.Fatalf("record %d differs across reopen", i)
+			}
+		}
+	})
+}

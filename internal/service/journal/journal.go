@@ -1,21 +1,45 @@
 // Package journal implements the detection service's write-ahead log: an
-// append-only file of checksummed, fsync'd records that survives SIGKILL
-// and power loss. The daemon journals job admission before enqueueing and
-// every per-cell verdict as it completes; on restart, replaying the
-// intact prefix reconstructs exactly which work was promised and which
-// was finished, and the deterministic simulator recomputes the rest —
-// so a recovered run's verdicts are byte-identical to an uninterrupted
-// one.
+// append-only file of checksummed, fsync'd records that survives SIGKILL,
+// power loss, and — with the snapshot, quarantine, and fail-stop
+// machinery below — ENOSPC, EIO, and bit rot. The daemon journals job
+// admission before enqueueing and every per-cell verdict as it completes;
+// on restart, replaying the snapshot plus the intact WAL records
+// reconstructs exactly which work was promised and which was finished,
+// and the deterministic simulator recomputes the rest — so a recovered
+// run's verdicts are byte-identical to an uninterrupted one. DESIGN.md
+// §11 is the durability contract this package implements.
 //
-// On-disk format: an 8-byte magic header, then records framed as
+// On-disk format: an 8-byte magic header ("KARDWAL1", or "KARDWAL2"
+// followed by a little-endian uint64 snapshot generation once the journal
+// has been compacted), then records framed as
 //
 //	uint32 LE payload length | uint32 LE CRC-32C of payload | payload
 //
-// A crash can only tear the *tail* (appends are sequential and each
-// record is synced before the writer acknowledges it), so replay accepts
-// the longest prefix of intact records and truncates everything after
-// it. A torn tail is normal operation, not corruption: it is the record
-// that was being written when the process died.
+// Compaction (Compact) bounds the WAL for long-running daemons: the
+// caller's compacted record set is written to a checksummed sibling
+// snapshot file ("<path>.snap": "KARDSNP1" magic, generation, record
+// count, then the same frames), fsync'd and atomically renamed into
+// place, and then the WAL itself is atomically swapped for a fresh one
+// whose header carries the snapshot's generation. Open replays snapshot
+// records before WAL records; because every consumer's replay fold is
+// idempotent, the crash window between the two renames (new snapshot,
+// old WAL — the WAL then holds a superset of the snapshot's records) is
+// safe: records apply twice with the same result.
+//
+// Replay distinguishes two corruption shapes. A *torn tail* — the bad
+// region extends to end-of-file — is normal crash operation: the record
+// being written when the process died is truncated, as before. *Mid-file
+// corruption* — a record fails its CRC but intact records exist after
+// it — is media damage, not a tear: the corrupt region is quarantined,
+// the intact suffix is salvaged, and the journal is healed by an atomic
+// rewrite, so a single flipped bit costs one record, not every record
+// after it.
+//
+// Fsync failure poisons the journal (ErrPoisoned): after a failed fsync
+// the kernel may have dropped dirty pages while keeping the error, so
+// retrying the sync can silently "succeed" over lost data (the fsyncgate
+// hazard). A poisoned journal fails every subsequent Append fail-stop;
+// the daemon exits and recovery replays the intact prefix.
 package journal
 
 import (
@@ -23,20 +47,39 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
-	"io"
 	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
+	"kard/internal/diskfault"
+	"kard/internal/faultinject"
 	"kard/internal/obs"
 )
 
-// magic identifies (and versions) the file format.
-const magic = "KARDWAL1"
+// Magic strings identify (and version) the file formats. A WAL created
+// fresh is v1; the first compaction upgrades it to v2 (v2 adds the
+// 8-byte snapshot generation after the magic). Snapshot files carry
+// their own magic.
+const (
+	magic     = "KARDWAL1"
+	magicV2   = "KARDWAL2"
+	magicSnap = "KARDSNP1"
+)
 
 // maxRecord bounds a single record; a length field beyond it is treated
 // as a torn or corrupt header rather than an allocation request.
 const maxRecord = 16 << 20
+
+// maxSalvageScan bounds how far past a corrupt record replay searches
+// for the next intact frame. Corruption wider than this is treated as a
+// torn tail (everything after it is discarded), which keeps adversarial
+// inputs from turning replay quadratic.
+const maxSalvageScan = 1 << 20
+
+// appendRetries is how many times Append re-attempts the write after a
+// transient injected disk fault (short write, ENOSPC) before giving up.
+const appendRetries = 3
 
 // castagnoli is the CRC-32C table (the polynomial with hardware support,
 // the conventional WAL choice).
@@ -47,126 +90,390 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 // is.
 var ErrNotJournal = errors.New("journal: not a kard journal (bad magic)")
 
+// ErrPoisoned reports a journal that has seen an fsync failure. Nothing
+// more will be appended: after a failed fsync the page cache's contents
+// are unknowable, so claiming durability for any later record would be a
+// lie. Callers fail-stop and recover by replay.
+var ErrPoisoned = errors.New("journal: poisoned by fsync failure (fail-stop; restart to recover by replay)")
+
 // Journal is an open write-ahead log positioned for appends. It is safe
 // for concurrent use.
 type Journal struct {
 	mu    sync.Mutex
 	f     *os.File
 	path  string
-	fsync *obs.Histogram // per-append fsync latency sink (never nil)
+	fsync *obs.Histogram  // per-append fsync latency sink (never nil)
+	shim  *diskfault.Shim // seeded disk-fault shim captured at Open (nil = none)
+
+	gen      uint64 // snapshot generation the WAL header links (0 = never compacted)
+	poisoned error  // non-nil once an fsync failed; appends fail fast
 
 	appended  uint64
 	syncs     uint64
 	bytes     int64
 	replayed  uint64
 	tornBytes int64
+
+	quarantined      uint64
+	quarantinedBytes int64
+	salvaged         uint64
+	snapRecords      uint64
+	snapBytes        int64
+	compactions      uint64
 }
 
 // Stats summarizes a journal's traffic since Open.
 type Stats struct {
-	// Replayed counts intact records recovered by Open; TornBytes is
-	// the size of the torn tail Open truncated (0 after a clean
-	// shutdown).
+	// Replayed counts intact records recovered by Open (snapshot records
+	// included); TornBytes is the size of the torn tail Open truncated
+	// (0 after a clean shutdown).
 	Replayed  uint64
 	TornBytes int64
+	// Quarantined counts mid-file corrupt regions (and quarantined
+	// snapshots) replay refused to trust; QuarantinedBytes is their
+	// total size and Salvaged the intact records recovered from beyond
+	// them. All zero on healthy media.
+	Quarantined      uint64
+	QuarantinedBytes int64
+	Salvaged         uint64
 	// Appended and Syncs count records written (each append syncs
-	// once); Bytes is the current file size.
+	// once); Bytes is the current WAL file size.
 	Appended uint64
 	Syncs    uint64
 	Bytes    int64
+	// Generation is the snapshot generation the WAL links (0 = never
+	// compacted); SnapshotRecords/SnapshotBytes describe the snapshot
+	// replayed at Open or written by the last Compact; Compactions
+	// counts Compact calls since Open.
+	Generation      uint64
+	SnapshotRecords uint64
+	SnapshotBytes   int64
+	Compactions     uint64
+	// Poisoned reports fail-stop mode: an fsync failed and no further
+	// record will claim durability.
+	Poisoned bool
 }
 
-// Open opens (creating if absent) the journal at path, replays every
-// intact record into the returned slice, truncates a torn tail, and
+// Open opens (creating if absent) the journal at path, replays the
+// snapshot (if any) and every intact WAL record into the returned slice,
+// truncates a torn tail, quarantines and heals mid-file corruption, and
 // leaves the file positioned for appends. The payloads are returned in
-// append order.
+// append order, snapshot records first.
 func Open(path string) (*Journal, [][]byte, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	created := false
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if errors.Is(err, os.ErrNotExist) {
+		f, err = os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+		created = true
+	}
 	if err != nil {
 		return nil, nil, fmt.Errorf("journal: open: %w", err)
 	}
-	j := &Journal{f: f, path: path, fsync: obs.Std.SvcJournalFsync}
-	records, err := j.replay()
+	j := &Journal{f: f, path: path, fsync: obs.Std.SvcJournalFsync, shim: diskfault.Active()}
+	// Leftovers from a compaction or heal that died before its rename
+	// are garbage by construction; clear them so they cannot be
+	// mistaken for state.
+	os.Remove(path + ".snap.tmp")
+	os.Remove(path + ".tmp")
+	records, err := j.replay(created)
 	if err != nil {
 		f.Close()
 		return nil, nil, err
 	}
+	if created {
+		// The file must outlive a crash of its own creation: sync the
+		// parent directory so the new name itself is durable.
+		if err := syncDir(filepath.Dir(path)); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+	}
 	return j, records, nil
 }
 
-// replay validates the header, reads the longest intact prefix of
-// records, and truncates the file after it.
-func (j *Journal) replay() ([][]byte, error) {
-	info, err := j.f.Stat()
+// syncDir fsyncs a directory, making pending creates and renames inside
+// it durable. Without it, a crash immediately after creating or renaming
+// a file can lose the name even though the inode's data was synced.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
 	if err != nil {
-		return nil, fmt.Errorf("journal: stat: %w", err)
+		return fmt.Errorf("journal: open dir: %w", err)
 	}
-	size := info.Size()
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("journal: sync dir %s: %w", dir, err)
+	}
+	return nil
+}
 
-	if size == 0 {
+// region is one quarantined byte range [start, end) in a scanned file.
+type region struct{ start, end int64 }
+
+// scanResult is what scanRecords found in a record region.
+type scanResult struct {
+	records   [][]byte // intact payloads, in order (copies)
+	regions   []region // quarantined corrupt ranges (offsets relative to the scanned slice)
+	torn      int64    // trailing bytes no intact record follows
+	salvaged  uint64   // records recovered from beyond the first corrupt region
+	intactEnd int64    // offset after the last intact record (== len(data)-torn when no regions)
+}
+
+// scanRecords walks framed records in data. corrupt, when non-nil, is
+// called once per candidate payload read (a copy) and may flip bits —
+// the seeded read-fault hook; whatever it corrupts fails CRC and is
+// quarantined exactly like media damage. On a bad frame it scans forward
+// (bounded by maxSalvageScan) for the next intact frame: finding one
+// makes the gap a quarantined region; finding none makes the remainder a
+// torn tail.
+func scanRecords(data []byte, corrupt func([]byte) bool) scanResult {
+	var res scanResult
+	off := int64(0)
+	size := int64(len(data))
+	for off < size {
+		payload, next := parseFrame(data, off, corrupt)
+		if payload != nil {
+			res.records = append(res.records, payload)
+			if len(res.regions) > 0 {
+				res.salvaged++
+			}
+			off = next
+			res.intactEnd = off
+			continue
+		}
+		// Bad frame at off: salvage scan for the next intact frame.
+		found := int64(-1)
+		limit := off + 1 + maxSalvageScan
+		if limit > size {
+			limit = size
+		}
+		for cand := off + 1; cand+8 <= limit; cand++ {
+			if p, _ := parseFrame(data, cand, nil); p != nil {
+				found = cand
+				break
+			}
+		}
+		if found < 0 {
+			res.torn = size - off
+			return res
+		}
+		res.regions = append(res.regions, region{off, found})
+		off = found
+	}
+	return res
+}
+
+// parseFrame reads one frame at off, returning the payload copy and the
+// offset after it, or (nil, 0) if the frame is torn or corrupt.
+func parseFrame(data []byte, off int64, corrupt func([]byte) bool) ([]byte, int64) {
+	size := int64(len(data))
+	if off+8 > size {
+		return nil, 0
+	}
+	length := binary.LittleEndian.Uint32(data[off : off+4])
+	sum := binary.LittleEndian.Uint32(data[off+4 : off+8])
+	if length == 0 || length > maxRecord || off+8+int64(length) > size {
+		return nil, 0
+	}
+	payload := make([]byte, length)
+	copy(payload, data[off+8:])
+	if corrupt != nil {
+		corrupt(payload)
+	}
+	if crc32.Checksum(payload, castagnoli) != sum {
+		return nil, 0
+	}
+	return payload, off + 8 + int64(length)
+}
+
+// replay validates the header, loads the linked snapshot, reads the WAL
+// records (quarantining mid-file corruption, truncating a torn tail,
+// healing the file when anything was quarantined), and leaves the file
+// positioned for appends.
+func (j *Journal) replay(created bool) ([][]byte, error) {
+	if created {
 		if _, err := j.f.Write([]byte(magic)); err != nil {
 			return nil, fmt.Errorf("journal: write header: %w", err)
 		}
 		if err := j.f.Sync(); err != nil {
-			return nil, fmt.Errorf("journal: sync header: %w", err)
+			return nil, j.poison(fmt.Errorf("journal: sync header: %w", err))
 		}
 		j.bytes = int64(len(magic))
 		return nil, nil
 	}
 
-	hdr := make([]byte, len(magic))
-	if _, err := io.ReadFull(j.f, hdr); err != nil || string(hdr) != magic {
+	data, err := os.ReadFile(j.path)
+	if err != nil {
+		return nil, fmt.Errorf("journal: read: %w", err)
+	}
+	hdrLen := int64(len(magic))
+	switch {
+	case len(data) == 0:
+		// An empty pre-existing file (e.g. created by a crashed process
+		// before the header sync): adopt it.
+		if _, err := j.f.Write([]byte(magic)); err != nil {
+			return nil, fmt.Errorf("journal: write header: %w", err)
+		}
+		if err := j.f.Sync(); err != nil {
+			return nil, j.poison(fmt.Errorf("journal: sync header: %w", err))
+		}
+		j.bytes = hdrLen
+		return nil, nil
+	case len(data) >= len(magicV2)+8 && string(data[:len(magicV2)]) == magicV2:
+		j.gen = binary.LittleEndian.Uint64(data[len(magicV2) : len(magicV2)+8])
+		hdrLen = int64(len(magicV2) + 8)
+	case len(data) >= len(magic) && string(data[:len(magic)]) == magic:
+		// v1: no snapshot linkage.
+	default:
 		return nil, ErrNotJournal
 	}
 
-	var (
-		records [][]byte
-		good    = int64(len(magic)) // offset after the last intact record
-		frame   [8]byte
-	)
-	for {
-		if _, err := io.ReadFull(j.f, frame[:]); err != nil {
-			break // clean EOF or torn frame header
+	var records [][]byte
+	if j.gen > 0 {
+		snap, err := j.loadSnapshot()
+		if err != nil {
+			return nil, err
 		}
-		length := binary.LittleEndian.Uint32(frame[0:4])
-		sum := binary.LittleEndian.Uint32(frame[4:8])
-		if length == 0 || length > maxRecord || good+8+int64(length) > size {
-			break // torn or corrupt header
-		}
-		payload := make([]byte, length)
-		if _, err := io.ReadFull(j.f, payload); err != nil {
-			break // torn payload
-		}
-		if crc32.Checksum(payload, castagnoli) != sum {
-			break // corrupt payload
-		}
-		records = append(records, payload)
-		good += 8 + int64(length)
+		records = snap
 	}
 
-	if good < size {
-		j.tornBytes = size - good
-		if err := j.f.Truncate(good); err != nil {
-			return nil, fmt.Errorf("journal: truncate torn tail: %w", err)
+	corrupt := func(p []byte) bool { return j.shim.CorruptRead(p) }
+	res := scanRecords(data[hdrLen:], corrupt)
+
+	if len(res.regions) > 0 {
+		for _, r := range res.regions {
+			j.quarantined++
+			j.quarantinedBytes += r.end - r.start
+			obs.Std.StorageQuarantined.Inc()
+			obs.Flight.Recordf(obs.EvStorageQuarantine,
+				"quarantined %d corrupt bytes at offset %d in %s (salvaging suffix)",
+				r.end-r.start, hdrLen+r.start, j.path)
 		}
-		if err := j.f.Sync(); err != nil {
-			return nil, fmt.Errorf("journal: sync truncation: %w", err)
+		j.salvaged += res.salvaged
+		obs.Std.StorageSalvagedRecords.Add(res.salvaged)
+		// Heal: rewrite the WAL as header + every intact record, so the
+		// corruption cannot be re-read (or mis-parsed) ever again.
+		if err := j.swapWAL(j.gen, res.records); err != nil {
+			return nil, fmt.Errorf("journal: heal after quarantine: %w", err)
 		}
-		obs.Std.SvcJournalTruncations.Inc()
-		obs.Flight.Recordf(obs.EvJournalTruncate,
-			"truncated %d torn bytes after %d intact records in %s",
-			j.tornBytes, len(records), j.path)
+		if res.torn > 0 {
+			// The heal also dropped the torn tail; account for it below
+			// without a second truncate.
+			j.tornBytes = res.torn
+			obs.Std.SvcJournalTruncations.Inc()
+			obs.Flight.Recordf(obs.EvJournalTruncate,
+				"truncated %d torn bytes after %d intact records in %s",
+				res.torn, len(res.records), j.path)
+		}
+	} else {
+		good := hdrLen + res.intactEnd
+		if res.torn > 0 {
+			j.tornBytes = res.torn
+			if err := j.f.Truncate(good); err != nil {
+				return nil, fmt.Errorf("journal: truncate torn tail: %w", err)
+			}
+			if err := j.f.Sync(); err != nil {
+				return nil, j.poison(fmt.Errorf("journal: sync truncation: %w", err))
+			}
+			obs.Std.SvcJournalTruncations.Inc()
+			obs.Flight.Recordf(obs.EvJournalTruncate,
+				"truncated %d torn bytes after %d intact records in %s",
+				res.torn, len(res.records), j.path)
+		}
+		if _, err := j.f.Seek(good, 0); err != nil {
+			return nil, fmt.Errorf("journal: seek: %w", err)
+		}
+		j.bytes = good
 	}
-	if _, err := j.f.Seek(good, io.SeekStart); err != nil {
-		return nil, fmt.Errorf("journal: seek: %w", err)
-	}
-	j.bytes = good
+
+	records = append(records, res.records...)
 	j.replayed = uint64(len(records))
 	return records, nil
 }
 
+// loadSnapshot reads and validates the sibling snapshot file. A missing
+// or corrupt snapshot is quarantined (renamed aside) and reported, not
+// fatal: the state it held is recomputable because every record consumer
+// is deterministic, and refusing to start would turn one bad sector into
+// an outage. Mismatched generations are loaded anyway — the only crash
+// window that produces them leaves the WAL holding a superset of the
+// snapshot, and replay folds are idempotent.
+func (j *Journal) loadSnapshot() ([][]byte, error) {
+	snapPath := j.path + ".snap"
+	data, err := os.ReadFile(snapPath)
+	if errors.Is(err, os.ErrNotExist) {
+		j.noteSnapshotLoss("missing", 0)
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("journal: read snapshot: %w", err)
+	}
+	payloads, _, ok := parseSnapshot(data, func(p []byte) bool { return j.shim.CorruptRead(p) })
+	if !ok {
+		// Rename, don't delete: kardfsck and a human can still look at
+		// the bytes.
+		if err := os.Rename(snapPath, snapPath+".quarantined"); err != nil {
+			return nil, fmt.Errorf("journal: quarantine snapshot: %w", err)
+		}
+		j.noteSnapshotLoss("corrupt", int64(len(data)))
+		return nil, nil
+	}
+	j.snapRecords = uint64(len(payloads))
+	j.snapBytes = int64(len(data))
+	return payloads, nil
+}
+
+// noteSnapshotLoss records a lost snapshot: quarantined or missing while
+// the WAL links one. Settled state is recomputed from scratch.
+func (j *Journal) noteSnapshotLoss(why string, bytes int64) {
+	j.quarantined++
+	j.quarantinedBytes += bytes
+	obs.Std.StorageQuarantined.Inc()
+	obs.Flight.Recordf(obs.EvStorageQuarantine,
+		"snapshot for %s (generation %d) %s; continuing with WAL only, settled state will be recomputed",
+		j.path, j.gen, why)
+}
+
+// parseSnapshot validates a snapshot image: magic, generation, record
+// count, and every frame's CRC. corrupt is the seeded read-fault hook.
+func parseSnapshot(data []byte, corrupt func([]byte) bool) (payloads [][]byte, gen uint64, ok bool) {
+	hdr := len(magicSnap) + 8 + 4
+	if len(data) < hdr || string(data[:len(magicSnap)]) != magicSnap {
+		return nil, 0, false
+	}
+	gen = binary.LittleEndian.Uint64(data[len(magicSnap):])
+	count := binary.LittleEndian.Uint32(data[len(magicSnap)+8:])
+	off := int64(hdr)
+	for i := uint32(0); i < count; i++ {
+		payload, next := parseFrame(data, off, corrupt)
+		if payload == nil {
+			return nil, 0, false
+		}
+		payloads = append(payloads, payload)
+		off = next
+	}
+	if off != int64(len(data)) {
+		return nil, 0, false // trailing garbage: refuse the whole file
+	}
+	return payloads, gen, true
+}
+
+// frame appends one framed record to buf.
+func frame(buf []byte, payload []byte) []byte {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
+	buf = append(buf, hdr[:]...)
+	return append(buf, payload...)
+}
+
 // Append frames, writes, and fsyncs one record. The record is durable —
-// it will be replayed after SIGKILL — once Append returns nil.
+// it will be replayed after SIGKILL — once Append returns nil. Failed
+// writes are rolled back (the file is truncated to its last good size)
+// and transient injected faults retried; an fsync failure poisons the
+// journal permanently (see ErrPoisoned).
 func (j *Journal) Append(payload []byte) error {
 	if len(payload) == 0 || len(payload) > maxRecord {
 		return fmt.Errorf("journal: record size %d out of range", len(payload))
@@ -176,16 +483,38 @@ func (j *Journal) Append(payload []byte) error {
 	if j.f == nil {
 		return fmt.Errorf("journal: closed")
 	}
-	buf := make([]byte, 8+len(payload))
-	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(buf[4:8], crc32.Checksum(payload, castagnoli))
-	copy(buf[8:], payload)
-	if _, err := j.f.Write(buf); err != nil {
-		return fmt.Errorf("journal: append: %w", err)
+	if j.poisoned != nil {
+		return fmt.Errorf("%w (cause: %v)", ErrPoisoned, j.poisoned)
+	}
+	buf := frame(make([]byte, 0, 8+len(payload)), payload)
+	for attempt := 0; ; attempt++ {
+		if short, ferr := j.shim.WriteFault(len(buf)); ferr != nil {
+			if short > 0 {
+				j.f.Write(buf[:short]) // physically tear, as the fault models
+			}
+			if err := j.rollbackLocked(); err != nil {
+				return err
+			}
+			if faultinject.IsTransient(ferr) && attempt < appendRetries {
+				j.shim.NoteRetry()
+				continue
+			}
+			return fmt.Errorf("journal: append: %w", ferr)
+		}
+		if _, err := j.f.Write(buf); err != nil {
+			if rerr := j.rollbackLocked(); rerr != nil {
+				return rerr
+			}
+			return fmt.Errorf("journal: append: %w", err)
+		}
+		break
+	}
+	if ferr := j.shim.FsyncFault(); ferr != nil {
+		return j.poison(fmt.Errorf("journal: sync: %w", ferr))
 	}
 	start := time.Now()
 	if err := j.f.Sync(); err != nil {
-		return fmt.Errorf("journal: sync: %w", err)
+		return j.poison(fmt.Errorf("journal: sync: %w", err))
 	}
 	j.fsync.Observe(time.Since(start).Seconds())
 	j.appended++
@@ -194,16 +523,202 @@ func (j *Journal) Append(payload []byte) error {
 	return nil
 }
 
+// rollbackLocked restores the file to its last known-good size after a
+// failed or partial write, so a later Append cannot leave a corrupt
+// frame mid-file. If the rollback itself fails the file's contents are
+// unknowable and the journal poisons. Callers hold j.mu.
+func (j *Journal) rollbackLocked() error {
+	if err := j.f.Truncate(j.bytes); err != nil {
+		return j.poison(fmt.Errorf("journal: rollback truncate: %w", err))
+	}
+	if _, err := j.f.Seek(j.bytes, 0); err != nil {
+		return j.poison(fmt.Errorf("journal: rollback seek: %w", err))
+	}
+	return nil
+}
+
+// poison marks the journal unusable and returns the (wrapped) cause.
+func (j *Journal) poison(cause error) error {
+	if j.poisoned == nil {
+		j.poisoned = cause
+	}
+	return fmt.Errorf("%w (cause: %v)", ErrPoisoned, cause)
+}
+
+// Compact bounds the WAL: it writes the caller's compacted record set to
+// the checksummed sibling snapshot file, atomically publishes it, then
+// atomically swaps the WAL for a fresh (empty) one linking the new
+// snapshot's generation. The caller owns the semantics: payloads must be
+// a record sequence whose replay reconstructs all state the journal
+// currently holds (service and cluster build it from their settled
+// state). On any error the old WAL remains fully intact and authoritative
+// — a half-finished compaction is invisible to the next Open.
+func (j *Journal) Compact(payloads [][]byte) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return fmt.Errorf("journal: closed")
+	}
+	if j.poisoned != nil {
+		return fmt.Errorf("%w (cause: %v)", ErrPoisoned, j.poisoned)
+	}
+	gen := j.gen + 1
+	dir := filepath.Dir(j.path)
+
+	// 1. Snapshot: tmp write, fsync, atomic rename, directory sync.
+	snap := make([]byte, 0, 1024)
+	snap = append(snap, magicSnap...)
+	snap = binary.LittleEndian.AppendUint64(snap, gen)
+	snap = binary.LittleEndian.AppendUint32(snap, uint32(len(payloads)))
+	for _, p := range payloads {
+		if len(p) == 0 || len(p) > maxRecord {
+			return fmt.Errorf("journal: compact record size %d out of range", len(p))
+		}
+		snap = frame(snap, p)
+	}
+	snapTmp := j.path + ".snap.tmp"
+	if err := j.writeFileShimmed(snapTmp, snap); err != nil {
+		return fmt.Errorf("journal: compact snapshot: %w", err)
+	}
+	if ferr := j.shim.RenameFault(); ferr != nil {
+		os.Remove(snapTmp)
+		return fmt.Errorf("journal: compact snapshot: %w", ferr)
+	}
+	if err := os.Rename(snapTmp, j.path+".snap"); err != nil {
+		os.Remove(snapTmp)
+		return fmt.Errorf("journal: compact snapshot: %w", err)
+	}
+	if err := syncDir(dir); err != nil {
+		return fmt.Errorf("journal: compact snapshot: %w", err)
+	}
+
+	// 2. WAL swap: a fresh v2 WAL carrying the snapshot generation. If
+	// this step dies, the old WAL (a superset of the snapshot) stays in
+	// place — the idempotent-replay crash window documented above.
+	if err := j.swapWAL(gen, nil); err != nil {
+		return fmt.Errorf("journal: compact swap: %w", err)
+	}
+	j.gen = gen
+	j.snapRecords = uint64(len(payloads))
+	j.snapBytes = int64(len(snap))
+	j.compactions++
+	obs.Std.StorageCompactions.Inc()
+	obs.Std.StorageSnapshotBytes.Set(int64(len(snap)))
+	obs.Flight.Recordf(obs.EvStorageCompact,
+		"compacted %s: %d records (%d bytes) to snapshot generation %d, WAL reset",
+		j.path, len(payloads), len(snap), gen)
+	return nil
+}
+
+// swapWAL atomically replaces the WAL file with one holding the given
+// generation header and records, and points j.f at it. Used by Compact
+// (empty record set) and by replay's corruption heal (the salvaged set).
+// On error the original WAL file is untouched. Callers hold j.mu (or,
+// during Open, have exclusive access).
+func (j *Journal) swapWAL(gen uint64, records [][]byte) error {
+	buf := make([]byte, 0, 4096)
+	if gen > 0 {
+		buf = append(buf, magicV2...)
+		buf = binary.LittleEndian.AppendUint64(buf, gen)
+	} else {
+		buf = append(buf, magic...)
+	}
+	for _, p := range records {
+		buf = frame(buf, p)
+	}
+	tmp := j.path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return j.poison(err)
+	}
+	if err := os.Rename(tmp, j.path); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := syncDir(filepath.Dir(j.path)); err != nil {
+		f.Close()
+		return err
+	}
+	// f now is the journal file under its real name; retire the old fd.
+	j.f.Close()
+	j.f = f
+	j.bytes = int64(len(buf))
+	return nil
+}
+
+// writeFileShimmed writes data to path with create+truncate, fsync, and
+// the disk-fault shim consulted for write and fsync faults. Transient
+// injected write faults are retried; on failure the tmp file is removed.
+func (j *Journal) writeFileShimmed(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	fail := func(err error) error {
+		f.Close()
+		os.Remove(path)
+		return err
+	}
+	for attempt := 0; ; attempt++ {
+		if short, ferr := j.shim.WriteFault(len(data)); ferr != nil {
+			if short > 0 {
+				f.Write(data[:short])
+			}
+			if err := f.Truncate(0); err != nil {
+				return fail(err)
+			}
+			if _, err := f.Seek(0, 0); err != nil {
+				return fail(err)
+			}
+			if faultinject.IsTransient(ferr) && attempt < appendRetries {
+				j.shim.NoteRetry()
+				continue
+			}
+			return fail(ferr)
+		}
+		if _, err := f.Write(data); err != nil {
+			return fail(err)
+		}
+		break
+	}
+	if ferr := j.shim.FsyncFault(); ferr != nil {
+		return fail(ferr)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	return f.Close()
+}
+
 // Stats returns a snapshot of the journal counters.
 func (j *Journal) Stats() Stats {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return Stats{
-		Replayed:  j.replayed,
-		TornBytes: j.tornBytes,
-		Appended:  j.appended,
-		Syncs:     j.syncs,
-		Bytes:     j.bytes,
+		Replayed:         j.replayed,
+		TornBytes:        j.tornBytes,
+		Quarantined:      j.quarantined,
+		QuarantinedBytes: j.quarantinedBytes,
+		Salvaged:         j.salvaged,
+		Appended:         j.appended,
+		Syncs:            j.syncs,
+		Bytes:            j.bytes,
+		Generation:       j.gen,
+		SnapshotRecords:  j.snapRecords,
+		SnapshotBytes:    j.snapBytes,
+		Compactions:      j.compactions,
+		Poisoned:         j.poisoned != nil,
 	}
 }
 
@@ -230,7 +745,10 @@ func (j *Journal) Close() error {
 	if j.f == nil {
 		return nil
 	}
-	err := j.f.Sync()
+	var err error
+	if j.poisoned == nil {
+		err = j.f.Sync()
+	}
 	if cerr := j.f.Close(); err == nil {
 		err = cerr
 	}

@@ -150,9 +150,11 @@ func TestJournalTruncationObserved(t *testing.T) {
 	}
 }
 
-// TestJournalChecksumCorruption flips a payload byte: replay must stop at
-// the corrupt record and everything after it (prefix semantics — a WAL
-// cannot vouch for records beyond the first broken checksum).
+// TestJournalChecksumCorruption flips a payload byte mid-file: replay
+// must quarantine exactly the corrupt record, salvage the intact suffix
+// beyond it, and heal the file so a second replay sees no damage at all.
+// (Old prefix semantics — discard everything after the first bad CRC —
+// would turn one flipped bit into unbounded loss.)
 func TestJournalChecksumCorruption(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "j.wal")
 	j, _ := openT(t, path)
@@ -171,12 +173,91 @@ func TestJournalChecksumCorruption(t *testing.T) {
 	}
 
 	j2, recs := openT(t, path)
-	defer j2.Close()
-	if len(recs) != 1 || string(recs[0]) != "good-1" {
-		t.Fatalf("replay after corruption: %q, want [good-1]", recs)
+	if len(recs) != 2 || string(recs[0]) != "good-1" || string(recs[1]) != "good-3" {
+		t.Fatalf("replay after corruption: %q, want [good-1 good-3]", recs)
 	}
-	if st := j2.Stats(); st.TornBytes == 0 {
-		t.Fatal("corrupt tail not counted as torn")
+	st := j2.Stats()
+	if st.Quarantined != 1 || st.Salvaged != 1 {
+		t.Fatalf("quarantine stats: %+v, want 1 region / 1 salvaged", st)
+	}
+	if st.QuarantinedBytes != int64(8+len("good-2")) {
+		t.Fatalf("QuarantinedBytes = %d, want the full bad frame (%d)",
+			st.QuarantinedBytes, 8+len("good-2"))
+	}
+	if st.TornBytes != 0 {
+		t.Fatalf("mid-file corruption misreported as torn tail: %+v", st)
+	}
+	// The heal rewrote the file: appends continue, and a fresh replay
+	// sees a clean journal with both survivors.
+	appendT(t, j2, "good-4")
+	j2.Close()
+	j3, recs := openT(t, path)
+	defer j3.Close()
+	if len(recs) != 3 || string(recs[2]) != "good-4" {
+		t.Fatalf("replay after heal: %q", recs)
+	}
+	if st := j3.Stats(); st.Quarantined != 0 || st.TornBytes != 0 {
+		t.Fatalf("journal not healed on disk: %+v", st)
+	}
+}
+
+// TestJournalCorruptionObserved: a quarantine leaves a flight event and
+// bumps the storage counters — the forensics kardfsck and the runbook
+// lean on.
+func TestJournalCorruptionObserved(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	j, _ := openT(t, path)
+	appendT(t, j, "aaaa", "bbbb", "cccc")
+	j.Close()
+	data, _ := os.ReadFile(path)
+	data[len(magic)+(8+4)+8+1] ^= 0x40 // one bit in record two
+	os.WriteFile(path, data, 0o644)
+
+	quarBefore := obs.Std.StorageQuarantined.Value()
+	salvBefore := obs.Std.StorageSalvagedRecords.Value()
+	seq := obs.Flight.Seq()
+	j2, _ := openT(t, path)
+	defer j2.Close()
+	if got := obs.Std.StorageQuarantined.Value() - quarBefore; got != 1 {
+		t.Errorf("storage_quarantined_records_total moved by %d, want 1", got)
+	}
+	if got := obs.Std.StorageSalvagedRecords.Value() - salvBefore; got != 1 {
+		t.Errorf("storage_salvaged_records_total moved by %d, want 1", got)
+	}
+	var found bool
+	for _, ev := range obs.Flight.Snapshot() {
+		if ev.Seq >= seq && ev.Kind == obs.EvStorageQuarantine && strings.Contains(ev.Detail, "corrupt bytes") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no storage-quarantine flight event recorded")
+	}
+}
+
+// TestJournalCorruptTailIsTorn: corruption with no intact record after it
+// is indistinguishable from a tear and must be treated as one (truncate,
+// not quarantine).
+func TestJournalCorruptTailIsTorn(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	j, _ := openT(t, path)
+	appendT(t, j, "keep-me", "last-record")
+	j.Close()
+	data, _ := os.ReadFile(path)
+	data[len(data)-3] ^= 0x01 // flip a bit inside the final payload
+	os.WriteFile(path, data, 0o644)
+
+	j2, recs := openT(t, path)
+	defer j2.Close()
+	if len(recs) != 1 || string(recs[0]) != "keep-me" {
+		t.Fatalf("replay: %q, want [keep-me]", recs)
+	}
+	st := j2.Stats()
+	if st.Quarantined != 0 {
+		t.Fatalf("trailing corruption quarantined, want torn: %+v", st)
+	}
+	if st.TornBytes != int64(8+len("last-record")) {
+		t.Fatalf("TornBytes = %d, want %d", st.TornBytes, 8+len("last-record"))
 	}
 }
 

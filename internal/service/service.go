@@ -93,6 +93,16 @@ type Config struct {
 	Defaults ServerDefaults
 	// Breaker tunes the per-workload circuit breakers.
 	Breaker BreakerConfig
+	// CompactEvery is how many journal appends may accumulate before the
+	// WAL is compacted (settled state snapshotted, WAL truncated;
+	// DESIGN.md §11). 0 means the default (1024); negative disables
+	// compaction.
+	CompactEvery int
+	// OnStorageFatal, when non-nil, is called (once, on its own
+	// goroutine) when the journal poisons itself after an fsync failure.
+	// kardd uses it to fail-stop: exit so the supervisor restarts the
+	// daemon and recovery replays the intact journal prefix.
+	OnStorageFatal func(error)
 	// Logf, when non-nil, receives operational log lines.
 	Logf func(format string, args ...any)
 
@@ -116,6 +126,9 @@ func (c *Config) defaults() {
 	}
 	if c.Defaults.CellTimeout <= 0 {
 		c.Defaults.CellTimeout = 2 * time.Minute
+	}
+	if c.CompactEvery == 0 {
+		c.CompactEvery = 1024
 	}
 	if c.now == nil {
 		c.now = time.Now
@@ -209,6 +222,8 @@ type Server struct {
 	rejDraining   uint64
 	resumedCells  uint64
 	journalErrs   uint64
+	sinceCompact  int  // appends since the last WAL compaction
+	storageFatal  bool // OnStorageFatal already dispatched
 
 	// Fault-injection totals accumulated across executed cells (cache
 	// hits included, resumed cells not — their run already counted).
@@ -283,9 +298,9 @@ func Open(cfg Config) (*Server, error) {
 		s.pending++
 		s.queue <- j
 	}
-	if st := jr.Stats(); st.Replayed > 0 || st.TornBytes > 0 {
-		cfg.Logf("service: journal replayed %d records (%d torn bytes truncated), %d jobs resumed",
-			st.Replayed, st.TornBytes, len(resume))
+	if st := jr.Stats(); st.Replayed > 0 || st.TornBytes > 0 || st.Quarantined > 0 {
+		cfg.Logf("service: journal replayed %d records (snapshot gen %d: %d; %d torn bytes truncated; %d regions quarantined, %d records salvaged), %d jobs resumed",
+			st.Replayed, st.Generation, st.SnapshotRecords, st.TornBytes, st.Quarantined, st.Salvaged, len(resume))
 	}
 
 	for w := 0; w < cfg.Workers; w++ {
@@ -309,6 +324,12 @@ func (s *Server) replay(payloads [][]byte) []*job {
 		switch r.T {
 		case "admit":
 			if r.Job == nil || r.Job.ID == "" {
+				continue
+			}
+			if _, ok := s.jobs[r.Job.ID]; ok {
+				// Snapshot + stale-WAL replay after a compaction crash
+				// delivers some records twice; re-admission must be a
+				// no-op or the job would lose its replayed verdicts.
 				continue
 			}
 			j := newJob(*r.Job)
@@ -409,10 +430,12 @@ func (s *Server) Submit(spec JobSpec) (string, error) {
 	s.setQueued(s.queued + 1)
 	s.pending++
 	s.queue <- j // cannot block: queued < QueueDepth ≤ cap, sends only under s.mu
+	s.maybeCompactLocked()
 	return spec.ID, nil
 }
 
-// appendLocked journals one record. Callers hold s.mu.
+// appendLocked journals one record, fail-stopping on a poisoned journal
+// and compacting the WAL on cadence. Callers hold s.mu.
 func (s *Server) appendLocked(r record) error {
 	b, err := json.Marshal(r)
 	if err != nil {
@@ -420,9 +443,112 @@ func (s *Server) appendLocked(r record) error {
 	}
 	if err := s.jr.Append(b); err != nil {
 		s.journalErrs++
+		if errors.Is(err, journal.ErrPoisoned) && !s.storageFatal {
+			// First sign of a failed fsync: nothing can be made durable
+			// anymore, so hand control to the fail-stop hook (kardd
+			// exits; recovery replays the intact prefix).
+			s.storageFatal = true
+			s.cfg.Logf("service: journal poisoned, failing stop: %v", err)
+			if s.cfg.OnStorageFatal != nil {
+				go s.cfg.OnStorageFatal(err)
+			}
+		}
 		return err
 	}
+	// Count the append but do NOT compact here: some callers (Submit)
+	// append before the in-memory state reflects the record, and a
+	// snapshot taken in that window would drop it. Compaction happens at
+	// the consistency points that call maybeCompactLocked explicitly.
+	s.sinceCompact++
 	return nil
+}
+
+// maybeCompactLocked compacts the WAL once enough appends accumulated:
+// the settled state (admissions, verdicts, checkpointed cells, open
+// breakers) moves into the checksummed snapshot and the WAL restarts
+// empty. Compaction failure is never fatal here — the uncompacted WAL
+// remains fully authoritative. Callers hold s.mu.
+func (s *Server) maybeCompactLocked() {
+	if s.cfg.CompactEvery <= 0 || s.sinceCompact < s.cfg.CompactEvery || s.closed {
+		return
+	}
+	payloads, err := s.snapshotLocked()
+	if err != nil {
+		s.cfg.Logf("service: compaction snapshot encode failed: %v", err)
+		return
+	}
+	if err := s.jr.Compact(payloads); err != nil {
+		s.cfg.Logf("service: journal compaction failed (WAL keeps growing): %v", err)
+		return
+	}
+	s.sinceCompact = 0
+	s.cfg.Logf("service: journal compacted to %d snapshot records", len(payloads))
+}
+
+// snapshotLocked serializes the server's full recoverable state as a
+// record sequence whose replay reconstructs it exactly: one admission
+// per job in admission order, its settled verdict (or checkpointed cell
+// verdicts for jobs still in flight), and every open breaker. Callers
+// hold s.mu.
+func (s *Server) snapshotLocked() ([][]byte, error) {
+	var payloads [][]byte
+	add := func(r record) error {
+		b, err := json.Marshal(r)
+		if err != nil {
+			return err
+		}
+		payloads = append(payloads, b)
+		return nil
+	}
+	for _, id := range s.order {
+		j := s.jobs[id]
+		spec := j.spec
+		if err := add(record{T: "admit", Job: &spec}); err != nil {
+			return nil, err
+		}
+		switch j.state {
+		case StateDone:
+			j.mu.Lock()
+			v := j.verdict
+			j.mu.Unlock()
+			if err := add(record{T: "done", JobID: id, JobVerdict: v}); err != nil {
+				return nil, err
+			}
+		case StateFailed:
+			if err := add(record{T: "fail", JobID: id, Err: j.err}); err != nil {
+				return nil, err
+			}
+		default:
+			// In flight: checkpoint completed cells so resume skips them.
+			j.mu.Lock()
+			for i, v := range j.done {
+				if v == nil {
+					continue
+				}
+				if err := add(record{T: "cell", JobID: id, Cell: i, Verdict: v}); err != nil {
+					j.mu.Unlock()
+					return nil, err
+				}
+			}
+			j.mu.Unlock()
+		}
+	}
+	names := make([]string, 0, len(s.breakers))
+	for name := range s.breakers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b := s.breakers[name]
+		if b.state != breakerOpen {
+			continue
+		}
+		st := b.status()
+		if err := add(record{T: "breaker", Breaker: &st}); err != nil {
+			return nil, err
+		}
+	}
+	return payloads, nil
 }
 
 // appendBestEffort journals a record whose loss only costs recomputation
@@ -432,7 +558,9 @@ func (s *Server) appendBestEffort(r record) {
 	defer s.mu.Unlock()
 	if err := s.appendLocked(r); err != nil {
 		s.cfg.Logf("service: journal append failed (will recompute after a crash): %v", err)
+		return
 	}
+	s.maybeCompactLocked()
 }
 
 // worker drains the queue until the queue closes (drain) or the run
@@ -570,6 +698,7 @@ func (s *Server) settleJob(j *job, verdict *JobVerdict, jobErr error, tripped bo
 		}
 		s.cfg.Logf("service: breaker %s -> %s (trips %d)", j.spec.Workload, st.State, st.Trips)
 	}
+	s.maybeCompactLocked()
 }
 
 // WaitIdle blocks until no job is queued or running (or ctx ends). A

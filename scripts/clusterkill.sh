@@ -18,6 +18,7 @@ trap 'rm -rf "$WORK"' EXIT
 
 cd "$(dirname "$0")/.."
 go build -o "$WORK/kardd" ./cmd/kardd
+go build -o "$WORK/kardfsck" ./cmd/kardfsck
 
 # Enough cells (~20) that the run is comfortably longer than the poll
 # loop below — the kill must land while work is still in flight.
@@ -82,5 +83,9 @@ echo "   verdicts byte-identical after worker SIGKILL + reassignment"
 grep -aq '"t":"dead"' "$WORK/cl/cluster.wal" \
   || { echo "FAIL: no worker-dead record in the assignment journal" >&2; exit 1; }
 echo "   worker-dead record journaled"
+
+echo "== kardfsck over the assignment journal + shared store"
+"$WORK/kardfsck" -dir "$WORK/cl" \
+  || { echo "FAIL: kardfsck reports the cluster state unclean" >&2; exit 1; }
 
 echo "OK"

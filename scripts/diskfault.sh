@@ -1,0 +1,103 @@
+#!/usr/bin/env bash
+# diskfault.sh — end-to-end storage-fault smoke for kardd (DESIGN.md §11,
+# OPERATIONS.md §9).
+#
+# Builds kardd and kardfsck, runs a reference job set fault-free, then
+# runs the same jobs over a state directory whose every journal and cache
+# I/O passes the seeded disk-fault shim (-chaos-disk): short writes,
+# ENOSPC, fsync EIO, read bit flips, lost renames — with aggressive WAL
+# compaction so the snapshot path is exercised too. The first incarnation
+# is additionally SIGKILLed mid-run. Incarnations that hit an injected
+# fsync failure fail-stop (exit 3, the poisoned-journal contract) and are
+# restarted over the same directory with the next seed until one drains
+# cleanly. The smoke then requires:
+#
+#   1. verdicts byte-identical to the fault-free run,
+#   2. kardfsck to report the surviving state directory clean (exit 0),
+#   3. evidence that faults were actually injected.
+#
+# Environment: SCALE (default 0.05) trades fidelity for speed.
+set -euo pipefail
+
+SCALE="${SCALE:-0.05}"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+cd "$(dirname "$0")/.."
+go build -o "$WORK/kardd" ./cmd/kardd
+go build -o "$WORK/kardfsck" ./cmd/kardfsck
+
+cat >"$WORK/jobs.json" <<EOF
+[
+  {"id": "df-aget",  "workload": "aget",  "modes": ["kard", "baseline"], "seeds": [1, 2], "scale": $SCALE},
+  {"id": "df-pigz",  "workload": "pigz",  "modes": ["kard"],             "seeds": [1, 2], "scale": $SCALE},
+  {"id": "df-nginx", "workload": "nginx", "modes": ["kard"],             "seeds": [1],    "scale": $SCALE}
+]
+EOF
+
+cells() { { grep -ao '"t":"cell"' "$1/journal.wal" 2>/dev/null || true; } | wc -l; }
+
+echo "== reference run (fault-free)"
+"$WORK/kardd" -dir "$WORK/ref" -submit "$WORK/jobs.json" \
+  -exit-when-idle -verdicts "$WORK/ref.json" 2>"$WORK/ref.log"
+[ -s "$WORK/ref.json" ] || { echo "FAIL: reference run produced no verdicts" >&2; exit 1; }
+
+echo "== faulty pass 1: chaos-disk + SIGKILL mid-run"
+"$WORK/kardd" -dir "$WORK/faulty" -submit "$WORK/jobs.json" \
+  -chaos-disk -chaos-seed 7 -compact-every 3 2>>"$WORK/faulty.log" &
+pid=$!
+for _ in $(seq 1 100); do
+  [ "$(cells "$WORK/faulty")" -gt 0 ] && break
+  kill -0 "$pid" 2>/dev/null || break
+  sleep 0.1
+done
+kill -9 "$pid" 2>/dev/null || true
+wait "$pid" 2>/dev/null || true
+echo "   SIGKILL at $(cells "$WORK/faulty") journaled cells"
+
+echo "== faulty recovery: restart under chaos-disk until a clean drain"
+seed=8
+for attempt in $(seq 1 12); do
+  rc=0
+  "$WORK/kardd" -dir "$WORK/faulty" -submit "$WORK/jobs.json" \
+    -chaos-disk -chaos-seed "$seed" -compact-every 3 \
+    -exit-when-idle -verdicts "$WORK/faulty.json" 2>>"$WORK/faulty.log" || rc=$?
+  if [ "$rc" -eq 0 ]; then
+    echo "   clean drain on attempt $attempt (seed $seed)"
+    break
+  fi
+  # Exit 3 is the poisoned-journal fail-stop — the designed response to
+  # an injected fsync EIO. Anything else is a real bug.
+  if [ "$rc" -ne 3 ]; then
+    echo "FAIL: kardd exited $rc under chaos-disk (want 0 or fail-stop 3)" >&2
+    tail -20 "$WORK/faulty.log" >&2
+    exit 1
+  fi
+  echo "   attempt $attempt (seed $seed): fail-stop on injected fsync error; restarting"
+  seed=$((seed + 1))
+  rc=1
+done
+if [ "${rc:-1}" -ne 0 ]; then
+  echo "FAIL: no clean drain within 12 chaos-disk incarnations" >&2
+  exit 1
+fi
+
+echo "== verdict equivalence"
+if ! diff -u "$WORK/ref.json" "$WORK/faulty.json"; then
+  echo "FAIL: verdicts under disk faults differ from the fault-free run" >&2
+  exit 1
+fi
+echo "   verdicts byte-identical to the fault-free run"
+
+echo "== kardfsck over the surviving state directory"
+"$WORK/kardfsck" -dir "$WORK/faulty" \
+  || { echo "FAIL: kardfsck reports the recovered state unclean" >&2; exit 1; }
+
+echo "== fault evidence"
+grep -a "diskfault stats: injected=" "$WORK/faulty.log" | tail -1
+if ! grep -aq "diskfault stats: injected=[1-9]" "$WORK/faulty.log"; then
+  echo "FAIL: no disk faults were injected; the smoke exercised nothing" >&2
+  exit 1
+fi
+
+echo "OK"

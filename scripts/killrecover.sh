@@ -19,6 +19,7 @@ trap 'rm -rf "$WORK"' EXIT
 
 cd "$(dirname "$0")/.."
 go build -o "$WORK/kardd" ./cmd/kardd
+go build -o "$WORK/kardfsck" ./cmd/kardfsck
 
 cat >"$WORK/jobs.json" <<EOF
 [
@@ -66,6 +67,10 @@ if ! diff -u "$WORK/ref.json" "$WORK/crash.json"; then
   exit 1
 fi
 echo "   verdicts byte-identical after $ITER crash(es)"
+
+echo "== kardfsck over the recovered state directory"
+"$WORK/kardfsck" -dir "$WORK/crash" \
+  || { echo "FAIL: kardfsck reports the recovered state unclean" >&2; exit 1; }
 
 echo "== SIGTERM drain"
 "$WORK/kardd" -dir "$WORK/drain" -submit "$WORK/jobs.json" &
