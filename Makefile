@@ -11,7 +11,7 @@ JOBS     ?= $(shell nproc 2>/dev/null || echo 4)
 CACHEDIR ?= .cache/kard
 SEED     ?= 1
 
-.PHONY: all build test vet race bench bench-json bench-gate chaos fuzz daemon killrecover soak metrics-smoke cluster-smoke partition-smoke diskfault-smoke docs-check govulncheck repro repro-fast clean-cache clean
+.PHONY: all build test vet race bench bench-json bench-gate bench-parallel chaos fuzz daemon killrecover soak metrics-smoke cluster-smoke partition-smoke diskfault-smoke docs-check govulncheck repro repro-fast clean-cache clean
 
 all: build test
 
@@ -44,6 +44,13 @@ bench-json:
 #   go run ./cmd/benchgate -out BENCH_baseline.json -count 5 -pad 30
 bench-gate:
 	$(GO) run ./cmd/benchgate -baseline BENCH_baseline.json
+
+# The batched-execution benchmarks (DESIGN.md §12) on their own: the
+# steady-state access loop, the batch oracle, the 4-thread epoch path,
+# the sync-point drain stress, and Sweep — all must report 0 allocs/op.
+bench-parallel:
+	$(GO) test -run '^$$' -bench 'AccessSteadyState|AccessBatched|ReconcileSyncPoint|Sweep' \
+		-benchmem -count 3 ./internal/sim/
 
 # Fault-injection soak: race verdicts must be identical with and without
 # the default fault plan (all faults transient or degradable), and the

@@ -32,24 +32,33 @@ import (
 )
 
 // gated enumerates the benchmarks the gate requires: the memory-layer hot
-// paths and the engine's end-to-end access loop. A baseline benchmark
+// paths and the engine's end-to-end access loops. A baseline benchmark
 // missing from the current run fails the gate (a deleted benchmark can't
 // prove anything). nsGate is off for scheduler-bound benchmarks whose
 // timing is dominated by goroutine handoffs (too noisy for a tight
 // threshold on a shared machine); their allocs/op — the invariant that
 // actually protects the fast path — is deterministic and stays gated.
+// maxNS, when nonzero, is an absolute ns/op ceiling enforced regardless
+// of the baseline: it pins a performance contract (the batched access
+// path must stay an order of magnitude under the scalar engine's ~800 ns
+// park/resume cost) rather than a relative drift bound.
 var gated = []struct {
 	name   string
 	nsGate bool
+	maxNS  float64
 }{
-	{"TranslateHit", true},
-	{"TranslateMiss", true},
-	{"TLBEvict", true},
-	{"RadixWalk", true},
-	{"MmapAnon", true},
-	{"Protect", true},
-	{"AccessSteadyState", false},
-	{"AccessSteadyStateMetrics", false},
+	{name: "TranslateHit", nsGate: true},
+	{name: "TranslateMiss", nsGate: true},
+	{name: "TLBEvict", nsGate: true},
+	{name: "RadixWalk", nsGate: true},
+	{name: "MmapAnon", nsGate: true},
+	{name: "Protect", nsGate: true},
+	{name: "AccessSteadyState", maxNS: 160},
+	{name: "AccessSteadyStateMetrics", maxNS: 200},
+	{name: "AccessBatched", maxNS: 160},
+	{name: "AccessBatchedParallel"},
+	{name: "ReconcileSyncPoint"},
+	{name: "Sweep"},
 }
 
 // packages holds the benchmark packages to run.
@@ -230,6 +239,10 @@ func parseLine(line string) (string, result, bool) {
 func gate(base, cur map[string]result, threshold float64) []string {
 	var failures []string
 	for _, g := range gated {
+		if c, ok := cur[g.name]; ok && g.maxNS > 0 && c.NsPerOp > g.maxNS {
+			failures = append(failures, fmt.Sprintf("%s: %.2f ns/op exceeds the absolute ceiling %.0f ns/op",
+				g.name, c.NsPerOp, g.maxNS))
+		}
 		b, inBase := base[g.name]
 		if !inBase {
 			continue // baseline predates this benchmark; nothing to hold it to

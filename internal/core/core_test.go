@@ -20,7 +20,12 @@ func newRun(t *testing.T, seed int64, opts Options, body func(e *sim.Engine, mai
 // detector internals from inside the workload.
 func runDet(t *testing.T, seed int64, det *Detector, body func(e *sim.Engine, main *sim.Thread)) *sim.Stats {
 	t.Helper()
-	e := sim.New(sim.Config{Seed: seed, UniquePageAllocator: true}, det)
+	// White-box tests observe detector state (PKRU, domains, key tables)
+	// from inside the body between accesses, which requires the scalar
+	// execution mode: under batching an access has not reached the
+	// detector until the next sync point. Batched and parallel execution
+	// of the Kard detector is covered by the harness differential suite.
+	e := sim.New(sim.Config{Seed: seed, UniquePageAllocator: true, ExecMode: sim.ExecModeSerial}, det)
 	st, err := e.Run(func(m *sim.Thread) { body(e, m) })
 	if err != nil {
 		t.Fatal(err)

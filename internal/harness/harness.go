@@ -68,6 +68,12 @@ type Options struct {
 	TLBEntries int
 	// Kard tunes the Kard detector when Mode is ModeKard.
 	Kard core.Options
+	// ExecMode selects the engine's execution strategy (sim.Config.ExecMode):
+	// "" or "parallel" for batched execution with reconciliation epochs,
+	// "batch" for batching without epochs, "serial" for the scalar oracle.
+	// All three produce byte-identical results; the differential suite
+	// enforces it.
+	ExecMode string
 	// Faults, when non-empty, arms deterministic fault injection for the
 	// run (see internal/faultinject); seed and plan fully determine every
 	// injected failure.
@@ -134,7 +140,7 @@ func RunWorkload(o Options, w workload.Workload) (*Result, error) {
 
 	cfg := sim.Config{Seed: o.Seed, TLBEntries: o.TLBEntries, Faults: o.Faults,
 		Watchdog: o.Timeout, Deadline: o.Deadline, MaxFrames: o.MaxFrames,
-		Metrics: o.Metrics}
+		Metrics: o.Metrics, ExecMode: o.ExecMode}
 	var det sim.Detector
 	var kd *core.Detector
 	switch o.Mode {

@@ -1,0 +1,7 @@
+//go:build !race
+
+package harness
+
+// raceEnabled reports whether this test binary was built with the Go race
+// detector; see race_enabled_test.go.
+const raceEnabled = false

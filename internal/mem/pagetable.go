@@ -14,6 +14,14 @@ import "math/bits"
 type pageTable interface {
 	// lookup returns the entry for p, or nil if unmapped.
 	lookup(p Page) *PTE
+	// peek is lookup without the walk-depth accounting: a pure read that
+	// mutates nothing, safe to call from concurrent readers while no
+	// writer runs. The engine's epoch commit phase replays detector
+	// hooks on parallel goroutines, and those hooks inspect the table
+	// through AddressSpace.Peek — a depth counter bump there would be a
+	// data race (and would skew the translation-walk histogram with
+	// inspections that model no hardware walk).
+	peek(p Page) *PTE
 	// insert maps p to a copy of pte and returns the stored entry.
 	insert(p Page, pte PTE) *PTE
 	// remove unmaps p (a no-op if unmapped).
@@ -80,6 +88,26 @@ func (t *radixTable) lookup(p Page) *PTE {
 		return nil
 	}
 	t.depths[3]++
+	i := p & radixMask
+	if leaf.present[i>>6]&(1<<(i&63)) == 0 {
+		return nil
+	}
+	return &leaf.ptes[i]
+}
+
+func (t *radixTable) peek(p Page) *PTE {
+	l2 := t.root[p>>(3*radixBits)]
+	if l2 == nil {
+		return nil
+	}
+	l3 := l2.kids[(p>>(2*radixBits))&radixMask]
+	if l3 == nil {
+		return nil
+	}
+	leaf := l3.kids[(p>>radixBits)&radixMask]
+	if leaf == nil {
+		return nil
+	}
 	i := p & radixMask
 	if leaf.present[i>>6]&(1<<(i&63)) == 0 {
 		return nil

@@ -14,6 +14,8 @@ func newMapTable() *mapTable { return &mapTable{m: make(map[Page]*PTE)} }
 
 func (t *mapTable) lookup(p Page) *PTE { return t.m[p] }
 
+func (t *mapTable) peek(p Page) *PTE { return t.m[p] }
+
 func (t *mapTable) insert(p Page, pte PTE) *PTE {
 	e := &PTE{}
 	*e = pte

@@ -26,6 +26,11 @@ var CycleBuckets = []float64{1_000, 5_000, 10_000, 25_000, 50_000, 100_000, 250_
 // FsyncBuckets bounds the journal fsync latency histogram in seconds.
 var FsyncBuckets = []float64{1e-5, 1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 5e-2, 1e-1, 1}
 
+// BatchDepthBuckets bounds the engine's batch-drain depth histogram:
+// power-of-two fills up to the default per-thread buffer capacity (128)
+// and one bucket beyond for larger configured buffers.
+var BatchDepthBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}
+
 // Metrics is the pre-registered Kard metric set. Instrumented packages
 // update these handles directly.
 type Metrics struct {
@@ -67,6 +72,15 @@ type Metrics struct {
 	SimRunsFailed     *Counter
 	SimRunsWatchdog   *Counter
 	SimRunsDeadline   *Counter
+
+	// sim — batched execution and epoch reconciliation (DESIGN.md §12).
+	// Per-run tallies are plain engine fields flushed at run teardown, so
+	// the batched access path stays allocation- and atomic-free.
+	SimBatchDrains   *Counter
+	SimBatchDepth    *Histogram
+	SimEpochs        *Counter
+	SimEpochAccesses *Counter
+	SimEpochVetoes   *Counter
 
 	// service — kardd.
 	SvcQueueDepth         *Gauge
@@ -170,6 +184,17 @@ func RegisterMetrics(r *Registry) *Metrics {
 		SimRunsFailed:   r.Counter("kard_sim_runs_total", "Simulation runs by outcome.", "outcome", "failed"),
 		SimRunsWatchdog: r.Counter("kard_sim_runs_total", "Simulation runs by outcome.", "outcome", "watchdog"),
 		SimRunsDeadline: r.Counter("kard_sim_runs_total", "Simulation runs by outcome.", "outcome", "deadline"),
+
+		SimBatchDrains: r.Counter("kard_sim_batch_drains_total",
+			"Per-thread access batches drained at sync points, buffer fills, and explicit flushes."),
+		SimBatchDepth: r.Histogram("kard_sim_batch_depth",
+			"Buffered accesses per batch drain.", BatchDepthBuckets),
+		SimEpochs: r.Counter("kard_sim_epochs_total",
+			"Parallel reconciliation epochs executed (conflict-free batches fanned out)."),
+		SimEpochAccesses: r.Counter("kard_sim_epoch_accesses_total",
+			"Access operations committed inside parallel epochs instead of the scalar replay."),
+		SimEpochVetoes: r.Counter("kard_sim_epoch_vetoes_total",
+			"Epoch admissions vetoed by the conflict check and replayed on the scalar path."),
 
 		SvcQueueDepth: r.Gauge("kard_service_queue_depth", "Jobs admitted and not yet dispatched to a worker."),
 		SvcRejectsSaturated: r.Counter("kard_service_rejects_total",

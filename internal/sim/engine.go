@@ -58,6 +58,18 @@ type Config struct {
 	// path stays allocation-free (benchgate's AccessSteadyStateMetrics
 	// run enforces it).
 	Metrics bool
+	// ExecMode selects the access execution path (DESIGN.md §12):
+	// ExecModeParallel ("" and the default) buffers accesses per thread,
+	// replays them through the scheduler, and commits conflict-free
+	// batches concurrently in reconciliation epochs; ExecModeBatch
+	// buffers and replays without epochs; ExecModeSerial parks every
+	// access individually — the differential oracle. All three produce
+	// byte-identical statistics, verdicts, and race reports. New panics
+	// on any other value.
+	ExecMode string
+	// BatchSize overrides the per-thread access buffer capacity
+	// (0 = DefaultBatchSize). Meaningless under ExecModeSerial.
+	BatchSize int
 }
 
 // Engine is the discrete-event execution engine. Create one per run with
@@ -120,13 +132,35 @@ type Engine struct {
 	// consult it.
 	inj *faultinject.Injector
 
-	// scratch is the reusable Access record for executeAccess and
-	// executeSweep. Passing its address to OnAccess keeps the per-access
-	// path allocation-free (a local would escape to the heap through the
-	// interface call); detectors must not retain the pointer past the
-	// OnAccess call, which the Detector interface documents. Workload
-	// bodies are serialized by runToken, so one record per engine is safe.
+	// scratch is the reusable Access record for the scalar and
+	// batch-replay access paths. Passing its address to OnAccess keeps
+	// the per-access path allocation-free (a local would escape to the
+	// heap through the interface call); detectors must not retain the
+	// pointer past the OnAccess call, which the Detector interface
+	// documents. Those paths run only on the scheduler goroutine, so one
+	// record per engine is safe; parallel epochs use the per-thread
+	// epochScratch records instead.
 	scratch Access
+
+	// Batched execution (DESIGN.md §12, internal/sim/batch.go).
+	execMode  string // resolved Config.ExecMode
+	batching  bool   // execMode != ExecModeSerial
+	batchSize int
+	// epochDet is non-nil when reconciliation epochs may run: parallel
+	// mode, an EpochDetector, and the CLOCK dTLB (the set-associative
+	// model's LRU touches are order-sensitive, so it never epochs).
+	epochDet  EpochDetector
+	epochHold bool // a vetoed configuration; re-check only after a new arrival
+	epochFoot map[*alloc.Object]*Thread
+	// epochThreads is the reusable per-epoch participant list.
+	epochThreads []*Thread
+
+	// Per-run batch/epoch telemetry, flushed to obs at teardown.
+	batchDrains   uint64
+	batchDepth    [10]uint64 // power-of-two drain-depth buckets
+	epochCount    uint64
+	epochAccesses uint64
+	epochVetoes   uint64
 }
 
 // New creates an engine with the given configuration and detector. The
@@ -154,6 +188,27 @@ func New(cfg Config, det Detector) *Engine {
 		runToken:       make(chan struct{}, 1),
 		sections:       make(map[string]*CriticalSection),
 		activeSections: make(map[*CriticalSection]int),
+	}
+	switch cfg.ExecMode {
+	case "", ExecModeParallel:
+		e.execMode = ExecModeParallel
+	case ExecModeBatch, ExecModeSerial:
+		e.execMode = cfg.ExecMode
+	default:
+		panic(fmt.Sprintf("sim: unknown ExecMode %q (want %q, %q, or %q)",
+			cfg.ExecMode, ExecModeParallel, ExecModeBatch, ExecModeSerial))
+	}
+	e.batching = e.execMode != ExecModeSerial
+	e.batchSize = cfg.BatchSize
+	if e.batchSize <= 0 {
+		e.batchSize = DefaultBatchSize
+	}
+	if e.execMode == ExecModeParallel {
+		if ed, ok := det.(EpochDetector); ok {
+			if _, clock := as.TLB().(*mem.TLB); clock {
+				e.epochDet = ed
+			}
+		}
 	}
 	if !cfg.Faults.Empty() {
 		e.inj = faultinject.New(cfg.Seed, cfg.Faults)
@@ -300,12 +355,12 @@ loop:
 	for e.runnable > 0 || len(e.parked) > 0 {
 		for len(e.parked) < e.runnable {
 			if watchC == nil {
-				e.parked = append(e.parked, <-e.arrivals)
+				e.arrive(<-e.arrivals)
 				continue
 			}
 			select {
 			case th := <-e.arrivals:
-				e.parked = append(e.parked, th)
+				e.arrive(th)
 			case <-watchC:
 				timedOut = true
 				break loop
@@ -322,7 +377,14 @@ loop:
 			default:
 			}
 		}
+		if e.epochDet != nil {
+			e.tryEpoch()
+		}
 		th := e.pickNext()
+		if th.batchPos < len(th.batch) {
+			e.executeBatchEntry(th)
+			continue
+		}
 		e.execute(th)
 	}
 	e.running = false
@@ -402,6 +464,15 @@ func (e *Engine) finishObs(outcome string) {
 	if !e.cfg.Metrics {
 		m.SimAccessUnits.Add(e.accessUnits)
 	}
+	m.SimBatchDrains.Add(e.batchDrains)
+	for i, n := range e.batchDepth {
+		if n > 0 && i > 0 {
+			m.SimBatchDepth.ObserveN(float64(uint64(1)<<(i-1)), n)
+		}
+	}
+	m.SimEpochs.Add(e.epochCount)
+	m.SimEpochAccesses.Add(e.epochAccesses)
+	m.SimEpochVetoes.Add(e.epochVetoes)
 	m.SimRaces.Add(uint64(len(e.detector.Races())))
 	if e.inj != nil {
 		fs := e.inj.Stats()
@@ -554,6 +625,30 @@ type opError struct{ err error }
 func (e *opError) Error() string { return e.err.Error() }
 func (e *opError) Unwrap() error { return e.err }
 
+// arrive admits a thread that parked at the scheduler: telemetry for a
+// freshly drained batch, epoch re-admission (a new arrival is the only
+// event that can change a vetoed epoch configuration), then activation.
+func (e *Engine) arrive(t *Thread) {
+	e.epochHold = false
+	if len(t.batch) > 0 && t.batchPos == 0 {
+		e.noteDrain(len(t.batch))
+	}
+	e.activate(t)
+}
+
+// activate makes the thread's next queued operation pick-eligible and
+// charges it to the thread's operation count — batched entries count one
+// by one exactly as their scalar submissions would have, and the opDrain
+// park itself is free (the scalar path has no such operation). The count
+// feeds the seed-keyed scheduling prio, so it must advance identically
+// across execution modes.
+func (e *Engine) activate(t *Thread) {
+	if t.batchPos < len(t.batch) || t.pending.kind != opDrain {
+		t.opCount++
+	}
+	e.parked = append(e.parked, t)
+}
+
 // pickNext removes and returns the parked thread with the smallest
 // (clock, tie-break hash) pair.
 func (e *Engine) pickNext() *Thread {
@@ -631,6 +726,12 @@ func (e *Engine) execute(t *Thread) {
 
 	case opSweep:
 		e.executeSweep(t, o)
+
+	case opDrain:
+		// The batch was fully replayed before this final op became
+		// pick-eligible (the pick loop executes queued entries first);
+		// the park itself costs nothing.
+		t.resume <- opResult{}
 
 	case opRLock, opRUnlock, opWLock, opWUnlock:
 		e.executeRW(t, o)
@@ -813,16 +914,28 @@ func (t *Thread) popSection(m *Mutex) *SectionEntry {
 	return nil
 }
 
-// executeAccess performs one batched data access: translation through the
-// dTLB per touched page, the base access cost, and the detector hook.
+// executeAccess performs one batched data access on the scalar path and
+// resumes the thread; accessCore does the work, shared with batch replay.
 func (e *Engine) executeAccess(t *Thread, o op) {
-	obj := o.obj
-	if obj.Freed() {
-		t.resume <- opResult{err: fmt.Errorf("sim: thread %d use-after-free of %s at %s", t.id, obj, o.site)}
+	if err := e.accessCore(t, o.obj, o.off, o.size, o.access, o.site); err != nil {
+		t.resume <- opResult{err: err}
 		return
 	}
-	addr := obj.Base + mem.Addr(o.off)
-	first, last := mem.PageRange(addr, o.size)
+	t.resume <- opResult{}
+}
+
+// accessCore performs one data access: translation through the dTLB per
+// touched page, the base access cost, and the detector hook. It runs on
+// the scheduler goroutine for both the scalar path and the batch replay,
+// so the engine's scratch record is safe to reuse — a local Access would
+// escape to the heap through the OnAccess interface call, costing one
+// allocation per simulated access.
+func (e *Engine) accessCore(t *Thread, obj *alloc.Object, off, size uint64, kind mpk.AccessKind, site string) error {
+	if obj.Freed() {
+		return fmt.Errorf("sim: thread %d use-after-free of %s at %s", t.id, obj, site)
+	}
+	addr := obj.Base + mem.Addr(off)
+	first, last := mem.PageRange(addr, size)
 	for p := first; p <= last; p++ {
 		a := p.Base()
 		if a < addr {
@@ -830,21 +943,20 @@ func (e *Engine) executeAccess(t *Thread, o op) {
 		}
 		_, miss, minor, err := e.space.Translate(a)
 		if err != nil {
-			t.resume <- opResult{err: err}
-			return
+			return err
 		}
 		if miss {
 			t.charge(cycles.TLBMiss)
 			e.tlbMissUnits++
+			t.tlbMisses++
+		} else {
+			t.tlbHits++
 		}
 		if minor {
 			t.charge(cycles.MinorFault)
 		}
 	}
-	// Reuse the engine's scratch record: a local Access would escape to
-	// the heap through the OnAccess interface call, costing one allocation
-	// per simulated access.
-	e.scratch = Access{Thread: t, Object: obj, Addr: addr, Size: o.size, Kind: o.access, Site: o.site}
+	e.scratch = Access{Thread: t, Object: obj, Addr: addr, Size: size, Kind: kind, Site: site}
 	units := e.scratch.Units()
 	t.charge(cycles.Duration(units) * cycles.Access)
 	t.accessUnits += units
@@ -853,37 +965,48 @@ func (e *Engine) executeAccess(t *Thread, o op) {
 		obs.Std.SimAccessUnits.Add(units)
 	}
 	t.charge(e.detector.OnAccess(&e.scratch))
-	t.resume <- opResult{}
+	return nil
 }
 
 // executeSweep performs one access per object of a pool in a single
-// engine operation, translating each object's first page through the dTLB
-// and invoking the detector per object. The Access record is reused
-// across the loop; detectors must not retain it past the OnAccess call.
+// engine operation and resumes the thread; sweepCore does the work.
 func (e *Engine) executeSweep(t *Thread, o op) {
-	e.scratch = Access{Thread: t, Kind: o.access, Site: o.site}
-	for _, obj := range o.objs {
+	if err := e.sweepCore(t, o.objs, o.size, o.access, o.site); err != nil {
+		t.resume <- opResult{err: err}
+		return
+	}
+	t.resume <- opResult{}
+}
+
+// sweepCore accesses every object of a pool, translating each object's
+// first page through the dTLB and invoking the detector per object. The
+// engine's Access record is reused across the loop; detectors must not
+// retain it past the OnAccess call.
+func (e *Engine) sweepCore(t *Thread, objs []*alloc.Object, size uint64, kind mpk.AccessKind, site string) error {
+	e.scratch = Access{Thread: t, Kind: kind, Site: site}
+	for _, obj := range objs {
 		if obj.Freed() {
-			t.resume <- opResult{err: fmt.Errorf("sim: thread %d sweep over freed %s at %s", t.id, obj, o.site)}
-			return
+			return fmt.Errorf("sim: thread %d sweep over freed %s at %s", t.id, obj, site)
 		}
-		size := o.size
-		if size > obj.Padded {
-			size = obj.Padded
+		sz := size
+		if sz > obj.Padded {
+			sz = obj.Padded
 		}
 		_, miss, minor, err := e.space.Translate(obj.Base)
 		if err != nil {
-			t.resume <- opResult{err: err}
-			return
+			return err
 		}
 		if miss {
 			t.charge(cycles.TLBMiss)
 			e.tlbMissUnits++
+			t.tlbMisses++
+		} else {
+			t.tlbHits++
 		}
 		if minor {
 			t.charge(cycles.MinorFault)
 		}
-		e.scratch.Object, e.scratch.Addr, e.scratch.Size = obj, obj.Base, size
+		e.scratch.Object, e.scratch.Addr, e.scratch.Size = obj, obj.Base, sz
 		units := e.scratch.Units()
 		t.charge(cycles.Duration(units) * cycles.Access)
 		t.accessUnits += units
@@ -893,7 +1016,7 @@ func (e *Engine) executeSweep(t *Thread, o op) {
 		}
 		t.charge(e.detector.OnAccess(&e.scratch))
 	}
-	t.resume <- opResult{}
+	return nil
 }
 
 // op is one pending thread operation.
@@ -920,6 +1043,7 @@ var opNames = [...]string{
 	"compute", "malloc", "free", "access", "sweep", "lock", "unlock",
 	"trylock", "barrier", "spawn", "join", "exit", "rlock", "runlock",
 	"wlock", "wunlock", "condwait", "condsignal", "condbroadcast",
+	"drain",
 }
 
 func (k opKind) String() string {
@@ -949,6 +1073,11 @@ const (
 	opCondWait
 	opCondSignal
 	opCondBroadcast
+	// opDrain parks a thread whose access batch filled (or was explicitly
+	// flushed) with no other operation to run; the batch replays and the
+	// thread resumes. It is the only op kind with no scalar equivalent,
+	// so it never advances the operation count (DESIGN.md §12).
+	opDrain
 )
 
 type opResult struct {

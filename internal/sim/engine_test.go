@@ -77,6 +77,10 @@ func TestUseAfterFreePanics(t *testing.T) {
 		o := m.Malloc(32, "x")
 		m.Free(o)
 		m.Read(o, 0, 8, "uaf")
+		// Under batched execution the access error surfaces at the next
+		// sync point, not the Read call; Flush forces it inside the
+		// recover scope.
+		m.Flush()
 	})
 	if err != nil {
 		t.Fatal(err)

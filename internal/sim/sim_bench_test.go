@@ -106,8 +106,90 @@ func BenchmarkAccessSteadyStateMetrics(b *testing.B) {
 	}
 }
 
+// BenchmarkAccessBatched is the steady-state access loop pinned to
+// ExecModeBatch: batched replay through the scheduler's pick loop, no
+// reconciliation epochs. The delta against BenchmarkAccessSteadyState
+// (default mode) isolates what the epoch machinery costs a single-threaded
+// program — tryEpoch never admits with one thread, so the two should be
+// near-identical.
+func BenchmarkAccessBatched(b *testing.B) {
+	e := New(Config{ExecMode: ExecModeBatch}, nil)
+	if _, err := e.Run(func(m *Thread) {
+		obj := m.Malloc(64, "obj")
+		m.Read(obj, 0, 8, "warm")
+		m.Flush()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.Read(obj, 0, 8, "hot")
+		}
+	}); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkAccessBatchedParallel is the multi-threaded steady state: four
+// threads hammer disjoint objects under the default parallel mode, so
+// buffer-full drains align and reconciliation epochs commit the batches
+// with the detector replay fanned out across worker goroutines. Per-epoch
+// bookkeeping (admission scan, worker spawns, WaitGroup) amortizes over
+// 512 accesses, so the loop must stay at 0 allocs/op.
+func BenchmarkAccessBatchedParallel(b *testing.B) {
+	e := New(Config{Seed: 1}, nil)
+	per := b.N/4 + 1
+	if _, err := e.Run(func(m *Thread) {
+		var ws []*Thread
+		for i := 0; i < 4; i++ {
+			ws = append(ws, m.Go(fmt.Sprintf("w%d", i), func(w *Thread) {
+				obj := w.Malloc(256, "obj")
+				b.ReportAllocs()
+				for j := 0; j < per; j++ {
+					w.Read(obj, uint64(j%32)*8, 8, "hot")
+				}
+			}))
+		}
+		for _, w := range ws {
+			m.Join(w)
+		}
+	}); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkReconcileSyncPoint stresses the drain boundary instead of the
+// buffered fast path: four threads flush every 16 accesses, so the
+// park/pick/replay (or epoch) machinery runs 8× more often per access
+// than under full 128-entry batches. This is the cost model for
+// synchronization-heavy programs, which drain at every lock operation.
+func BenchmarkReconcileSyncPoint(b *testing.B) {
+	e := New(Config{Seed: 1}, nil)
+	per := b.N/(4*16) + 1
+	if _, err := e.Run(func(m *Thread) {
+		var ws []*Thread
+		for i := 0; i < 4; i++ {
+			ws = append(ws, m.Go(fmt.Sprintf("w%d", i), func(w *Thread) {
+				obj := w.Malloc(256, "obj")
+				b.ReportAllocs()
+				for j := 0; j < per; j++ {
+					for k := 0; k < 16; k++ {
+						w.Read(obj, uint64(k)*8, 8, "hot")
+					}
+					w.Flush()
+				}
+			}))
+		}
+		for _, w := range ws {
+			m.Join(w)
+		}
+	}); err != nil {
+		b.Fatal(err)
+	}
+}
+
 // BenchmarkSweep measures the batched pool-access operation the workload
-// models rely on: one engine op touching 64 distinct objects.
+// models rely on: one engine op touching 64 distinct objects — under the
+// default execution mode the Sweep call buffers and the entries replay at
+// the drain, so this also covers the sweep expansion of the batch path.
 func BenchmarkSweep(b *testing.B) {
 	e := New(Config{UniquePageAllocator: true}, nil)
 	if _, err := e.Run(func(m *Thread) {

@@ -51,6 +51,19 @@ type Thread struct {
 
 	// access statistics
 	accessUnits uint64
+	// Per-thread dTLB accounting, accumulated on every execution path
+	// (scalar, batch replay, epoch commit); TLBStats exposes it.
+	tlbHits   uint64
+	tlbMisses uint64
+
+	// Batched execution (DESIGN.md §12): the fixed-capacity access
+	// buffer Read/Write/Sweep append to, the engine-side replay cursor,
+	// and the thread-confined Access record parallel epochs replay
+	// through (one per thread, so concurrent OnAccess calls of different
+	// threads never share a record).
+	batch        []batchEntry
+	batchPos     int
+	epochScratch Access
 }
 
 // SectionEntry is one active critical-section activation on a thread.
@@ -76,6 +89,11 @@ func (t *Thread) Engine() *Engine { return t.eng }
 // InCriticalSection reports whether the thread currently executes at least
 // one critical section.
 func (t *Thread) InCriticalSection() bool { return len(t.Sections) > 0 }
+
+// TLBStats returns the thread's dTLB hit and miss counts. Every execution
+// path accumulates them identically — scalar submits, batch replay, and
+// epoch commits — so the split is byte-stable across ExecMode settings.
+func (t *Thread) TLBStats() (hits, misses uint64) { return t.tlbHits, t.tlbMisses }
 
 // Holds reports whether the thread currently holds m.
 func (t *Thread) Holds(m *Mutex) bool { return t.held[m] }
@@ -133,6 +151,10 @@ func (t *Thread) access(o *alloc.Object, off, size uint64, kind mpk.AccessKind, 
 		panic(fmt.Sprintf("sim: thread %d: access [%d,%d) out of bounds of %s at %s",
 			t.id, off, off+size, o, site))
 	}
+	if t.eng.batching {
+		t.bufferAccess(batchEntry{obj: o, off: off, size: size, kind: kind, site: site})
+		return
+	}
 	t.submit(op{kind: opAccess, obj: o, off: off, size: size, access: kind, site: site})
 }
 
@@ -141,14 +163,19 @@ func (t *Thread) access(o *alloc.Object, off, size uint64, kind mpk.AccessKind, 
 // objects (particles, connections, molecules): under a compact allocator
 // consecutive objects share pages, while under unique-page allocation
 // every object lives on its own page — which is exactly the dTLB-pressure
-// difference §7.2 describes. The objs slice must not be mutated while the
-// operation runs.
+// difference §7.2 describes. The objs slice must not be mutated until the
+// operation has executed — under batched execution that is the next sync
+// point or Flush, not the Sweep call itself.
 func (t *Thread) Sweep(objs []*alloc.Object, bytesEach uint64, kind mpk.AccessKind, site string) {
 	if len(objs) == 0 {
 		return
 	}
 	if bytesEach == 0 {
 		bytesEach = 8
+	}
+	if t.eng.batching {
+		t.bufferAccess(batchEntry{objs: objs, size: bytesEach, kind: kind, site: site})
+		return
 	}
 	t.submit(op{kind: opSweep, objs: objs, size: bytesEach, access: kind, site: site})
 }
@@ -198,6 +225,9 @@ func (t *Thread) Join(other *Thread) {
 // data.
 func (t *Thread) StoreBytes(o *alloc.Object, off uint64, b []byte) {
 	t.Write(o, off, uint64(len(b)), "store")
+	// The copy below translates through the dTLB directly; flush so the
+	// buffered Write's translations land first, in scalar order.
+	t.Flush()
 	if err := t.eng.space.Store(o.Base+mem.Addr(off), b); err != nil {
 		panic(err)
 	}
@@ -206,19 +236,23 @@ func (t *Thread) StoreBytes(o *alloc.Object, off uint64, b []byte) {
 // LoadBytes reads len(b) bytes at offset off of o.
 func (t *Thread) LoadBytes(o *alloc.Object, off uint64, b []byte) {
 	t.Read(o, off, uint64(len(b)), "load")
+	t.Flush()
 	if err := t.eng.space.Load(o.Base+mem.Addr(off), b); err != nil {
 		panic(err)
 	}
 }
 
 // submit parks the thread at the scheduler with its next operation and
-// blocks until the engine has executed it.
+// blocks until the engine has executed it — and, under batched execution,
+// until any buffered accesses queued before it have replayed. The
+// operation count is charged engine-side at activation (Engine.activate),
+// not here, so batched entries count at the moment they become
+// pick-eligible, exactly as their scalar submissions would.
 func (t *Thread) submit(o op) opResult {
 	if t.done {
 		panic(fmt.Sprintf("sim: operation on finished thread %d", t.id))
 	}
 	t.pending = o
-	t.opCount++
 	<-t.eng.runToken // release the body-execution token while parked
 	t.eng.arrivals <- t
 	r := <-t.resume

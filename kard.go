@@ -143,6 +143,12 @@ type Config struct {
 	TLBModel string
 	// Kard tunes the Kard detector when Detector is DetectorKard.
 	Kard KardOptions
+	// ExecMode selects the engine's execution strategy: "" or "parallel"
+	// for batched access execution with parallel reconciliation epochs,
+	// "batch" for batching without epochs, "serial" for the scalar
+	// reference path. All modes produce byte-identical reports; serial is
+	// the differential oracle.
+	ExecMode string
 }
 
 // Report is the outcome of a run.
@@ -177,7 +183,8 @@ type System struct {
 
 // NewSystem creates a system with the given configuration.
 func NewSystem(cfg Config) *System {
-	sc := sim.Config{Seed: cfg.Seed, TLBEntries: cfg.TLBEntries, TLBModel: cfg.TLBModel}
+	sc := sim.Config{Seed: cfg.Seed, TLBEntries: cfg.TLBEntries, TLBModel: cfg.TLBModel,
+		ExecMode: cfg.ExecMode}
 	var det sim.Detector
 	var kd *core.Detector
 	switch cfg.Detector {
@@ -238,6 +245,8 @@ type WorkloadConfig struct {
 	Seed int64
 	// Kard tunes the detector when Detector is DetectorKard.
 	Kard KardOptions
+	// ExecMode selects the engine's execution strategy (see Config.ExecMode).
+	ExecMode string
 }
 
 // RunWorkload runs one of the packaged application models. See Workloads
@@ -254,6 +263,7 @@ func RunWorkload(name string, cfg WorkloadConfig) (*Report, error) {
 		Scale:    cfg.Scale,
 		Seed:     cfg.Seed,
 		Kard:     cfg.Kard.internal(),
+		ExecMode: cfg.ExecMode,
 	})
 	if err != nil {
 		return nil, err
