@@ -11,7 +11,7 @@ JOBS     ?= $(shell nproc 2>/dev/null || echo 4)
 CACHEDIR ?= .cache/kard
 SEED     ?= 1
 
-.PHONY: all build test vet race bench bench-json bench-gate bench-parallel chaos fuzz daemon killrecover soak metrics-smoke cluster-smoke partition-smoke diskfault-smoke docs-check govulncheck repro repro-fast clean-cache clean
+.PHONY: all build test vet race bench bench-json bench-gate bench-parallel chaos fuzz daemon killrecover soak metrics-smoke trace-smoke cluster-smoke partition-smoke diskfault-smoke docs-check govulncheck repro repro-fast clean-cache clean
 
 all: build test
 
@@ -85,6 +85,14 @@ soak:
 # monotonic), then drain with SIGTERM.
 metrics-smoke:
 	./scripts/metricssmoke.sh
+
+# Tracing smoke (DESIGN.md §13): two same-seed `kardbench -trace` runs
+# must export byte-identical Chrome trace JSON that validates under
+# `metricscheck -trace`; a live `kardd -trace` must serve a valid export
+# at /debug/trace, the kard_trace_* counters on /metrics, and per-race
+# forensic records at /jobs/<id>/races/<n>/trace.
+trace-smoke:
+	./scripts/tracesmoke.sh
 
 # Sharded-cluster smoke: run the same jobs single-process and through
 # `kardd -cluster 2`, SIGKILL one subprocess worker mid-run, and require

@@ -55,6 +55,7 @@ var gated = []struct {
 	{name: "Protect", nsGate: true},
 	{name: "AccessSteadyState", maxNS: 160},
 	{name: "AccessSteadyStateMetrics", maxNS: 200},
+	{name: "AccessSteadyStateTraced", maxNS: 200},
 	{name: "AccessBatched", maxNS: 160},
 	{name: "AccessBatchedParallel"},
 	{name: "ReconcileSyncPoint"},

@@ -13,6 +13,7 @@
 //	kardbench -sweep nginx            # §7.2 file-size sweep
 //	kardbench -table ilu              # §3.1 ILU share over the corpus
 //	kardbench -chaos                  # fault-injection soak: verdicts must hold
+//	kardbench -table 6 -trace t.json  # export a Chrome/Perfetto trace of the campaign
 //	kardbench -daemon                 # kardd service smoke: crash, recover, verify
 //
 // The -scale flag trades run time for fidelity of the absolute counters
@@ -37,6 +38,7 @@ import (
 
 	"kard/internal/obs"
 	"kard/internal/report"
+	"kard/internal/trace"
 )
 
 // known enumerates the valid values of the selector flags; anything else
@@ -66,6 +68,7 @@ func main() {
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 		metrics  = flag.String("metrics", "", "write a Prometheus-text snapshot of the run's metrics to this file at exit (- for stderr)")
+		traceOut = flag.String("trace", "", "export a Chrome trace-event JSON of the campaign to this file (Perfetto/chrome://tracing); same seed = byte-identical export")
 	)
 	flag.Parse()
 
@@ -111,6 +114,20 @@ func main() {
 		Jobs: *jobs, CacheDir: *cachedir}
 	if *progress || *verbose {
 		o.Progress = os.Stderr
+	}
+	var tracer *trace.Tracer
+	if *traceOut != "" {
+		// The trace ID and every span ID derive from the scheduler seed,
+		// and the per-cell tracks use virtual clocks, so two runs with the
+		// same seed export byte-identical JSON. The cache is bypassed while
+		// tracing (a cache hit would replace a cell's engine events with a
+		// single instant).
+		if *cachedir != "" {
+			fmt.Fprintln(os.Stderr, "kardbench: -trace bypasses -cachedir (every cell must execute for a deterministic export)")
+		}
+		tracer = trace.NewTracer(*seed, "kardbench", 0)
+		tracer.ProcessName(1, "kardbench-harness")
+		o.Trace = tracer
 	}
 
 	start := time.Now()
@@ -186,6 +203,22 @@ func main() {
 	// Wall clock goes to stderr: the table output must stay byte-identical
 	// across -jobs values and cache states so reproductions diff cleanly.
 	fmt.Fprintf(os.Stderr, "done in %v\n", time.Since(start).Round(time.Second))
+
+	if tracer != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := tracer.WriteChrome(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote trace to %s (trace id %016x, dropped %d)\n",
+			*traceOut, tracer.TraceID(), tracer.Dropped())
+	}
 
 	// The metrics snapshot is diagnostic, never part of the table output,
 	// so it goes to its own file (or stderr with -metrics -).

@@ -36,6 +36,7 @@ import (
 	"kard/internal/harness"
 	"kard/internal/obs"
 	"kard/internal/service"
+	"kard/internal/trace"
 )
 
 // clusterFlags groups the coordinator/worker flag values main passes in.
@@ -59,6 +60,7 @@ type clusterFlags struct {
 	chaosDisk    bool
 	chaosSeed    int64
 	compactEvery int
+	traceOn      bool
 }
 
 // runWorkerMode is `kardd -worker`: join the coordinator, drain leases
@@ -83,6 +85,15 @@ func runWorkerMode(f clusterFlags, logf func(string, ...any)) {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()
 	opts := cluster.ClientOptions{Logf: logf}
+	if f.traceOn {
+		// The worker exports nothing itself; its tracer exists to mint
+		// span IDs that ride the RPC headers, so the coordinator's
+		// /debug/trace shows every server span stitched to the worker
+		// that issued it. Scoping by worker name keeps IDs distinct
+		// across workers.
+		wtr := trace.NewTracer(1, "kardd-worker/"+name, 0)
+		opts.Trace = wtr.Track(4, 1, name, 0)
+	}
 	var chaos *netfault.Transport
 	if f.chaosNet {
 		chaos = netfault.New(nil, f.chaosSeed, faultinject.DefaultNetPlan())
@@ -190,6 +201,10 @@ func runClusterMode(f clusterFlags, logf func(string, ...any)) {
 	if err != nil {
 		fatal(err)
 	}
+	var tracer *trace.Tracer
+	if f.traceOn {
+		tracer = trace.NewTracer(1, "kardd-cluster", 0)
+	}
 	coord, err := cluster.New(cluster.Config{
 		Dir:              f.dir,
 		Store:            store,
@@ -198,6 +213,7 @@ func runClusterMode(f clusterFlags, logf func(string, ...any)) {
 		MaxAttempts:      f.maxAttempts,
 		CompactEvery:     f.compactEvery,
 		Logf:             logf,
+		Trace:            tracer,
 	}, all)
 	if err != nil {
 		fatal(err)
@@ -222,6 +238,14 @@ func runClusterMode(f clusterFlags, logf func(string, ...any)) {
 	mux := http.NewServeMux()
 	mux.Handle("/cluster/", coord.Handler())
 	mux.Handle("/metrics", obs.DefaultRegistry.Handler())
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		if tracer == nil {
+			http.Error(w, "tracing disabled (start kardd with -trace)", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = tracer.WriteChrome(w)
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -368,6 +392,9 @@ func spawnWorkers(f clusterFlags, url, storeDir string, logf func(string, ...any
 		}
 		if f.chaosDisk {
 			args = append(args, "-chaos-disk")
+		}
+		if f.traceOn {
+			args = append(args, "-trace")
 		}
 		if f.chaosNet || f.chaosDisk {
 			args = append(args, "-chaos-seed", strconv.FormatInt(f.chaosSeed+int64(i), 10))

@@ -54,6 +54,7 @@ import (
 	"kard/internal/faultinject"
 	"kard/internal/report"
 	"kard/internal/service"
+	"kard/internal/trace"
 )
 
 func main() {
@@ -86,6 +87,7 @@ func main() {
 		chaosDisk    = flag.Bool("chaos-disk", false, "inject the seeded default disk fault plan (short writes, ENOSPC, fsync EIO, read bit flips, lost renames) into journal and cache I/O (DESIGN.md §11)")
 		chaosSeed    = flag.Int64("chaos-seed", 1, "seed for the -chaos-net / -chaos-disk fault schedules (same seed = same schedule)")
 		compactEvery = flag.Int("compact-every", 0, "snapshot and truncate the WAL after this many appends (0 = default cadence, negative = never compact)")
+		traceOn      = flag.Bool("trace", false, "record structured spans (job lifecycle, journal fsyncs, cluster RPCs) and serve Chrome trace-event JSON at GET /debug/trace")
 	)
 	flag.Parse()
 
@@ -110,7 +112,7 @@ func main() {
 			hbTimeout: *hbTimeout, cellDeadline: *cellDeadline, maxAttempts: *maxAttempts,
 			cellTimeout: *cellTimeout, maxFrames: *maxFrames, maxRWKeys: *maxRWKeys,
 			supervise: *supervise, chaosNet: *chaosNet, chaosDisk: *chaosDisk,
-			chaosSeed: *chaosSeed, compactEvery: *compactEvery,
+			chaosSeed: *chaosSeed, compactEvery: *compactEvery, traceOn: *traceOn,
 		}
 		switch {
 		case *worker:
@@ -122,12 +124,20 @@ func main() {
 		}
 		return
 	}
+	// The daemon is a wall-clock layer: the fixed seed only keys span IDs
+	// (timestamps come from Tracer.Now), and the export is served live at
+	// /debug/trace rather than written at exit.
+	var tracer *trace.Tracer
+	if *traceOn {
+		tracer = trace.NewTracer(1, "kardd", 0)
+	}
 	srv, err := service.Open(service.Config{
 		Dir:          *dir,
 		QueueDepth:   *queue,
 		Workers:      *workers,
 		CellWorkers:  *cellWorkers,
 		CompactEvery: *compactEvery,
+		Trace:        tracer,
 		Defaults: service.ServerDefaults{
 			CellTimeout: *cellTimeout,
 			MaxFrames:   *maxFrames,

@@ -17,8 +17,67 @@ import (
 
 	"kard/internal/harness"
 	"kard/internal/report"
+	"kard/internal/sim"
 	"kard/internal/workload"
 )
+
+// explainRace renders a race's forensic provenance (DESIGN.md §13):
+// who touched the object, under which locks, how it moved between
+// protection domains, and what the threads synchronized on just before
+// detection.
+func explainRace(race sim.Race) {
+	p := race.Provenance
+	if p == nil {
+		fmt.Println("  (no provenance recorded)")
+		return
+	}
+	describe := func(role string, a sim.AccessDesc) {
+		name := a.ThreadName
+		if name == "" {
+			name = fmt.Sprintf("thread %d", a.Thread)
+		}
+		kind := a.Kind
+		if kind == "" {
+			kind = "access"
+		}
+		section := a.Section
+		if section == "" {
+			section = "(no section)"
+		}
+		fmt.Printf("  %-6s %s by %s at %q in %s\n", role+":", kind, name, a.Site, section)
+	}
+	describe("first", p.First)
+	describe("second", p.Second)
+	if len(p.LocksHeld) > 0 {
+		fmt.Printf("  locks held at detection: %v\n", p.LocksHeld)
+	} else {
+		fmt.Println("  locks held at detection: none")
+	}
+	fmt.Printf("  detected in reconciliation epoch %d, batch drain %d\n", p.Epoch, p.Drain)
+	if len(p.DomainHistory) > 0 {
+		fmt.Println("  protection-domain history (oldest first):")
+		for _, d := range p.DomainHistory {
+			if d.Key > 0 {
+				fmt.Printf("    t=%-8d %s (pkey %d)\n", d.Time, d.Domain, d.Key)
+			} else {
+				fmt.Printf("    t=%-8d %s\n", d.Time, d.Domain)
+			}
+		}
+	}
+	if len(p.SyncEdges) > 0 {
+		fmt.Println("  recent synchronization edges (oldest first):")
+		for _, s := range p.SyncEdges {
+			switch {
+			case s.Label != "":
+				fmt.Printf("    t=%-8d %s by thread %d (%s)\n", s.Time, s.Kind, s.Thread, s.Label)
+			case s.Other >= 0:
+				fmt.Printf("    t=%-8d %s by thread %d (peer %d)\n", s.Time, s.Kind, s.Thread, s.Other)
+			default:
+				fmt.Printf("    t=%-8d %s by thread %d\n", s.Time, s.Kind, s.Thread)
+			}
+		}
+	}
+}
 
 func main() {
 	var (
@@ -30,6 +89,7 @@ func main() {
 		list    = flag.Bool("list", false, "list available workloads")
 		catalog = flag.Bool("catalog", false, "run the race-pattern catalog under all detectors")
 		stats   = flag.Bool("stats", false, "also print run statistics")
+		explain = flag.Bool("explain", false, "print each race's forensic provenance: the access pair, locks held, the object's protection-domain history, and recent synchronization edges")
 	)
 	flag.Parse()
 
@@ -78,7 +138,11 @@ func main() {
 			fmt.Printf("  %s of %d byte(s) at offset %d\n", race.Kind, 8, race.Offset)
 			fmt.Printf("  thread %d at %q in section %q\n", race.Thread, race.Site, race.Section)
 			fmt.Printf("  conflicts with thread %d in section %q\n", race.OtherThread, race.OtherSection)
-			fmt.Printf("  inconsistent lock usage: %v; virtual time %d\n\n", race.ILU, race.Time)
+			fmt.Printf("  inconsistent lock usage: %v; virtual time %d\n", race.ILU, race.Time)
+			if *explain {
+				explainRace(race)
+			}
+			fmt.Println()
 		}
 	}
 	if r.HasKard {

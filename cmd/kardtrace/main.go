@@ -6,6 +6,13 @@
 //
 //	kardtrace -w aget -n 200              # first 200 events under Kard
 //	kardtrace -w pigz -d baseline -n 50
+//
+// The event tracer forces serial execution (sim.Tracer is SerialOnly):
+// batched and parallel execution reorder per-thread work, which would
+// interleave the printed event stream nondeterministically. Verdicts are
+// identical across execution modes, so this costs fidelity nothing.
+// For structured span traces of a whole campaign, use `kardbench -trace`
+// instead.
 package main
 
 import (

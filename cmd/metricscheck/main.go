@@ -7,12 +7,22 @@
 // Usage:
 //
 //	metricscheck -url http://127.0.0.1:7707/metrics -interval 500ms
+//	metricscheck -trace trace.json
+//	metricscheck -url http://127.0.0.1:7707/metrics -trace http://127.0.0.1:7707/debug/trace
 //
-// Exit status 0 means both scrapes passed every check; any violation is
+// -trace validates a Chrome trace-event export (a file, or a live
+// /debug/trace endpoint): the body must be well-formed JSON, every 'E'
+// event must close a matching 'B' on its (pid, tid) row, and every row's
+// timestamps must be monotonically non-decreasing. With only -trace, the
+// metrics scrapes are skipped; with both flags, the scrape additionally
+// requires the kard_trace_* counter families to be present.
+//
+// Exit status 0 means every requested check passed; any violation is
 // reported to stderr and exits 1.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -29,8 +39,24 @@ func main() {
 		url      = flag.String("url", "http://127.0.0.1:7707/metrics", "metrics endpoint to scrape")
 		interval = flag.Duration("interval", 500*time.Millisecond, "pause between the two scrapes")
 		wait     = flag.Duration("wait", 10*time.Second, "how long to retry the first scrape while the daemon starts")
+		traceSrc = flag.String("trace", "", "validate a Chrome trace export: a JSON file path or a /debug/trace URL")
 	)
 	flag.Parse()
+
+	urlSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "url" {
+			urlSet = true
+		}
+	})
+
+	if *traceSrc != "" && !urlSet {
+		// Trace-only invocation: validate and exit.
+		if err := checkTrace(*traceSrc, *wait); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	first, err := scrapeRetry(*url, *wait)
 	if err != nil {
@@ -63,6 +89,23 @@ func main() {
 		}
 		if v2 < v1 {
 			violations = append(violations, fmt.Sprintf("counter %s went backwards: %g -> %g", name, v1, v2))
+		}
+	}
+	if *traceSrc != "" {
+		// With both flags, the trace is fetched after the scrapes so the
+		// daemon is known to be up (scrapeRetry already waited for it).
+		if err := checkTrace(*traceSrc, *wait); err != nil {
+			fatal(err)
+		}
+		// A traced daemon must export the tracer's own counters; their
+		// monotonicity is covered by the generic counter check above.
+		for _, fam := range []string{
+			"kard_trace_spans_total", "kard_trace_events_total",
+			"kard_trace_events_dropped_total", "kard_trace_exports_total",
+		} {
+			if s2.types[fam] != "counter" {
+				violations = append(violations, fmt.Sprintf("traced daemon exports no %s counter", fam))
+			}
 		}
 	}
 	sort.Strings(violations)
@@ -189,6 +232,124 @@ func parse(body string) (*scrapeState, error) {
 		return nil, fmt.Errorf("exposition has no samples")
 	}
 	return s, nil
+}
+
+// checkTrace validates one Chrome trace-event export, read from a file
+// or fetched from a /debug/trace endpoint (retrying up to wait while the
+// daemon starts).
+func checkTrace(src string, wait time.Duration) error {
+	var data []byte
+	var err error
+	if strings.HasPrefix(src, "http://") || strings.HasPrefix(src, "https://") {
+		data, err = fetchRetry(src, wait)
+	} else {
+		data, err = os.ReadFile(src)
+	}
+	if err != nil {
+		return err
+	}
+	events, open, err := validateTrace(data)
+	if err != nil {
+		return fmt.Errorf("trace %s: %w", src, err)
+	}
+	note := ""
+	if open > 0 {
+		// A live daemon exports mid-run, so still-open spans are fine;
+		// they'd be a bug in a completed campaign's export.
+		note = fmt.Sprintf(" (%d spans still open)", open)
+	}
+	fmt.Printf("metricscheck: trace ok, %d events, B/E matched, timestamps monotonic per row%s\n",
+		events, note)
+	return nil
+}
+
+// fetchRetry GETs a URL, retrying while the daemon starts.
+func fetchRetry(url string, wait time.Duration) ([]byte, error) {
+	deadline := time.Now().Add(wait)
+	for {
+		data, err := fetch(url)
+		if err == nil {
+			return data, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, err
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+}
+
+func fetch(url string) ([]byte, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// traceEvent is the subset of the Chrome trace-event shape the validator
+// inspects.
+type traceEvent struct {
+	Name string `json:"name"`
+	Ph   string `json:"ph"`
+	Pid  int    `json:"pid"`
+	Tid  int    `json:"tid"`
+	Ts   int64  `json:"ts"`
+}
+
+// validateTrace checks the three structural invariants every export must
+// hold: well-formed JSON, every 'E' closes a 'B' of the same name open on
+// its (pid, tid) row, and each row's timestamps never go backwards. It
+// returns the event count and how many spans were left open (legitimate
+// for a live mid-run export, suspect for a finished campaign).
+func validateTrace(data []byte) (events, open int, err error) {
+	var doc struct {
+		TraceEvents []traceEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return 0, 0, fmt.Errorf("not valid trace JSON: %w", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		return 0, 0, fmt.Errorf("export has no events")
+	}
+	type row struct{ pid, tid int }
+	stacks := map[row][]string{}
+	lastTs := map[row]int64{}
+	for i, e := range doc.TraceEvents {
+		r := row{e.Pid, e.Tid}
+		if e.Ph != "M" { // metadata carries ts 0 regardless of position
+			if prev, ok := lastTs[r]; ok && e.Ts < prev {
+				return 0, 0, fmt.Errorf("event %d (%s): ts went backwards on pid %d tid %d: %d -> %d",
+					i, e.Name, e.Pid, e.Tid, prev, e.Ts)
+			}
+			lastTs[r] = e.Ts
+		}
+		switch e.Ph {
+		case "B":
+			stacks[r] = append(stacks[r], e.Name)
+		case "E":
+			st := stacks[r]
+			if len(st) == 0 {
+				return 0, 0, fmt.Errorf("event %d: 'E' %q on pid %d tid %d closes no open span",
+					i, e.Name, e.Pid, e.Tid)
+			}
+			if top := st[len(st)-1]; top != e.Name {
+				return 0, 0, fmt.Errorf("event %d: 'E' %q on pid %d tid %d, but innermost open span is %q",
+					i, e.Name, e.Pid, e.Tid, top)
+			}
+			stacks[r] = st[:len(st)-1]
+		case "i", "M":
+		default:
+			return 0, 0, fmt.Errorf("event %d: unknown phase %q", i, e.Ph)
+		}
+	}
+	for _, st := range stacks {
+		open += len(st)
+	}
+	return len(doc.TraceEvents), open, nil
 }
 
 func fatal(err error) {

@@ -47,7 +47,12 @@ import (
 	"kard/internal/harness"
 	"kard/internal/obs"
 	"kard/internal/service/journal"
+	"kard/internal/trace"
 )
+
+// coordPid is the coordinator's Chrome-trace process row (pid 1 is the
+// harness's per-cell campaign, pid 2 the detection service).
+const coordPid = 3
 
 // Errors the coordinator RPCs return.
 var (
@@ -98,6 +103,12 @@ type Config struct {
 	CompactEvery int
 	// Logf, when non-nil, receives operational log lines.
 	Logf func(format string, args ...any)
+	// Trace, when non-nil, records the coordinator's RPC handling onto
+	// the tracer's coordinator track: one server span per executed
+	// join/lease/complete (stitched to the worker's client span via the
+	// propagated trace context), heartbeat micro-spans, and dedup hits
+	// as instants — a duplicated delivery never opens a second span.
+	Trace *trace.Tracer
 }
 
 func (c *Config) defaults() {
@@ -195,6 +206,9 @@ type Coordinator struct {
 	cfg   Config
 	specs []harness.Spec
 	jr    *journal.Journal
+	// trk is the coordinator's RPC track (nil when Config.Trace is nil);
+	// c.mu serializes every RPC, so server spans nest trivially on it.
+	trk *trace.Track
 
 	mu           sync.Mutex
 	cells        []cell
@@ -272,6 +286,8 @@ func New(cfg Config, specs []harness.Spec) (*Coordinator, error) {
 		rids:        map[string]dedupAnswer{},
 		replayLease: map[string]int{},
 	}
+	cfg.Trace.ProcessName(coordPid, "kard-coordinator")
+	c.trk = cfg.Trace.Track(coordPid, 1, "coordinator", 0)
 	if err := c.replay(payloads); err != nil {
 		jr.Close()
 		return nil, err
@@ -486,6 +502,12 @@ func (c *Coordinator) snapshotLocked() ([][]byte, error) {
 // (host, pid); the ID is the lease identity. A retried join (same rid)
 // returns the originally minted ID instead of registering a ghost.
 func (c *Coordinator) Join(name, rid string) (string, error) {
+	return c.join(name, rid, trace.SpanContext{})
+}
+
+// join is Join plus the propagated trace context the HTTP handler
+// extracted; direct (in-process) callers pass the zero context.
+func (c *Coordinator) join(name, rid string, sc trace.SpanContext) (string, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
@@ -494,8 +516,13 @@ func (c *Coordinator) Join(name, rid string) (string, error) {
 	if a, ok := c.rids[rid]; ok && rid != "" && a.worker != "" {
 		c.dedupHits++
 		obs.Std.ClusterDedupHits.Inc()
+		// A duplicated delivery answers from the window and must not
+		// open a second server span — the original execution recorded it.
+		c.trk.InstantArg("rpc.join.dup", "cluster", c.trk.Now(), "rid", rid, 0)
 		return a.worker, nil
 	}
+	c.trk.BeginLinked("rpc.join", "cluster", c.trk.Now(), sc.Span, "rid", rid)
+	defer func() { c.trk.End("rpc.join", "cluster", c.trk.Now()) }()
 	c.seq++
 	id := fmt.Sprintf("w%d", c.seq)
 	now := time.Now()
@@ -532,6 +559,10 @@ func (c *Coordinator) touchLocked(id string) *workerState {
 // Heartbeat refreshes a worker's liveness without requesting work — the
 // RPC a worker issues while a long cell computes.
 func (c *Coordinator) Heartbeat(id string) error {
+	return c.heartbeat(id, trace.SpanContext{})
+}
+
+func (c *Coordinator) heartbeat(id string, sc trace.SpanContext) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
@@ -540,6 +571,10 @@ func (c *Coordinator) Heartbeat(id string) error {
 	if c.touchLocked(id) == nil {
 		return ErrUnknownWorker
 	}
+	// A micro-span rather than an instant so the worker's client span
+	// stitches to it like every other RPC.
+	c.trk.BeginLinked("rpc.heartbeat", "cluster", c.trk.Now(), sc.Span, "worker", id)
+	c.trk.End("rpc.heartbeat", "cluster", c.trk.Now())
 	return nil
 }
 
@@ -570,6 +605,10 @@ type Lease struct {
 // the journaled assignment's rid — so a lease whose response the network
 // lost never strands a second cell on the same worker.
 func (c *Coordinator) Lease(id, rid string) (Lease, error) {
+	return c.lease(id, rid, trace.SpanContext{})
+}
+
+func (c *Coordinator) lease(id, rid string, sc trace.SpanContext) (Lease, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
@@ -582,8 +621,11 @@ func (c *Coordinator) Lease(id, rid string) (Lease, error) {
 	if a, ok := c.rids[rid]; ok && rid != "" && a.lease != nil {
 		c.dedupHits++
 		obs.Std.ClusterDedupHits.Inc()
+		c.trk.InstantArg("rpc.lease.dup", "cluster", c.trk.Now(), "rid", rid, 0)
 		return *a.lease, nil
 	}
+	c.trk.BeginLinked("rpc.lease", "cluster", c.trk.Now(), sc.Span, "rid", rid)
+	defer func() { c.trk.End("rpc.lease", "cluster", c.trk.Now()) }()
 	i, reuse := -1, false
 	if j, ok := c.replayLease[rid]; ok && rid != "" {
 		delete(c.replayLease, rid)
@@ -634,6 +676,10 @@ func (c *Coordinator) Lease(id, rid string) (Lease, error) {
 // failed (deterministic failures fail everywhere; the transient ones
 // were already retried inside the harness).
 func (c *Coordinator) Complete(id string, i int, rid string, res *harness.Result, errMsg string, cached bool) error {
+	return c.complete(id, i, rid, res, errMsg, cached, trace.SpanContext{})
+}
+
+func (c *Coordinator) complete(id string, i int, rid string, res *harness.Result, errMsg string, cached bool, sc trace.SpanContext) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
@@ -644,8 +690,11 @@ func (c *Coordinator) Complete(id string, i int, rid string, res *harness.Result
 		// network) — already executed and journaled, answer ok again.
 		c.dedupHits++
 		obs.Std.ClusterDedupHits.Inc()
+		c.trk.InstantArg("rpc.complete.dup", "cluster", c.trk.Now(), "rid", rid, 0)
 		return nil
 	}
+	c.trk.BeginLinked("rpc.complete", "cluster", c.trk.Now(), sc.Span, "rid", rid)
+	defer func() { c.trk.End("rpc.complete", "cluster", c.trk.Now()) }()
 	w := c.touchLocked(id)
 	if w == nil {
 		return ErrUnknownWorker

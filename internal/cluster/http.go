@@ -17,6 +17,7 @@ import (
 
 	"kard/internal/harness"
 	"kard/internal/obs"
+	"kard/internal/trace"
 )
 
 // The coordinator speaks the same HTTP conventions as the detection
@@ -76,7 +77,7 @@ func (c *Coordinator) Handler() http.Handler {
 		if !decodePost(w, r, &req) {
 			return
 		}
-		id, err := c.Join(req.Name, req.Rid)
+		id, err := c.join(req.Name, req.Rid, extractSpan(r))
 		if err != nil {
 			writeClusterErr(w, err)
 			return
@@ -88,7 +89,7 @@ func (c *Coordinator) Handler() http.Handler {
 		if !decodePost(w, r, &req) {
 			return
 		}
-		l, err := c.Lease(req.Worker, req.Rid)
+		l, err := c.lease(req.Worker, req.Rid, extractSpan(r))
 		if err != nil {
 			writeClusterErr(w, err)
 			return
@@ -100,7 +101,7 @@ func (c *Coordinator) Handler() http.Handler {
 		if !decodePost(w, r, &req) {
 			return
 		}
-		if err := c.Complete(req.Worker, req.Cell, req.Rid, req.Result, req.Err, req.Cached); err != nil {
+		if err := c.complete(req.Worker, req.Cell, req.Rid, req.Result, req.Err, req.Cached, extractSpan(r)); err != nil {
 			writeClusterErr(w, err)
 			return
 		}
@@ -111,7 +112,7 @@ func (c *Coordinator) Handler() http.Handler {
 		if !decodePost(w, r, &req) {
 			return
 		}
-		if err := c.Heartbeat(req.Worker); err != nil {
+		if err := c.heartbeat(req.Worker, extractSpan(r)); err != nil {
 			writeClusterErr(w, err)
 			return
 		}
@@ -121,6 +122,16 @@ func (c *Coordinator) Handler() http.Handler {
 		writeJSON(w, http.StatusOK, c.Stats())
 	})
 	return mux
+}
+
+// extractSpan reads the propagated trace context off an incoming RPC,
+// counting successful propagations.
+func extractSpan(r *http.Request) trace.SpanContext {
+	sc := trace.Extract(r.Header)
+	if sc.Valid() {
+		obs.Std.TraceRPCPropagated.Inc()
+	}
+	return sc
 }
 
 func decodePost(w http.ResponseWriter, r *http.Request, v any) bool {
@@ -198,6 +209,14 @@ type ClientOptions struct {
 	// Logf, when non-nil, receives one line per retry — the client-side
 	// trace of an outage.
 	Logf func(format string, args ...any)
+	// Trace, when non-nil, is the track this worker records RPC spans
+	// on: one span per LOGICAL RPC (per rid) with each retry attempt as
+	// an instant inside it, never a span per attempt. The span context
+	// rides the X-Kard-Trace-Id/-Span-Id headers on every attempt, so
+	// the coordinator stitches its server span to this client span —
+	// and its dedup window keeps a duplicated delivery from opening a
+	// second one.
+	Trace *trace.Track
 }
 
 func (o *ClientOptions) defaults() {
@@ -316,7 +335,8 @@ func (c *Client) RejoinFrom(ctx context.Context, staleID string) error {
 
 func (c *Client) rejoinLocked(ctx context.Context) error {
 	var resp joinResponse
-	if err := c.call(ctx, "join", joinRequest{Name: c.name, Rid: c.nextRid()}, &resp); err != nil {
+	rid := c.nextRid()
+	if err := c.call(ctx, "join", rid, joinRequest{Name: c.name, Rid: rid}, &resp); err != nil {
 		return err
 	}
 	c.mu.Lock()
@@ -328,15 +348,17 @@ func (c *Client) rejoinLocked(ctx context.Context) error {
 // Lease asks for the next scheduling decision.
 func (c *Client) Lease(ctx context.Context) (Lease, error) {
 	var l Lease
-	err := c.call(ctx, "lease", leaseRequest{Worker: c.WorkerID(), Rid: c.nextRid()}, &l)
+	rid := c.nextRid()
+	err := c.call(ctx, "lease", rid, leaseRequest{Worker: c.WorkerID(), Rid: rid}, &l)
 	return l, err
 }
 
 // Complete reports one cell's outcome.
 func (c *Client) Complete(ctx context.Context, cellIdx int, res *harness.Result, errMsg string, cached bool) error {
 	var resp map[string]bool
-	return c.call(ctx, "complete", completeRequest{
-		Worker: c.WorkerID(), Cell: cellIdx, Rid: c.nextRid(),
+	rid := c.nextRid()
+	return c.call(ctx, "complete", rid, completeRequest{
+		Worker: c.WorkerID(), Cell: cellIdx, Rid: rid,
 		Result: res, Err: errMsg, Cached: cached,
 	}, &resp)
 }
@@ -346,8 +368,16 @@ func (c *Client) Complete(ctx context.Context, cellIdx int, res *harness.Result,
 // fence logic consumes, not an outage for the transport to absorb.
 func (c *Client) Heartbeat(ctx context.Context) error {
 	var resp map[string]bool
-	return c.post(ctx, "/cluster/heartbeat", c.opts.HeartbeatTimeout,
-		leaseRequest{Worker: c.WorkerID()}, &resp)
+	tk := c.opts.Trace
+	span := tk.BeginArg("rpc.heartbeat", "cluster", tk.Now(), "worker", c.WorkerID())
+	err := c.post(ctx, "/cluster/heartbeat", c.opts.HeartbeatTimeout,
+		leaseRequest{Worker: c.WorkerID()}, &resp, tk.Context(span))
+	ok := int64(1)
+	if err != nil {
+		ok = 0
+	}
+	tk.EndArg("rpc.heartbeat", "cluster", tk.Now(), "ok", ok)
+	return err
 }
 
 // retryCounter maps an RPC to its kard_cluster_rpc_retries_total series.
@@ -368,8 +398,10 @@ func retryCounter(rpc string) *obs.Counter {
 // jittered exponential backoff across transient failures (connection
 // refused/reset, timeouts, 5xx). Protocol answers — 410 (ErrGone), 503
 // (ErrCoordClosed), 4xx — are terminal: retrying cannot change them.
-// The request (rid included) is identical on every attempt.
-func (c *Client) call(ctx context.Context, rpc string, req, resp any) error {
+// The request (rid included) and the injected trace context are
+// identical on every attempt: one client span covers the whole logical
+// RPC, with retries as instants inside it.
+func (c *Client) call(ctx context.Context, rpc, rid string, req, resp any) (err error) {
 	timeout := c.opts.LeaseTimeout
 	if cr, ok := req.(completeRequest); ok {
 		timeout = c.opts.CompleteTimeout
@@ -380,10 +412,18 @@ func (c *Client) call(ctx context.Context, rpc string, req, resp any) error {
 		}
 	}
 	path := "/cluster/" + rpc
+	tk := c.opts.Trace
+	span := tk.BeginArg("rpc."+rpc, "cluster", tk.Now(), "rid", rid)
+	sc := tk.Context(span)
+	attempts := 0
+	defer func() {
+		tk.EndArg("rpc."+rpc, "cluster", tk.Now(), "attempts", int64(attempts))
+	}()
 	start := time.Now()
 	var lastErr error
 	for attempt := 1; ; attempt++ {
-		err := c.post(ctx, path, timeout, req, resp)
+		attempts = attempt
+		err := c.post(ctx, path, timeout, req, resp, sc)
 		if err == nil || !transientRPC(err) {
 			return err
 		}
@@ -397,6 +437,7 @@ func (c *Client) call(ctx context.Context, rpc string, req, resp any) error {
 		}
 		d := c.backoff(attempt)
 		retryCounter(rpc).Inc()
+		tk.InstantArg("rpc.retry", "cluster", tk.Now(), "rpc", rpc, int64(attempt))
 		c.opts.Logf("cluster: %s attempt %d failed (%v), retrying in %v", rpc, attempt, err, d)
 		select {
 		case <-time.After(d):
@@ -444,8 +485,9 @@ type statusError struct {
 func (e *statusError) Error() string { return e.msg }
 
 // post issues one JSON RPC attempt under its own deadline, translating
-// 410 into ErrGone and 503 into ErrCoordClosed.
-func (c *Client) post(ctx context.Context, path string, timeout time.Duration, req, resp any) error {
+// 410 into ErrGone and 503 into ErrCoordClosed. The span context (zero
+// = none) is injected into the request headers.
+func (c *Client) post(ctx context.Context, path string, timeout time.Duration, req, resp any, sc trace.SpanContext) error {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return fmt.Errorf("cluster: encode %s: %w", path, err)
@@ -457,6 +499,7 @@ func (c *Client) post(ctx context.Context, path string, timeout time.Duration, r
 		return fmt.Errorf("cluster: %s: %w", path, err)
 	}
 	hreq.Header.Set("Content-Type", "application/json")
+	trace.Inject(hreq.Header, sc)
 	hr, err := c.hc.Do(hreq)
 	if err != nil {
 		if actx.Err() == context.DeadlineExceeded && ctx.Err() == nil {

@@ -1,0 +1,180 @@
+package cluster_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"kard/internal/cluster"
+	"kard/internal/cluster/netfault"
+	"kard/internal/faultinject"
+	"kard/internal/obs"
+	"kard/internal/trace"
+)
+
+// chromeEvent is the subset of the Chrome trace-event shape the
+// propagation assertions need.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args"`
+}
+
+// strArg returns the named arg when it is a string (span and parent IDs
+// are hex strings in the export).
+func (e chromeEvent) strArg(name string) (string, bool) {
+	s, ok := e.Args[name].(string)
+	return s, ok
+}
+
+func exportEvents(t *testing.T, tr *trace.Tracer) []chromeEvent {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatalf("export: %v", err)
+	}
+	var doc struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	return doc.TraceEvents
+}
+
+func countEvents(evs []chromeEvent, name, ph string, pid int) int {
+	n := 0
+	for _, e := range evs {
+		if e.Name == name && e.Ph == ph && e.Pid == pid {
+			n++
+		}
+	}
+	return n
+}
+
+// TestTracePropagationRetriesAndDups: the trace context injected by the
+// client survives both transient-500 retries and network-duplicated
+// deliveries. The client opens ONE span per logical RPC (retries are
+// instants inside it), the coordinator opens ONE server span per
+// executed RPC stitched to the client span, and a duplicated delivery
+// lands in the dedup window as an rpc.*.dup instant — never a second
+// server span.
+func TestTracePropagationRetriesAndDups(t *testing.T) {
+	tr := trace.NewTracer(42, "cluster-trace-test", 0)
+	coord, err := cluster.New(cluster.Config{Dir: t.TempDir(), Trace: tr}, testSpecs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	f := &flaky{inner: coord.Handler(), path: "/cluster/lease"}
+	f.remaining.Store(2)
+	ts := httptest.NewServer(f)
+	defer ts.Close()
+
+	ctx := context.Background()
+	propagated0 := obs.Std.TraceRPCPropagated.Value()
+
+	// Client 1: two injected 500s on lease, then success. One logical
+	// lease RPC → one client span, two retry instants, one server span.
+	o1 := fastRetryOpts()
+	o1.Trace = tr.Track(4, 1, "worker-client-retry", 0)
+	cl1, err := cluster.DialWith(ctx, ts.URL, "retry-client", o1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l, err := cl1.Lease(ctx); err != nil || l.State != cluster.LeaseCell {
+		t.Fatalf("lease after transient 500s: %+v, %v", l, err)
+	}
+
+	// Client 2: the network duplicates EVERY request (join and lease
+	// delivered twice each). The second delivery carries the same rid
+	// and the same injected trace context, so the coordinator answers it
+	// from the dedup window.
+	o2 := fastRetryOpts()
+	o2.Transport = netfault.New(http.DefaultTransport, 7, faultinject.Plan{
+		Sites: map[faultinject.Site]faultinject.Rule{
+			faultinject.SiteNetReqDup: {Every: 1, Transient: true},
+		},
+	})
+	o2.Trace = tr.Track(4, 2, "worker-client-dup", 0)
+	cl2, err := cluster.DialWith(ctx, ts.URL, "dup-client", o2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l, err := cl2.Lease(ctx); err != nil || l.State != cluster.LeaseCell {
+		t.Fatalf("lease under request duplication: %+v, %v", l, err)
+	}
+
+	evs := exportEvents(t, tr)
+
+	// Coordinator (pid 3): exactly one server span per executed RPC —
+	// two joins, two leases — despite retries and duplications.
+	if got := countEvents(evs, "rpc.join", "B", 3); got != 2 {
+		t.Errorf("coordinator opened %d rpc.join spans, want 2", got)
+	}
+	if got := countEvents(evs, "rpc.lease", "B", 3); got != 2 {
+		t.Errorf("coordinator opened %d rpc.lease spans, want 2", got)
+	}
+	// The duplicated deliveries surface as dedup instants, not spans.
+	if got := countEvents(evs, "rpc.join.dup", "i", 3); got != 1 {
+		t.Errorf("coordinator recorded %d rpc.join.dup instants, want 1", got)
+	}
+	if got := countEvents(evs, "rpc.lease.dup", "i", 3); got != 1 {
+		t.Errorf("coordinator recorded %d rpc.lease.dup instants, want 1", got)
+	}
+
+	// Client 1 (pid 4 tid 1): one lease span wrapping two retry instants.
+	if got := countEvents(evs, "rpc.retry", "i", 4); got != 2 {
+		t.Errorf("client recorded %d rpc.retry instants, want 2", got)
+	}
+	for _, tid := range []int{1, 2} {
+		spans := 0
+		for _, e := range evs {
+			if e.Pid == 4 && e.Tid == tid && e.Name == "rpc.lease" && e.Ph == "B" {
+				spans++
+			}
+		}
+		if spans != 1 {
+			t.Errorf("client tid %d opened %d rpc.lease spans, want 1", tid, spans)
+		}
+	}
+
+	// Stitching: every coordinator join/lease span carries a parent that
+	// is a span the clients actually minted.
+	clientSpans := map[string]bool{}
+	for _, e := range evs {
+		if e.Pid == 4 && e.Ph == "B" {
+			if sp, ok := e.strArg("span"); ok {
+				clientSpans[sp] = true
+			}
+		}
+	}
+	stitched := 0
+	for _, e := range evs {
+		if e.Pid != 3 || e.Ph != "B" || (e.Name != "rpc.join" && e.Name != "rpc.lease") {
+			continue
+		}
+		parent, ok := e.strArg("parent")
+		if !ok {
+			t.Errorf("coordinator %s span has no propagated parent", e.Name)
+			continue
+		}
+		if !clientSpans[parent] {
+			t.Errorf("coordinator %s span parent %s is not a client span", e.Name, parent)
+			continue
+		}
+		stitched++
+	}
+	if stitched != 4 {
+		t.Errorf("stitched %d server spans to client spans, want 4", stitched)
+	}
+
+	if d := obs.Std.TraceRPCPropagated.Value() - propagated0; d < 4 {
+		t.Errorf("kard_trace_rpc_propagated_total grew by %d, want >= 4", d)
+	}
+}

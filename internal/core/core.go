@@ -280,6 +280,32 @@ type objState struct {
 	softKey       int
 	softLast      accessRec
 	softLastValid bool
+
+	// history is the object's recent protection-domain transitions
+	// (oldest dropped beyond domainHistoryLen), feeding race provenance.
+	// The initial Not-accessed state is implicit; only migrations record.
+	history []sim.DomainStep
+}
+
+// domainHistoryLen bounds the per-object domain-transition history kept
+// for race provenance. Transitions happen on the fault-handling path,
+// never per access, so the append cost rides an already-expensive event.
+const domainHistoryLen = 16
+
+// noteDomain records the object's just-entered domain in its provenance
+// history. Call after mutating os.domain; t may be nil (startup).
+func noteDomain(os *objState, t *sim.Thread, key int) {
+	var at cycles.Time
+	if t != nil {
+		at = t.Now()
+	}
+	step := sim.DomainStep{Domain: os.domain.String(), Key: key, Time: at}
+	if len(os.history) >= domainHistoryLen {
+		copy(os.history, os.history[1:])
+		os.history[len(os.history)-1] = step
+		return
+	}
+	os.history = append(os.history, step)
 }
 
 // objStateMetadataBytes approximates Kard's per-object metadata charge

@@ -77,6 +77,7 @@ func (d *Detector) identifyShared(t *sim.Thread, a *sim.Access, os *objState) cy
 	var cost cycles.Duration
 	if a.Kind == mpk.Read {
 		os.domain = DomainReadOnly
+		noteDomain(os, t, int(KeyRO))
 		cost += d.protect(os.obj, KeyRO)
 		cost += d.noteObject(cs, os, mpk.Read)
 		return cost
@@ -210,6 +211,8 @@ func (d *Detector) record(t *sim.Thread, a *sim.Access, os *objState, c *conflic
 		ILU:          true, // the holder side was executing a critical section
 		Time:         t.Now(),
 	}
+	r.Provenance = d.eng.BuildProvenance(&r)
+	r.Provenance.DomainHistory = append([]sim.DomainStep(nil), os.history...)
 	d.races = append(d.races, r)
 	idx := len(d.races) - 1
 	d.seen[key] = idx

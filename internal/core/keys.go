@@ -199,7 +199,7 @@ func (d *Detector) assignKey(t *sim.Thread, os *objState, cs *sim.CriticalSectio
 		}
 		if found {
 			d.counts.KeyRecyclingEvents++
-			cost += d.recycle(victim)
+			cost += d.recycle(t, victim)
 			return victim, true
 		}
 		// All keys held: with the §8 software fallback, overflow to a
@@ -247,6 +247,7 @@ func (d *Detector) assignKey(t *sim.Thread, os *objState, cs *sim.CriticalSectio
 		os.domain = DomainReadOnly
 		os.key = 0
 		os.unprotected = false
+		noteDomain(os, t, int(KeyRO))
 		cost += d.protect(os.obj, KeyRO)
 		return 0, cost
 	}
@@ -258,6 +259,7 @@ func (d *Detector) assignKey(t *sim.Thread, os *objState, cs *sim.CriticalSectio
 	os.domain = DomainReadWrite
 	os.key = k
 	os.unprotected = false
+	noteDomain(os, t, int(k))
 	if !os.everRW {
 		os.everRW = true
 		d.counts.SharedRWEver++
@@ -274,13 +276,15 @@ func (d *Detector) assignKey(t *sim.Thread, os *objState, cs *sim.CriticalSectio
 // recycle moves every object protected by k to the Read-only domain and
 // clears the key's assignment. Recycling costs one pkey_mprotect per moved
 // object but preserves accuracy: future writes fault and re-migrate
-// (§5.4).
-func (d *Detector) recycle(k mpk.Pkey) cycles.Duration {
+// (§5.4). t is the thread whose key demand triggered the recycling; its
+// clock stamps the domain-history steps.
+func (d *Detector) recycle(t *sim.Thread, k mpk.Pkey) cycles.Duration {
 	ks := d.key(k)
 	var cost cycles.Duration
 	for _, os := range ks.objects {
 		os.domain = DomainReadOnly
 		os.key = 0
+		noteDomain(os, t, int(KeyRO))
 		if !os.unprotected {
 			cost += d.protect(os.obj, KeyRO)
 		}

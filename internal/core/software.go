@@ -66,6 +66,7 @@ func (d *Detector) assignSoft(t *sim.Thread, os *objState, cs *sim.CriticalSecti
 	os.domain = DomainReadWrite
 	os.soft = true
 	os.softKey = id
+	noteDomain(os, t, id)
 	if !os.everRW {
 		os.everRW = true
 		d.counts.SharedRWEver++

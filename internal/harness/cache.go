@@ -26,7 +26,9 @@ import (
 // v4: entries carry a CRC-32C over the serialized Result, so bit rot in
 // the artifact store is detected and quarantined instead of silently
 // feeding a corrupted verdict into a report.
-const cacheSchema = "kard-result-v4"
+// v5: sim.Race gained the Provenance forensic record, changing the
+// serialized Result shape.
+const cacheSchema = "kard-result-v5"
 
 // quarantineDir is the subdirectory (under the cache root) that entries
 // failing their checksum are moved into, preserving the evidence for

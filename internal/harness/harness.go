@@ -36,6 +36,7 @@ import (
 	"kard/internal/hb"
 	"kard/internal/lockset"
 	"kard/internal/sim"
+	"kard/internal/trace"
 	"kard/internal/workload"
 )
 
@@ -100,6 +101,12 @@ type Options struct {
 	// tracks running cells; it never alters simulated behavior, so like
 	// Timeout it does not participate in cache keys.
 	Metrics bool
+	// Trace, when non-nil, is the trace track the run's engine records
+	// boundary events onto (sim.Config.Trace): the run span, drains,
+	// epochs, sync-rate instants. Like Metrics it never alters simulated
+	// behavior, so it does not participate in cache keys, and it is
+	// excluded from serialized results.
+	Trace *trace.Track `json:"-"`
 }
 
 // Result is one finished run.
@@ -140,7 +147,7 @@ func RunWorkload(o Options, w workload.Workload) (*Result, error) {
 
 	cfg := sim.Config{Seed: o.Seed, TLBEntries: o.TLBEntries, Faults: o.Faults,
 		Watchdog: o.Timeout, Deadline: o.Deadline, MaxFrames: o.MaxFrames,
-		Metrics: o.Metrics, ExecMode: o.ExecMode}
+		Metrics: o.Metrics, ExecMode: o.ExecMode, Trace: o.Trace}
 	var det sim.Detector
 	var kd *core.Detector
 	switch o.Mode {

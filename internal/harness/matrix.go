@@ -11,6 +11,7 @@ import (
 
 	"kard/internal/faultinject"
 	"kard/internal/sim"
+	"kard/internal/trace"
 	"kard/internal/workload"
 )
 
@@ -107,6 +108,17 @@ type MatrixOptions struct {
 	// simulations are deterministic, so merging the recorded outcomes
 	// with the freshly computed ones reproduces an uninterrupted run.
 	Resume func(i int, s Spec) bool
+
+	// Trace, when non-nil, traces the matrix: each cell records onto its
+	// own (pid 1, tid index+1) track — a "cell" span wrapping the
+	// engine's run events, with cache hits, resumes, and retries as
+	// instants. Track identity derives from spec order, not worker-pool
+	// scheduling, so a same-seed campaign exports a byte-identical trace
+	// whatever the jobs count (wall-clock Elapsed never enters the
+	// trace). Deterministic exports additionally require Cache to be
+	// nil: a hit replaces the engine's run events with a cell.cached
+	// instant.
+	Trace *trace.Tracer
 }
 
 // RunMatrix fans the given cells out across jobs workers and returns the
@@ -192,8 +204,22 @@ func RunMatrixContext(ctx context.Context, specs []Spec, mo MatrixOptions) []Mat
 // (with an optional single retry on transient failure), cache store.
 func runCell(i int, spec Spec, mo MatrixOptions) MatrixResult {
 	mr := MatrixResult{Spec: spec, Index: i}
+	var tk *trace.Track
+	if mo.Trace != nil {
+		// One track per cell, tid = 1-based spec index: track identity
+		// (and every span ID minted on it) is a pure function of the
+		// spec list, independent of which worker picks the cell up. The
+		// engine's run/drain/epoch events land on this same track, nested
+		// under the cell span; all timestamps here are logical (-1 =
+		// "just after the previous event"), never wall clock.
+		tk = mo.Trace.Track(1, i+1, spec.Label(), 0)
+		spec.Options.Trace = tk
+		tk.BeginArg("cell", "harness", 0, "cell", spec.Label())
+	}
 	if mo.Resume != nil && mo.Resume(i, spec) {
 		mr.Resumed = true
+		tk.Instant("cell.resumed", "harness", -1)
+		tk.EndArg("cell", "harness", -1, "attempts", 0)
 		return mr
 	}
 	if spec.Timeout == 0 {
@@ -202,6 +228,8 @@ func runCell(i int, spec Spec, mo MatrixOptions) MatrixResult {
 	if mo.Cache != nil {
 		if r, ok := mo.Cache.Get(spec); ok {
 			mr.Result, mr.Cached = r, true
+			tk.InstantArg("cell.cached", "harness", -1, "races", "", int64(len(r.Stats.Races)))
+			tk.EndArg("cell", "harness", -1, "attempts", 0)
 			return mr
 		}
 	}
@@ -213,6 +241,7 @@ func runCell(i int, spec Spec, mo MatrixOptions) MatrixResult {
 		// keeping the retry itself deterministic; Every-based firings are
 		// salt-independent, so a plan built purely on Every reproduces
 		// the failure and the retry reports it.
+		tk.InstantArg("cell.retry", "harness", -1, "err", mr.Err.Error(), 1)
 		spec.Faults = spec.Faults.WithSalt(spec.Faults.Salt + 1)
 		mr.Result, mr.Err = runCellIsolated(spec)
 		mr.Attempts = 2
@@ -225,6 +254,10 @@ func runCell(i int, spec Spec, mo MatrixOptions) MatrixResult {
 		// actually ran with.
 		_ = mo.Cache.Put(spec, mr.Result)
 	}
+	if mr.Err != nil {
+		tk.InstantArg("cell.error", "harness", -1, "err", mr.Err.Error(), 0)
+	}
+	tk.EndArg("cell", "harness", -1, "attempts", int64(mr.Attempts))
 	return mr
 }
 

@@ -1,0 +1,62 @@
+package harness
+
+import (
+	"testing"
+
+	"kard/internal/workload"
+)
+
+// TestCorpusRacesCarryProvenance: every race any detector reports on any
+// corpus workload must carry the forensic record (DESIGN.md §13) with
+// both sides of the access pair filled in — provenance is part of the
+// race report contract, not an optional extra for hand-picked workloads.
+func TestCorpusRacesCarryProvenance(t *testing.T) {
+	modes := []Mode{ModeKard, ModeTSan, ModeLockset}
+	if testing.Short() {
+		modes = []Mode{ModeKard}
+	}
+	var specs []Spec
+	for _, name := range workload.Names() {
+		for _, mode := range modes {
+			specs = append(specs, Spec{Options: Options{
+				Workload: name, Mode: mode, Threads: 4, Scale: 0.02, Seed: 1,
+			}})
+		}
+	}
+	cells := RunMatrix(0, specs)
+	races := 0
+	for _, c := range cells {
+		if c.Err != nil {
+			t.Fatalf("%s: %v", c.Spec.Label(), c.Err)
+		}
+		for i, r := range c.Result.Stats.Races {
+			p := r.Provenance
+			if p == nil {
+				t.Errorf("%s race #%d on %v: no provenance", c.Spec.Label(), i, r.Object)
+				continue
+			}
+			races++
+			if p.Second.Site == "" || p.Second.Site != r.Site {
+				t.Errorf("%s race #%d: second access site %q, report site %q",
+					c.Spec.Label(), i, p.Second.Site, r.Site)
+			}
+			if p.First.Thread != r.OtherThread {
+				t.Errorf("%s race #%d: first access thread %d, report other thread %d",
+					c.Spec.Label(), i, p.First.Thread, r.OtherThread)
+			}
+			if len(p.SyncEdges) == 0 {
+				// Every corpus workload spawns workers, and spawns are sync
+				// edges, so an empty ring means collection is broken.
+				t.Errorf("%s race #%d: no sync edges", c.Spec.Label(), i)
+			}
+			if c.Spec.Options.Mode == ModeKard && len(p.DomainHistory) == 0 {
+				// A Kard-reported race means the object reached a protected
+				// domain, so its transition history cannot be empty.
+				t.Errorf("%s race #%d: Kard race with no domain history", c.Spec.Label(), i)
+			}
+		}
+	}
+	if races == 0 {
+		t.Fatal("corpus produced no races; the assertion never ran")
+	}
+}

@@ -285,7 +285,7 @@ func (d *Detector) report(a *sim.Access, prev *accessInfo, cur accessInfo) {
 		return
 	}
 	d.seen[key] = struct{}{}
-	d.races = append(d.races, sim.Race{
+	r := sim.Race{
 		Detector:     "tsan",
 		Object:       a.Object,
 		Offset:       cur.lo,
@@ -298,7 +298,10 @@ func (d *Detector) report(a *sim.Access, prev *accessInfo, cur accessInfo) {
 		OtherSection: prev.section,
 		ILU:          prev.inCS || cur.inCS,
 		Time:         a.Thread.Now(),
-	})
+	}
+	r.Provenance = a.Thread.Engine().BuildProvenance(&r)
+	r.Provenance.First.Kind = prev.kind.String()
+	d.races = append(d.races, r)
 }
 
 // onAccessExact is the per-granule shadow path: each touched 8-byte unit

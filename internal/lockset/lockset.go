@@ -156,7 +156,7 @@ func (d *Detector) OnAccess(a *sim.Access) cycles.Duration {
 
 	if info.st == sharedModified && info.refined && len(info.lockset) == 0 && !info.reported {
 		info.reported = true
-		d.races = append(d.races, sim.Race{
+		r := sim.Race{
 			Detector:     "lockset",
 			Object:       a.Object,
 			Offset:       a.Offset(),
@@ -169,7 +169,9 @@ func (d *Detector) OnAccess(a *sim.Access) cycles.Duration {
 			OtherSection: "<lockset has no schedule info>",
 			ILU:          true,
 			Time:         t.Now(),
-		})
+		}
+		r.Provenance = t.Engine().BuildProvenance(&r)
+		d.races = append(d.races, r)
 	}
 	info.lastSite = a.Site
 	info.lastTID = t.ID()

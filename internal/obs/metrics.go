@@ -126,6 +126,17 @@ type Metrics struct {
 	StorageFaultReadBitflip   *Counter
 	StorageFaultRenameDrop    *Counter
 
+	// trace — the structured span tracer (DESIGN.md §13): spans opened,
+	// events flushed into the spool, events dropped at the spool budget,
+	// Chrome-JSON exports served, RPCs arriving with propagated trace
+	// context, and race provenance records attached.
+	TraceSpans         *Counter
+	TraceEvents        *Counter
+	TraceDropped       *Counter
+	TraceExports       *Counter
+	TraceRPCPropagated *Counter
+	TraceProvenance    *Counter
+
 	reg *Registry
 }
 
@@ -259,6 +270,19 @@ func RegisterMetrics(r *Registry) *Metrics {
 		StorageFaultFsyncEIO:    diskFault(r, "disk.fsync.eio"),
 		StorageFaultReadBitflip: diskFault(r, "disk.read.bitflip"),
 		StorageFaultRenameDrop:  diskFault(r, "disk.rename.drop"),
+
+		TraceSpans: r.Counter("kard_trace_spans_total",
+			"Trace spans opened across all tracks."),
+		TraceEvents: r.Counter("kard_trace_events_total",
+			"Trace events flushed into the tracer spool."),
+		TraceDropped: r.Counter("kard_trace_events_dropped_total",
+			"Trace events dropped at the spool budget."),
+		TraceExports: r.Counter("kard_trace_exports_total",
+			"Chrome trace-event JSON exports served."),
+		TraceRPCPropagated: r.Counter("kard_trace_rpc_propagated_total",
+			"Cluster RPCs that arrived carrying propagated trace context."),
+		TraceProvenance: r.Counter("kard_trace_provenance_records_total",
+			"Race reports annotated with a forensic provenance record."),
 
 		reg: r,
 	}

@@ -47,14 +47,15 @@ func Chaos(w io.Writer, o Options) error {
 	}
 
 	mo := harness.MatrixOptions{
-		Jobs: o.Jobs,
+		Jobs:  o.Jobs,
+		Trace: o.Trace,
 		// The watchdog and single retry are part of what -chaos
 		// exercises: a cell wedged or felled by a transient fault is
 		// retried once under a bumped salt instead of failing the soak.
 		CellTimeout:    2 * time.Minute,
 		RetryTransient: true,
 	}
-	if o.CacheDir != "" {
+	if o.CacheDir != "" && o.Trace == nil {
 		c, err := harness.OpenCache(o.CacheDir)
 		if err != nil {
 			return err

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"kard/internal/harness"
+	"kard/internal/trace"
 )
 
 // Options configure the table generators.
@@ -44,6 +45,12 @@ type Options struct {
 	// CacheDir, when non-empty, caches finished cells as JSON files
 	// there so repeated invocations skip already-computed cells.
 	CacheDir string
+	// Trace, when non-nil, records every generator's campaign onto the
+	// tracer's per-cell tracks (harness.MatrixOptions.Trace). Tracing
+	// bypasses CacheDir: a cache hit replaces a cell's engine events
+	// with a single instant, so byte-identical same-seed exports need
+	// every cell executed.
+	Trace *trace.Tracer
 }
 
 func (o *Options) defaults() {
@@ -59,8 +66,8 @@ func (o *Options) defaults() {
 // the result cache when configured) and returns their results in spec
 // order, failing on the first cell error. name labels progress lines.
 func (o *Options) runCells(name string, specs []harness.Spec) ([]*harness.Result, error) {
-	mo := harness.MatrixOptions{Jobs: o.Jobs}
-	if o.CacheDir != "" {
+	mo := harness.MatrixOptions{Jobs: o.Jobs, Trace: o.Trace}
+	if o.CacheDir != "" && o.Trace == nil {
 		c, err := harness.OpenCache(o.CacheDir)
 		if err != nil {
 			return nil, err

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"strings"
 	"time"
 
@@ -17,9 +18,11 @@ import (
 //	POST /jobs        submit a JobSpec        → 202 {"id": ...}
 //	GET  /jobs        list job statuses       → 200 [...]
 //	GET  /jobs/{id}   one job's status        → 200 {...}
+//	GET  /jobs/{id}/races/{n}/trace  one race's forensic record → 200 {...}
 //	GET  /stats       server counters         → 200 {...}
 //	GET  /healthz     liveness                → 200 "ok" | 503 "draining"
 //	GET  /metrics     Prometheus exposition   → 200 text/plain
+//	GET  /debug/trace Chrome trace-event JSON → 200 (404 when tracing is off)
 //	GET  /debug/pprof/...  runtime profiles (net/http/pprof)
 //
 // /metrics serves the process-wide obs registry (every kard_* family
@@ -49,8 +52,22 @@ func (s *Server) Handler() http.Handler {
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 			return
 		}
-		id := strings.TrimPrefix(r.URL.Path, "/jobs/")
-		st, ok := s.Status(id)
+		rest := strings.TrimPrefix(r.URL.Path, "/jobs/")
+		if parts := strings.Split(rest, "/"); len(parts) == 4 && parts[1] == "races" && parts[3] == "trace" {
+			n, err := strconv.Atoi(parts[2])
+			if err != nil || n < 0 {
+				http.Error(w, "bad race index", http.StatusBadRequest)
+				return
+			}
+			rt, err := s.RaceTrace(parts[0], n)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusNotFound)
+				return
+			}
+			writeJSON(w, http.StatusOK, rt)
+			return
+		}
+		st, ok := s.Status(rest)
 		if !ok {
 			http.Error(w, "unknown job", http.StatusNotFound)
 			return
@@ -61,6 +78,14 @@ func (s *Server) Handler() http.Handler {
 		writeJSON(w, http.StatusOK, s.Stats())
 	})
 	mux.Handle("/metrics", obs.DefaultRegistry.Handler())
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		if s.cfg.Trace == nil {
+			http.Error(w, "tracing disabled (start kardd with -trace)", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = s.cfg.Trace.WriteChrome(w)
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

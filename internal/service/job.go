@@ -168,7 +168,19 @@ type CellVerdict struct {
 	Races       int         `json:"races"`
 	ExecTime    uint64      `json:"execTime"`
 	Summary     sim.Summary `json:"summary"`
+	// Records carries up to maxVerdictRaces of the cell's race reports,
+	// each with its forensic provenance, so the service answers
+	// GET /jobs/{id}/races/{n}/trace long after the full harness Result
+	// is gone. Deterministic like every other field: races are recorded
+	// in detection order and provenance serializes no mode-dependent
+	// counters.
+	Records []sim.Race `json:"records,omitempty"`
 }
+
+// maxVerdictRaces bounds the race reports a verdict retains: enough for
+// forensics on every corpus workload, small enough that a racy cell
+// cannot bloat the journal.
+const maxVerdictRaces = 16
 
 // NewCellVerdict condenses a finished cell into its verdict — the
 // deterministic subset of a harness.Result that recovery equivalence
@@ -192,7 +204,46 @@ func NewCellVerdict(s harness.Spec, r *harness.Result) *CellVerdict {
 		v.Sites = append(v.Sites, site)
 	}
 	sort.Strings(v.Sites)
+	if n := len(r.Stats.Races); n > 0 {
+		if n > maxVerdictRaces {
+			n = maxVerdictRaces
+		}
+		v.Records = append([]sim.Race(nil), r.Stats.Races[:n]...)
+	}
 	return v
+}
+
+// RaceTrace is the forensic view of one reported race — the payload of
+// GET /jobs/{id}/races/{n}/trace. N indexes races across the job's
+// completed cells in cell order.
+type RaceTrace struct {
+	JobID string   `json:"jobId"`
+	Cell  string   `json:"cell"`
+	Index int      `json:"index"`
+	Race  sim.Race `json:"race"`
+}
+
+// RaceTrace returns the job's nth retained race report.
+func (s *Server) RaceTrace(id string, n int) (*RaceTrace, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("service: unknown job %q", id)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	idx := n
+	for _, v := range j.done {
+		if v == nil {
+			continue
+		}
+		if idx < len(v.Records) {
+			return &RaceTrace{JobID: id, Cell: v.Label, Index: n, Race: v.Records[idx]}, nil
+		}
+		idx -= len(v.Records)
+	}
+	return nil, fmt.Errorf("service: job %q has no race %d", id, n)
 }
 
 // JobVerdict is a completed job's full outcome, cells in spec order.

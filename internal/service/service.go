@@ -50,6 +50,7 @@ import (
 	"kard/internal/obs"
 	"kard/internal/service/journal"
 	"kard/internal/sim"
+	"kard/internal/trace"
 )
 
 // Admission-control rejections. All are immediate: Submit never blocks.
@@ -103,6 +104,15 @@ type Config struct {
 	// kardd uses it to fail-stop: exit so the supervisor restarts the
 	// daemon and recovery replays the intact journal prefix.
 	OnStorageFatal func(error)
+	// Trace, when non-nil, is the daemon's structured tracer: the server
+	// records the job lifecycle onto it (admit and settle instants,
+	// per-worker job.run spans, journal.append spans) with wall-clock
+	// timestamps, and the HTTP layer exports it at GET /debug/trace.
+	// Per-cell engine tracing stays off here — concurrent jobs would
+	// interleave on shared cell tracks; kardbench -trace runs the
+	// deterministic per-cell campaign instead. Nil disables tracing at
+	// one branch per site.
+	Trace *trace.Tracer
 	// Logf, when non-nil, receives operational log lines.
 	Logf func(format string, args ...any)
 
@@ -201,6 +211,11 @@ type Server struct {
 	cfg   Config
 	jr    *journal.Journal
 	cache *harness.Cache
+	// trk is the service lifecycle track (admit, settle, journal
+	// appends); nil when Config.Trace is nil. Workers record job.run
+	// spans on their own tracks so concurrent jobs never interleave
+	// begin/end pairs on one row.
+	trk *trace.Track
 
 	runCtx context.Context
 	cancel context.CancelFunc
@@ -283,6 +298,8 @@ func Open(cfg Config) (*Server, error) {
 		jobs:     map[string]*job{},
 		breakers: map[string]*breaker{},
 	}
+	cfg.Trace.ProcessName(tracePid, "kardd-service")
+	s.trk = cfg.Trace.Track(tracePid, 1, "service", 0)
 	resume := s.replay(payloads)
 
 	// The queue must hold every requeued job even when a crash left
@@ -305,10 +322,14 @@ func Open(cfg Config) (*Server, error) {
 
 	for w := 0; w < cfg.Workers; w++ {
 		s.wg.Add(1)
-		go s.worker()
+		go s.worker(w)
 	}
 	return s, nil
 }
+
+// tracePid is the service's Chrome-trace process row; the harness's
+// per-cell tracks use pid 1, the cluster claims higher rows.
+const tracePid = 2
 
 // replay folds the journal's records into server state and returns the
 // interrupted jobs to requeue, in admission order.
@@ -430,6 +451,7 @@ func (s *Server) Submit(spec JobSpec) (string, error) {
 	s.setQueued(s.queued + 1)
 	s.pending++
 	s.queue <- j // cannot block: queued < QueueDepth ≤ cap, sends only under s.mu
+	s.trk.InstantArg("job.admit", "service", s.cfg.Trace.Now(), "job", spec.ID, int64(len(j.cells)))
 	s.maybeCompactLocked()
 	return spec.ID, nil
 }
@@ -441,7 +463,13 @@ func (s *Server) appendLocked(r record) error {
 	if err != nil {
 		return fmt.Errorf("service: journal encode: %w", err)
 	}
-	if err := s.jr.Append(b); err != nil {
+	// The append span covers the fsync — the dominant latency of every
+	// admission and settle; s.mu serializes callers, so begin/end pairs
+	// nest trivially on the service track.
+	s.trk.BeginArg("journal.append", "service", s.cfg.Trace.Now(), "t", r.T)
+	aerr := s.jr.Append(b)
+	s.trk.EndArg("journal.append", "service", s.cfg.Trace.Now(), "bytes", int64(len(b)))
+	if err := aerr; err != nil {
 		s.journalErrs++
 		if errors.Is(err, journal.ErrPoisoned) && !s.storageFatal {
 			// First sign of a failed fsync: nothing can be made durable
@@ -564,9 +592,11 @@ func (s *Server) appendBestEffort(r record) {
 }
 
 // worker drains the queue until the queue closes (drain) or the run
-// context is cancelled (forced shutdown).
-func (s *Server) worker() {
+// context is cancelled (forced shutdown). Each worker owns a trace
+// track (tid 10+w) so concurrent jobs' run spans never interleave.
+func (s *Server) worker(w int) {
 	defer s.wg.Done()
+	wt := s.cfg.Trace.Track(tracePid, 10+w, fmt.Sprintf("worker-%d", w), 0)
 	for {
 		if s.cfg.gate != nil {
 			select {
@@ -586,7 +616,7 @@ func (s *Server) worker() {
 			s.setQueued(s.queued - 1)
 			j.state = StateRunning
 			s.mu.Unlock()
-			s.runJob(j)
+			s.runJob(j, wt)
 			s.mu.Lock()
 			s.pending--
 			if s.pending == 0 && s.idleCh != nil {
@@ -602,8 +632,12 @@ func (s *Server) worker() {
 // verdict as it lands, and settles the job (done or failed) unless a
 // forced shutdown interrupted it — then the job stays unsettled in the
 // journal and the next incarnation resumes it.
-func (s *Server) runJob(j *job) {
+func (s *Server) runJob(j *job, wt *trace.Track) {
 	spec := j.spec
+	wt.BeginArg("job.run", "service", s.cfg.Trace.Now(), "job", spec.ID)
+	defer func() {
+		wt.EndArg("job.run", "service", s.cfg.Trace.Now(), "cells", int64(len(j.cells)))
+	}()
 	if !spec.Deadline.IsZero() && s.cfg.now().After(spec.Deadline) {
 		// Expired while queued: shed it without burning a worker on
 		// cells that would each fail the same way.
@@ -629,6 +663,7 @@ func (s *Server) runJob(j *job) {
 			s.mu.Unlock()
 			v := NewCellVerdict(r.Spec, r.Result)
 			j.setDone(r.Index, v)
+			wt.InstantArg("cell.done", "service", s.cfg.Trace.Now(), "cell", r.Spec.Label(), int64(v.Races))
 			s.appendBestEffort(record{T: "cell", JobID: spec.ID, Cell: r.Index, Verdict: v})
 		},
 	}
@@ -683,6 +718,11 @@ func (s *Server) settleJob(j *job, verdict *JobVerdict, jobErr error, tripped bo
 		if err := s.appendLocked(record{T: "done", JobID: j.spec.ID, JobVerdict: verdict}); err != nil {
 			s.cfg.Logf("service: journal append failed (job %s will re-run after a crash): %v", j.spec.ID, err)
 		}
+	}
+	if jobErr != nil {
+		s.trk.InstantArg("job.fail", "service", s.cfg.Trace.Now(), "job", j.spec.ID, 0)
+	} else {
+		s.trk.InstantArg("job.settle", "service", s.cfg.Trace.Now(), "job", j.spec.ID, int64(len(verdict.Cells)))
 	}
 	br := s.breakerLocked(j.spec.Workload)
 	if br.record(tripped) {

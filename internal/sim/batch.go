@@ -195,6 +195,7 @@ func (e *Engine) tryEpoch() {
 	if !e.epochAdmit() {
 		e.epochVetoes++
 		e.epochHold = true
+		e.tr.InstantArg("epoch.veto", "sim", -1, "entries", "", int64(total))
 		return
 	}
 	e.runEpoch()
@@ -287,6 +288,12 @@ func (e *Engine) runEpoch() {
 			e.epochThreads = append(e.epochThreads, t)
 		}
 	}
+	// Epoch spans record on the scheduler goroutine with logical
+	// timestamps ("just after the previous event"): per-thread virtual
+	// clocks inside an epoch are incomparable, and the span brackets both
+	// phases, including the concurrent Phase B.
+	e.tr.Begin("epoch", "sim", -1)
+	e.tr.Begin("epoch.commit", "sim", -1)
 
 	// Phase A: serial, deterministic commits of translations and clocks.
 	for _, t := range e.epochThreads {
@@ -302,6 +309,9 @@ func (e *Engine) runEpoch() {
 		}
 	}
 
+	e.tr.End("epoch.commit", "sim", -1)
+	e.tr.Begin("epoch.replay", "sim", -1)
+
 	// Phase B: concurrent detector replay, one worker per thread.
 	var wg sync.WaitGroup
 	for _, t := range e.epochThreads {
@@ -312,9 +322,12 @@ func (e *Engine) runEpoch() {
 		}(t)
 	}
 	wg.Wait()
+	e.tr.EndArg("epoch.replay", "sim", -1, "threads", int64(len(e.epochThreads)))
 
+	var committed uint64
 	for _, t := range e.epochThreads {
 		n := uint64(len(t.batch) - t.batchPos)
+		committed += n
 		e.epochAccesses += n
 		// Operation counting, matching the scalar replay exactly: the
 		// head entry was already counted when the thread arrived (or when
@@ -329,6 +342,7 @@ func (e *Engine) runEpoch() {
 		t.clearBatch()
 	}
 	e.epochCount++
+	e.tr.EndArg("epoch", "sim", -1, "accesses", int64(committed))
 }
 
 // commitClocks performs the phase-A commit of one access: per-page dTLB

@@ -73,6 +73,11 @@ type Race struct {
 	ILU bool
 	// Time is the faulting thread's virtual clock at detection.
 	Time cycles.Time
+	// Provenance is the forensic record attached at detection time
+	// (provenance.go): the conflicting access pair, locks held, the
+	// object's protection-domain transition history (Kard only), recent
+	// synchronization edges, and the detecting epoch/drain counters.
+	Provenance *RaceProvenance `json:"provenance,omitempty"`
 }
 
 // Detector observes execution events and implements a data race detection

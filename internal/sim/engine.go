@@ -14,6 +14,7 @@ import (
 	"kard/internal/mem"
 	"kard/internal/mpk"
 	"kard/internal/obs"
+	"kard/internal/trace"
 )
 
 // Config parameterizes one simulated execution.
@@ -70,6 +71,15 @@ type Config struct {
 	// BatchSize overrides the per-thread access buffer capacity
 	// (0 = DefaultBatchSize). Meaningless under ExecModeSerial.
 	BatchSize int
+	// Trace, when non-nil, receives structured span events from the run:
+	// the run span, batch-drain instants, reconciliation-epoch spans with
+	// their commit/replay phases, epoch vetoes, watchdog firings, and
+	// fault-injection retries. Events record at operation-boundary rate,
+	// never per access, and all timestamps are virtual clocks — a traced
+	// run is as deterministic as an untraced one, and a nil Trace costs
+	// one predictable branch per boundary (benchgate's
+	// AccessSteadyStateTraced run pins the traced cost).
+	Trace *trace.Track
 }
 
 // Engine is the discrete-event execution engine. Create one per run with
@@ -161,6 +171,19 @@ type Engine struct {
 	epochCount    uint64
 	epochAccesses uint64
 	epochVetoes   uint64
+
+	// tr is the structured trace track (Config.Trace; nil = off). All
+	// events record on the scheduler goroutine at boundary rate.
+	tr *trace.Track
+
+	// syncRing is the fixed ring of recent synchronization edges (lock,
+	// unlock, barrier, spawn, join, exit) feeding race provenance
+	// (provenance.go). Recording is a value store into a fixed array —
+	// allocation-free — and happens only at sync operations, never on the
+	// access path. syncCount is the total recorded; the ring index is
+	// syncCount % syncRingSize.
+	syncRing  [syncRingSize]SyncEdge
+	syncCount uint64
 }
 
 // New creates an engine with the given configuration and detector. The
@@ -198,7 +221,16 @@ func New(cfg Config, det Detector) *Engine {
 		panic(fmt.Sprintf("sim: unknown ExecMode %q (want %q, %q, or %q)",
 			cfg.ExecMode, ExecModeParallel, ExecModeBatch, ExecModeSerial))
 	}
+	if _, ok := det.(interface{ SerialOnly() }); ok {
+		// The detector logs a per-event timeline (sim.Tracer): under the
+		// batched modes its OnAccess calls fire at drain time rather than
+		// at the Read/Write call sites, and a future epoch-capable wrapper
+		// would fire them concurrently. Force the scalar path so the
+		// logged timeline is the interleaving the workload actually wrote.
+		e.execMode = ExecModeSerial
+	}
 	e.batching = e.execMode != ExecModeSerial
+	e.tr = cfg.Trace
 	e.batchSize = cfg.BatchSize
 	if e.batchSize <= 0 {
 		e.batchSize = DefaultBatchSize
@@ -249,6 +281,11 @@ func (e *Engine) Threads() []*Thread { return e.threads }
 // Config returns the engine configuration.
 func (e *Engine) Config() Config { return e.cfg }
 
+// ExecMode returns the resolved execution mode the engine runs under —
+// Config.ExecMode after defaulting, or ExecModeSerial when the detector
+// demanded the scalar path (see the SerialOnly check in New).
+func (e *Engine) ExecMode() string { return e.execMode }
+
 // Global registers a global object before the run starts. Kard aggregates
 // global metadata during compilation and registers it when the program
 // starts (§5.3); the cost is charged to startup.
@@ -264,6 +301,7 @@ func (e *Engine) Global(size uint64, name string) *alloc.Object {
 	o, d, err := e.alloc.Global(size, name)
 	for r := 0; err != nil && faultinject.IsTransient(err) && r < allocMaxRetries; r++ {
 		e.inj.NoteRetry()
+		e.tr.InstantArg("fault.retry", "sim", int64(e.startup), "site", name, int64(r))
 		e.startup = e.startup.Add(allocRetryBackoff << r)
 		o, d, err = e.alloc.Global(size, name)
 	}
@@ -321,6 +359,9 @@ func (e *Engine) Run(body func(*Thread)) (*Stats, error) {
 	// must be retracted on watchdog and failure teardowns too.
 	outcome := "failed"
 	defer func() { e.finishObs(outcome) }()
+	// The run span opens before any early return so finishObs (which
+	// closes it) always sees a matching begin.
+	e.tr.Begin("run", "sim", int64(e.startup))
 	if err := e.takeRunErrs(); err != nil {
 		// Setup (Global registration) already failed: report it before
 		// executing any thread code.
@@ -484,6 +525,10 @@ func (e *Engine) finishObs(outcome string) {
 	if f, ok := e.detector.(interface{ FlushObs() }); ok {
 		f.FlushObs()
 	}
+	e.tr.InstantArg("run.outcome", "sim", -1, "outcome", outcome,
+		int64(len(e.detector.Races())))
+	e.tr.EndArg("run", "sim", -1, "accesses", int64(e.accessUnits))
+	e.tr.Flush()
 }
 
 // takeRunErrs joins and clears the recorded run errors.
@@ -519,8 +564,10 @@ func (e *Engine) abortTimeout(bound time.Duration, deadlineBound bool) error {
 	}
 	if deadlineBound {
 		obs.Flight.Recordf(obs.EvWatchdog, "job deadline fired after %v wall-clock", bound)
+		e.tr.InstantArg("watchdog", "sim", -1, "bound", "deadline", bound.Milliseconds())
 	} else {
 		obs.Flight.Recordf(obs.EvWatchdog, "watchdog fired after %v wall-clock", bound)
+		e.tr.InstantArg("watchdog", "sim", -1, "bound", "watchdog", bound.Milliseconds())
 	}
 	// The thread-state dump carries the flight recorder's recent events:
 	// what the engine was doing (faults, degradations, breaker activity)
@@ -632,6 +679,7 @@ func (e *Engine) arrive(t *Thread) {
 	e.epochHold = false
 	if len(t.batch) > 0 && t.batchPos == 0 {
 		e.noteDrain(len(t.batch))
+		e.tr.InstantArg("drain", "sim", int64(t.clock), "depth", "", int64(len(t.batch)))
 	}
 	e.activate(t)
 }
@@ -700,6 +748,7 @@ func (e *Engine) execute(t *Thread) {
 		// as a production allocator would sleep and retry.
 		for r := 0; err != nil && faultinject.IsTransient(err) && r < allocMaxRetries; r++ {
 			e.inj.NoteRetry()
+			e.tr.InstantArg("fault.retry", "sim", int64(t.clock), "site", o.site, int64(r))
 			t.charge(allocRetryBackoff << r)
 			obj, d, err = e.alloc.Malloc(o.size, o.site)
 		}
@@ -779,6 +828,7 @@ func (e *Engine) execute(t *Thread) {
 		t.charge(e.detector.CSExit(t, entry.Section, m))
 		t.charge(cycles.LockUncontended)
 		e.leaveSection(entry.Section)
+		e.noteSync("unlock", t.id, -1, m.name, t.clock)
 		delete(t.held, m)
 		m.lastRelease = t.clock
 		m.holder = nil
@@ -808,6 +858,7 @@ func (e *Engine) execute(t *Thread) {
 		group := b.waiting
 		b.waiting = nil
 		b.passes++
+		e.noteSync("barrier", t.id, len(group), "", tmax)
 		for _, w := range group {
 			w.clock = tmax.Add(d)
 			if w != t {
@@ -821,6 +872,7 @@ func (e *Engine) execute(t *Thread) {
 		t.charge(cycles.ThreadSpawn)
 		child := e.startThread(o.site, t.clock, o.body)
 		e.detector.ThreadSpawned(t, child)
+		e.noteSync("spawn", t.id, child.id, o.site, t.clock)
 		t.resume <- opResult{thread: child}
 
 	case opJoin:
@@ -828,6 +880,7 @@ func (e *Engine) execute(t *Thread) {
 		if target.done {
 			t.clock = cycles.Max(t.clock, target.final)
 			e.detector.ThreadJoined(t, target)
+			e.noteSync("join", t.id, target.id, "", t.clock)
 			t.resume <- opResult{}
 			return
 		}
@@ -838,10 +891,12 @@ func (e *Engine) execute(t *Thread) {
 		e.detector.ThreadExited(t)
 		t.done = true
 		t.final = t.clock
+		e.noteSync("exit", t.id, -1, "", t.final)
 		e.runnable--
 		for _, j := range t.joiners {
 			j.clock = cycles.Max(j.clock, t.final)
 			e.detector.ThreadJoined(j, t)
+			e.noteSync("join", j.id, t.id, "", j.clock)
 			e.runnable++
 			j.resume <- opResult{}
 		}
@@ -884,6 +939,7 @@ func (e *Engine) grantLock(t *Thread, m *Mutex, site string) {
 	e.totalCSEntries++
 	t.Sections = append(t.Sections, &SectionEntry{Section: cs, Mutex: m, Enter: t.clock})
 	e.enterSection(cs)
+	e.noteSync("lock", t.id, -1, site, t.clock)
 	t.charge(e.detector.CSEnter(t, cs, m))
 }
 

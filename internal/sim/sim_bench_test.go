@@ -6,6 +6,7 @@ import (
 
 	"kard/internal/alloc"
 	"kard/internal/mpk"
+	"kard/internal/trace"
 )
 
 // BenchmarkOpDispatch measures raw engine throughput: one compute
@@ -93,6 +94,29 @@ func BenchmarkAccessSteadyState(b *testing.B) {
 // allocation" claim.
 func BenchmarkAccessSteadyStateMetrics(b *testing.B) {
 	e := New(Config{Metrics: true}, nil)
+	if _, err := e.Run(func(m *Thread) {
+		obj := m.Malloc(64, "obj")
+		m.Read(obj, 0, 8, "warm")
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.Read(obj, 0, 8, "hot")
+		}
+	}); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkAccessSteadyStateTraced is the steady-state access loop with a
+// span track attached (Config.Trace), as `kardbench -trace` runs it. The
+// tracer records only at run boundaries and sync operations — never per
+// access — so the hot loop's cost and its 0 allocs/op must be
+// indistinguishable from the untraced loop; the benchmark gate enforces
+// the obs zero-alloc contract on the tracing layer the same way it does
+// on metrics.
+func BenchmarkAccessSteadyStateTraced(b *testing.B) {
+	tk := trace.NewTracer(1, "bench", 0).Track(1, 1, "bench", 0)
+	e := New(Config{Trace: tk}, nil)
 	if _, err := e.Run(func(m *Thread) {
 		obj := m.Malloc(64, "obj")
 		m.Read(obj, 0, 8, "warm")

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"io"
+	"sync"
 
 	"kard/internal/alloc"
 	"kard/internal/cycles"
@@ -11,6 +12,16 @@ import (
 // Tracer is a Detector decorator that logs every execution event to a
 // writer while forwarding to an inner detector (which may be nil for
 // trace-only runs). It powers the kardtrace debugging tool.
+//
+// A Tracer-driven run always executes on the scalar path: the decorator
+// implements the SerialOnly marker, which makes Engine.New force
+// ExecModeSerial whatever Config.ExecMode asked for. Under the batched
+// modes OnAccess fires at drain time instead of at the Read/Write call
+// sites, so the logged timeline would interleave batch replays with the
+// operations that triggered them — technically the same detector-event
+// order, but not the narrative the tool's users read. The log method is
+// additionally mutex-guarded so a misuse that bypasses Engine.New cannot
+// corrupt the event counter.
 type Tracer struct {
 	Inner Detector
 	W     io.Writer
@@ -18,7 +29,8 @@ type Tracer struct {
 	// 0 means unlimited.
 	Limit int
 
-	n int
+	mu sync.Mutex
+	n  int
 }
 
 // NewTracer wraps inner (nil → Baseline) with event logging to w.
@@ -29,7 +41,13 @@ func NewTracer(inner Detector, w io.Writer, limit int) *Tracer {
 	return &Tracer{Inner: inner, W: w, Limit: limit}
 }
 
+// SerialOnly marks the Tracer as requiring ExecModeSerial; Engine.New
+// checks for the method and forces the scalar path.
+func (tr *Tracer) SerialOnly() {}
+
 func (tr *Tracer) log(t *Thread, format string, args ...any) {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
 	tr.n++
 	if tr.Limit > 0 && tr.n > tr.Limit {
 		if tr.n == tr.Limit+1 {

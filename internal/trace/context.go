@@ -1,0 +1,70 @@
+package trace
+
+import (
+	"net/http"
+	"strconv"
+)
+
+// HTTP trace-context propagation. The cluster's worker→coordinator RPCs
+// carry the client's trace and span IDs in two headers; the coordinator
+// opens its server-side span with the client span as parent, stitching
+// the two processes' traces together in one export. A retried RPC
+// reuses the same rid AND the same injected context (the client span is
+// per logical call, not per attempt), so the coordinator's dedup window
+// keeps duplicated deliveries from double-counting server spans.
+
+// Header names for propagated trace context.
+const (
+	HeaderTraceID = "X-Kard-Trace-Id"
+	HeaderSpanID  = "X-Kard-Span-Id"
+)
+
+// SpanContext is a propagated (trace, span) identity. The zero value
+// means "no context".
+type SpanContext struct {
+	Trace uint64
+	Span  uint64
+}
+
+// Valid reports whether the context carries a trace identity.
+func (sc SpanContext) Valid() bool { return sc.Trace != 0 }
+
+// Inject writes the context into HTTP headers; a zero context writes
+// nothing.
+func Inject(h http.Header, sc SpanContext) {
+	if !sc.Valid() {
+		return
+	}
+	h.Set(HeaderTraceID, strconv.FormatUint(sc.Trace, 16))
+	h.Set(HeaderSpanID, strconv.FormatUint(sc.Span, 16))
+}
+
+// Context builds the propagated identity for a span minted on this
+// track. Nil tracks yield the zero context, so tracing-off call sites
+// inject nothing.
+func (k *Track) Context(span uint64) SpanContext {
+	if k == nil {
+		return SpanContext{}
+	}
+	return SpanContext{Trace: k.tracer.traceID, Span: span}
+}
+
+// Now exposes the owning tracer's wall clock (microseconds since
+// creation) for call sites that hold only a track. Nil-safe.
+func (k *Track) Now() int64 {
+	if k == nil {
+		return 0
+	}
+	return k.tracer.Now()
+}
+
+// Extract reads a propagated context from HTTP headers; absent or
+// malformed headers yield the zero context.
+func Extract(h http.Header) SpanContext {
+	tid, err := strconv.ParseUint(h.Get(HeaderTraceID), 16, 64)
+	if err != nil {
+		return SpanContext{}
+	}
+	sid, _ := strconv.ParseUint(h.Get(HeaderSpanID), 16, 64)
+	return SpanContext{Trace: tid, Span: sid}
+}

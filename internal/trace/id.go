@@ -1,0 +1,28 @@
+package trace
+
+// Deterministic identifier derivation. Trace and span IDs must be
+// reproducible across runs (DESIGN.md §13): the trace ID mixes the seed
+// with a scope string, a track's ID base mixes in its coordinates and
+// name, and span IDs step a per-track counter through the same mixer.
+// Nothing here consults the clock, the heap, or goroutine identity.
+
+// mix64 is the splitmix64 finalizer — the same mixer the engine's
+// scheduler tie-break and the fault injector use, giving well-spread
+// 64-bit IDs from sequential counters.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// hashString is FNV-1a over the string bytes, inlined to avoid the
+// hash/fnv allocation per call.
+func hashString(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
